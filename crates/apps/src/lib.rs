@@ -1,0 +1,25 @@
+//! Mini-applications and microbenchmarks from the dCUDA evaluation
+//! (paper §IV).
+//!
+//! Every workload exists in two variants sharing one numerics core:
+//!
+//! * a **dCUDA** variant — rank kernels on [`dcuda_core::ClusterSim`], with
+//!   device-side notified remote memory access and automatic overlap;
+//! * an **MPI-CUDA** variant — host-driven kernel/exchange phases on
+//!   [`dcuda_core::baseline::MpiCudaSim`], the traditional model the paper
+//!   compares against.
+//!
+//! | Module | Paper experiment |
+//! |---|---|
+//! | [`micro::pingpong`] | Fig. 6 — put bandwidth, shared & distributed |
+//! | [`micro::overlap`] | Fig. 7/8 — overlap for compute- and memory-bound work |
+//! | [`stencil`] | Fig. 10 — COSMO horizontal-diffusion weak scaling |
+//! | [`particles`] | Fig. 9 — particle simulation weak scaling |
+//! | [`spmv`] | Fig. 11 — sparse matrix-vector weak scaling |
+
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod particles;
+pub mod spmv;
+pub mod stencil;

@@ -1,0 +1,4 @@
+//! Microbenchmarks (paper §IV-B).
+
+pub mod overlap;
+pub mod pingpong;

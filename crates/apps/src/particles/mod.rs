@@ -1,0 +1,18 @@
+//! Short-range particle simulation (paper §IV-C, Figure 9).
+
+pub mod dcuda;
+pub mod model;
+pub mod mpicuda;
+
+pub use dcuda::run_dcuda;
+pub use model::{ParticleConfig, Particles};
+pub use mpicuda::run_mpicuda;
+
+/// Timing of one weak-scaling point of Figure 9.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleResult {
+    /// Execution time in ms.
+    pub time_ms: f64,
+    /// Halo-exchange-only time in ms (tracked by the MPI-CUDA variant).
+    pub halo_ms: f64,
+}

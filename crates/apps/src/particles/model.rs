@@ -1,0 +1,426 @@
+//! Shared particle-simulation numerics (paper §IV-C).
+//!
+//! Particles in a wide two-dimensional domain interact via short-range
+//! repulsive forces and move under simplified Verlet integration. The domain
+//! is decomposed into cells along the wide (x) edge, one cell per rank; the
+//! cell width equals the cutoff distance, so forces act only between
+//! particles of the same or neighbouring cells. After integration, particles
+//! crossing a cell boundary migrate to the neighbour.
+//!
+//! Everything order-dependent (force summation, migration scan, arrival
+//! append) is defined canonically here and used by the dCUDA variant, the
+//! MPI-CUDA variant and the serial reference, so all three produce
+//! bit-identical trajectories.
+
+use dcuda_core::types::Topology;
+use dcuda_des::SplitMix64;
+use dcuda_device::BlockCharge;
+
+/// Experiment configuration for one weak-scaling point.
+#[derive(Debug, Clone)]
+pub struct ParticleConfig {
+    /// Cluster nodes.
+    pub nodes: u32,
+    /// Cells (= ranks) per node.
+    pub cells_per_node: u32,
+    /// Average initial particles per cell.
+    pub avg_per_cell: usize,
+    /// Slot capacity per cell (the paper allocates 4x the average).
+    pub capacity: usize,
+    /// Cutoff distance = cell width.
+    pub cutoff: f64,
+    /// Domain height (y).
+    pub height: f64,
+    /// Repulsion stiffness.
+    pub stiffness: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Iterations of the main loop.
+    pub iters: u32,
+    /// RNG seed for the initial state.
+    pub seed: u64,
+    /// Hardware-charge multiplier. The paper simulates ~224 particles per
+    /// cell; we run a reduced real population (for host-CPU tractability)
+    /// and scale the *cost model* by the quadratic pair-count ratio so the
+    /// simulated compute-to-communication ratio matches the paper's
+    /// (documented in DESIGN.md).
+    pub charge_scale: f64,
+}
+
+impl ParticleConfig {
+    /// Paper-scale shape at reduced particle count (the paper uses 208
+    /// cells and ~46k particles per node; we keep the cell structure and
+    /// scale the population down — see DESIGN.md).
+    pub fn paper(nodes: u32) -> Self {
+        ParticleConfig {
+            nodes,
+            cells_per_node: 208,
+            avg_per_cell: 48,
+            capacity: 192,
+            cutoff: 1.0,
+            height: 10.0,
+            stiffness: 20.0,
+            dt: 0.02,
+            iters: 100,
+            seed: 0xD0C5_EED5,
+            // (224 / 48)^2 ~ 21: the pair-check ratio between the paper's
+            // population and ours.
+            charge_scale: 21.0,
+        }
+    }
+
+    /// Miniature configuration for tests.
+    pub fn tiny(nodes: u32) -> Self {
+        ParticleConfig {
+            nodes,
+            cells_per_node: 4,
+            avg_per_cell: 6,
+            capacity: 24,
+            cutoff: 1.0,
+            height: 4.0,
+            stiffness: 20.0,
+            dt: 0.02,
+            iters: 5,
+            seed: 42,
+            charge_scale: 1.0,
+        }
+    }
+
+    /// Rank topology (one rank per cell).
+    pub fn topology(&self) -> Topology {
+        Topology {
+            nodes: self.nodes,
+            ranks_per_node: self.cells_per_node,
+        }
+    }
+
+    /// Total cells across the cluster.
+    pub fn total_cells(&self) -> usize {
+        (self.nodes * self.cells_per_node) as usize
+    }
+
+    /// x-range of global cell `c`.
+    pub fn cell_range(&self, c: usize) -> (f64, f64) {
+        (c as f64 * self.cutoff, (c + 1) as f64 * self.cutoff)
+    }
+}
+
+/// The particles of one cell (structure of arrays, as in the paper).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Particles {
+    /// x positions.
+    pub xs: Vec<f64>,
+    /// y positions.
+    pub ys: Vec<f64>,
+    /// x velocities.
+    pub vxs: Vec<f64>,
+    /// y velocities.
+    pub vys: Vec<f64>,
+}
+
+impl Particles {
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Append one particle.
+    pub fn push(&mut self, x: f64, y: f64, vx: f64, vy: f64) {
+        self.xs.push(x);
+        self.ys.push(y);
+        self.vxs.push(vx);
+        self.vys.push(vy);
+    }
+
+    /// Append all of `other` (canonical arrival order).
+    pub fn extend(&mut self, other: &Particles) {
+        self.xs.extend_from_slice(&other.xs);
+        self.ys.extend_from_slice(&other.ys);
+        self.vxs.extend_from_slice(&other.vxs);
+        self.vys.extend_from_slice(&other.vys);
+    }
+}
+
+/// Deterministic initial population of global cell `c`.
+pub fn init_cell(cfg: &ParticleConfig, c: usize) -> Particles {
+    let mut rng = SplitMix64::new(cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9));
+    // Near-uniform population: avg +- 25% (quadratic force work amplifies
+    // any variance into per-phase load imbalance).
+    let n = cfg.avg_per_cell * 3 / 4 + rng.next_below(cfg.avg_per_cell as u64 / 2 + 1) as usize;
+    let (x0, x1) = cfg.cell_range(c);
+    let mut p = Particles::default();
+    for _ in 0..n {
+        p.push(
+            x0 + rng.next_f64() * (x1 - x0),
+            rng.next_f64() * cfg.height,
+            (rng.next_f64() - 0.5) * 0.5,
+            (rng.next_f64() - 0.5) * 0.5,
+        );
+    }
+    p
+}
+
+/// Work statistics of one cell step, convertible into hardware charges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepWork {
+    /// Pair-distance checks performed.
+    pub pair_checks: u64,
+    /// Pairs within the cutoff (force evaluations).
+    pub interactions: u64,
+    /// Particles integrated.
+    pub integrated: u64,
+}
+
+impl StepWork {
+    /// Hardware charge of the force + integration kernel for this work
+    /// (paper: "we perform two memory accesses in the innermost loop"),
+    /// multiplied by the configuration's population scale.
+    pub fn force_charge(&self, scale: f64) -> BlockCharge {
+        BlockCharge {
+            flops: (self.pair_checks as f64 * 8.0
+                + self.interactions as f64 * 12.0
+                + self.integrated as f64 * 8.0)
+                * scale,
+            mem_bytes: (self.pair_checks as f64 * 16.0 + self.integrated as f64 * 64.0) * scale,
+        }
+    }
+}
+
+/// Compute forces on `own` from `left`/`own`/`right` (canonical order) and
+/// integrate positions in place. Returns the work done.
+pub fn step_cell(
+    own: &mut Particles,
+    left: Option<&Particles>,
+    right: Option<&Particles>,
+    cfg: &ParticleConfig,
+) -> StepWork {
+    let mut work = StepWork::default();
+    let rc = cfg.cutoff;
+    let n = own.len();
+    let mut fx = vec![0.0; n];
+    let mut fy = vec![0.0; n];
+    let accumulate = |own: &Particles, other: &Particles, same: bool, fx: &mut [f64], fy: &mut [f64], work: &mut StepWork| {
+        for i in 0..own.len() {
+            for j in 0..other.len() {
+                if same && i == j {
+                    continue;
+                }
+                work.pair_checks += 1;
+                let dx = own.xs[i] - other.xs[j];
+                let dy = own.ys[i] - other.ys[j];
+                let r2 = dx * dx + dy * dy;
+                if r2 < rc * rc && r2 > 1e-12 {
+                    work.interactions += 1;
+                    let r = r2.sqrt();
+                    let f = cfg.stiffness * (rc - r) / r;
+                    fx[i] += f * dx;
+                    fy[i] += f * dy;
+                }
+            }
+        }
+    };
+    // Canonical neighbour order: left, own, right.
+    if let Some(l) = left {
+        accumulate(own, l, false, &mut fx, &mut fy, &mut work);
+    }
+    {
+        // Self-interactions read the pre-step snapshot.
+        let snapshot = own.clone();
+        accumulate(&snapshot, &snapshot, true, &mut fx, &mut fy, &mut work);
+    }
+    if let Some(r) = right {
+        accumulate(own, r, false, &mut fx, &mut fy, &mut work);
+    }
+    // Integrate (velocity then position), reflecting at the domain walls.
+    let world_x1 = cfg.total_cells() as f64 * cfg.cutoff;
+    for i in 0..n {
+        work.integrated += 1;
+        own.vxs[i] += fx[i] * cfg.dt;
+        own.vys[i] += fy[i] * cfg.dt;
+        own.xs[i] += own.vxs[i] * cfg.dt;
+        own.ys[i] += own.vys[i] * cfg.dt;
+        if own.ys[i] < 0.0 {
+            own.ys[i] = -own.ys[i];
+            own.vys[i] = -own.vys[i];
+        }
+        if own.ys[i] > cfg.height {
+            own.ys[i] = 2.0 * cfg.height - own.ys[i];
+            own.vys[i] = -own.vys[i];
+        }
+        if own.xs[i] < 0.0 {
+            own.xs[i] = -own.xs[i];
+            own.vxs[i] = -own.vxs[i];
+        }
+        if own.xs[i] > world_x1 {
+            own.xs[i] = 2.0 * world_x1 - own.xs[i];
+            own.vxs[i] = -own.vxs[i];
+        }
+    }
+    work
+}
+
+/// Split off the particles that left cell `c` (canonical scan order:
+/// stayers keep their relative order; leavers are appended in scan order).
+pub fn migrate(own: &mut Particles, c: usize, cfg: &ParticleConfig) -> (Particles, Particles) {
+    let (x0, x1) = cfg.cell_range(c);
+    let mut stay = Particles::default();
+    let mut to_left = Particles::default();
+    let mut to_right = Particles::default();
+    for i in 0..own.len() {
+        let dest = if own.xs[i] < x0 && c > 0 {
+            &mut to_left
+        } else if own.xs[i] >= x1 && c + 1 < cfg.total_cells() {
+            &mut to_right
+        } else {
+            &mut stay
+        };
+        dest.push(own.xs[i], own.ys[i], own.vxs[i], own.vys[i]);
+    }
+    *own = stay;
+    (to_left, to_right)
+}
+
+/// Run the whole simulation serially; returns the final cells.
+pub fn serial_reference(cfg: &ParticleConfig) -> Vec<Particles> {
+    let total = cfg.total_cells();
+    let mut cells: Vec<Particles> = (0..total).map(|c| init_cell(cfg, c)).collect();
+    for _ in 0..cfg.iters {
+        // Halo semantics: forces read the pre-step snapshot of neighbours.
+        let snapshot = cells.clone();
+        for c in 0..total {
+            let left = (c > 0).then(|| &snapshot[c - 1]);
+            let right = (c + 1 < total).then(|| &snapshot[c + 1]);
+            step_cell(&mut cells[c], left, right, cfg);
+        }
+        // Migration: collect all departures first, then append arrivals
+        // (left-inbox before right-inbox, canonical).
+        let mut inbox_from_left: Vec<Particles> = vec![Particles::default(); total];
+        let mut inbox_from_right: Vec<Particles> = vec![Particles::default(); total];
+        for c in 0..total {
+            let (to_left, to_right) = migrate(&mut cells[c], c, cfg);
+            if c > 0 {
+                inbox_from_right[c - 1] = to_left;
+            }
+            if c + 1 < total {
+                inbox_from_left[c + 1] = to_right;
+            }
+        }
+        for c in 0..total {
+            cells[c].extend(&inbox_from_left[c]);
+            cells[c].extend(&inbox_from_right[c]);
+        }
+    }
+    cells
+}
+
+/// Compact digest of a particle state (for cross-variant equality checks).
+pub fn digest(cells: &[Particles]) -> Vec<(usize, f64, f64)> {
+    cells
+        .iter()
+        .map(|p| {
+            (
+                p.len(),
+                p.xs.iter().sum::<f64>() + p.ys.iter().sum::<f64>(),
+                p.vxs.iter().sum::<f64>() + p.vys.iter().sum::<f64>(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic() {
+        let cfg = ParticleConfig::tiny(1);
+        assert_eq!(init_cell(&cfg, 2), init_cell(&cfg, 2));
+        // Different cells differ.
+        assert_ne!(init_cell(&cfg, 0), init_cell(&cfg, 1));
+    }
+
+    #[test]
+    fn particles_stay_in_their_cell_or_neighbors() {
+        // After one step with a small dt, particles cannot jump a cell.
+        let cfg = ParticleConfig::tiny(1);
+        let cells = serial_reference(&ParticleConfig {
+            iters: 1,
+            ..cfg.clone()
+        });
+        for (c, p) in cells.iter().enumerate() {
+            let (x0, x1) = cfg.cell_range(c);
+            for &x in &p.xs {
+                assert!(x >= x0 - 1e-9 && x <= x1 + 1e-9, "cell {c} holds x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn particle_count_is_conserved() {
+        let cfg = ParticleConfig::tiny(2);
+        let initial: usize = (0..cfg.total_cells())
+            .map(|c| init_cell(&cfg, c).len())
+            .sum();
+        let cells = serial_reference(&cfg);
+        let after: usize = cells.iter().map(Particles::len).sum();
+        assert_eq!(initial, after);
+    }
+
+    #[test]
+    fn repulsion_pushes_apart() {
+        let cfg = ParticleConfig::tiny(1);
+        let mut p = Particles::default();
+        p.push(0.4, 1.0, 0.0, 0.0);
+        p.push(0.6, 1.0, 0.0, 0.0);
+        step_cell(&mut p, None, None, &cfg);
+        assert!(p.vxs[0] < 0.0, "left particle pushed left");
+        assert!(p.vxs[1] > 0.0, "right particle pushed right");
+        assert_eq!(p.vys[0], 0.0, "no y force for aligned particles");
+    }
+
+    #[test]
+    fn walls_reflect() {
+        let cfg = ParticleConfig::tiny(1);
+        let mut p = Particles::default();
+        // Heading out of the bottom wall, far from others.
+        p.push(2.0, 0.001, 0.0, -1.0);
+        step_cell(&mut p, None, None, &cfg);
+        assert!(p.ys[0] >= 0.0);
+        assert!(p.vys[0] > 0.0);
+    }
+
+    #[test]
+    fn migration_splits_canonically() {
+        let cfg = ParticleConfig::tiny(1);
+        let mut p = Particles::default();
+        p.push(0.5, 1.0, 0.0, 0.0); // stays in cell 1? cell 1 spans [1,2)
+        p.push(1.5, 1.0, 0.0, 0.0); // stays
+        p.push(2.5, 1.0, 0.0, 0.0); // to the right
+        let (l, r) = migrate(&mut p, 1, &cfg);
+        assert_eq!(l.len(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.xs[0], 1.5);
+        assert_eq!(l.xs[0], 0.5);
+        assert_eq!(r.xs[0], 2.5);
+    }
+
+    #[test]
+    fn charges_track_work() {
+        let w = StepWork {
+            pair_checks: 100,
+            interactions: 10,
+            integrated: 5,
+        };
+        let c = w.force_charge(1.0);
+        assert!(c.flops > 0.0);
+        assert!((c.mem_bytes - (1600.0 + 320.0)).abs() < 1e-9);
+        let c2 = w.force_charge(21.0);
+        assert!((c2.mem_bytes - 21.0 * c.mem_bytes).abs() < 1e-9);
+    }
+}

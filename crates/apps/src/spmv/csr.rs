@@ -1,0 +1,354 @@
+//! Compressed-row-storage matrices and the SpMV numerics (paper §IV-C).
+//!
+//! The matrix is distributed by a two-dimensional decomposition into square
+//! `patch × patch` sub-domains, one per device, with the input vector stored
+//! along the first row of the decomposition and the output vector along the
+//! first column. Patches are generated deterministically so every variant
+//! (and the serial reference) sees the same matrix.
+
+use dcuda_core::types::Topology;
+use dcuda_des::SplitMix64;
+use dcuda_device::BlockCharge;
+
+/// Experiment configuration for one weak-scaling point.
+#[derive(Debug, Clone)]
+pub struct SpmvConfig {
+    /// Grid side: `grid x grid` devices (paper runs 1, 4 and 9 nodes).
+    pub grid: u32,
+    /// Ranks (blocks) per node.
+    pub ranks_per_node: u32,
+    /// Patch dimension (rows = columns per device patch; the paper uses
+    /// 10,486).
+    pub patch: usize,
+    /// Nonzero density (the paper populates 0.1%).
+    pub density: f64,
+    /// Main-loop iterations.
+    pub iters: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Use the §V broadcast-put extension (`put_notify_all`) for the
+    /// on-device x fan-out instead of the notification tree.
+    pub bcast_put: bool,
+}
+
+impl SpmvConfig {
+    /// Paper-scale configuration.
+    pub fn paper(grid: u32) -> Self {
+        SpmvConfig {
+            grid,
+            ranks_per_node: 208,
+            patch: 10_486,
+            density: 0.001,
+            iters: 100,
+            seed: 0x5EED_CAFE,
+            bcast_put: false,
+        }
+    }
+
+    /// Miniature configuration for tests.
+    pub fn tiny(grid: u32) -> Self {
+        SpmvConfig {
+            grid,
+            ranks_per_node: 4,
+            patch: 64,
+            density: 0.05,
+            iters: 3,
+            seed: 7,
+            bcast_put: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.grid * self.grid
+    }
+
+    /// Rank topology.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            nodes: self.nodes(),
+            ranks_per_node: self.ranks_per_node,
+        }
+    }
+
+    /// Node index of grid position `(row, col)` (row-major).
+    pub fn node_at(&self, row: u32, col: u32) -> u32 {
+        row * self.grid + col
+    }
+
+    /// Grid position of a node.
+    pub fn grid_pos(&self, node: u32) -> (u32, u32) {
+        (node / self.grid, node % self.grid)
+    }
+
+    /// Row range of `local` rank within a patch (contiguous split).
+    pub fn rank_rows(&self, local: u32) -> std::ops::Range<usize> {
+        let per = self.patch / self.ranks_per_node as usize;
+        let extra = self.patch % self.ranks_per_node as usize;
+        let l = local as usize;
+        let start = l * per + l.min(extra);
+        let len = per + usize::from(l < extra);
+        start..start + len
+    }
+}
+
+/// A CSR matrix (one patch or the assembled global matrix).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row pointers (`rows + 1` entries).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub col_idx: Vec<usize>,
+    /// Values.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Nonzeros in a row range.
+    pub fn nnz_in(&self, rows: std::ops::Range<usize>) -> usize {
+        self.row_ptr[rows.end] - self.row_ptr[rows.start]
+    }
+
+    /// `y[r] = Σ A[r, c] · x[c]` for `r` in `rows` (y indexed from
+    /// `rows.start`).
+    pub fn spmv_rows(&self, x: &[f64], y: &mut [f64], rows: std::ops::Range<usize>) {
+        assert_eq!(x.len(), self.cols);
+        for r in rows.clone() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r - rows.start] = acc;
+        }
+    }
+
+    /// Extract a row range as a standalone matrix (rows renumbered from 0;
+    /// columns unchanged). Lets each rank hold only its own rows instead of
+    /// a full patch copy.
+    pub fn slice_rows(&self, rows: std::ops::Range<usize>) -> CsrMatrix {
+        let base = self.row_ptr[rows.start];
+        let end = self.row_ptr[rows.end];
+        CsrMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            row_ptr: self.row_ptr[rows.start..=rows.end]
+                .iter()
+                .map(|p| p - base)
+                .collect(),
+            col_idx: self.col_idx[base..end].to_vec(),
+            values: self.values[base..end].to_vec(),
+        }
+    }
+
+    /// Hardware charge of multiplying `rows` (CSR streaming: 8 B value +
+    /// 4 B index + 8 B gathered x per nonzero, 2 FLOPs per nonzero, plus the
+    /// row-pointer and output traffic).
+    pub fn spmv_charge(&self, rows: std::ops::Range<usize>) -> BlockCharge {
+        let nnz = self.nnz_in(rows.clone()) as f64;
+        let r = rows.len() as f64;
+        BlockCharge {
+            flops: 2.0 * nnz + r,
+            mem_bytes: 20.0 * nnz + 16.0 * r,
+        }
+    }
+}
+
+/// Generate the patch owned by grid position `(prow, pcol)`.
+pub fn generate_patch(cfg: &SpmvConfig, prow: u32, pcol: u32) -> CsrMatrix {
+    let mut rng = SplitMix64::new(
+        cfg.seed ^ ((prow as u64) << 32 | pcol as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let n = cfg.patch;
+    let expected = (n as f64 * cfg.density).max(1.0);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for _row in 0..n {
+        // Row population: expected +- 50%, at least 1.
+        let k = ((expected * 0.5) as u64 + rng.next_below((expected as u64).max(1) + 1)).max(1);
+        let mut cols: Vec<usize> = (0..k).map(|_| rng.next_below(n as u64) as usize).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            col_idx.push(c);
+            values.push(rng.next_f64() * 2.0 - 1.0);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix {
+        rows: n,
+        cols: n,
+        row_ptr,
+        col_idx,
+        values,
+    }
+}
+
+/// Deterministic input-vector part for grid column `pcol`.
+pub fn generate_x(cfg: &SpmvConfig, pcol: u32) -> Vec<f64> {
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xABCD ^ (pcol as u64) << 17);
+    (0..cfg.patch).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+}
+
+/// Serial reference: `y = A · x` over the whole decomposition, accumulating
+/// column patches in binomial-tree order (the order both distributed
+/// variants use), returning the global output vector.
+pub fn serial_reference(cfg: &SpmvConfig) -> Vec<f64> {
+    let g = cfg.grid;
+    let n = cfg.patch;
+    let mut y = vec![0.0; n * g as usize];
+    for prow in 0..g {
+        // Per-column partials.
+        let mut partials: Vec<Vec<f64>> = (0..g)
+            .map(|pcol| {
+                let a = generate_patch(cfg, prow, pcol);
+                let x = generate_x(cfg, pcol);
+                let mut yp = vec![0.0; n];
+                a.spmv_rows(&x, &mut yp, 0..n);
+                yp
+            })
+            .collect();
+        // Binomial-tree reduction to column 0 (matches both variants'
+        // summation order).
+        let gu = g as usize;
+        let mut k = 1usize;
+        while k < gu {
+            let mut v = 0;
+            while v + k < gu {
+                let (a, b) = partials.split_at_mut(v + k);
+                for (dst, src) in a[v].iter_mut().zip(b[0].iter()) {
+                    *dst += src;
+                }
+                v += 2 * k;
+            }
+            k <<= 1;
+        }
+        y[prow as usize * n..(prow as usize + 1) * n].copy_from_slice(&partials[0]);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SpmvConfig::tiny(2);
+        assert_eq!(generate_patch(&cfg, 0, 1), generate_patch(&cfg, 0, 1));
+        assert_ne!(
+            generate_patch(&cfg, 0, 0).values,
+            generate_patch(&cfg, 1, 0).values
+        );
+        assert_eq!(generate_x(&cfg, 1), generate_x(&cfg, 1));
+    }
+
+    #[test]
+    fn csr_structure_is_valid() {
+        let cfg = SpmvConfig::tiny(1);
+        let m = generate_patch(&cfg, 0, 0);
+        assert_eq!(m.row_ptr.len(), m.rows + 1);
+        assert_eq!(*m.row_ptr.last().unwrap(), m.nnz());
+        for w in m.row_ptr.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for &c in &m.col_idx {
+            assert!(c < m.cols);
+        }
+        // Columns sorted within each row.
+        for r in 0..m.rows {
+            let s = &m.col_idx[m.row_ptr[r]..m.row_ptr[r + 1]];
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn spmv_identity_like() {
+        // Hand-built 3x3: diagonal [2, 3, 4].
+        let m = CsrMatrix {
+            rows: 3,
+            cols: 3,
+            row_ptr: vec![0, 1, 2, 3],
+            col_idx: vec![0, 1, 2],
+            values: vec![2.0, 3.0, 4.0],
+        };
+        let x = vec![1.0, 10.0, 100.0];
+        let mut y = vec![0.0; 3];
+        m.spmv_rows(&x, &mut y, 0..3);
+        assert_eq!(y, vec![2.0, 30.0, 400.0]);
+        // Partial rows.
+        let mut y2 = vec![0.0; 2];
+        m.spmv_rows(&x, &mut y2, 1..3);
+        assert_eq!(y2, vec![30.0, 400.0]);
+    }
+
+    #[test]
+    fn rank_rows_partition_the_patch() {
+        let cfg = SpmvConfig::tiny(1); // patch 64, 4 ranks
+        let mut covered = 0;
+        for l in 0..cfg.ranks_per_node {
+            let r = cfg.rank_rows(l);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, cfg.patch);
+        // Uneven split.
+        let cfg = SpmvConfig {
+            patch: 10,
+            ranks_per_node: 3,
+            ..SpmvConfig::tiny(1)
+        };
+        let lens: Vec<usize> = (0..3).map(|l| cfg.rank_rows(l).len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert!(lens.iter().all(|&l| l == 3 || l == 4));
+    }
+
+    #[test]
+    fn serial_reference_matches_dense_computation() {
+        let cfg = SpmvConfig::tiny(2);
+        let y = serial_reference(&cfg);
+        // Recompute densely for row-patch 0.
+        let n = cfg.patch;
+        let mut expect = vec![0.0; n];
+        for pcol in [0u32, 1] {
+            let a = generate_patch(&cfg, 0, pcol);
+            let x = generate_x(&cfg, pcol);
+            for r in 0..n {
+                for k in a.row_ptr[r]..a.row_ptr[r + 1] {
+                    expect[r] += a.values[k] * x[a.col_idx[k]];
+                }
+            }
+        }
+        for (a, b) in y[0..n].iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn charge_proportional_to_nnz() {
+        let cfg = SpmvConfig::tiny(1);
+        let m = generate_patch(&cfg, 0, 0);
+        let c1 = m.spmv_charge(0..16);
+        let c2 = m.spmv_charge(0..32);
+        assert!(c2.mem_bytes > c1.mem_bytes);
+        assert!(c2.flops > c1.flops);
+    }
+
+    #[test]
+    fn grid_indexing() {
+        let cfg = SpmvConfig::tiny(3);
+        assert_eq!(cfg.nodes(), 9);
+        assert_eq!(cfg.node_at(1, 2), 5);
+        assert_eq!(cfg.grid_pos(5), (1, 2));
+    }
+}

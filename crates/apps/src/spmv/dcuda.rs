@@ -1,0 +1,402 @@
+//! dCUDA variant of the SpMV mini-application.
+//!
+//! Per iteration: broadcast the input vector down each grid column
+//! (hierarchical binomial tree: device-level 84 kB puts, then an on-device
+//! notification tree over the overlapping x window), local CSR SpMV, then a
+//! binomial reduction of per-rank row partials across the grid columns
+//! (many small direct device-to-device messages — paper §IV-C: "the dCUDA
+//! variant sends more but smaller messages"), and finally a barrier — the
+//! worst case for overlap, by design.
+
+use super::csr::{generate_patch, generate_x, CsrMatrix, SpmvConfig};
+use super::SpmvResult;
+use dcuda_core::window::f64_slice;
+use dcuda_core::{ClusterSim, Rank, RankCtx, RankKernel, Suspend, SystemSpec, WinId, WindowSpec};
+use dcuda_device::BlockCharge;
+
+const W_X: WinId = WinId(0);
+const W_RED: WinId = WinId(1);
+const W_Y: WinId = WinId(2);
+const TAG_X: u32 = 1;
+const TAG_XL: u32 = 2;
+const TAG_RED_BASE: u32 = 10;
+
+/// Binomial-tree children of `v` among `n` participants (receive schedule:
+/// parent of `v` is `v` with its highest set bit cleared).
+fn binomial_children(v: usize, n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    // v sends to v + k for every power of two k > v's value range position:
+    // the standard schedule sends from v to v + 2^j for all 2^j > v.
+    while k < n {
+        if k > v && v + k < n {
+            out.push(v + k);
+        }
+        k <<= 1;
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Start,
+    AwaitX,
+    Spmv,
+    Reduce { round: u32 },
+    AwaitBarrier,
+    Done,
+}
+
+struct SpmvKernel {
+    cfg: SpmvConfig,
+    prow: u32,
+    pcol: u32,
+    local: u32,
+    /// Only this rank's rows of the patch (sliced out once at setup).
+    matrix_rows: CsrMatrix,
+    rows: std::ops::Range<usize>,
+    partial: Vec<f64>,
+    iter: u32,
+    phase: Phase,
+}
+
+impl SpmvKernel {
+    fn rank_of(&self, prow: u32, pcol: u32, local: u32) -> Rank {
+        let node = self.cfg.node_at(prow, pcol);
+        Rank(node * self.cfg.ranks_per_node + local)
+    }
+
+    fn rounds(&self) -> u32 {
+        let g = self.cfg.grid;
+        if g <= 1 {
+            0
+        } else {
+            u32::BITS - (g - 1).leading_zeros()
+        }
+    }
+
+    /// Forward x: device-level children (for local rank 0) then the
+    /// on-device fan-out — a binomial notification tree by default, or a
+    /// single `put_notify_all` with the §V broadcast-put extension.
+    fn forward_x(&self, ctx: &mut RankCtx<'_>) {
+        let bytes = self.cfg.patch * 8;
+        if self.local == 0 {
+            for child in binomial_children(self.prow as usize, self.cfg.grid as usize) {
+                let dst = self.rank_of(child as u32, self.pcol, 0);
+                ctx.put_notify(W_X, dst, 0, 0, bytes, TAG_X);
+            }
+            if self.cfg.bcast_put {
+                // One zero-copy op notifies every local rank (including us;
+                // we consume our own notification before computing).
+                let me = self.rank_of(self.prow, self.pcol, 0);
+                ctx.put_notify_all(W_X, me, 0, 0, bytes, TAG_XL);
+                return;
+            }
+        }
+        if self.cfg.bcast_put {
+            return; // non-root locals never forward in broadcast mode
+        }
+        for child in binomial_children(self.local as usize, self.cfg.ranks_per_node as usize) {
+            let dst = self.rank_of(self.prow, self.pcol, child as u32);
+            // Same window range on the same device: zero-copy notification.
+            ctx.put_notify(W_X, dst, 0, 0, bytes, TAG_XL);
+        }
+    }
+
+    fn compute_spmv(&mut self, ctx: &mut RankCtx<'_>) {
+        let x = ctx.win_f64(W_X).to_vec();
+        self.partial.resize(self.rows.len(), 0.0);
+        self.matrix_rows
+            .spmv_rows(&x, &mut self.partial, 0..self.rows.len());
+        ctx.charge(self.matrix_rows.spmv_charge(0..self.rows.len()));
+    }
+}
+
+impl RankKernel for SpmvKernel {
+    fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+        loop {
+            match self.phase {
+                Phase::Start => {
+                    if self.iter >= self.cfg.iters {
+                        self.phase = Phase::Done;
+                        return Suspend::Finished;
+                    }
+                    // The first grid row holds the input vector; its local
+                    // rank 0 (re)publishes it into the shared x window.
+                    if self.prow == 0 && self.local == 0 {
+                        if self.iter == 0 {
+                            let x = generate_x(&self.cfg, self.pcol);
+                            ctx.win_f64_mut(W_X).copy_from_slice(&x);
+                        }
+                        ctx.charge(BlockCharge::mem(self.cfg.patch as f64 * 8.0));
+                        self.forward_x(ctx);
+                        if self.cfg.bcast_put {
+                            // Consume our own broadcast notification.
+                            self.phase = Phase::Spmv;
+                            return Suspend::WaitNotifications {
+                                win: Some(W_X),
+                                source: None,
+                                tag: Some(TAG_XL),
+                                count: 1,
+                            };
+                        }
+                        self.phase = Phase::Spmv;
+                    } else {
+                        self.phase = Phase::AwaitX;
+                        let tag = if self.local == 0 { TAG_X } else { TAG_XL };
+                        return Suspend::WaitNotifications {
+                            win: Some(W_X),
+                            source: None,
+                            tag: Some(tag),
+                            count: 1,
+                        };
+                    }
+                }
+                Phase::AwaitX => {
+                    // x landed: forward to children, then compute.
+                    self.forward_x(ctx);
+                    if self.cfg.bcast_put && self.local == 0 {
+                        // Consume our own broadcast notification.
+                        self.phase = Phase::Spmv;
+                        return Suspend::WaitNotifications {
+                            win: Some(W_X),
+                            source: None,
+                            tag: Some(TAG_XL),
+                            count: 1,
+                        };
+                    }
+                    self.phase = Phase::Spmv;
+                }
+                Phase::Spmv => {
+                    self.compute_spmv(ctx);
+                    self.phase = Phase::Reduce { round: 0 };
+                }
+                Phase::Reduce { round } => {
+                    let v = self.pcol;
+                    let g = self.cfg.grid;
+                    let rounds = self.rounds();
+                    let bytes = self.rows.len() * 8;
+                    if round > 0 {
+                        // A contribution for round `round - 1` just matched:
+                        // combine it into our partial.
+                        let k = (round - 1) as usize;
+                        let slot = self.rows.len();
+                        let w = ctx.win_f64(W_RED);
+                        for (dst, src) in self
+                            .partial
+                            .iter_mut()
+                            .zip(&w[k * slot..(k + 1) * slot])
+                        {
+                            *dst += src;
+                        }
+                        ctx.charge(BlockCharge {
+                            flops: slot as f64,
+                            mem_bytes: 3.0 * bytes as f64,
+                        });
+                    }
+                    let mut k = round;
+                    loop {
+                        if k >= rounds {
+                            // Reduction root: publish the final rows.
+                            if v == 0 {
+                                let y = ctx.win_f64_mut(W_Y);
+                                // The window is sized for the largest rank
+                                // row count; fill our prefix.
+                                y[..self.partial.len()].copy_from_slice(&self.partial);
+                                ctx.charge(BlockCharge::mem(bytes as f64));
+                            }
+                            self.phase = Phase::AwaitBarrier;
+                            break;
+                        }
+                        if v & (1 << k) != 0 {
+                            // Send our subtree's partial and leave the tree.
+                            let dst = self.rank_of(self.prow, v - (1 << k), self.local);
+                            // Stage the partial in our own reduction slot k,
+                            // then put it into the peer's slot k.
+                            let slot = self.rows.len();
+                            {
+                                let w = ctx.win_f64_mut(W_RED);
+                                w[k as usize * slot..(k as usize + 1) * slot]
+                                    .copy_from_slice(&self.partial);
+                            }
+                            ctx.charge(BlockCharge::mem(bytes as f64));
+                            ctx.put_notify(
+                                W_RED,
+                                dst,
+                                k as usize * bytes,
+                                k as usize * bytes,
+                                bytes,
+                                TAG_RED_BASE + k,
+                            );
+                            self.phase = Phase::AwaitBarrier;
+                            break;
+                        }
+                        if v + (1 << k) < g {
+                            // Expect a contribution this round.
+                            self.phase = Phase::Reduce { round: k + 1 };
+                            return Suspend::WaitNotifications {
+                                win: Some(W_RED),
+                                source: None,
+                                tag: Some(TAG_RED_BASE + k),
+                                count: 1,
+                            };
+                        }
+                        k += 1;
+                    }
+                    // Combine on re-entry happens below via the round
+                    // counter: when we re-enter with round = k + 1, the slot
+                    // for round k has just been matched.
+                    if let Phase::AwaitBarrier = self.phase {
+                        return Suspend::Barrier;
+                    }
+                }
+                Phase::AwaitBarrier => {
+                    self.iter += 1;
+                    self.phase = Phase::Start;
+                }
+                Phase::Done => return Suspend::Finished,
+            }
+        }
+    }
+}
+
+/// Run the dCUDA SpMV. Returns the global output vector and timing
+/// (setup-subtracted).
+pub fn run_dcuda(spec: &SystemSpec, cfg: &SpmvConfig) -> (Vec<f64>, SpmvResult) {
+    let (y, time_ms) = run_once(spec, cfg);
+    let (_, setup_ms) = run_once(
+        spec,
+        &SpmvConfig {
+            iters: 0,
+            ..cfg.clone()
+        },
+    );
+    (
+        y,
+        SpmvResult {
+            time_ms: time_ms - setup_ms,
+            comm_ms: 0.0,
+        },
+    )
+}
+
+fn run_once(spec: &SystemSpec, cfg: &SpmvConfig) -> (Vec<f64>, f64) {
+    let topo = cfg.topology();
+    let rounds = if cfg.grid <= 1 {
+        1
+    } else {
+        (u32::BITS - (cfg.grid - 1).leading_zeros()) as usize
+    };
+    // x: fully overlapping per device.
+    let x_win = WindowSpec {
+        ranges: topo.ranks().map(|_| 0..cfg.patch * 8).collect(),
+    };
+    // Reduction slots and final y: per-rank row-sized regions.
+    let max_rows = cfg.rank_rows(0).len();
+    let red_win = WindowSpec::uniform(&topo, rounds * max_rows * 8);
+    let y_win = WindowSpec::uniform(&topo, max_rows * 8);
+    // Generate each node's patch once and hand every rank only its rows.
+    let patches: Vec<CsrMatrix> = (0..topo.nodes)
+        .map(|node| {
+            let (prow, pcol) = cfg.grid_pos(node);
+            generate_patch(cfg, prow, pcol)
+        })
+        .collect();
+    let kernels: Vec<Box<dyn RankKernel>> = topo
+        .ranks()
+        .map(|r| {
+            let node = topo.node_of(r);
+            let (prow, pcol) = cfg.grid_pos(node);
+            let local = topo.local_of(r);
+            let rows = cfg.rank_rows(local);
+            Box::new(SpmvKernel {
+                cfg: cfg.clone(),
+                prow,
+                pcol,
+                local,
+                matrix_rows: patches[node as usize].slice_rows(rows.clone()),
+                rows,
+                partial: Vec::new(),
+                iter: 0,
+                phase: Phase::Start,
+            }) as Box<dyn RankKernel>
+        })
+        .collect();
+    let mut sim = ClusterSim::new(spec.clone(), topo, vec![x_win, red_win, y_win], kernels);
+    let report = sim.run();
+    // Assemble y from the first grid column.
+    let mut y = vec![0.0; cfg.patch * cfg.grid as usize];
+    if cfg.iters > 0 {
+        for prow in 0..cfg.grid {
+            let node = cfg.node_at(prow, 0);
+            let arena = sim.arena(node, W_Y);
+            for local in 0..cfg.ranks_per_node {
+                let rows = cfg.rank_rows(local);
+                let base = local as usize * max_rows * 8;
+                let vals = f64_slice(&arena[base..base + rows.len() * 8]);
+                y[prow as usize * cfg.patch + rows.start
+                    ..prow as usize * cfg.patch + rows.end]
+                    .copy_from_slice(vals);
+            }
+        }
+    }
+    (y, report.elapsed().as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::csr::serial_reference;
+
+    fn check(cfg: &SpmvConfig) {
+        let (y, res) = run_dcuda(&SystemSpec::greina(), cfg);
+        let reference = serial_reference(cfg);
+        assert_eq!(y.len(), reference.len());
+        for (i, (a, b)) in y.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "y[{i}] = {a} vs reference {b}"
+            );
+        }
+        assert!(res.time_ms > 0.0);
+    }
+
+    #[test]
+    fn single_device_matches_reference() {
+        check(&SpmvConfig::tiny(1));
+    }
+
+    #[test]
+    fn four_devices_match_reference() {
+        check(&SpmvConfig::tiny(2));
+    }
+
+    #[test]
+    fn nine_devices_match_reference() {
+        check(&SpmvConfig::tiny(3));
+    }
+
+    #[test]
+    fn broadcast_put_variant_matches_reference() {
+        let mut cfg = SpmvConfig::tiny(2);
+        cfg.bcast_put = true;
+        check(&cfg);
+    }
+
+    #[test]
+    fn binomial_children_schedule() {
+        // Root reaches everyone; each non-root has exactly one parent.
+        let n = 13;
+        let mut parent = vec![None; n];
+        for v in 0..n {
+            for c in binomial_children(v, n) {
+                assert!(parent[c].is_none(), "child {c} has two parents");
+                parent[c] = Some(v);
+            }
+        }
+        for (v, p) in parent.iter().enumerate().skip(1) {
+            assert!(p.is_some(), "participant {v} unreached");
+        }
+        assert!(parent[0].is_none());
+    }
+}

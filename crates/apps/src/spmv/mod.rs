@@ -1,0 +1,18 @@
+//! Sparse matrix-vector multiplication (paper §IV-C, Figure 11).
+
+pub mod csr;
+pub mod dcuda;
+pub mod mpicuda;
+
+pub use csr::{CsrMatrix, SpmvConfig};
+pub use dcuda::run_dcuda;
+pub use mpicuda::run_mpicuda;
+
+/// Timing of one weak-scaling point of Figure 11.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmvResult {
+    /// Execution time in ms.
+    pub time_ms: f64,
+    /// Communication-only time in ms (tracked by the MPI-CUDA variant).
+    pub comm_ms: f64,
+}

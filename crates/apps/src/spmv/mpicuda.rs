@@ -1,0 +1,179 @@
+//! MPI-CUDA variant of the SpMV mini-application.
+//!
+//! Host-driven: binomial broadcast of the 84 kB input-vector part down each
+//! grid column (one exchange phase per tree round), local SpMV kernel,
+//! binomial reduction of full-patch partials along the rows (full-size
+//! messages — which OpenMPI stages through the host, paper §IV-C), vector
+//! adds on the device, and a host barrier.
+
+use super::csr::{generate_patch, generate_x, SpmvConfig};
+use super::SpmvResult;
+use dcuda_core::baseline::{BaselineCosts, ExchangeMsg, MpiCudaSim};
+use dcuda_core::SystemSpec;
+use dcuda_device::BlockCharge;
+
+/// Run the MPI-CUDA SpMV. Returns the global output vector and timing with
+/// the communication share tracked separately.
+pub fn run_mpicuda(spec: &SystemSpec, cfg: &SpmvConfig) -> (Vec<f64>, SpmvResult) {
+    let topo = cfg.topology();
+    let g = cfg.grid;
+    let n = cfg.patch;
+    let nodes = cfg.nodes() as usize;
+    let vec_bytes = (n * 8) as u64;
+    let mut sim = MpiCudaSim::new(spec.clone(), BaselineCosts::default(), topo);
+
+    // Numerics state: per node the (possibly received) x part and partial y.
+    let patches: Vec<_> = (0..nodes)
+        .map(|node| generate_patch(cfg, cfg.grid_pos(node as u32).0, cfg.grid_pos(node as u32).1))
+        .collect();
+    let mut xs: Vec<Vec<f64>> = (0..nodes)
+        .map(|node| {
+            let (prow, pcol) = cfg.grid_pos(node as u32);
+            if prow == 0 {
+                generate_x(cfg, pcol)
+            } else {
+                vec![0.0; n]
+            }
+        })
+        .collect();
+    let mut partials: Vec<Vec<f64>> = vec![vec![0.0; n]; nodes];
+
+    let spmv_charges: Vec<Vec<BlockCharge>> = (0..nodes)
+        .map(|node| {
+            (0..cfg.ranks_per_node)
+                .map(|l| patches[node].spmv_charge(cfg.rank_rows(l)))
+                .collect()
+        })
+        .collect();
+    let add_charges: Vec<Vec<BlockCharge>> = (0..nodes)
+        .map(|_| {
+            (0..cfg.ranks_per_node)
+                .map(|l| {
+                    let rows = cfg.rank_rows(l).len() as f64;
+                    BlockCharge {
+                        flops: rows,
+                        mem_bytes: 24.0 * rows,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    for _ in 0..cfg.iters {
+        // 1) Broadcast x down each column: binomial rounds.
+        let mut k = 1u32;
+        while k < g {
+            let mut msgs = Vec::new();
+            for pcol in 0..g {
+                for v in 0..k.min(g) {
+                    let dst_v = v + k;
+                    if dst_v >= g {
+                        continue;
+                    }
+                    msgs.push(ExchangeMsg {
+                        src: cfg.node_at(v, pcol),
+                        dst: cfg.node_at(dst_v, pcol),
+                        bytes: vec_bytes,
+                    });
+                    let x = xs[cfg.node_at(v, pcol) as usize].clone();
+                    xs[cfg.node_at(dst_v, pcol) as usize] = x;
+                }
+            }
+            sim.exchange_phase(&msgs);
+            k <<= 1;
+        }
+
+        // 2) Local SpMV kernel.
+        for node in 0..nodes {
+            let yp = &mut partials[node];
+            patches[node].spmv_rows(&xs[node], yp, 0..n);
+        }
+        sim.kernel_phase(&spmv_charges);
+
+        // 3) Reduce partials along rows to column 0 (binomial; full-patch
+        //    messages), with a device add kernel per round.
+        let mut k = 1u32;
+        while k < g {
+            let mut msgs = Vec::new();
+            for prow in 0..g {
+                let mut v = 0u32;
+                while v + k < g {
+                    msgs.push(ExchangeMsg {
+                        src: cfg.node_at(prow, v + k),
+                        dst: cfg.node_at(prow, v),
+                        bytes: vec_bytes,
+                    });
+                    let src = partials[cfg.node_at(prow, v + k) as usize].clone();
+                    let dst = &mut partials[cfg.node_at(prow, v) as usize];
+                    for (d, s) in dst.iter_mut().zip(&src) {
+                        *d += s;
+                    }
+                    v += 2 * k;
+                }
+            }
+            sim.exchange_phase(&msgs);
+            sim.kernel_phase(&add_charges);
+            k <<= 1;
+        }
+
+        // 4) Synchronize everyone (emulating the power method's
+        //    normalization step).
+        sim.barrier_phase();
+    }
+
+    // Assemble y from column 0.
+    let mut y = vec![0.0; n * g as usize];
+    for prow in 0..g {
+        let node = cfg.node_at(prow, 0) as usize;
+        y[prow as usize * n..(prow as usize + 1) * n].copy_from_slice(&partials[node]);
+    }
+    (
+        y,
+        SpmvResult {
+            time_ms: sim.elapsed().as_millis_f64(),
+            comm_ms: sim.exchange_elapsed().as_millis_f64(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::csr::serial_reference;
+
+    fn check(cfg: &SpmvConfig) {
+        let (y, res) = run_mpicuda(&SystemSpec::greina(), cfg);
+        let reference = serial_reference(cfg);
+        for (i, (a, b)) in y.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "y[{i}] = {a} vs reference {b}"
+            );
+        }
+        assert!(res.time_ms > 0.0);
+    }
+
+    #[test]
+    fn grids_match_reference() {
+        check(&SpmvConfig::tiny(1));
+        check(&SpmvConfig::tiny(2));
+        check(&SpmvConfig::tiny(3));
+    }
+
+    #[test]
+    fn communication_dominates_scaling() {
+        // Fig. 11's observation: the scaling cost corresponds roughly to the
+        // communication time.
+        let spec = SystemSpec::greina();
+        let (_, r1) = run_mpicuda(&spec, &SpmvConfig::tiny(1));
+        let (_, r3) = run_mpicuda(&spec, &SpmvConfig::tiny(3));
+        let scaling_cost = r3.time_ms - r1.time_ms;
+        assert!(r3.comm_ms > 0.0);
+        assert!(
+            scaling_cost <= r3.comm_ms * 1.5,
+            "scaling cost {} should track comm {}",
+            scaling_cost,
+            r3.comm_ms
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! MPI-CUDA variant of the stencil: host-driven kernel launches alternating
+//! with two-sided halo exchanges (the baseline of Figure 10).
+//!
+//! Per node the whole sub-domain is one set of arrays; on-device block
+//! boundaries need no communication (the kernel reads across them), so only
+//! node-boundary halo lines travel — one 16 kB message per halo per
+//! direction (paper §IV-C). The numerics are byte-identical to the dCUDA
+//! variant's.
+
+use super::numerics::{
+    compute_fluxes, compute_lap, compute_out, initial, phase_charges, StencilParams,
+};
+use super::{StencilConfig, StencilResult};
+use dcuda_core::baseline::{BaselineCosts, ExchangeMsg, MpiCudaSim};
+use dcuda_core::SystemSpec;
+use dcuda_device::BlockCharge;
+
+struct NodeState {
+    /// Arrays of `jpn + 2` lines (node halos at the ends).
+    input: Vec<f64>,
+    out: Vec<f64>,
+    lap: Vec<f64>,
+    flx: Vec<f64>,
+    fly: Vec<f64>,
+}
+
+/// Run the MPI-CUDA stencil. Returns the final global field and timing
+/// (execution plus the separately tracked halo-exchange time, as the paper
+/// reports both).
+pub fn run_mpicuda(spec: &SystemSpec, cfg: &StencilConfig) -> (Vec<f64>, StencilResult) {
+    let topo = cfg.topology();
+    let d = cfg.dims;
+    let line = d.line_len();
+    let jpn = cfg.j_per_node();
+    let nodes = cfg.nodes as usize;
+    let line_bytes = cfg.line_bytes() as u64;
+
+    // --- numerics state ---
+    let mut state: Vec<NodeState> = (0..nodes)
+        .map(|n| {
+            let mut input = vec![0.0; (jpn + 2) * line];
+            for jl in 0..jpn + 2 {
+                let Some(jg) = (n * jpn + jl).checked_sub(1) else {
+                    continue;
+                };
+                if jg >= cfg.j_total() {
+                    continue;
+                }
+                for k in 0..d.ksize {
+                    for i in 0..d.isize {
+                        input[d.at(jl, k, i)] = initial(jg, k, i);
+                    }
+                }
+            }
+            NodeState {
+                input,
+                out: vec![0.0; (jpn + 2) * line],
+                lap: vec![0.0; (jpn + 2) * line],
+                flx: vec![0.0; (jpn + 2) * line],
+                fly: vec![0.0; (jpn + 2) * line],
+            }
+        })
+        .collect();
+
+    // --- timing model ---
+    let mut sim = MpiCudaSim::new(spec.clone(), BaselineCosts::default(), topo);
+    // Per-block charges: every block covers `j_per_rank` lines.
+    let charges = phase_charges(cfg.j_per_rank, &d);
+    let kernel_charges =
+        |c: BlockCharge| vec![vec![c; topo.ranks_per_node as usize]; nodes];
+
+    // Node-boundary exchange message lists (computed once; sizes are fixed).
+    let boundary_msgs = |both_dirs: bool| -> Vec<ExchangeMsg> {
+        let mut v = Vec::new();
+        for n in 0..cfg.nodes {
+            if n + 1 < cfg.nodes {
+                // rightward: n's last line -> (n+1)'s left halo
+                v.push(ExchangeMsg {
+                    src: n,
+                    dst: n + 1,
+                    bytes: line_bytes,
+                });
+                if both_dirs {
+                    v.push(ExchangeMsg {
+                        src: n + 1,
+                        dst: n,
+                        bytes: line_bytes,
+                    });
+                }
+            }
+        }
+        v
+    };
+    let both = boundary_msgs(true);
+    let rightward = boundary_msgs(false);
+
+    // Data-plane halo copies between node arrays.
+    fn exchange_lines(
+        state: &mut [NodeState],
+        jpn: usize,
+        line: usize,
+        pick: impl Fn(&mut NodeState) -> &mut Vec<f64>,
+        both_dirs: bool,
+    ) {
+        for n in 0..state.len() {
+            // rightward: my last interior line -> right's halo line 0.
+            if n + 1 < state.len() {
+                let (a, b) = state.split_at_mut(n + 1);
+                let src = pick(&mut a[n])[jpn * line..(jpn + 1) * line].to_vec();
+                pick(&mut b[0])[0..line].copy_from_slice(&src);
+                if both_dirs {
+                    let src = pick(&mut b[0])[line..2 * line].to_vec();
+                    pick(&mut a[n])[(jpn + 1) * line..(jpn + 2) * line].copy_from_slice(&src);
+                }
+            }
+        }
+    }
+
+    for _ in 0..cfg.iters {
+        // Phase 1: lap.
+        for s in state.iter_mut() {
+            compute_lap(&s.input, &mut s.lap, jpn, &d);
+        }
+        sim.kernel_phase(&kernel_charges(charges[0]));
+        exchange_lines(&mut state, jpn, line, |s| &mut s.lap, true);
+        sim.exchange_phase(&both);
+
+        // Phase 2: fluxes.
+        for s in state.iter_mut() {
+            let (input, lap) = (&s.input, &s.lap);
+            compute_fluxes(input, lap, &mut s.flx, &mut s.fly, jpn, &d);
+        }
+        sim.kernel_phase(&kernel_charges(charges[1]));
+        exchange_lines(&mut state, jpn, line, |s| &mut s.fly, false);
+        sim.exchange_phase(&rightward);
+
+        // Phase 3: out; exchange becomes next iteration's input halos.
+        for s in state.iter_mut() {
+            compute_out(
+                &s.input,
+                &s.flx,
+                &s.fly,
+                &mut s.out,
+                jpn,
+                &d,
+                &StencilParams::default(),
+            );
+            std::mem::swap(&mut s.input, &mut s.out);
+        }
+        sim.kernel_phase(&kernel_charges(charges[2]));
+        exchange_lines(&mut state, jpn, line, |s| &mut s.input, true);
+        sim.exchange_phase(&both);
+    }
+
+    let mut field = Vec::with_capacity(cfg.j_total() * line);
+    for s in &state {
+        field.extend_from_slice(&s.input[line..(jpn + 1) * line]);
+    }
+    (
+        field,
+        StencilResult {
+            time_ms: sim.elapsed().as_millis_f64(),
+            halo_ms: sim.exchange_elapsed().as_millis_f64(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::numerics::serial_reference;
+
+    #[test]
+    fn single_node_matches_reference() {
+        let cfg = StencilConfig::tiny(1);
+        let (field, res) = run_mpicuda(&SystemSpec::greina(), &cfg);
+        let reference = serial_reference(&cfg);
+        for (a, b) in field.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(res.time_ms > 0.0);
+        // One node: no halo messages, but barrier-free exchange phases are
+        // zero-cost too.
+        assert!(res.halo_ms >= 0.0);
+    }
+
+    #[test]
+    fn two_nodes_match_reference() {
+        let cfg = StencilConfig::tiny(2);
+        let (field, res) = run_mpicuda(&SystemSpec::greina(), &cfg);
+        let reference = serial_reference(&cfg);
+        for (i, (a, b)) in field.iter().zip(&reference).enumerate() {
+            assert!((a - b).abs() < 1e-12, "mismatch at {i}: {a} vs {b}");
+        }
+        assert!(res.halo_ms > 0.0, "two nodes must exchange halos");
+    }
+
+    #[test]
+    fn halo_time_grows_with_nodes_then_saturates() {
+        let spec = SystemSpec::greina();
+        let t1 = run_mpicuda(&spec, &StencilConfig::tiny(1)).1.halo_ms;
+        let t2 = run_mpicuda(&spec, &StencilConfig::tiny(2)).1.halo_ms;
+        let t4 = run_mpicuda(&spec, &StencilConfig::tiny(4)).1.halo_ms;
+        assert!(t2 > t1);
+        // Ring exchange: per-node cost roughly flat beyond 2 nodes (interior
+        // nodes pay both directions).
+        assert!(t4 < t2 * 3.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The horizontal-diffusion numerics, shared by both variants and the
+//! serial reference.
+//!
+//! All functions operate on `[j][k][i]`-ordered slices where a *line* is one
+//! j-position (`ksize × isize` doubles). The caller passes a window of
+//! `jn + 2` lines: line 0 is the left halo, lines `1..=jn` are interior, and
+//! line `jn + 1` is the right halo.
+//!
+//! Stencils (simplified COSMO horizontal diffusion, paper §IV-C):
+//!
+//! ```text
+//! lap  = 4·in − (in(i+1) + in(i−1) + in(j+1) + in(j−1))
+//! flx  = lap(i+1) − lap;        flx = 0 if flx·(in(i+1) − in) > 0
+//! fly  = lap(j+1) − lap;        fly = 0 if fly·(in(j+1) − in) > 0
+//! out  = in − coeff·(flx − flx(i−1) + fly − fly(j−1))
+//! ```
+//!
+//! The i-extremes (i = 0 and i = isize−1) are left untouched (fixed
+//! boundary), identically in every variant.
+
+use dcuda_core::types::Topology;
+use dcuda_device::BlockCharge;
+
+/// Grid line dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    /// Points along i (contiguous).
+    pub isize: usize,
+    /// Vertical levels.
+    pub ksize: usize,
+}
+
+impl Dims {
+    /// Doubles per j-line.
+    pub fn line_len(&self) -> usize {
+        self.isize * self.ksize
+    }
+
+    /// Index of `(j, k, i)` within a window of lines.
+    #[inline]
+    pub fn at(&self, j: usize, k: usize, i: usize) -> usize {
+        (j * self.ksize + k) * self.isize + i
+    }
+}
+
+/// Physics constants.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilParams {
+    /// Diffusion coefficient.
+    pub coeff: f64,
+}
+
+impl Default for StencilParams {
+    fn default() -> Self {
+        StencilParams { coeff: 0.025 }
+    }
+}
+
+/// Deterministic initial condition for global j-line `j_global`, level `k`,
+/// point `i` (smooth, rank-independent so any decomposition agrees).
+pub fn initial(j_global: usize, k: usize, i: usize) -> f64 {
+    let x = i as f64 * 0.1;
+    let y = j_global as f64 * 0.07;
+    let z = k as f64 * 0.31;
+    (x.sin() + y.cos()) * (1.0 + 0.1 * z.sin())
+}
+
+/// Compute `lap` for interior lines `1..=jn`, reading `input` halos.
+pub fn compute_lap(input: &[f64], lap: &mut [f64], jn: usize, d: &Dims) {
+    for j in 1..=jn {
+        for k in 0..d.ksize {
+            for i in 1..d.isize - 1 {
+                lap[d.at(j, k, i)] = 4.0 * input[d.at(j, k, i)]
+                    - (input[d.at(j, k, i + 1)]
+                        + input[d.at(j, k, i - 1)]
+                        + input[d.at(j + 1, k, i)]
+                        + input[d.at(j - 1, k, i)]);
+            }
+        }
+    }
+}
+
+/// Compute `flx` and `fly` for interior lines, reading `lap`'s right halo.
+pub fn compute_fluxes(
+    input: &[f64],
+    lap: &[f64],
+    flx: &mut [f64],
+    fly: &mut [f64],
+    jn: usize,
+    d: &Dims,
+) {
+    for j in 1..=jn {
+        for k in 0..d.ksize {
+            for i in 1..d.isize - 1 {
+                let f = lap[d.at(j, k, i + 1)] - lap[d.at(j, k, i)];
+                flx[d.at(j, k, i)] =
+                    if f * (input[d.at(j, k, i + 1)] - input[d.at(j, k, i)]) > 0.0 {
+                        0.0
+                    } else {
+                        f
+                    };
+                let g = lap[d.at(j + 1, k, i)] - lap[d.at(j, k, i)];
+                fly[d.at(j, k, i)] =
+                    if g * (input[d.at(j + 1, k, i)] - input[d.at(j, k, i)]) > 0.0 {
+                        0.0
+                    } else {
+                        g
+                    };
+            }
+        }
+    }
+}
+
+/// Compute `out` for interior lines, reading `fly`'s left halo.
+pub fn compute_out(
+    input: &[f64],
+    flx: &[f64],
+    fly: &[f64],
+    out: &mut [f64],
+    jn: usize,
+    d: &Dims,
+    p: &StencilParams,
+) {
+    for j in 1..=jn {
+        for k in 0..d.ksize {
+            for i in 1..d.isize - 1 {
+                out[d.at(j, k, i)] = input[d.at(j, k, i)]
+                    - p.coeff
+                        * (flx[d.at(j, k, i)] - flx[d.at(j, k, i - 1)] + fly[d.at(j, k, i)]
+                            - fly[d.at(j - 1, k, i)]);
+            }
+        }
+    }
+}
+
+/// Hardware charges of each compute phase for `jn` interior lines
+/// (streaming reads + writes of the arrays each stencil touches, and its
+/// FLOPs).
+pub fn phase_charges(jn: usize, d: &Dims) -> [BlockCharge; 3] {
+    let pts = (jn * d.line_len()) as f64;
+    let line = d.line_len() as f64 * 8.0;
+    [
+        // lap: read in (jn+2 lines), write lap (jn).
+        BlockCharge {
+            flops: 5.0 * pts,
+            mem_bytes: (jn as f64 + 2.0 + jn as f64) * line,
+        },
+        // fluxes: read in + lap (+1 halo line), write flx + fly.
+        BlockCharge {
+            flops: 10.0 * pts,
+            mem_bytes: (4.0 * jn as f64 + 1.0) * line,
+        },
+        // out: read in + flx + fly (+1 halo line), write out.
+        BlockCharge {
+            flops: 7.0 * pts,
+            mem_bytes: (4.0 * jn as f64 + 1.0) * line,
+        },
+    ]
+}
+
+/// Run the whole computation serially on the global domain and return the
+/// final `in` field (after the last swap) of all interior lines.
+pub fn serial_reference(cfg: &super::StencilConfig) -> Vec<f64> {
+    let d = cfg.dims;
+    let jn = cfg.j_total();
+    let line = d.line_len();
+    // Global arrays with one halo line on each side (fixed zero boundary,
+    // matching the edge ranks that never receive into their outer halos).
+    let mut input = vec![0.0; (jn + 2) * line];
+    let mut out = vec![0.0; (jn + 2) * line];
+    let mut lap = vec![0.0; (jn + 2) * line];
+    let mut flx = vec![0.0; (jn + 2) * line];
+    let mut fly = vec![0.0; (jn + 2) * line];
+    for j in 0..jn {
+        for k in 0..d.ksize {
+            for i in 0..d.isize {
+                input[d.at(j + 1, k, i)] = initial(j, k, i);
+            }
+        }
+    }
+    let p = StencilParams::default();
+    for _ in 0..cfg.iters {
+        compute_lap(&input, &mut lap, jn, &d);
+        compute_fluxes(&input, &lap, &mut flx, &mut fly, jn, &d);
+        compute_out(&input, &flx, &fly, &mut out, jn, &d, &p);
+        std::mem::swap(&mut input, &mut out);
+    }
+    input[line..(jn + 1) * line].to_vec()
+}
+
+/// Which world ranks neighbour `rank` along the j-ring (non-periodic).
+pub fn neighbors(topo: &Topology, rank: u32) -> (Option<u32>, Option<u32>) {
+    let left = (rank > 0).then(|| rank - 1);
+    let right = (rank + 1 < topo.world_size()).then(|| rank + 1);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dims {
+        Dims { isize: 8, ksize: 2 }
+    }
+
+    #[test]
+    fn indexing_is_row_major_in_i() {
+        let d = dims();
+        assert_eq!(d.at(0, 0, 0), 0);
+        assert_eq!(d.at(0, 0, 7), 7);
+        assert_eq!(d.at(0, 1, 0), 8);
+        assert_eq!(d.at(1, 0, 0), 16);
+        assert_eq!(d.line_len(), 16);
+    }
+
+    #[test]
+    fn lap_of_constant_field_is_zero() {
+        let d = dims();
+        let input = vec![3.0; 4 * d.line_len()];
+        let mut lap = vec![f64::NAN; 4 * d.line_len()];
+        compute_lap(&input, &mut lap, 2, &d);
+        for j in 1..=2 {
+            for k in 0..d.ksize {
+                for i in 1..d.isize - 1 {
+                    assert_eq!(lap[d.at(j, k, i)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flux_limiter_zeroes_up_gradient() {
+        let d = dims();
+        let n = 3 * d.line_len();
+        // in increasing in i; lap also increasing in i -> f > 0 and
+        // in(i+1)-in(i) > 0 -> limited to zero.
+        let mut input = vec![0.0; n];
+        let mut lap = vec![0.0; n];
+        for j in 0..3 {
+            for k in 0..d.ksize {
+                for i in 0..d.isize {
+                    input[d.at(j, k, i)] = i as f64;
+                    lap[d.at(j, k, i)] = 2.0 * i as f64;
+                }
+            }
+        }
+        let mut flx = vec![f64::NAN; n];
+        let mut fly = vec![f64::NAN; n];
+        compute_fluxes(&input, &lap, &mut flx, &mut fly, 1, &d);
+        for i in 1..d.isize - 1 {
+            assert_eq!(flx[d.at(1, 0, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn out_equals_in_for_zero_fluxes() {
+        let d = dims();
+        let n = 3 * d.line_len();
+        let mut input = vec![0.0; n];
+        for (idx, v) in input.iter_mut().enumerate() {
+            *v = idx as f64;
+        }
+        let flx = vec![0.0; n];
+        let fly = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        compute_out(
+            &input,
+            &flx,
+            &fly,
+            &mut out,
+            1,
+            &d,
+            &StencilParams::default(),
+        );
+        for i in 1..d.isize - 1 {
+            assert_eq!(out[d.at(1, 0, i)], input[d.at(1, 0, i)]);
+        }
+    }
+
+    #[test]
+    fn serial_reference_is_deterministic_and_bounded() {
+        let cfg = crate::stencil::StencilConfig::tiny(1);
+        let a = serial_reference(&cfg);
+        let b = serial_reference(&cfg);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.is_finite()));
+        // Diffusion must not blow up.
+        assert!(a.iter().all(|x| x.abs() < 100.0));
+    }
+
+    #[test]
+    fn charges_scale_with_lines() {
+        let d = dims();
+        let [a1, ..] = phase_charges(1, &d);
+        let [a2, ..] = phase_charges(2, &d);
+        assert!(a2.flops > a1.flops);
+        assert!(a2.mem_bytes > a1.mem_bytes);
+    }
+}

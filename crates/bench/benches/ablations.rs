@@ -1,0 +1,30 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! occupancy (Little's law), host-staging threshold, and notification
+//! matching cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcuda_bench::{ablation_match_cost, ablation_occupancy, ablation_staging};
+use dcuda_core::SystemSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = SystemSpec::greina();
+    println!("Ablation: blocks/SM vs overlap efficiency (Little's law):");
+    for (bps, eff) in ablation_occupancy(&spec) {
+        println!("  blocks/SM {bps:>3}: efficiency {eff:.2}");
+    }
+    println!("Ablation: staging threshold vs 1 MiB put bandwidth:");
+    for (thr, bw) in ablation_staging(&spec) {
+        println!("  threshold {thr:>20}: {bw:.0} MB/s");
+    }
+    println!("Ablation: notification match cost vs Newton full time:");
+    for (us, ms) in ablation_match_cost(&spec) {
+        println!("  {us:.1} us/entry: {ms:.3} ms");
+    }
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("occupancy_sweep", |b| b.iter(|| ablation_occupancy(&spec)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 6 bench: ping-pong put bandwidth, shared vs distributed.
+//!
+//! Prints the figure's series (simulated metrics), then times the simulation
+//! itself with Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcuda_apps::micro::pingpong::{figure6_sizes, run, Placement};
+use dcuda_core::SystemSpec;
+
+fn print_series() {
+    let spec = SystemSpec::greina();
+    println!("Figure 6 series (paper shape: distributed saturates near the network limit, shared near the single-block copy limit):");
+    for placement in [Placement::Shared, Placement::Distributed] {
+        for bytes in figure6_sizes() {
+            let r = run(&spec, placement, bytes, if bytes > 65536 { 3 } else { 30 });
+            println!(
+                "  {placement:?} {bytes:>8} B: {:>8.2} us, {:>9.1} MB/s",
+                r.latency_us, r.bandwidth_mbs
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let spec = SystemSpec::greina();
+    let mut g = c.benchmark_group("fig06_pingpong");
+    g.sample_size(10);
+    for placement in [Placement::Shared, Placement::Distributed] {
+        g.bench_with_input(
+            BenchmarkId::new("sim", format!("{placement:?}")),
+            &placement,
+            |b, &p| b.iter(|| run(&spec, p, 1024, 50)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

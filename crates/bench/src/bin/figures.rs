@@ -1,0 +1,134 @@
+//! Regenerate the dCUDA paper's evaluation figures as printed series.
+//!
+//! ```text
+//! figures [--fig 6|7|8|9|10|11|ablations|all] [--full]
+//! ```
+//!
+//! Default: all figures at `--quick` effort. `--full` uses the paper's
+//! iteration counts (slower).
+
+use dcuda_apps::micro::overlap::Workload;
+use dcuda_bench::{
+    ablation_bcast_put, ablation_match_cost, ablation_occupancy, ablation_staging,
+    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, Effort, ScalingRow,
+};
+use dcuda_core::SystemSpec;
+
+fn print_scaling(name: &str, rows: &[ScalingRow]) {
+    println!("\n== {name} ==");
+    println!(
+        "{:>6} {:>14} {:>14} {:>20}",
+        "nodes", "dCUDA [ms]", "MPI-CUDA [ms]", "halo/comm [ms]"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>20.2}",
+            r.nodes, r.dcuda_ms, r.mpicuda_ms, r.halo_ms
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if args.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    let which = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let spec = SystemSpec::greina();
+    let all = which == "all";
+
+    if all || which == "6" {
+        println!("== Figure 6: put bandwidth (paper: saturates ~5757.6 MB/s distributed, ~1057.9 MB/s shared; 19.4 us / 7.8 us empty-packet latency) ==");
+        println!(
+            "{:>12} {:>14} {:>16} {:>18}",
+            "placement", "packet [B]", "latency [us]", "bandwidth [MB/s]"
+        );
+        for row in fig6(&spec, effort) {
+            println!(
+                "{:>12} {:>14} {:>16.2} {:>18.1}",
+                format!("{:?}", row.placement),
+                row.result.bytes,
+                row.result.latency_us,
+                row.result.bandwidth_mbs
+            );
+        }
+    }
+    for (fig, workload) in [("7", Workload::Newton), ("8", Workload::Copy)] {
+        if all || which == fig {
+            let label = match workload {
+                Workload::Newton => "Figure 7: overlap, Newton-Raphson (compute-bound)",
+                Workload::Copy => "Figure 8: overlap, memory-to-memory copy (bandwidth-bound)",
+            };
+            println!("\n== {label} ==");
+            println!(
+                "{:>8} {:>20} {:>16} {:>16} {:>10}",
+                "iters/x", "compute&exch [ms]", "compute [ms]", "exchange [ms]", "overlap"
+            );
+            for p in fig7_8(&spec, workload, effort) {
+                println!(
+                    "{:>8} {:>20.3} {:>16.3} {:>16.3} {:>10.2}",
+                    p.work_iters,
+                    p.full_ms,
+                    p.compute_ms,
+                    p.exchange_ms,
+                    p.overlap_efficiency()
+                );
+            }
+        }
+    }
+    if all || which == "9" {
+        print_scaling(
+            "Figure 9: particle simulation weak scaling (paper: dCUDA wins beyond ~3 nodes; MPI-CUDA scaling cost ~ halo time)",
+            &fig9(&spec, effort),
+        );
+    }
+    if all || which == "10" {
+        print_scaling(
+            "Figure 10: stencil weak scaling (paper: dCUDA flat, fully overlapped; MPI-CUDA pays the halo)",
+            &fig10(&spec, effort),
+        );
+    }
+    if all || which == "11" {
+        print_scaling(
+            "Figure 11: SpMV weak scaling (paper: no overlap; dCUDA comparable, catching up at 9 nodes)",
+            &fig11(&spec, effort),
+        );
+    }
+    if all || which == "ablations" {
+        println!("\n== Ablation: occupancy vs overlap efficiency (Little's law) ==");
+        for (blocks_per_sm, eff) in ablation_occupancy(&spec) {
+            println!("blocks/SM = {blocks_per_sm:>3}: overlap efficiency {eff:.2}");
+        }
+        println!("\n== Ablation: host-staging threshold vs 1 MiB put bandwidth ==");
+        for (threshold, bw) in ablation_staging(&spec) {
+            let t = if threshold == u64::MAX {
+                "never".to_string()
+            } else {
+                format!("{} kB", threshold / 1024)
+            };
+            println!("stage >= {t:>8}: {bw:.0} MB/s");
+        }
+        println!("\n== Ablation: notification matching cost vs Newton overlap ==");
+        for (us, full) in ablation_match_cost(&spec) {
+            println!("match cost {us:.1} us/entry: compute&exchange {full:.3} ms");
+        }
+        println!("\n== Ablation: SpMV x fan-out — notification tree vs broadcast-put (paper SV) ==");
+        for (nodes, tree, bput) in ablation_bcast_put(&spec) {
+            println!("nodes={nodes}: tree {tree:.2} ms, put_notify_all {bput:.2} ms");
+        }
+        println!("\n== Ablation: vertical levels vs stencil variants (paper SIV-C staging claim) ==");
+        for (k, d, m) in ablation_vertical_levels(&spec) {
+            println!(
+                "ksize={k:>3} (MPI halo {:>3} kB): dCUDA {d:.2} ms, MPI-CUDA {m:.2} ms, ratio {:.2}",
+                k, m / d
+            );
+        }
+    }
+}

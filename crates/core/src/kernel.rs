@@ -1,0 +1,498 @@
+//! The device-side programming interface.
+//!
+//! A dCUDA rank is a CUDA block; its program is expressed as a state machine
+//! implementing [`RankKernel`]. Each call to
+//! [`resume`](RankKernel::resume) corresponds to the code the block executes
+//! between two suspension points: it performs real numerics on its window
+//! memory through the [`RankCtx`], accrues hardware cost charges, issues
+//! remote-memory-access operations, and finally returns a [`Suspend`]
+//! describing what it blocks on — mirroring the structure of the paper's
+//! Figure 2 listing, where the loop body computes, issues
+//! `dcuda_put_notify`, and blocks in `dcuda_wait_notifications`.
+//!
+//! Ordering semantics: everything recorded through the context forms a
+//! sequential program. Cost charges execute on the simulated device in
+//! order; an RMA operation issued after a charge departs only when that
+//! charge has drained (you cannot put data you have not yet computed);
+//! charges recorded after an RMA execute concurrently with the transfer
+//! (RMA is nonblocking).
+
+use crate::types::{Rank, Tag, WinId};
+use crate::window::{f64_slice, f64_slice_mut};
+use dcuda_device::BlockCharge;
+use std::ops::Range;
+
+/// What a rank blocks on when its step ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suspend {
+    /// The kernel is complete for this rank.
+    Finished,
+    /// Block until `count` notifications matching the filters have been
+    /// matched (`dcuda_wait_notifications`). `None` filters are wildcards
+    /// (`DCUDA_ANY_SOURCE` etc.).
+    WaitNotifications {
+        /// Window filter.
+        win: Option<WinId>,
+        /// Source-rank filter.
+        source: Option<Rank>,
+        /// Tag filter.
+        tag: Option<Tag>,
+        /// Number of notifications to match.
+        count: u32,
+    },
+    /// Block in the world-communicator barrier collective.
+    Barrier,
+    /// Block until every RMA operation this rank issued so far has completed
+    /// at the origin (`dcuda_win_flush`; send buffers reusable).
+    Flush,
+}
+
+/// The kind of a remote memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmaKind {
+    /// Write to the partner's window.
+    Put,
+    /// Read from the partner's window.
+    Get,
+}
+
+/// Who gets notified when an operation completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyMode {
+    /// Nobody (completion observable via flush only).
+    None,
+    /// The target rank (put) / origin rank (get) — the paper's
+    /// `put_notify` / `get_notify`.
+    Target,
+    /// Every rank resident on the target's device — the paper's §V
+    /// "shared memory" enhancement: "a variant of the put method that
+    /// transfers data only once and then notifies all ranks associated to
+    /// the target memory".
+    AllOnTargetDevice,
+}
+
+/// One recorded RMA operation.
+#[derive(Debug, Clone, Copy)]
+pub struct RmaOp {
+    /// Put or get.
+    pub kind: RmaKind,
+    /// Notification fan-out on completion.
+    pub notify: NotifyMode,
+    /// Window the operation addresses (both sides use the same window, as in
+    /// the paper's API).
+    pub win: WinId,
+    /// The remote rank.
+    pub partner: Rank,
+    /// Byte offset in the local rank's window (source for put, destination
+    /// for get).
+    pub local_offset: usize,
+    /// Byte offset in the partner's window.
+    pub remote_offset: usize,
+    /// Transfer length in bytes.
+    pub len: usize,
+    /// Notification tag.
+    pub tag: Tag,
+}
+
+/// Window sentinel carried by nonblocking-barrier completion notifications
+/// (distinct from any real window id and from the `ANY` wildcard).
+pub const IBARRIER_WIN: u32 = u32::MAX - 1;
+
+/// A step's recorded program: alternating cost charges and RMA operations.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// Execute this much device work.
+    Charge(BlockCharge),
+    /// Issue this operation (nonblocking).
+    Op(RmaOp),
+    /// Enter the world barrier without blocking (paper §V "nonblocking
+    /// collectives that run asynchronously in the background and notify the
+    /// participating ranks after completion"). Completion arrives as a
+    /// notification with window [`IBARRIER_WIN`], source = own rank, and
+    /// the given tag.
+    IBarrier(Tag),
+}
+
+/// Per-rank identifiers and the recording surface handed to
+/// [`RankKernel::resume`].
+pub struct RankCtx<'a> {
+    pub(crate) rank: Rank,
+    pub(crate) world_size: u32,
+    pub(crate) device_rank: u32,
+    pub(crate) device_size: u32,
+    pub(crate) node: u32,
+    /// Arenas of this rank's node, one per window.
+    pub(crate) arenas: &'a mut [crate::window::Arena],
+    /// This rank's byte range in each window's arena.
+    pub(crate) ranges: &'a [Range<usize>],
+    pub(crate) segments: &'a mut Vec<Segment>,
+    /// Device-side cost of issuing one RMA operation (assembling the command
+    /// tuple and enqueueing it).
+    pub(crate) op_issue_flops: f64,
+}
+
+impl<'a> RankCtx<'a> {
+    /// This rank's world-communicator identifier
+    /// (`dcuda_comm_rank(DCUDA_COMM_WORLD)`).
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World-communicator size.
+    pub fn world_size(&self) -> u32 {
+        self.world_size
+    }
+
+    /// This rank's device-communicator identifier
+    /// (`dcuda_comm_rank(DCUDA_COMM_DEVICE)`).
+    pub fn device_rank(&self) -> u32 {
+        self.device_rank
+    }
+
+    /// Device-communicator size (ranks sharing this device).
+    pub fn device_size(&self) -> u32 {
+        self.device_size
+    }
+
+    /// The node (device) this rank runs on.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Immutable view of this rank's region of window `win`.
+    pub fn win(&self, win: WinId) -> &[u8] {
+        let range = self.ranges[win.index()].clone();
+        &self.arenas[win.index()].bytes()[range]
+    }
+
+    /// Mutable view of this rank's region of window `win`.
+    pub fn win_mut(&mut self, win: WinId) -> &mut [u8] {
+        let range = self.ranges[win.index()].clone();
+        &mut self.arenas[win.index()].bytes_mut()[range]
+    }
+
+    /// This rank's window region viewed as `f64`s.
+    pub fn win_f64(&self, win: WinId) -> &[f64] {
+        f64_slice(self.win(win))
+    }
+
+    /// This rank's window region viewed as mutable `f64`s.
+    pub fn win_f64_mut(&mut self, win: WinId) -> &mut [f64] {
+        f64_slice_mut(self.win_mut(win))
+    }
+
+    /// Two distinct windows' regions viewed as `f64`, first immutable and
+    /// second mutable (the stencil read-`in`/write-`out` pattern).
+    ///
+    /// # Panics
+    /// Panics if `src == dst`.
+    pub fn win_f64_pair(&mut self, src: WinId, dst: WinId) -> (&[f64], &mut [f64]) {
+        assert_ne!(src, dst, "src and dst windows must differ");
+        let src_range = self.ranges[src.index()].clone();
+        let dst_range = self.ranges[dst.index()].clone();
+        let (a, b) = if src.index() < dst.index() {
+            let (lo, hi) = self.arenas.split_at_mut(dst.index());
+            (&lo[src.index()], &mut hi[0])
+        } else {
+            let (lo, hi) = self.arenas.split_at_mut(src.index());
+            (&hi[0], &mut lo[dst.index()])
+        };
+        // `a` is the src arena, `b` the dst arena regardless of order.
+        let (src_arena, dst_arena): (&crate::window::Arena, &mut crate::window::Arena) = (a, b);
+        (
+            f64_slice(&src_arena.bytes()[src_range]),
+            f64_slice_mut(&mut dst_arena.bytes_mut()[dst_range]),
+        )
+    }
+
+    /// Accrue a raw hardware charge.
+    pub fn charge(&mut self, c: BlockCharge) {
+        if c.is_zero() {
+            return;
+        }
+        if let Some(Segment::Charge(last)) = self.segments.last_mut() {
+            last.add(c);
+        } else {
+            self.segments.push(Segment::Charge(c));
+        }
+    }
+
+    /// Accrue `flops` floating-point operations.
+    pub fn charge_flops(&mut self, flops: f64) {
+        self.charge(BlockCharge::flops(flops));
+    }
+
+    /// Accrue `bytes` of device-memory traffic.
+    pub fn charge_mem(&mut self, bytes: f64) {
+        self.charge(BlockCharge::mem(bytes));
+    }
+
+    fn push_op(&mut self, op: RmaOp) {
+        assert!(
+            op.partner.0 < self.world_size,
+            "RMA partner {:?} outside world of {}",
+            op.partner,
+            self.world_size
+        );
+        let win_len = {
+            let r = &self.ranges[op.win.index()];
+            r.end - r.start
+        };
+        assert!(
+            op.local_offset + op.len <= win_len,
+            "RMA local range {}..{} exceeds this rank's window {:?} of {} bytes",
+            op.local_offset,
+            op.local_offset + op.len,
+            op.win,
+            win_len
+        );
+        // Issuing costs a few device cycles (assembling the meta tuple).
+        self.charge_flops(self.op_issue_flops);
+        self.segments.push(Segment::Op(op));
+    }
+
+    /// `dcuda_put_notify`: copy `len` bytes from this rank's window at
+    /// `local_offset` to `dst`'s window at `remote_offset`, then notify `dst`
+    /// with `tag`.
+    pub fn put_notify(
+        &mut self,
+        win: WinId,
+        dst: Rank,
+        remote_offset: usize,
+        local_offset: usize,
+        len: usize,
+        tag: Tag,
+    ) {
+        self.push_op(RmaOp {
+            kind: RmaKind::Put,
+            notify: NotifyMode::Target,
+            win,
+            partner: dst,
+            local_offset,
+            remote_offset,
+            len,
+            tag,
+        });
+    }
+
+    /// Broadcast-put (paper §V extension): copy once to `dst`'s window, then
+    /// notify *every* rank on `dst`'s device with `tag`. With overlapping
+    /// windows this turns an on-device notification tree into a single hop.
+    pub fn put_notify_all(
+        &mut self,
+        win: WinId,
+        dst: Rank,
+        remote_offset: usize,
+        local_offset: usize,
+        len: usize,
+        tag: Tag,
+    ) {
+        self.push_op(RmaOp {
+            kind: RmaKind::Put,
+            notify: NotifyMode::AllOnTargetDevice,
+            win,
+            partner: dst,
+            local_offset,
+            remote_offset,
+            len,
+            tag,
+        });
+    }
+
+    /// `dcuda_put`: as [`put_notify`](Self::put_notify) but without target
+    /// notification (completion observable via [`Suspend::Flush`]).
+    pub fn put(
+        &mut self,
+        win: WinId,
+        dst: Rank,
+        remote_offset: usize,
+        local_offset: usize,
+        len: usize,
+    ) {
+        self.push_op(RmaOp {
+            kind: RmaKind::Put,
+            notify: NotifyMode::None,
+            win,
+            partner: dst,
+            local_offset,
+            remote_offset,
+            len,
+            tag: 0,
+        });
+    }
+
+    /// Nonblocking world barrier (§V extension): enter the collective and
+    /// keep executing; match the completion later with
+    /// `WaitNotifications {{ win: IBARRIER_WIN, source: own rank, tag }}`.
+    pub fn ibarrier(&mut self, tag: Tag) {
+        self.charge_flops(self.op_issue_flops);
+        self.segments.push(Segment::IBarrier(tag));
+    }
+
+    /// `dcuda_get_notify`: copy `len` bytes from `src`'s window at
+    /// `remote_offset` into this rank's window at `local_offset`; a
+    /// notification with `tag` is enqueued *at this rank* when the data has
+    /// landed.
+    pub fn get_notify(
+        &mut self,
+        win: WinId,
+        src: Rank,
+        remote_offset: usize,
+        local_offset: usize,
+        len: usize,
+        tag: Tag,
+    ) {
+        self.push_op(RmaOp {
+            kind: RmaKind::Get,
+            notify: NotifyMode::Target,
+            win,
+            partner: src,
+            local_offset,
+            remote_offset,
+            len,
+            tag,
+        });
+    }
+}
+
+/// A rank's program: a resumable state machine.
+///
+/// The world calls [`resume`](Self::resume) whenever the rank's previous
+/// suspension is satisfied; the kernel performs the next stretch of work and
+/// returns the next suspension.
+pub trait RankKernel: Send {
+    /// Execute up to the next suspension point.
+    fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend;
+}
+
+impl<F> RankKernel for F
+where
+    F: FnMut(&mut RankCtx<'_>) -> Suspend + Send,
+{
+    fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+        self(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::Arena;
+
+    fn ctx_fixture<'a>(
+        arenas: &'a mut [Arena],
+        ranges: &'a [Range<usize>],
+        segments: &'a mut Vec<Segment>,
+    ) -> RankCtx<'a> {
+        RankCtx {
+            rank: Rank(3),
+            world_size: 8,
+            device_rank: 3,
+            device_size: 4,
+            node: 0,
+            arenas,
+            ranges,
+            segments,
+            op_issue_flops: 100.0,
+        }
+    }
+
+    #[test]
+    fn charges_coalesce() {
+        let mut arenas = [Arena::new(64)];
+        let ranges = [0..64];
+        let mut segs = Vec::new();
+        let mut ctx = ctx_fixture(&mut arenas, &ranges, &mut segs);
+        ctx.charge_flops(10.0);
+        ctx.charge_mem(32.0);
+        ctx.charge_flops(5.0);
+        assert_eq!(segs.len(), 1);
+        match &segs[0] {
+            Segment::Charge(c) => {
+                assert_eq!(c.flops, 15.0);
+                assert_eq!(c.mem_bytes, 32.0);
+            }
+            _ => panic!("expected charge"),
+        }
+    }
+
+    #[test]
+    fn ops_split_charges() {
+        let mut arenas = [Arena::new(64)];
+        let ranges = [0..64];
+        let mut segs = Vec::new();
+        let mut ctx = ctx_fixture(&mut arenas, &ranges, &mut segs);
+        ctx.charge_flops(10.0);
+        ctx.put_notify(WinId(0), Rank(1), 0, 0, 16, 7);
+        ctx.charge_flops(20.0);
+        // charge(10 + issue_cost), op, charge(20)
+        assert_eq!(segs.len(), 3);
+        assert!(matches!(segs[0], Segment::Charge(c) if c.flops == 110.0));
+        assert!(matches!(
+            segs[1],
+            Segment::Op(RmaOp {
+                kind: RmaKind::Put,
+                notify: NotifyMode::Target,
+                len: 16,
+                tag: 7,
+                ..
+            })
+        ));
+        assert!(matches!(segs[2], Segment::Charge(c) if c.flops == 20.0));
+    }
+
+    #[test]
+    fn window_views_read_write() {
+        let mut arenas = [Arena::new(64)];
+        let ranges = [16..48];
+        let mut segs = Vec::new();
+        let mut ctx = ctx_fixture(&mut arenas, &ranges, &mut segs);
+        {
+            let w = ctx.win_f64_mut(WinId(0));
+            assert_eq!(w.len(), 4);
+            w[0] = 1.5;
+        }
+        assert_eq!(ctx.win_f64(WinId(0))[0], 1.5);
+        // The write landed at arena byte 16.
+        assert_eq!(f64_slice(arenas[0].bytes())[2], 1.5);
+    }
+
+    #[test]
+    fn win_pair_disjoint_windows() {
+        let mut arenas = [Arena::new(32), Arena::new(32)];
+        let ranges = [0..32, 0..32];
+        let mut segs = Vec::new();
+        let mut ctx = ctx_fixture(&mut arenas, &ranges, &mut segs);
+        ctx.win_f64_mut(WinId(0))[1] = 7.0;
+        let (src, dst) = ctx.win_f64_pair(WinId(0), WinId(1));
+        dst[0] = src[1] * 2.0;
+        assert_eq!(ctx.win_f64(WinId(1))[0], 14.0);
+        // And in reverse window order.
+        let (src, dst) = ctx.win_f64_pair(WinId(1), WinId(0));
+        dst[2] = src[0] + 1.0;
+        assert_eq!(ctx.win_f64(WinId(0))[2], 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside world")]
+    fn put_to_invalid_rank_panics() {
+        let mut arenas = [Arena::new(64)];
+        let ranges = [0..64];
+        let mut segs = Vec::new();
+        let mut ctx = ctx_fixture(&mut arenas, &ranges, &mut segs);
+        ctx.put_notify(WinId(0), Rank(99), 0, 0, 8, 0);
+    }
+
+    #[test]
+    fn closures_are_kernels() {
+        let mut arenas = [Arena::new(8)];
+        let ranges = [0..8];
+        let mut segs = Vec::new();
+        let mut ctx = ctx_fixture(&mut arenas, &ranges, &mut segs);
+        let mut k = |ctx: &mut RankCtx<'_>| {
+            ctx.charge_flops(1.0);
+            Suspend::Finished
+        };
+        assert_eq!(RankKernel::resume(&mut k, &mut ctx), Suspend::Finished);
+    }
+}

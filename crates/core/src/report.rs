@@ -1,0 +1,43 @@
+//! Run outcome and statistics.
+
+use dcuda_des::{SimDuration, SimTime};
+
+/// Statistics and timing of one simulated kernel run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Instant the last rank finished (kernel completion).
+    pub end_time: SimTime,
+    /// Per-rank finish instants.
+    pub rank_finish: Vec<SimTime>,
+    /// Remote memory accesses issued (puts + gets).
+    pub rma_ops: u64,
+    /// Operations satisfied by the zero-copy fast path (identical source and
+    /// destination addresses in overlapping shared-memory windows).
+    pub zero_copy_ops: u64,
+    /// Shared-memory (same-device) operations, zero-copy or not.
+    pub shared_ops: u64,
+    /// Distributed (cross-node) operations.
+    pub distributed_ops: u64,
+    /// Notifications delivered to ranks.
+    pub notifications: u64,
+    /// Notification-queue entries scanned by matching (the paper's matching
+    /// cost is proportional to this).
+    pub notifications_scanned: u64,
+    /// Barrier collectives completed.
+    pub barriers: u64,
+    /// Network messages injected (meta + data).
+    pub net_messages: u64,
+    /// Network messages that took the host-staged path.
+    pub net_staged: u64,
+    /// Total payload bytes moved across the network.
+    pub net_bytes: u64,
+    /// Total simulation events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Kernel execution time as a duration from t = 0.
+    pub fn elapsed(&self) -> SimDuration {
+        self.end_time.since(SimTime::ZERO)
+    }
+}

@@ -1,0 +1,1024 @@
+//! The event-driven dCUDA runtime: the paper's architecture in virtual time.
+//!
+//! One [`ClusterSim`] models the whole cluster: per node a GPU
+//! ([`dcuda_device::Device`]), a PCIe link, and a host runtime (event
+//! handler + block managers, executed by a single worker thread — paper
+//! §III-A); one interconnect ([`dcuda_fabric::Network`]) between nodes.
+//! Ranks are blocks; their kernels are [`RankKernel`] state machines doing
+//! real numerics on per-node [`Arena`] memory while the world charges their
+//! costs to the simulated hardware.
+//!
+//! # The notified-put pipeline (paper Figure 5)
+//!
+//! ```text
+//! origin rank        origin host          target host          target rank
+//!  put_notify ─PCIe─▶ block manager ─MPI─▶ event handler
+//!                      │   └─ data (device-to-device) ─┐ ... block manager
+//!                      └─ flush id update              └──▶ completion
+//!                                                            └─PCIe─▶ notification
+//! ```
+//!
+//! Shared-memory accesses short-circuit: the copy runs on the origin block
+//! itself (charged to its SM/memory resources, zero-copy when source and
+//! destination coincide in overlapping windows) and only the notification
+//! loops through the host (paper §III-A: "we go even one step further and
+//! loop device local notifications through the host as well").
+
+use crate::kernel::{NotifyMode, RankCtx, RankKernel, RmaKind, RmaOp, Segment, Suspend};
+use crate::report::RunReport;
+use crate::spec::SystemSpec;
+use crate::types::{Rank, Topology};
+use crate::window::{Arena, WindowSpec};
+use dcuda_des::{EventQueue, FifoResource, Slab, SimDuration, SimTime, SlotKey, Timer};
+use dcuda_device::{BlockCharge, BlockSlot, Device, LaunchConfig};
+use dcuda_fabric::{Network, NodeId, PcieLink, TransferPath};
+use dcuda_mpi::collective::barrier_exit_times;
+use dcuda_queues::{match_in_order, Notification, Query, ANY};
+use std::collections::VecDeque;
+
+/// One executable step element derived from a kernel's recorded segments.
+enum Action {
+    Charge(BlockCharge),
+    Op(RmaOp),
+    IBarrier(crate::types::Tag),
+}
+
+/// Where a rank currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Has (or is about to get) a `RankWork` event.
+    Ready,
+    /// A charge is draining on the device.
+    Computing,
+    /// Blocked in `wait_notifications`.
+    Waiting,
+    /// Blocked in `flush`.
+    Flushing,
+    /// Blocked in the barrier collective.
+    InBarrier,
+    /// Kernel finished.
+    Done,
+}
+
+struct RankState {
+    actions: VecDeque<Action>,
+    suspend: Option<Suspend>,
+    status: Status,
+    query: Query,
+    want: u32,
+    outstanding: u32,
+    pending: VecDeque<Notification>,
+    /// Device work owed for notification matching, prepended to the next
+    /// charge (the paper: "the notification matching itself is relatively
+    /// compute heavy").
+    match_backlog_flops: f64,
+    finish: SimTime,
+}
+
+impl RankState {
+    fn new() -> Self {
+        RankState {
+            actions: VecDeque::new(),
+            suspend: None,
+            status: Status::Ready,
+            query: Query::WILDCARD,
+            want: 0,
+            outstanding: 0,
+            pending: VecDeque::new(),
+            match_backlog_flops: 0.0,
+            finish: SimTime::ZERO,
+        }
+    }
+}
+
+/// An in-flight distributed transfer.
+struct Transfer {
+    op: RmaOp,
+    origin: Rank,
+    /// Snapshot of the payload, taken when the data leaves its source
+    /// memory.
+    payload: Vec<u8>,
+    /// Target-side meta processing finished (receive posted).
+    meta_ready: Option<SimTime>,
+    /// Data landed in destination device memory.
+    data_ready: Option<SimTime>,
+    completion_submitted: bool,
+}
+
+/// Host-side work items (everything the per-node worker thread does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostItem {
+    /// Origin block manager processes a put/get command.
+    RmaCmd { xfer: u64 },
+    /// Origin block manager forwards a device-local notification
+    /// (optionally fanned out to every local rank, the §V broadcast-put).
+    SharedNotify {
+        target: u32,
+        notif: Notification,
+        origin: u32,
+        all: bool,
+    },
+    /// Target event handler + block manager process incoming meta.
+    MetaAtTarget { xfer: u64 },
+    /// Completion handling once meta and data are both in.
+    Complete { xfer: u64 },
+    /// A rank entered the barrier. `nb_tag` is set for nonblocking entries
+    /// (completion delivered as a notification instead of an ack).
+    BarrierCmd { rank: u32, nb_tag: Option<u32> },
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    RankWork { rank: u32 },
+    DeviceTick { node: u32, gen: u64 },
+    HostNotice { node: u32, item: HostItem },
+    HostDone { node: u32, item: HostItem },
+    NetMetaArrive { xfer: u64 },
+    NetDataArrive { xfer: u64 },
+    NotifDeliver { rank: u32, notif: Notification },
+    OriginFree { rank: u32 },
+    BarrierAck { rank: u32 },
+}
+
+/// The simulated cluster executing one dCUDA kernel.
+pub struct ClusterSim {
+    spec: SystemSpec,
+    topo: Topology,
+    queue: EventQueue<Ev>,
+    devices: Vec<Device>,
+    device_timers: Vec<Timer>,
+    pcie: Vec<PcieLink>,
+    host_worker: Vec<FifoResource>,
+    net: Network,
+    /// `[node][window]` backing memory.
+    arenas: Vec<Vec<Arena>>,
+    windows: Vec<WindowSpec>,
+    /// `[rank][window]` byte range in the node arena.
+    ranges: Vec<Vec<std::ops::Range<usize>>>,
+    ranks: Vec<RankState>,
+    kernels: Vec<Box<dyn RankKernel>>,
+    transfers: Slab<Transfer>,
+    /// Device work side table: tag -> rank.
+    work: Slab<u32>,
+    // Barrier state.
+    barrier_arrived: Vec<u32>,
+    barrier_entry: Vec<Option<SimTime>>,
+    /// Per-rank nonblocking tag for the current barrier epoch.
+    barrier_nb: Vec<Option<u32>>,
+    // Counters.
+    finished: u32,
+    rma_ops: u64,
+    zero_copy_ops: u64,
+    shared_ops: u64,
+    distributed_ops: u64,
+    notifications: u64,
+    notifications_scanned: u64,
+    barriers: u64,
+    // Scratch.
+    completed_buf: Vec<u64>,
+}
+
+impl ClusterSim {
+    /// Build a cluster of `topo.nodes` nodes with the given window layouts
+    /// and per-rank kernels (indexed by world rank).
+    ///
+    /// # Panics
+    /// Panics if the kernel count does not match the topology, a window
+    /// layout is invalid, or the per-node rank count exceeds device
+    /// residency.
+    pub fn new(
+        spec: SystemSpec,
+        topo: Topology,
+        windows: Vec<WindowSpec>,
+        kernels: Vec<Box<dyn RankKernel>>,
+    ) -> Self {
+        assert_eq!(
+            kernels.len(),
+            topo.world_size() as usize,
+            "need one kernel per world rank"
+        );
+        for w in &windows {
+            w.validate(&topo);
+        }
+        let launch = LaunchConfig {
+            blocks: topo.ranks_per_node,
+            ..LaunchConfig::paper()
+        };
+        let devices: Vec<Device> = (0..topo.nodes)
+            .map(|_| Device::launch(spec.device.clone(), &launch))
+            .collect();
+        let arenas: Vec<Vec<Arena>> = (0..topo.nodes)
+            .map(|n| {
+                windows
+                    .iter()
+                    .map(|w| Arena::new(w.arena_len(&topo, n)))
+                    .collect()
+            })
+            .collect();
+        let ranges: Vec<Vec<std::ops::Range<usize>>> = topo
+            .ranks()
+            .map(|r| windows.iter().map(|w| w.range_of(r)).collect())
+            .collect();
+        let pcie = (0..topo.nodes)
+            .map(|_| PcieLink::new(spec.pcie.clone()))
+            .collect();
+        let host_worker = (0..topo.nodes).map(|_| FifoResource::new()).collect();
+        let net = Network::new(spec.network.clone(), topo.nodes as usize);
+        let ranks = (0..topo.world_size()).map(|_| RankState::new()).collect();
+        ClusterSim {
+            spec,
+            topo,
+            queue: EventQueue::new(),
+            devices,
+            device_timers: (0..topo.nodes).map(|_| Timer::new()).collect(),
+            pcie,
+            host_worker,
+            net,
+            arenas,
+            windows,
+            ranges,
+            ranks,
+            kernels,
+            transfers: Slab::new(),
+            work: Slab::new(),
+            barrier_arrived: vec![0; topo.nodes as usize],
+            barrier_entry: vec![None; topo.nodes as usize],
+            barrier_nb: vec![None; topo.world_size() as usize],
+            finished: 0,
+            rma_ops: 0,
+            zero_copy_ops: 0,
+            shared_ops: 0,
+            distributed_ops: 0,
+            notifications: 0,
+            notifications_scanned: 0,
+            barriers: 0,
+            completed_buf: Vec::new(),
+        }
+    }
+
+    /// Immutable access to a node's arena for a window (for test inspection
+    /// and result extraction after a run).
+    pub fn arena(&self, node: u32, win: crate::types::WinId) -> &[u8] {
+        self.arenas[node as usize][win.index()].bytes()
+    }
+
+    /// Topology of the simulated cluster.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The registered window layouts.
+    pub fn windows(&self) -> &[WindowSpec] {
+        &self.windows
+    }
+
+    /// Run the kernel to completion and report.
+    ///
+    /// # Panics
+    /// Panics with a per-rank status dump if the system deadlocks (event
+    /// queue drained while ranks are still blocked).
+    pub fn run(&mut self) -> RunReport {
+        // Kernel launch: all blocks become resident after the launch
+        // overhead, then start executing.
+        let start = SimTime::ZERO + self.spec.device.launch_overhead;
+        for r in 0..self.topo.world_size() {
+            self.queue.schedule_at(start, Ev::RankWork { rank: r });
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            self.handle(now, ev);
+            if self.finished == self.topo.world_size() {
+                break;
+            }
+        }
+        if self.finished != self.topo.world_size() {
+            let stuck: Vec<String> = self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.status != Status::Done)
+                .take(16)
+                .map(|(i, s)| format!("rank {i}: {:?} (pending notifs: {})", s.status, s.pending.len()))
+                .collect();
+            panic!(
+                "dCUDA deadlock: {}/{} ranks finished; stuck examples: {:#?}",
+                self.finished,
+                self.topo.world_size(),
+                stuck
+            );
+        }
+        let end_time = self
+            .ranks
+            .iter()
+            .map(|s| s.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        RunReport {
+            end_time,
+            rank_finish: self.ranks.iter().map(|s| s.finish).collect(),
+            rma_ops: self.rma_ops,
+            zero_copy_ops: self.zero_copy_ops,
+            shared_ops: self.shared_ops,
+            distributed_ops: self.distributed_ops,
+            notifications: self.notifications,
+            notifications_scanned: self.notifications_scanned,
+            barriers: self.barriers,
+            net_messages: self.net.messages.get(),
+            net_staged: self.net.staged_messages.get(),
+            net_bytes: (0..self.topo.nodes)
+                .map(|n| self.net.bytes_sent(NodeId(n)))
+                .sum(),
+            events: self.queue.scheduled_total(),
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::RankWork { rank } => self.advance_rank(rank, now),
+            Ev::DeviceTick { node, gen } => {
+                if self.device_timers[node as usize].is_current(gen) {
+                    self.device_timers[node as usize].disarm();
+                    self.pump_device(node, now);
+                }
+            }
+            Ev::HostNotice { node, item } => {
+                // The action occupies the single worker thread briefly
+                // (throughput limit) and completes after its pipeline
+                // latency.
+                let (_, freed) = self.host_worker[node as usize]
+                    .submit(now, self.spec.host.worker_gap);
+                let done = freed + self.host_cost(item);
+                self.queue.schedule_at(done, Ev::HostDone { node, item });
+            }
+            Ev::HostDone { node, item } => self.host_done(node, item, now),
+            Ev::NetMetaArrive { xfer } => {
+                let key = SlotKey::from_bits(xfer);
+                let tr = self.transfers.get(key).expect("meta for unknown transfer");
+                let target_node = match tr.op.kind {
+                    RmaKind::Put => self.topo.node_of(tr.op.partner),
+                    // For a get, the "meta" travels origin -> data holder.
+                    RmaKind::Get => self.topo.node_of(tr.op.partner),
+                };
+                self.queue.schedule_at(
+                    now + self.spec.host.poll_delay,
+                    Ev::HostNotice {
+                        node: target_node,
+                        item: HostItem::MetaAtTarget { xfer },
+                    },
+                );
+            }
+            Ev::NetDataArrive { xfer } => {
+                let key = SlotKey::from_bits(xfer);
+                // Land the payload in destination memory.
+                self.land_payload(key);
+                let tr = self.transfers.get_mut(key).expect("data for unknown transfer");
+                tr.data_ready = Some(now);
+                self.maybe_complete(key, now);
+            }
+            Ev::NotifDeliver { rank, notif } => self.deliver_notification(rank, notif, now),
+            Ev::OriginFree { rank } => {
+                let st = &mut self.ranks[rank as usize];
+                debug_assert!(st.outstanding > 0, "origin-free without outstanding op");
+                st.outstanding -= 1;
+                if st.status == Status::Flushing && st.outstanding == 0 {
+                    st.status = Status::Ready;
+                    st.suspend = None;
+                    self.queue.schedule_at(now, Ev::RankWork { rank });
+                }
+            }
+            Ev::BarrierAck { rank } => {
+                let st = &mut self.ranks[rank as usize];
+                debug_assert_eq!(st.status, Status::InBarrier);
+                st.status = Status::Ready;
+                st.suspend = None;
+                self.queue.schedule_at(
+                    now + self.spec.device.notification_poll_interval,
+                    Ev::RankWork { rank },
+                );
+            }
+        }
+    }
+
+    fn host_cost(&self, item: HostItem) -> SimDuration {
+        let h = &self.spec.host;
+        match item {
+            HostItem::RmaCmd { .. }
+            | HostItem::SharedNotify { .. }
+            | HostItem::Complete { .. }
+            | HostItem::BarrierCmd { .. } => h.block_manager_cost,
+            HostItem::MetaAtTarget { .. } => h.dispatch_cost + h.block_manager_cost,
+        }
+    }
+
+    /// Advance a node's device, turning completed work into `RankWork`
+    /// events, and rearm its timer.
+    fn pump_device(&mut self, node: u32, now: SimTime) {
+        let dev = &mut self.devices[node as usize];
+        self.completed_buf.clear();
+        dev.advance_to(now, &mut self.completed_buf);
+        for i in 0..self.completed_buf.len() {
+            let tag = self.completed_buf[i];
+            let rank = self
+                .work
+                .remove(SlotKey::from_bits(tag))
+                .expect("device completion for unknown work");
+            self.queue.schedule_at(now, Ev::RankWork { rank });
+        }
+        self.rearm_device(node);
+    }
+
+    fn rearm_device(&mut self, node: u32) {
+        let timer = &mut self.device_timers[node as usize];
+        match self.devices[node as usize].next_event() {
+            Some(t) => {
+                let gen = timer.rearm();
+                self.queue.schedule_at(t, Ev::DeviceTick { node, gen });
+            }
+            None => timer.disarm(),
+        }
+    }
+
+    /// Process a rank's action list until it blocks.
+    fn advance_rank(&mut self, rank: u32, now: SimTime) {
+        loop {
+            if self.ranks[rank as usize].status == Status::Done {
+                return;
+            }
+            match self.ranks[rank as usize].actions.pop_front() {
+                Some(Action::Charge(mut c)) => {
+                    let st = &mut self.ranks[rank as usize];
+                    c.flops += st.match_backlog_flops;
+                    st.match_backlog_flops = 0.0;
+                    st.status = Status::Computing;
+                    let node = self.topo.node_of(Rank(rank));
+                    let local = self.topo.local_of(Rank(rank));
+                    let tag = self.work.insert(rank).to_bits();
+                    // Bring the device up to date, then add the new work.
+                    self.pump_device(node, now);
+                    self.devices[node as usize].submit_block_work(BlockSlot(local), c, tag);
+                    self.rearm_device(node);
+                    return;
+                }
+                Some(Action::Op(op)) => {
+                    self.initiate_op(rank, op, now);
+                }
+                Some(Action::IBarrier(tag)) => {
+                    let node = self.topo.node_of(Rank(rank));
+                    let visible = self.pcie[node as usize].post_txn(now, 16);
+                    self.queue.schedule_at(
+                        visible + self.spec.host.poll_delay,
+                        Ev::HostNotice {
+                            node,
+                            item: HostItem::BarrierCmd {
+                                rank,
+                                nb_tag: Some(tag),
+                            },
+                        },
+                    );
+                    // Nonblocking: keep processing.
+                }
+                None => {
+                    let pending = self.ranks[rank as usize].suspend.take();
+                    match pending {
+                        None => {
+                            self.call_kernel(rank, now);
+                            // Loop to process the freshly recorded actions.
+                        }
+                        Some(Suspend::Finished) => {
+                            let st = &mut self.ranks[rank as usize];
+                            st.status = Status::Done;
+                            st.finish = now;
+                            self.finished += 1;
+                            return;
+                        }
+                        Some(Suspend::WaitNotifications {
+                            win,
+                            source,
+                            tag,
+                            count,
+                        }) => {
+                            let st = &mut self.ranks[rank as usize];
+                            st.status = Status::Waiting;
+                            st.query = Query {
+                                win: win.map_or(ANY, |w| w.0),
+                                source: source.map_or(ANY, |r| r.0),
+                                tag: tag.unwrap_or(ANY),
+                            };
+                            st.want = count;
+                            self.try_match(rank, now, false);
+                            return;
+                        }
+                        Some(Suspend::Barrier) => {
+                            self.ranks[rank as usize].status = Status::InBarrier;
+                            let node = self.topo.node_of(Rank(rank));
+                            let visible = self.pcie[node as usize].post_txn(now, 16);
+                            self.queue.schedule_at(
+                                visible + self.spec.host.poll_delay,
+                                Ev::HostNotice {
+                                    node,
+                                    item: HostItem::BarrierCmd { rank, nb_tag: None },
+                                },
+                            );
+                            return;
+                        }
+                        Some(Suspend::Flush) => {
+                            let st = &mut self.ranks[rank as usize];
+                            if st.outstanding > 0 {
+                                st.status = Status::Flushing;
+                                return;
+                            }
+                            // Already flushed; continue straight into the
+                            // next kernel step.
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Call the rank's kernel and convert recorded segments into actions.
+    fn call_kernel(&mut self, rank: u32, _now: SimTime) {
+        let r = Rank(rank);
+        let node = self.topo.node_of(r) as usize;
+        let mut segments = Vec::new();
+        let suspend = {
+            // Split borrows: kernels and arenas are distinct fields.
+            let ClusterSim {
+                kernels,
+                arenas,
+                ranges,
+                topo,
+                spec,
+                ..
+            } = self;
+            let mut ctx = RankCtx {
+                rank: r,
+                world_size: topo.world_size(),
+                device_rank: topo.local_of(r),
+                device_size: topo.ranks_per_node,
+                node: node as u32,
+                arenas: &mut arenas[node],
+                ranges: &ranges[rank as usize],
+                segments: &mut segments,
+                // Issue cost: ~0.3 us of SM time to assemble and enqueue the
+                // command tuple.
+                op_issue_flops: 0.3e-6 * spec.device.sm_flops,
+            };
+            kernels[rank as usize].resume(&mut ctx)
+        };
+        debug_assert!(self.ranks[rank as usize].actions.is_empty());
+        for seg in segments {
+            match seg {
+                Segment::Charge(c) => self.ranks[rank as usize]
+                    .actions
+                    .push_back(Action::Charge(c)),
+                Segment::IBarrier(tag) => self.ranks[rank as usize]
+                    .actions
+                    .push_back(Action::IBarrier(tag)),
+                Segment::Op(op) => {
+                    // Same-device copies run on the origin block itself:
+                    // model the copy as a memory charge (read + write) that
+                    // precedes the dispatch (skipped entirely on the
+                    // zero-copy path).
+                    if self.topo.same_device(r, op.partner) && !self.is_zero_copy(r, &op) {
+                        self.ranks[rank as usize]
+                            .actions
+                            .push_back(Action::Charge(BlockCharge::mem(2.0 * op.len as f64)));
+                    }
+                    self.ranks[rank as usize].actions.push_back(Action::Op(op));
+                }
+            }
+        }
+        let st = &mut self.ranks[rank as usize];
+        st.suspend = Some(suspend);
+        st.status = Status::Ready;
+    }
+
+    /// Absolute byte span of the *local* side of an op in its node arena.
+    fn local_span(&self, rank: Rank, op: &RmaOp) -> std::ops::Range<usize> {
+        let base = self.ranges[rank.index()][op.win.index()].start;
+        base + op.local_offset..base + op.local_offset + op.len
+    }
+
+    /// Absolute byte span of the *remote* side of an op in the partner's
+    /// node arena.
+    fn remote_span(&self, op: &RmaOp) -> std::ops::Range<usize> {
+        let base = self.ranges[op.partner.index()][op.win.index()].start;
+        base + op.remote_offset..base + op.remote_offset + op.len
+    }
+
+    fn is_zero_copy(&self, rank: Rank, op: &RmaOp) -> bool {
+        self.topo.same_device(rank, op.partner) && self.local_span(rank, op) == self.remote_span(op)
+    }
+
+    /// Begin executing an RMA operation at its issue time.
+    fn initiate_op(&mut self, rank: u32, op: RmaOp, now: SimTime) {
+        {
+            let partner_range = &self.ranges[op.partner.index()][op.win.index()];
+            let partner_len = partner_range.end - partner_range.start;
+            assert!(
+                op.remote_offset + op.len <= partner_len,
+                "rank {rank}: RMA remote range {}..{} exceeds {:?}'s window {:?} of {} bytes",
+                op.remote_offset,
+                op.remote_offset + op.len,
+                op.partner,
+                op.win,
+                partner_len
+            );
+        }
+        self.rma_ops += 1;
+        let r = Rank(rank);
+        let node = self.topo.node_of(r);
+        let same = self.topo.same_device(r, op.partner);
+        if same {
+            self.shared_ops += 1;
+            if self.is_zero_copy(r, &op) {
+                self.zero_copy_ops += 1;
+            } else {
+                // Perform the copy now (its time was charged as the
+                // preceding memory-charge action).
+                let local = self.local_span(r, &op);
+                let remote = self.remote_span(&op);
+                let arena = &mut self.arenas[node as usize][op.win.index()];
+                match op.kind {
+                    RmaKind::Put => arena.bytes_mut().copy_within(local, remote.start),
+                    RmaKind::Get => arena.bytes_mut().copy_within(remote, local.start),
+                }
+            }
+            if op.notify != NotifyMode::None {
+                // Notification loops through the host (paper §III-A).
+                let st = &mut self.ranks[rank as usize];
+                st.outstanding += 1;
+                let notif_target = match op.kind {
+                    RmaKind::Put => op.partner.0,
+                    RmaKind::Get => rank,
+                };
+                let visible = self.pcie[node as usize].post_txn(now, 16);
+                self.queue.schedule_at(
+                    visible + self.spec.host.poll_delay,
+                    Ev::HostNotice {
+                        node,
+                        item: HostItem::SharedNotify {
+                            target: notif_target,
+                            origin: rank,
+                            all: op.notify == NotifyMode::AllOnTargetDevice,
+                            notif: Notification {
+                                win: op.win.0,
+                                source: rank,
+                                tag: op.tag,
+                            },
+                        },
+                    },
+                );
+            }
+            return;
+        }
+        // Distributed: command to the origin block manager. Put payloads
+        // are snapshotted at issue time (the source buffer may be reused by
+        // the kernel immediately after the nonblocking call returns; real
+        // dCUDA requires a flush first, our model gives the stronger
+        // issue-time-snapshot semantics).
+        self.distributed_ops += 1;
+        self.ranks[rank as usize].outstanding += 1;
+        let payload = match op.kind {
+            RmaKind::Put => {
+                let local = self.local_span(r, &op);
+                self.arenas[node as usize][op.win.index()].bytes()[local].to_vec()
+            }
+            RmaKind::Get => Vec::new(),
+        };
+        let xfer = self
+            .transfers
+            .insert(Transfer {
+                op,
+                origin: r,
+                payload,
+                meta_ready: None,
+                data_ready: None,
+                completion_submitted: false,
+            })
+            .to_bits();
+        let visible = self.pcie[node as usize].post_txn(now, self.spec.host.meta_bytes);
+        self.queue.schedule_at(
+            visible + self.spec.host.poll_delay,
+            Ev::HostNotice {
+                node,
+                item: HostItem::RmaCmd { xfer },
+            },
+        );
+    }
+
+    /// Execute the effect of a completed host job.
+    fn host_done(&mut self, node: u32, item: HostItem, now: SimTime) {
+        match item {
+            HostItem::RmaCmd { xfer } => {
+                let key = SlotKey::from_bits(xfer);
+                let (op, origin) = {
+                    let tr = self.transfers.get(key).expect("cmd for unknown transfer");
+                    (tr.op, tr.origin)
+                };
+                let origin_node = NodeId(node);
+                let partner_node = NodeId(self.topo.node_of(op.partner));
+                // Meta information to the partner's event handler.
+                let meta = self.net.send(
+                    now,
+                    origin_node,
+                    partner_node,
+                    self.spec.host.meta_bytes,
+                    TransferPath::HostToHost,
+                );
+                self.queue
+                    .schedule_at(meta.arrival, Ev::NetMetaArrive { xfer });
+                match op.kind {
+                    RmaKind::Put => {
+                        // Inject the data message (payload was snapshotted
+                        // at issue time).
+                        let path =
+                            self.net
+                                .device_path(origin_node, partner_node, op.len as u64);
+                        let data =
+                            self.net
+                                .send(now, origin_node, partner_node, op.len as u64, path);
+                        self.queue
+                            .schedule_at(data.arrival, Ev::NetDataArrive { xfer });
+                        // Send buffers reusable -> flush id advances.
+                        self.queue.schedule_at(
+                            data.egress_free.max(now),
+                            Ev::OriginFree { rank: origin.0 },
+                        );
+                    }
+                    RmaKind::Get => {
+                        // Data flows back only after the partner processes
+                        // the request; nothing else to do here.
+                    }
+                }
+            }
+            HostItem::SharedNotify {
+                target,
+                notif,
+                origin,
+                all,
+            } => {
+                self.queue.schedule_at(now, Ev::OriginFree { rank: origin });
+                if all {
+                    // Broadcast-put: one notification per resident rank of
+                    // the target device (each its own queue transaction).
+                    for local in 0..self.topo.ranks_per_node {
+                        let rank = self.topo.rank_of(node, local);
+                        let visible = self.pcie[node as usize].post_txn(now, 16);
+                        self.queue
+                            .schedule_at(visible, Ev::NotifDeliver { rank: rank.0, notif });
+                    }
+                } else {
+                    let visible = self.pcie[node as usize].post_txn(now, 16);
+                    self.queue.schedule_at(
+                        visible,
+                        Ev::NotifDeliver {
+                            rank: target,
+                            notif,
+                        },
+                    );
+                }
+            }
+            HostItem::MetaAtTarget { xfer } => {
+                let key = SlotKey::from_bits(xfer);
+                let (op, origin) = {
+                    let tr = self.transfers.get(key).expect("meta for unknown transfer");
+                    (tr.op, tr.origin)
+                };
+                match op.kind {
+                    RmaKind::Put => {
+                        let tr = self.transfers.get_mut(key).expect("live transfer");
+                        tr.meta_ready = Some(now);
+                        self.maybe_complete(key, now);
+                    }
+                    RmaKind::Get => {
+                        // We are on the data-holder node: snapshot and send
+                        // the data back to the origin.
+                        let holder_node = NodeId(node);
+                        let origin_node = NodeId(self.topo.node_of(origin));
+                        let remote = self.remote_span(&op);
+                        let payload =
+                            self.arenas[node as usize][op.win.index()].bytes()[remote].to_vec();
+                        {
+                            let tr = self.transfers.get_mut(key).expect("live transfer");
+                            tr.payload = payload;
+                            tr.meta_ready = Some(now);
+                        }
+                        let path = self
+                            .net
+                            .device_path(holder_node, origin_node, op.len as u64);
+                        let data = self
+                            .net
+                            .send(now, holder_node, origin_node, op.len as u64, path);
+                        self.queue
+                            .schedule_at(data.arrival, Ev::NetDataArrive { xfer });
+                    }
+                }
+            }
+            HostItem::Complete { xfer } => {
+                let key = SlotKey::from_bits(xfer);
+                let tr = self.transfers.remove(key).expect("complete unknown transfer");
+                match tr.op.kind {
+                    RmaKind::Put => {
+                        let notif = Notification {
+                            win: tr.op.win.0,
+                            source: tr.origin.0,
+                            tag: tr.op.tag,
+                        };
+                        match tr.op.notify {
+                            NotifyMode::None => {}
+                            NotifyMode::Target => {
+                                let visible = self.pcie[node as usize].post_txn(now, 16);
+                                self.queue.schedule_at(
+                                    visible,
+                                    Ev::NotifDeliver {
+                                        rank: tr.op.partner.0,
+                                        notif,
+                                    },
+                                );
+                            }
+                            NotifyMode::AllOnTargetDevice => {
+                                for local in 0..self.topo.ranks_per_node {
+                                    let rank = self.topo.rank_of(node, local);
+                                    let visible =
+                                        self.pcie[node as usize].post_txn(now, 16);
+                                    self.queue.schedule_at(
+                                        visible,
+                                        Ev::NotifDeliver { rank: rank.0, notif },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    RmaKind::Get => {
+                        // Origin side: data landed; flush can advance and the
+                        // origin rank is notified.
+                        self.queue.schedule_at(
+                            now,
+                            Ev::OriginFree {
+                                rank: tr.origin.0,
+                            },
+                        );
+                        if tr.op.notify != NotifyMode::None {
+                            let visible = self.pcie[node as usize].post_txn(now, 16);
+                            self.queue.schedule_at(
+                                visible,
+                                Ev::NotifDeliver {
+                                    rank: tr.origin.0,
+                                    notif: Notification {
+                                        win: tr.op.win.0,
+                                        source: tr.op.partner.0,
+                                        tag: tr.op.tag,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            HostItem::BarrierCmd { rank, nb_tag } => {
+                let n = node as usize;
+                self.barrier_arrived[n] += 1;
+                self.barrier_nb[rank as usize] = nb_tag;
+                if self.barrier_arrived[n] == self.topo.ranks_per_node {
+                    self.barrier_entry[n] = Some(now);
+                    if self.barrier_entry.iter().all(Option::is_some) {
+                        self.finish_barrier(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All nodes have entered: run the host-level dissemination barrier and
+    /// ack every rank.
+    fn finish_barrier(&mut self, _now: SimTime) {
+        self.barriers += 1;
+        let entries: Vec<SimTime> = self
+            .barrier_entry
+            .iter()
+            .map(|t| t.expect("all nodes entered"))
+            .collect();
+        let netspec = self.net.spec().clone();
+        let meta = self.spec.host.meta_bytes;
+        let hop = move |bytes: u64| {
+            netspec.overhead
+                + netspec.latency
+                + SimDuration::from_secs_f64((bytes + meta) as f64 / netspec.host_bandwidth)
+        };
+        let exits = barrier_exit_times(&entries, &hop);
+        for node in 0..self.topo.nodes {
+            let exit = exits[node as usize];
+            for local in 0..self.topo.ranks_per_node {
+                let rank = self.topo.rank_of(node, local);
+                let visible = self.pcie[node as usize].post_txn(exit, 16);
+                match self.barrier_nb[rank.index()].take() {
+                    Some(tag) => {
+                        // Nonblocking entry: completion as a notification
+                        // (paper §V).
+                        self.queue.schedule_at(
+                            visible,
+                            Ev::NotifDeliver {
+                                rank: rank.0,
+                                notif: Notification {
+                                    win: crate::kernel::IBARRIER_WIN,
+                                    source: rank.0,
+                                    tag,
+                                },
+                            },
+                        );
+                    }
+                    None => {
+                        self.queue
+                            .schedule_at(visible, Ev::BarrierAck { rank: rank.0 });
+                    }
+                }
+            }
+            self.barrier_arrived[node as usize] = 0;
+            self.barrier_entry[node as usize] = None;
+        }
+    }
+
+    /// Write an arrived payload into its destination arena.
+    fn land_payload(&mut self, key: SlotKey) {
+        let (op, origin, payload) = {
+            let tr = self.transfers.get_mut(key).expect("land unknown transfer");
+            (tr.op, tr.origin, std::mem::take(&mut tr.payload))
+        };
+        match op.kind {
+            RmaKind::Put => {
+                let node = self.topo.node_of(op.partner) as usize;
+                let span = self.remote_span(&op);
+                self.arenas[node][op.win.index()].bytes_mut()[span].copy_from_slice(&payload);
+            }
+            RmaKind::Get => {
+                let node = self.topo.node_of(origin) as usize;
+                let span = self.local_span(origin, &op);
+                self.arenas[node][op.win.index()].bytes_mut()[span].copy_from_slice(&payload);
+            }
+        }
+    }
+
+    /// If meta and data are both in, submit the completion host job (on the
+    /// target node for puts, the origin node for gets).
+    fn maybe_complete(&mut self, key: SlotKey, now: SimTime) {
+        let tr = self.transfers.get_mut(key).expect("unknown transfer");
+        if tr.completion_submitted || tr.meta_ready.is_none() || tr.data_ready.is_none() {
+            return;
+        }
+        tr.completion_submitted = true;
+        let node = match tr.op.kind {
+            RmaKind::Put => self.topo.node_of(tr.op.partner),
+            RmaKind::Get => self.topo.node_of(tr.origin),
+        };
+        self.queue.schedule_at(
+            now,
+            Ev::HostNotice {
+                node,
+                item: HostItem::Complete {
+                    xfer: key.to_bits(),
+                },
+            },
+        );
+    }
+
+    /// A notification became visible in a rank's device-side queue.
+    fn deliver_notification(&mut self, rank: u32, notif: Notification, now: SimTime) {
+        self.notifications += 1;
+        self.ranks[rank as usize].pending.push_back(notif);
+        if self.ranks[rank as usize].status == Status::Waiting {
+            self.try_match(rank, now, true);
+        }
+    }
+
+    /// Attempt to satisfy a waiting rank's query. `poll` adds the device
+    /// poll interval before the rank resumes (it was spinning on the queue).
+    fn try_match(&mut self, rank: u32, now: SimTime, poll: bool) {
+        let match_flops_per_scan =
+            self.spec.device.notification_match_cost.as_secs_f64() * self.spec.device.sm_flops;
+        let st = &mut self.ranks[rank as usize];
+        debug_assert_eq!(st.status, Status::Waiting);
+        match match_in_order(&mut st.pending, st.query, st.want as usize) {
+            Some((matched, scanned)) => {
+                self.notifications_scanned += scanned as u64;
+                st.match_backlog_flops += scanned as f64 * match_flops_per_scan;
+                debug_assert_eq!(matched.len(), st.want as usize);
+                st.status = Status::Ready;
+                st.suspend = None;
+                let wake = if poll {
+                    now + self.spec.device.notification_poll_interval
+                } else {
+                    now
+                };
+                self.queue.schedule_at(wake, Ev::RankWork { rank });
+            }
+            None => {
+                // Failed scans also consume device time while spinning.
+                let scanned = st.pending.len();
+                self.notifications_scanned += scanned as u64;
+                st.match_backlog_flops += scanned as f64 * match_flops_per_scan;
+            }
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! End-to-end tests of the dCUDA runtime model: data correctness, timing
+//! sanity, zero-copy behaviour, barriers, flush, and the latency-hiding
+//! mechanism itself.
+
+use dcuda_core::types::Topology;
+use dcuda_core::window::f64_slice;
+use dcuda_core::{ClusterSim, Rank, RankCtx, RankKernel, Suspend, SystemSpec, WinId, WindowSpec};
+
+fn topo(nodes: u32, ranks_per_node: u32) -> Topology {
+    Topology {
+        nodes,
+        ranks_per_node,
+    }
+}
+
+/// A kernel that finishes immediately.
+struct Noop;
+impl RankKernel for Noop {
+    fn resume(&mut self, _ctx: &mut RankCtx<'_>) -> Suspend {
+        Suspend::Finished
+    }
+}
+
+fn boxed<K: RankKernel + 'static>(ks: Vec<K>) -> Vec<Box<dyn RankKernel>> {
+    ks.into_iter()
+        .map(|k| Box::new(k) as Box<dyn RankKernel>)
+        .collect()
+}
+
+#[test]
+fn empty_kernel_costs_launch_overhead() {
+    let t = topo(1, 4);
+    let kernels: Vec<Box<dyn RankKernel>> = (0..4).map(|_| Box::new(Noop) as _).collect();
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![], kernels);
+    let report = sim.run();
+    let us = report.elapsed().as_micros_f64();
+    assert!((us - 7.0).abs() < 0.01, "launch overhead only, got {us}");
+}
+
+#[test]
+fn compute_time_matches_device_model() {
+    // 4 ranks on one SM-pinned layout... ranks 0..4 land on SMs 0..4, each
+    // alone: 1.05e9 flops at 105 GFLOP/s = 10 ms.
+    let t = topo(1, 4);
+    struct K;
+    impl RankKernel for K {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            ctx.charge_flops(1.05e9);
+            Suspend::Finished
+        }
+    }
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![], boxed(vec![K, K, K, K]));
+    let report = sim.run();
+    let ms = report.elapsed().as_millis_f64();
+    assert!((ms - 10.0).abs() < 0.05, "got {ms} ms");
+}
+
+#[test]
+fn sm_sharing_doubles_time() {
+    // 26 ranks on a 13-SM device: two per SM -> same total work takes twice
+    // as long as one-per-SM.
+    struct K;
+    impl RankKernel for K {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            ctx.charge_flops(1.05e9);
+            Suspend::Finished
+        }
+    }
+    let mut one = ClusterSim::new(
+        SystemSpec::greina(),
+        topo(1, 13),
+        vec![],
+        (0..13).map(|_| Box::new(K) as _).collect(),
+    );
+    let mut two = ClusterSim::new(
+        SystemSpec::greina(),
+        topo(1, 26),
+        vec![],
+        (0..26).map(|_| Box::new(K) as _).collect(),
+    );
+    let t1 = one.run().elapsed().as_millis_f64();
+    let t2 = two.run().elapsed().as_millis_f64();
+    assert!((t1 - 10.0).abs() < 0.05);
+    assert!((t2 - 20.0).abs() < 0.05, "PS sharing: got {t2}");
+}
+
+/// Two-rank notified-put ping: rank 0 writes a value into its window,
+/// puts it to rank 1, rank 1 waits and verifies.
+struct PingSender {
+    dst: Rank,
+    sent: bool,
+}
+impl RankKernel for PingSender {
+    fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+        if self.sent {
+            return Suspend::Finished;
+        }
+        self.sent = true;
+        let w = ctx.win_f64_mut(WinId(0));
+        for (i, x) in w.iter_mut().enumerate() {
+            *x = i as f64 + 0.5;
+        }
+        let len = ctx.win(WinId(0)).len();
+        ctx.put_notify(WinId(0), self.dst, 0, 0, len, 42);
+        Suspend::Flush
+    }
+}
+struct PingReceiver {
+    src: Rank,
+    got: bool,
+}
+impl RankKernel for PingReceiver {
+    fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+        if !self.got {
+            self.got = true;
+            return Suspend::WaitNotifications {
+                win: Some(WinId(0)),
+                source: Some(self.src),
+                tag: Some(42),
+                count: 1,
+            };
+        }
+        // Data must be visible now.
+        let w = ctx.win_f64(WinId(0));
+        for (i, x) in w.iter().enumerate() {
+            assert_eq!(*x, i as f64 + 0.5, "payload corrupted at {i}");
+        }
+        Suspend::Finished
+    }
+}
+
+#[test]
+fn distributed_put_delivers_data_and_notification() {
+    let t = topo(2, 1);
+    let win = WindowSpec::uniform(&t, 1024);
+    let kernels: Vec<Box<dyn RankKernel>> = vec![
+        Box::new(PingSender {
+            dst: Rank(1),
+            sent: false,
+        }),
+        Box::new(PingReceiver {
+            src: Rank(0),
+            got: false,
+        }),
+    ];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    assert_eq!(report.rma_ops, 1);
+    assert_eq!(report.distributed_ops, 1);
+    assert_eq!(report.notifications, 1);
+    // Latency target: the paper measures ~19.4 us for an empty distributed
+    // notified put; a 1 kB one adds a bit of serialization.
+    let us = report.elapsed().as_micros_f64() - 7.0; // subtract launch
+    assert!(us > 15.0 && us < 30.0, "distributed put took {us} us");
+    // The payload landed in node 1's arena.
+    let arena = sim.arena(1, WinId(0));
+    assert_eq!(f64_slice(&arena[0..1024])[3], 3.5);
+}
+
+#[test]
+fn shared_put_is_faster_than_distributed() {
+    let t2 = topo(1, 2);
+    let win = WindowSpec::uniform(&t2, 1024);
+    let kernels: Vec<Box<dyn RankKernel>> = vec![
+        Box::new(PingSender {
+            dst: Rank(1),
+            sent: false,
+        }),
+        Box::new(PingReceiver {
+            src: Rank(0),
+            got: false,
+        }),
+    ];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t2, vec![win], kernels);
+    let report = sim.run();
+    assert_eq!(report.shared_ops, 1);
+    assert_eq!(report.zero_copy_ops, 0);
+    let us = report.elapsed().as_micros_f64() - 7.0;
+    assert!(us > 5.0 && us < 12.0, "shared put took {us} us");
+    // Data visible in the shared arena.
+    let arena = sim.arena(0, WinId(0));
+    assert_eq!(f64_slice(&arena[1024..2048])[3], 3.5);
+}
+
+#[test]
+fn overlapping_windows_take_zero_copy_path() {
+    // Two ranks on one device with fully overlapping windows: a put from
+    // offset k to offset k is zero-copy.
+    let t = topo(1, 2);
+    let win = WindowSpec {
+        ranges: vec![0..1024, 0..1024],
+    };
+    struct S {
+        sent: bool,
+    }
+    impl RankKernel for S {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.sent {
+                return Suspend::Finished;
+            }
+            self.sent = true;
+            ctx.put_notify(WinId(0), Rank(1), 128, 128, 256, 0);
+            Suspend::Flush
+        }
+    }
+    struct R {
+        waited: bool,
+    }
+    impl RankKernel for R {
+        fn resume(&mut self, _ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.waited {
+                return Suspend::Finished;
+            }
+            self.waited = true;
+            Suspend::WaitNotifications {
+                win: None,
+                source: None,
+                tag: None,
+                count: 1,
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> =
+        vec![Box::new(S { sent: false }), Box::new(R { waited: false })];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    assert_eq!(report.zero_copy_ops, 1);
+    assert_eq!(report.shared_ops, 1);
+}
+
+#[test]
+fn barrier_synchronizes_all_ranks() {
+    // Rank 0 computes 1 ms then enters the barrier; others enter at once.
+    // Everyone must exit after rank 0 entered.
+    let t = topo(2, 4);
+    struct K {
+        heavy: bool,
+        phase: u32,
+    }
+    impl RankKernel for K {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            self.phase += 1;
+            match self.phase {
+                1 => {
+                    if self.heavy {
+                        ctx.charge_flops(105.0e6); // 1 ms alone on its SM
+                    }
+                    Suspend::Barrier
+                }
+                _ => Suspend::Finished,
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> = (0..8)
+        .map(|i| {
+            Box::new(K {
+                heavy: i == 0,
+                phase: 0,
+            }) as _
+        })
+        .collect();
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![], kernels);
+    let report = sim.run();
+    assert_eq!(report.barriers, 1);
+    // All ranks finish after the heavy rank's compute (1 ms).
+    for (i, f) in report.rank_finish.iter().enumerate() {
+        assert!(
+            f.as_millis_f64() > 1.0,
+            "rank {i} exited the barrier too early ({f})"
+        );
+    }
+}
+
+#[test]
+fn get_notify_pulls_remote_data() {
+    let t = topo(2, 1);
+    let win = WindowSpec::uniform(&t, 256);
+    // Rank 1 seeds its window via its kernel; rank 0 gets it.
+    struct Seeder {
+        done: bool,
+    }
+    impl RankKernel for Seeder {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.done {
+                return Suspend::Finished;
+            }
+            self.done = true;
+            let w = ctx.win_f64_mut(WinId(0));
+            w.fill(9.25);
+            // Tell rank 0 the data is ready.
+            ctx.put_notify(WinId(0), Rank(0), 0, 0, 8, 1);
+            Suspend::Flush
+        }
+    }
+    struct Getter {
+        phase: u32,
+    }
+    impl RankKernel for Getter {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            self.phase += 1;
+            match self.phase {
+                1 => Suspend::WaitNotifications {
+                    win: Some(WinId(0)),
+                    source: Some(Rank(1)),
+                    tag: Some(1),
+                    count: 1,
+                },
+                2 => {
+                    // Pull the remote window contents (skip the first 8
+                    // bytes the seeder overwrote with its ready signal).
+                    ctx.get_notify(WinId(0), Rank(1), 8, 8, 248, 2);
+                    Suspend::WaitNotifications {
+                        win: Some(WinId(0)),
+                        source: Some(Rank(1)),
+                        tag: Some(2),
+                        count: 1,
+                    }
+                }
+                _ => {
+                    let w = ctx.win_f64(WinId(0));
+                    for x in &w[1..] {
+                        assert_eq!(*x, 9.25);
+                    }
+                    Suspend::Finished
+                }
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> =
+        vec![Box::new(Getter { phase: 0 }), Box::new(Seeder { done: false })];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    assert_eq!(report.rma_ops, 2);
+    assert_eq!(report.notifications, 2);
+}
+
+#[test]
+fn wildcard_wait_matches_any_source() {
+    // Ranks 1..4 all put to rank 0; rank 0 waits for 3 notifications with
+    // wildcard source.
+    let t = topo(1, 4);
+    let win = WindowSpec::uniform(&t, 64);
+    struct S {
+        sent: bool,
+    }
+    impl RankKernel for S {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.sent {
+                return Suspend::Finished;
+            }
+            self.sent = true;
+            ctx.put_notify(WinId(0), Rank(0), 0, 0, 8, 7);
+            Suspend::Flush
+        }
+    }
+    struct R {
+        waited: bool,
+    }
+    impl RankKernel for R {
+        fn resume(&mut self, _: &mut RankCtx<'_>) -> Suspend {
+            if self.waited {
+                return Suspend::Finished;
+            }
+            self.waited = true;
+            Suspend::WaitNotifications {
+                win: Some(WinId(0)),
+                source: None,
+                tag: Some(7),
+                count: 3,
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> = vec![
+        Box::new(R { waited: false }) as _,
+        Box::new(S { sent: false }) as _,
+        Box::new(S { sent: false }) as _,
+        Box::new(S { sent: false }) as _,
+    ];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    assert_eq!(report.notifications, 3);
+}
+
+#[test]
+fn latency_hiding_overlaps_communication_with_computation() {
+    // THE paper's mechanism, as a unit test. Two ranks per SM... use 26
+    // ranks on node 0 (2 per SM): half of them ping-pong with node 1
+    // (communication-bound), half compute. With over-subscription the
+    // compute ranks absorb the SM time the waiting ranks leave idle, so
+    // total time ~ max(compute, comm), not the sum.
+    let nodes = 2;
+    let per_node = 26;
+    let t = topo(nodes, per_node);
+    let win = WindowSpec::uniform(&t, 1024);
+    const ITERS: u32 = 50;
+
+    // Initiator: put, wait for the echo, repeat.
+    struct Initiator {
+        peer: Rank,
+        iter: u32,
+    }
+    impl RankKernel for Initiator {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.iter >= ITERS {
+                return Suspend::Finished;
+            }
+            self.iter += 1;
+            ctx.put_notify(WinId(0), self.peer, 0, 0, 64, 5);
+            Suspend::WaitNotifications {
+                win: Some(WinId(0)),
+                source: Some(self.peer),
+                tag: Some(5),
+                count: 1,
+            }
+        }
+    }
+    // Echo: wait, reply, repeat.
+    struct Echo {
+        peer: Rank,
+        iter: u32,
+        pending_reply: bool,
+    }
+    impl RankKernel for Echo {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.pending_reply {
+                self.pending_reply = false;
+                ctx.put_notify(WinId(0), self.peer, 0, 0, 64, 5);
+                self.iter += 1;
+                if self.iter >= ITERS {
+                    return Suspend::Finished;
+                }
+            }
+            self.pending_reply = true;
+            Suspend::WaitNotifications {
+                win: Some(WinId(0)),
+                source: Some(self.peer),
+                tag: Some(5),
+                count: 1,
+            }
+        }
+    }
+    struct Compute {
+        flops: f64,
+        done: bool,
+    }
+    impl RankKernel for Compute {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.done {
+                return Suspend::Finished;
+            }
+            self.done = true;
+            ctx.charge_flops(self.flops);
+            Suspend::Finished
+        }
+    }
+
+    // Each SM on node 0 hosts one Comm rank (even local index) and one
+    // Compute rank (odd local index); node 1 hosts the echoes.
+    // 50 ping-pongs ~ 50 * 2 * ~20 us = ~2 ms of pure communication.
+    // Compute ranks get ~2 ms of work each (105e9 * 2e-3 flops at full SM).
+    let comm_time_est = 2.0e-3;
+    let per_rank_flops = 105.0e9 * comm_time_est;
+    let mut kernels: Vec<Box<dyn RankKernel>> = Vec::new();
+    for local in 0..per_node {
+        if local % 2 == 0 {
+            kernels.push(Box::new(Initiator {
+                peer: Rank(per_node + local),
+                iter: 0,
+            }));
+        } else {
+            kernels.push(Box::new(Compute {
+                flops: per_rank_flops,
+                done: false,
+            }));
+        }
+    }
+    for local in 0..per_node {
+        if local % 2 == 0 {
+            kernels.push(Box::new(Echo {
+                peer: Rank(local),
+                iter: 0,
+                pending_reply: false,
+            }));
+        } else {
+            kernels.push(Box::new(Compute {
+                flops: 0.0,
+                done: false,
+            }));
+        }
+    }
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    let total_ms = report.elapsed().as_millis_f64();
+    // Perfect overlap would give ~max(comm, compute) ~ 2 ms (compute is
+    // 2 ms at full SM rate and the communicating rank leaves the SM idle
+    // while waiting). Serialization would give ~4 ms.
+    assert!(
+        total_ms < 3.0,
+        "latency hiding failed: {total_ms} ms (expected ~2 ms, serialized would be ~4 ms)"
+    );
+    assert!(total_ms > 1.8, "impossibly fast: {total_ms} ms");
+}
+
+#[test]
+fn flush_waits_for_origin_completion() {
+    let t = topo(2, 1);
+    let win = WindowSpec::uniform(&t, 1 << 20);
+    // A large un-notified put followed by flush: the sender cannot finish
+    // before its NIC has serialized the megabyte.
+    struct S {
+        phase: u32,
+    }
+    impl RankKernel for S {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            self.phase += 1;
+            match self.phase {
+                1 => {
+                    ctx.put(WinId(0), Rank(1), 0, 0, 1 << 20);
+                    Suspend::Flush
+                }
+                _ => Suspend::Finished,
+            }
+        }
+    }
+    struct Idle;
+    impl RankKernel for Idle {
+        fn resume(&mut self, _: &mut RankCtx<'_>) -> Suspend {
+            Suspend::Finished
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> = vec![Box::new(S { phase: 0 }), Box::new(Idle)];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    // 1 MB at 9 GB/s (staged) is ~117 us of serialization.
+    let sender_us = report.rank_finish[0].as_micros_f64();
+    assert!(sender_us > 100.0, "flush returned too early: {sender_us}");
+    assert_eq!(report.net_staged, 1, "1 MB should stage through the host");
+    assert_eq!(report.notifications, 0, "plain put must not notify");
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn unmatched_wait_deadlocks_with_diagnostics() {
+    let t = topo(1, 2);
+    struct W {
+        waited: bool,
+    }
+    impl RankKernel for W {
+        fn resume(&mut self, _: &mut RankCtx<'_>) -> Suspend {
+            if self.waited {
+                return Suspend::Finished;
+            }
+            self.waited = true;
+            Suspend::WaitNotifications {
+                win: None,
+                source: None,
+                tag: None,
+                count: 1,
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> =
+        vec![Box::new(W { waited: false }), Box::new(Noop)];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![], kernels);
+    sim.run();
+}
+
+#[test]
+fn put_notify_all_reaches_every_local_rank() {
+    // The SV broadcast-put: one zero-copy op notifies all four ranks on the
+    // target device.
+    let t = topo(1, 4);
+    let win = WindowSpec {
+        ranges: vec![0..256; 4],
+    };
+    struct B {
+        sent: bool,
+    }
+    impl RankKernel for B {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.sent {
+                return Suspend::Finished;
+            }
+            self.sent = true;
+            ctx.win_f64_mut(WinId(0))[0] = 3.25;
+            ctx.put_notify_all(WinId(0), Rank(0), 0, 0, 256, 6);
+            Suspend::WaitNotifications {
+                win: Some(WinId(0)),
+                source: None,
+                tag: Some(6),
+                count: 1,
+            }
+        }
+    }
+    struct W {
+        waited: bool,
+    }
+    impl RankKernel for W {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.waited {
+                assert_eq!(ctx.win_f64(WinId(0))[0], 3.25, "broadcast data visible");
+                return Suspend::Finished;
+            }
+            self.waited = true;
+            Suspend::WaitNotifications {
+                win: Some(WinId(0)),
+                source: Some(Rank(0)),
+                tag: Some(6),
+                count: 1,
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> = vec![
+        Box::new(B { sent: false }) as _,
+        Box::new(W { waited: false }) as _,
+        Box::new(W { waited: false }) as _,
+        Box::new(W { waited: false }) as _,
+    ];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    assert_eq!(report.rma_ops, 1, "a single op...");
+    assert_eq!(report.notifications, 4, "...notifies every local rank");
+    assert_eq!(report.zero_copy_ops, 1);
+}
+
+#[test]
+fn notifications_match_by_tag_across_reordering() {
+    // Rank 1 sends tag 1 then tag 2; rank 0 waits for tag 2 first, then
+    // tag 1 — the queue compaction must keep both available.
+    let t = topo(1, 2);
+    let win = WindowSpec::uniform(&t, 64);
+    struct S {
+        sent: bool,
+    }
+    impl RankKernel for S {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            if self.sent {
+                return Suspend::Finished;
+            }
+            self.sent = true;
+            ctx.put_notify(WinId(0), Rank(0), 0, 0, 8, 1);
+            ctx.put_notify(WinId(0), Rank(0), 8, 8, 8, 2);
+            Suspend::Flush
+        }
+    }
+    struct R {
+        phase: u32,
+    }
+    impl RankKernel for R {
+        fn resume(&mut self, _: &mut RankCtx<'_>) -> Suspend {
+            self.phase += 1;
+            match self.phase {
+                1 => Suspend::WaitNotifications {
+                    win: Some(WinId(0)),
+                    source: None,
+                    tag: Some(2),
+                    count: 1,
+                },
+                2 => Suspend::WaitNotifications {
+                    win: Some(WinId(0)),
+                    source: None,
+                    tag: Some(1),
+                    count: 1,
+                },
+                _ => Suspend::Finished,
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> =
+        vec![Box::new(R { phase: 0 }), Box::new(S { sent: false })];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    let report = sim.run();
+    assert_eq!(report.notifications, 2);
+}
+
+#[test]
+#[should_panic(expected = "exceeds this rank's window")]
+fn put_beyond_own_window_panics() {
+    let t = topo(1, 2);
+    let win = WindowSpec::uniform(&t, 64);
+    struct Bad;
+    impl RankKernel for Bad {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            ctx.put_notify(WinId(0), Rank(1), 0, 32, 64, 0); // 32 + 64 > 64
+            Suspend::Finished
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> = vec![Box::new(Bad), Box::new(Noop)];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    sim.run();
+}
+
+#[test]
+#[should_panic(expected = "exceeds")]
+fn put_beyond_remote_window_panics() {
+    let t = topo(2, 1);
+    let win = WindowSpec::uniform(&t, 64);
+    struct Bad;
+    impl RankKernel for Bad {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            ctx.put_notify(WinId(0), Rank(1), 48, 0, 32, 0); // 48 + 32 > 64
+            Suspend::Finished
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> = vec![Box::new(Bad), Box::new(Noop)];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    sim.run();
+}
+
+#[test]
+fn ibarrier_overlaps_compute_and_synchronizes() {
+    // Paper SV: nonblocking collectives run in the background. Rank 0 is
+    // slow to enter; the others enter immediately, compute 1 ms while the
+    // barrier is in flight, then wait for the completion notification. No
+    // completion may arrive before rank 0 entered.
+    use dcuda_core::IBARRIER_WIN;
+    let t = topo(2, 2);
+    struct K {
+        slow: bool,
+        phase: u32,
+    }
+    impl RankKernel for K {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            self.phase += 1;
+            match self.phase {
+                1 => {
+                    if self.slow {
+                        ctx.charge_flops(105.0e6); // ~1 ms alone on its SM
+                    }
+                    ctx.ibarrier(3);
+                    // Overlapped compute while the barrier completes.
+                    ctx.charge_flops(105.0e6);
+                    Suspend::WaitNotifications {
+                        win: Some(WinId(IBARRIER_WIN)),
+                        source: Some(ctx.rank()),
+                        tag: Some(3),
+                        count: 1,
+                    }
+                }
+                _ => Suspend::Finished,
+            }
+        }
+    }
+    let kernels: Vec<Box<dyn RankKernel>> = (0..4)
+        .map(|i| {
+            Box::new(K {
+                slow: i == 0,
+                phase: 0,
+            }) as _
+        })
+        .collect();
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![], kernels);
+    let report = sim.run();
+    // Everyone finishes after the slow rank's 1 ms entry...
+    for f in &report.rank_finish {
+        assert!(f.as_millis_f64() > 1.0);
+    }
+    // ...but the overlapped compute is free: a fast rank finishes at
+    // ~max(slow entry + barrier, own compute) ~ 2 ms, NOT 1 + 1 + 1.
+    let fast = report.rank_finish[1].as_millis_f64();
+    assert!(
+        fast < 2.4,
+        "ibarrier failed to overlap compute: rank 1 took {fast} ms"
+    );
+    assert_eq!(report.barriers, 1);
+}

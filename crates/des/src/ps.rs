@@ -1,0 +1,443 @@
+//! Egalitarian processor-sharing (PS) resource with optional per-job rate
+//! caps.
+//!
+//! A PS resource serves all active jobs simultaneously. With no caps, each
+//! job receives an equal share of the total service rate; with caps, rates
+//! are assigned by *water-filling*: every job gets `min(cap, λ)` where the
+//! water level `λ` is chosen so the shares sum to the resource rate (or every
+//! job is at its cap and the resource is partially idle).
+//!
+//! This is our model for:
+//! * a **streaming multiprocessor** executing resident blocks — equal-share
+//!   PS: a block stalled on a notification is simply not submitted, so other
+//!   blocks absorb its share (the hardware latency-hiding mechanism the
+//!   dCUDA paper exploits);
+//! * the **device memory interface** — capped PS: each block can keep only a
+//!   bounded number of bytes in flight (Little's law), so one block tops out
+//!   near 1 GB/s while hundreds of blocks together saturate 240 GB/s (paper
+//!   §IV-B explains the low shared-memory put bandwidth exactly this way).
+//!
+//! # Driving protocol
+//!
+//! The resource does not schedule its own events. The owning model must:
+//!
+//! 1. call [`PsResource::advance_to`] with the current time before any
+//!    mutation (submit/cancel) and at every completion event,
+//! 2. after any change to the active set, re-query
+//!    [`PsResource::next_completion`] and (re)schedule a generation-checked
+//!    timer for that instant (see [`crate::timer::Timer`]).
+//!
+//! Under that protocol, jobs complete exactly at the instants the resource
+//! predicts (modulo 1 ps rounding, absorbed by an epsilon).
+
+use crate::slab::{Slab, SlotKey};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a job submitted to a [`PsResource`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PsJobId(SlotKey);
+
+struct Job {
+    /// Remaining demand, in service units.
+    remaining: f64,
+    /// Maximum service rate this job can absorb (units/s).
+    cap: f64,
+    /// Water-filled service rate under the current active set (units/s).
+    rate: f64,
+    /// Caller-supplied tag returned on completion.
+    tag: u64,
+}
+
+/// An egalitarian processor-sharing resource with per-job rate caps.
+pub struct PsResource {
+    /// Service rate in units per second (e.g. FLOP/s or bytes/s).
+    rate: f64,
+    jobs: Slab<Job>,
+    last_update: SimTime,
+    rates_dirty: bool,
+    /// Total service units delivered (for utilization statistics).
+    delivered: f64,
+    /// Completion epsilon in service units (~2 ps of full-rate service).
+    eps: f64,
+    /// Scratch buffer for water-filling (kept to avoid reallocation).
+    scratch: Vec<f64>,
+}
+
+impl PsResource {
+    /// Create a resource with the given service rate (units per second).
+    ///
+    /// # Panics
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "PsResource rate must be positive, got {rate}"
+        );
+        PsResource {
+            rate,
+            jobs: Slab::new(),
+            last_update: SimTime::ZERO,
+            rates_dirty: false,
+            delivered: 0.0,
+            eps: rate * 2e-12,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Service rate in units per second.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Number of active jobs.
+    #[inline]
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Total service units delivered so far (advance time first for an exact
+    /// figure).
+    #[inline]
+    pub fn delivered(&self) -> f64 {
+        self.delivered
+    }
+
+    /// Recompute per-job service rates by water-filling.
+    fn refill_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+        let n = self.jobs.len();
+        if n == 0 {
+            return;
+        }
+        // Collect caps ascending to find the water level.
+        self.scratch.clear();
+        self.scratch
+            .extend(self.jobs.iter().map(|(_, j)| j.cap.max(0.0)));
+        self.scratch.sort_unstable_by(|a, b| a.total_cmp(b));
+        let mut remaining_rate = self.rate;
+        let mut remaining_jobs = n;
+        let mut level = f64::INFINITY;
+        for &cap in &self.scratch {
+            let fair = remaining_rate / remaining_jobs as f64;
+            if cap <= fair {
+                // This job saturates at its cap; redistribute the leftovers.
+                remaining_rate -= cap;
+                remaining_jobs -= 1;
+            } else {
+                level = fair;
+                break;
+            }
+        }
+        for (_, job) in self.jobs.iter_mut() {
+            job.rate = job.cap.min(level);
+        }
+    }
+
+    /// Advance the resource to `now`, serving active jobs at their
+    /// water-filled rates, and append `(job, tag)` for every job that
+    /// completes (remaining demand reaches zero) to `completed`.
+    pub fn advance_to(&mut self, now: SimTime, completed: &mut Vec<(PsJobId, u64)>) {
+        debug_assert!(now >= self.last_update, "PsResource time went backwards");
+        self.refill_rates();
+        if !self.jobs.is_empty() {
+            let dt = now.since(self.last_update).as_secs_f64();
+            if dt > 0.0 {
+                for (_, job) in self.jobs.iter_mut() {
+                    let served = (dt * job.rate).min(job.remaining);
+                    job.remaining -= served;
+                    self.delivered += served;
+                }
+            }
+        }
+        self.last_update = now;
+        // Collect completions deterministically in slot order.
+        let done: Vec<(SlotKey, u64)> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.remaining <= self.eps)
+            .map(|(k, j)| (k, j.tag))
+            .collect();
+        if !done.is_empty() {
+            self.rates_dirty = true;
+        }
+        for (k, tag) in done {
+            self.jobs.remove(k);
+            completed.push((PsJobId(k), tag));
+        }
+    }
+
+    /// Submit a job with `demand` service units and no rate cap. The caller
+    /// must have called [`advance_to`](Self::advance_to) for the current
+    /// instant first.
+    pub fn submit(&mut self, demand: f64, tag: u64) -> PsJobId {
+        self.submit_capped(demand, f64::INFINITY, tag)
+    }
+
+    /// Submit a job with `demand` service units and a maximum absorbable
+    /// rate of `cap` units/s.
+    ///
+    /// Zero-demand jobs are legal; they complete at the next `advance_to`.
+    pub fn submit_capped(&mut self, demand: f64, cap: f64, tag: u64) -> PsJobId {
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "PsResource demand must be non-negative, got {demand}"
+        );
+        assert!(cap > 0.0, "PsResource cap must be positive, got {cap}");
+        self.rates_dirty = true;
+        PsJobId(self.jobs.insert(Job {
+            remaining: demand,
+            cap,
+            rate: 0.0,
+            tag,
+        }))
+    }
+
+    /// Cancel a job (e.g. a block killed mid-kernel). Returns the remaining
+    /// demand if the job was live.
+    pub fn cancel(&mut self, id: PsJobId) -> Option<f64> {
+        let r = self.jobs.remove(id.0).map(|j| j.remaining);
+        if r.is_some() {
+            self.rates_dirty = true;
+        }
+        r
+    }
+
+    /// Remaining demand of a live job.
+    pub fn remaining(&self, id: PsJobId) -> Option<f64> {
+        self.jobs.get(id.0).map(|j| j.remaining)
+    }
+
+    /// The instant at which the next job will complete under the current
+    /// active set, or `None` if idle. Always `>= last_update`.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        self.refill_rates();
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let secs = self
+            .jobs
+            .iter()
+            .map(|(_, j)| {
+                if j.rate > 0.0 {
+                    j.remaining.max(0.0) / j.rate
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        debug_assert!(secs.is_finite(), "active PS job with zero rate");
+        Some(self.last_update + SimDuration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(r: &mut PsResource, now: SimTime) -> Vec<u64> {
+        let mut v = Vec::new();
+        r.advance_to(now, &mut v);
+        v.into_iter().map(|(_, t)| t).collect()
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn single_job_completes_at_demand_over_rate() {
+        let mut r = PsResource::new(100.0); // 100 units/s
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit(50.0, 7); // 0.5 s
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 0.5).abs() < 1e-9);
+        assert_eq!(drain(&mut r, t), vec![7]);
+        assert!(r.next_completion().is_none());
+    }
+
+    #[test]
+    fn two_equal_jobs_share_rate() {
+        let mut r = PsResource::new(100.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit(50.0, 1);
+        r.submit(50.0, 2);
+        // Each gets 50 units/s -> both complete at t = 1 s.
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        let mut tags = drain(&mut r, t);
+        tags.sort_unstable();
+        assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn late_arrival_slows_first_job() {
+        let mut r = PsResource::new(100.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit(100.0, 1); // alone: 1 s
+        r.advance_to(secs(0.5), &mut done);
+        assert!(done.is_empty());
+        r.submit(100.0, 2);
+        // Job 1 has 50 left at half rate -> completes at 0.5 + 1.0 = 1.5 s.
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9, "got {}", t);
+        assert_eq!(drain(&mut r, t), vec![1]);
+        // Job 2 now alone with 50 left -> completes 0.5 s later.
+        let t2 = r.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(drain(&mut r, t2), vec![2]);
+    }
+
+    #[test]
+    fn latency_hiding_idle_job_absorbed() {
+        // The dCUDA mechanism in miniature: two blocks' worth of work, one of
+        // which is "stalled" (never submitted) for the first half. Total
+        // completion time equals total demand / rate regardless of stalls,
+        // as long as at least one job keeps the resource busy.
+        let mut r = PsResource::new(10.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit(10.0, 1); // 1 s alone
+        let t1 = r.next_completion().unwrap();
+        r.advance_to(t1, &mut done);
+        r.submit(10.0, 2);
+        let t2 = r.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_completes_immediately() {
+        let mut r = PsResource::new(1.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit(0.0, 9);
+        let t = r.next_completion().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(drain(&mut r, t), vec![9]);
+    }
+
+    #[test]
+    fn cancel_removes_job() {
+        let mut r = PsResource::new(10.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        let a = r.submit(10.0, 1);
+        r.submit(10.0, 2);
+        assert_eq!(r.cancel(a), Some(10.0));
+        // Remaining job now gets full rate: completes at 1 s.
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivered_accounts_work() {
+        let mut r = PsResource::new(100.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit(30.0, 1);
+        let t = r.next_completion().unwrap();
+        r.advance_to(t, &mut done);
+        assert!((r.delivered() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_jobs_numerical_stability() {
+        // 208 identical jobs (a full K80 residency) must all complete at the
+        // same predicted instant without epsilon misses.
+        let mut r = PsResource::new(1.37e12);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        for i in 0..208 {
+            r.submit(1e6, i);
+        }
+        let t = r.next_completion().unwrap();
+        r.advance_to(t, &mut done);
+        assert_eq!(done.len(), 208);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_rejected() {
+        let _ = PsResource::new(0.0);
+    }
+
+    // --- capped (water-filling) behaviour ---
+
+    #[test]
+    fn single_capped_job_cannot_exceed_cap() {
+        // A 240 GB/s memory interface, but one block caps at 1 GB/s — the
+        // paper's "single block cannot saturate the memory interface".
+        let mut r = PsResource::new(240e9);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit_capped(1e9, 1e9, 1); // 1 GB at 1 GB/s cap -> 1 s
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn many_capped_jobs_saturate_resource() {
+        // 240 blocks x 1 GB/s caps on a 120 GB/s resource: the resource, not
+        // the caps, is the bottleneck; each job gets the 0.5 GB/s fair share.
+        let mut r = PsResource::new(120e9);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        for i in 0..240 {
+            r.submit_capped(0.5e9, 1e9, i);
+        }
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "got {t}");
+        r.advance_to(t, &mut done);
+        assert_eq!(done.len(), 240);
+    }
+
+    #[test]
+    fn water_filling_redistributes_capped_slack() {
+        // Rate 100; jobs: cap 10 and cap inf. The capped job gets 10, the
+        // other gets 90.
+        let mut r = PsResource::new(100.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit_capped(10.0, 10.0, 1); // 1 s at its cap
+        r.submit(90.0, 2); // 1 s at 90/s
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "got {t}");
+        r.advance_to(t, &mut done);
+        assert_eq!(done.len(), 2, "both complete together");
+    }
+
+    #[test]
+    fn mixed_caps_water_level() {
+        // Rate 100; caps 10, 20, inf, inf -> level solves 10+20+2λ=100, λ=35.
+        let mut r = PsResource::new(100.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit_capped(10.0, 10.0, 1);
+        r.submit_capped(20.0, 20.0, 2);
+        r.submit_capped(35.0, f64::INFINITY, 3);
+        r.submit_capped(35.0, f64::INFINITY, 4);
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "got {t}");
+        r.advance_to(t, &mut done);
+        assert_eq!(done.len(), 4);
+    }
+
+    #[test]
+    fn cap_slack_leaves_resource_idle() {
+        // One job with cap 10 on a rate-100 resource: utilization is 10%.
+        let mut r = PsResource::new(100.0);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        r.submit_capped(20.0, 10.0, 1);
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+        r.advance_to(t, &mut done);
+        assert!((r.delivered() - 20.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,176 @@
+//! The pending-event set: a time-ordered queue with FIFO tie-breaking.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic pending-event set.
+///
+/// Events scheduled for the same instant are delivered in scheduling order
+/// (FIFO), which makes simulations reproducible run-to-run regardless of heap
+/// internals. Popping an event advances the queue's clock; scheduling into
+/// the past is a model bug and panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current virtual time (time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events scheduled over the queue's lifetime.
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "EventQueue::schedule_at: scheduling into the past ({at:?} < {:?})",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedule `event` after a relative delay.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(30), "c");
+        q.schedule_at(SimTime::from_ps(10), "a");
+        q.schedule_at(SimTime::from_ps(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_ps(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_micros(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ps(3_000_000));
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(10), 1);
+        q.pop();
+        q.schedule_at(SimTime::from_ps(5), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(10), 1u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.as_ps(), e), (10, 1));
+        // Scheduling relative to the advanced clock.
+        q.schedule_in(SimDuration::from_ps(5), 2u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.as_ps(), e), (15, 2));
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

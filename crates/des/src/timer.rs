@@ -1,0 +1,111 @@
+//! Generation-checked cancellable timers.
+//!
+//! [`crate::queue::EventQueue`] has no O(log n) event cancellation; instead,
+//! models stamp each scheduled event with the timer's generation and ignore
+//! the event if the generation has moved on. This is the standard pattern for
+//! resources whose "next completion" prediction changes when their state
+//! changes (e.g. a processor-sharing SM whose active set grows).
+
+/// A logical timer identified by a generation counter.
+///
+/// Usage:
+/// ```
+/// use dcuda_des::{Timer, EventQueue, SimDuration};
+///
+/// #[derive(PartialEq, Eq)]
+/// enum Ev { SmTick { gen: u64 } }
+///
+/// let mut q = EventQueue::new();
+/// let mut timer = Timer::new();
+/// // (Re)arm: invalidate any outstanding event, then schedule a fresh one.
+/// let gen = timer.rearm();
+/// q.schedule_in(SimDuration::from_micros(3), Ev::SmTick { gen });
+/// // ... later, on delivery:
+/// let (_, Ev::SmTick { gen }) = q.pop().unwrap();
+/// if timer.is_current(gen) {
+///     timer.disarm();
+///     // handle the tick
+/// } // else: stale, ignore
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Timer {
+    generation: u64,
+    armed: bool,
+}
+
+impl Timer {
+    /// A fresh, disarmed timer.
+    pub fn new() -> Self {
+        Timer {
+            generation: 0,
+            armed: false,
+        }
+    }
+
+    /// Invalidate any outstanding event and arm a new one; returns the
+    /// generation to stamp the newly scheduled event with.
+    pub fn rearm(&mut self) -> u64 {
+        self.generation += 1;
+        self.armed = true;
+        self.generation
+    }
+
+    /// Invalidate any outstanding event without arming a new one.
+    pub fn disarm(&mut self) {
+        self.generation += 1;
+        self.armed = false;
+    }
+
+    /// True if `gen` corresponds to the most recent [`rearm`](Self::rearm)
+    /// and the timer has not been disarmed since.
+    #[inline]
+    pub fn is_current(&self, gen: u64) -> bool {
+        self.armed && gen == self.generation
+    }
+
+    /// True if an event is outstanding.
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rearm_invalidates_previous() {
+        let mut t = Timer::new();
+        let g1 = t.rearm();
+        let g2 = t.rearm();
+        assert!(!t.is_current(g1));
+        assert!(t.is_current(g2));
+    }
+
+    #[test]
+    fn disarm_invalidates() {
+        let mut t = Timer::new();
+        let g = t.rearm();
+        t.disarm();
+        assert!(!t.is_current(g));
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn fresh_timer_matches_nothing() {
+        let t = Timer::new();
+        assert!(!t.is_current(0));
+        assert!(!t.is_current(1));
+    }
+
+    #[test]
+    fn rearm_after_disarm_works() {
+        let mut t = Timer::new();
+        let g1 = t.rearm();
+        t.disarm();
+        let g2 = t.rearm();
+        assert!(!t.is_current(g1));
+        assert!(t.is_current(g2));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the simulation kernel: event ordering, PS
+//! conservation laws, slab soundness.
+
+use dcuda_des::stats::Summary;
+use dcuda_des::{EventQueue, PsResource, SimDuration, SimTime, Slab};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO among ties, and
+    /// none are lost.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_ps(t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped.push((t, idx));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // FIFO among equal timestamps: indices increase within a tie group.
+        for w in popped.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    /// Processor sharing conserves work: total delivered equals total
+    /// demand once all jobs complete, regardless of arrival pattern.
+    #[test]
+    fn ps_conserves_work(
+        demands in prop::collection::vec(1.0f64..1000.0, 1..40),
+        arrivals in prop::collection::vec(0u64..10_000, 1..40),
+    ) {
+        let n = demands.len().min(arrivals.len());
+        let mut arr: Vec<u64> = arrivals[..n].to_vec();
+        arr.sort_unstable();
+        let mut r = PsResource::new(1e6);
+        let mut done = Vec::new();
+        let mut completed = 0usize;
+        let mut i = 0usize;
+        let mut now = SimTime::ZERO;
+        while completed < n {
+            // Next event: arrival or completion.
+            let next_arrival = (i < n).then(|| SimTime::from_ps(arr[i] * 1_000_000));
+            let next_completion = r.next_completion();
+            let t = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+            prop_assert!(t >= now);
+            now = t;
+            r.advance_to(now, &mut done);
+            completed = done.len();
+            while i < n && SimTime::from_ps(arr[i] * 1_000_000) == now {
+                r.submit(demands[i], i as u64);
+                i += 1;
+            }
+        }
+        let total: f64 = demands[..n].iter().sum();
+        prop_assert!((r.delivered() - total).abs() < total * 1e-9 + 1e-6);
+        // Every job completed exactly once.
+        let mut tags: Vec<u64> = done.iter().map(|&(_, t)| t).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// Capped PS never exceeds the resource rate nor any job's cap.
+    #[test]
+    fn ps_caps_respected(
+        caps in prop::collection::vec(1.0f64..100.0, 1..20),
+    ) {
+        let rate = 50.0;
+        let mut r = PsResource::new(rate);
+        let mut done = Vec::new();
+        r.advance_to(SimTime::ZERO, &mut done);
+        // All jobs of demand equal to their cap: each needs >= 1 s.
+        for (i, &c) in caps.iter().enumerate() {
+            r.submit_capped(c, c, i as u64);
+        }
+        let first = r.next_completion().unwrap();
+        // No completion can happen before 1 s (cap-bound) and before
+        // total/rate (resource-bound, for the smallest job).
+        prop_assert!(first >= SimTime::ZERO + SimDuration::from_secs_f64(1.0 - 1e-9));
+    }
+
+    /// Slab keys stay valid until removed and never resolve after.
+    #[test]
+    fn slab_soundness(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut slab = Slab::new();
+        let mut live: Vec<(dcuda_des::SlotKey, u32)> = Vec::new();
+        let mut counter = 0u32;
+        for op in ops {
+            if op || live.is_empty() {
+                let key = slab.insert(counter);
+                live.push((key, counter));
+                counter += 1;
+            } else {
+                let (key, val) = live.swap_remove(counter as usize % live.len());
+                prop_assert_eq!(slab.remove(key), Some(val));
+                prop_assert_eq!(slab.get(key), None);
+            }
+            for &(k, v) in &live {
+                prop_assert_eq!(slab.get(k), Some(&v));
+            }
+        }
+        prop_assert_eq!(slab.len(), live.len());
+    }
+
+    /// Summary statistics are order-invariant.
+    #[test]
+    fn summary_order_invariant(mut xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let mut a = Summary::default();
+        for &x in &xs {
+            a.record(x);
+        }
+        xs.reverse();
+        let mut b = Summary::default();
+        for &x in &xs {
+            b.record(x);
+        }
+        prop_assert_eq!(a.min(), b.min());
+        prop_assert_eq!(a.max(), b.max());
+        prop_assert!((a.mean().unwrap() - b.mean().unwrap()).abs() < 1e-6);
+    }
+}

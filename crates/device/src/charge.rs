@@ -1,0 +1,89 @@
+//! Work charges: how kernels express the cost of what they computed.
+//!
+//! Execution-driven simulation splits a kernel's *values* from its *time*:
+//! the kernel runs its numerics natively on real arrays and accrues a
+//! [`BlockCharge`] describing the work the simulated hardware would have
+//! performed. The device model turns the charge into demands on the SM
+//! (FLOPs) and the memory interface (bytes).
+
+/// Work accrued by one block between two suspension points.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockCharge {
+    /// Double-precision floating-point operations (FMA counts as two).
+    pub flops: f64,
+    /// Bytes moved to/from device memory (reads + writes).
+    pub mem_bytes: f64,
+}
+
+impl BlockCharge {
+    /// An empty charge.
+    pub const ZERO: BlockCharge = BlockCharge {
+        flops: 0.0,
+        mem_bytes: 0.0,
+    };
+
+    /// Charge for `flops` floating-point operations.
+    pub fn flops(flops: f64) -> Self {
+        BlockCharge {
+            flops,
+            mem_bytes: 0.0,
+        }
+    }
+
+    /// Charge for moving `bytes` to/from device memory.
+    pub fn mem(bytes: f64) -> Self {
+        BlockCharge {
+            flops: 0.0,
+            mem_bytes: bytes,
+        }
+    }
+
+    /// Accumulate another charge.
+    pub fn add(&mut self, other: BlockCharge) {
+        self.flops += other.flops;
+        self.mem_bytes += other.mem_bytes;
+    }
+
+    /// True when nothing was charged.
+    pub fn is_zero(&self) -> bool {
+        self.flops == 0.0 && self.mem_bytes == 0.0
+    }
+}
+
+impl std::ops::Add for BlockCharge {
+    type Output = BlockCharge;
+    fn add(self, rhs: BlockCharge) -> BlockCharge {
+        BlockCharge {
+            flops: self.flops + rhs.flops,
+            mem_bytes: self.mem_bytes + rhs.mem_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut c = BlockCharge::ZERO;
+        c.add(BlockCharge::flops(100.0));
+        c.add(BlockCharge::mem(64.0));
+        assert_eq!(
+            c,
+            BlockCharge {
+                flops: 100.0,
+                mem_bytes: 64.0
+            }
+        );
+        assert!(!c.is_zero());
+        assert!(BlockCharge::ZERO.is_zero());
+    }
+
+    #[test]
+    fn operator_add() {
+        let c = BlockCharge::flops(1.0) + BlockCharge::mem(2.0);
+        assert_eq!(c.flops, 1.0);
+        assert_eq!(c.mem_bytes, 2.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Occupancy calculation: how many blocks fit in flight.
+//!
+//! dCUDA must know this bound exactly — ranks are blocks, blocks cannot be
+//! preempted on Kepler, and a barrier among ranks deadlocks unless every rank
+//! is resident simultaneously (paper §III-A: "our implementation therefore
+//! limits the number of blocks to the maximum the device can have in flight
+//! at once").
+
+use crate::spec::DeviceSpec;
+
+/// A kernel launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct LaunchConfig {
+    /// Number of blocks launched.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread (compiler-limited; the paper uses
+    /// `-maxrregcount=26` to guarantee full residency).
+    pub registers_per_thread: u32,
+}
+
+impl LaunchConfig {
+    /// The paper's launch configuration: 208 blocks, 128 threads per block,
+    /// 26 registers per thread (§IV-A).
+    pub fn paper() -> Self {
+        LaunchConfig {
+            blocks: 208,
+            threads_per_block: 128,
+            registers_per_thread: 26,
+        }
+    }
+}
+
+/// Result of an occupancy query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Blocks resident on the whole device.
+    pub resident_blocks: u32,
+    /// Which hardware limit binds.
+    pub limited_by: OccupancyLimit,
+}
+
+/// The hardware limit that bounds residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    /// The per-SM resident-block limit.
+    Blocks,
+    /// The per-SM resident-thread limit.
+    Threads,
+    /// The register file.
+    Registers,
+}
+
+/// Compute how many blocks of the given configuration are resident per SM
+/// and on the device.
+///
+/// # Panics
+/// Panics if the configuration cannot run at all (one block exceeds an SM).
+pub fn occupancy(spec: &DeviceSpec, cfg: &LaunchConfig) -> Occupancy {
+    assert!(cfg.threads_per_block > 0, "empty blocks cannot run");
+    assert!(
+        cfg.threads_per_block <= spec.max_threads_per_sm,
+        "block of {} threads exceeds SM capacity {}",
+        cfg.threads_per_block,
+        spec.max_threads_per_sm
+    );
+    let regs_per_block = cfg.registers_per_thread * cfg.threads_per_block;
+    assert!(
+        regs_per_block <= spec.registers_per_sm,
+        "block register footprint {} exceeds register file {}",
+        regs_per_block,
+        spec.registers_per_sm
+    );
+
+    let by_threads = spec.max_threads_per_sm / cfg.threads_per_block;
+    let by_regs = spec
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_blocks = spec.max_blocks_per_sm;
+
+    let (blocks_per_sm, limited_by) = [
+        (by_blocks, OccupancyLimit::Blocks),
+        (by_threads, OccupancyLimit::Threads),
+        (by_regs, OccupancyLimit::Registers),
+    ]
+    .into_iter()
+    .min_by_key(|&(n, _)| n)
+    .expect("non-empty candidate list");
+
+    Occupancy {
+        blocks_per_sm,
+        resident_blocks: blocks_per_sm * spec.sm_count,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_fully_resident() {
+        let spec = DeviceSpec::k80();
+        let occ = occupancy(&spec, &LaunchConfig::paper());
+        assert_eq!(occ.resident_blocks, 208);
+        assert_eq!(occ.blocks_per_sm, 16);
+        // 128 threads x 16 = 2048 (thread limit) and 16 = block limit bind
+        // simultaneously; ties resolve to the first in our candidate order.
+        assert_eq!(occ.limited_by, OccupancyLimit::Blocks);
+    }
+
+    #[test]
+    fn register_pressure_reduces_residency() {
+        let spec = DeviceSpec::k80();
+        let cfg = LaunchConfig {
+            blocks: 208,
+            threads_per_block: 128,
+            registers_per_thread: 128, // 16384 regs/block -> 8 blocks/SM
+        };
+        let occ = occupancy(&spec, &cfg);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.limited_by, OccupancyLimit::Registers);
+    }
+
+    #[test]
+    fn fat_blocks_limited_by_threads() {
+        let spec = DeviceSpec::k80();
+        let cfg = LaunchConfig {
+            blocks: 26,
+            threads_per_block: 1024,
+            registers_per_thread: 26,
+        };
+        let occ = occupancy(&spec, &cfg);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limited_by, OccupancyLimit::Threads);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SM capacity")]
+    fn oversized_block_rejected() {
+        let spec = DeviceSpec::k80();
+        occupancy(
+            &spec,
+            &LaunchConfig {
+                blocks: 1,
+                threads_per_block: 4096,
+                registers_per_thread: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "register footprint")]
+    fn register_hog_rejected() {
+        let spec = DeviceSpec::k80();
+        occupancy(
+            &spec,
+            &LaunchConfig {
+                blocks: 1,
+                threads_per_block: 2048,
+                registers_per_thread: 255,
+            },
+        );
+    }
+}

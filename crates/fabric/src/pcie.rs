@@ -1,0 +1,155 @@
+//! PCI-Express link between one host and one device.
+//!
+//! Two traffic classes matter for dCUDA (paper §III-C):
+//!
+//! * **Queue transactions** — small mapped-memory writes/reads used by the
+//!   circular-buffer queues. An enqueue costs one transaction; polling a
+//!   remote tail pointer costs one read. These are latency-dominated and
+//!   modeled as fixed-latency jobs on the link FIFO.
+//! * **DMA copies** — bulk transfers (host staging) with a setup latency and
+//!   bandwidth-bound serialization.
+//!
+//! Both classes share the link FIFO, so queue traffic experiences head-of-line
+//! blocking behind bulk DMA — a real effect on the testbed.
+
+use crate::spec::PcieSpec;
+use dcuda_des::stats::Counter;
+use dcuda_des::{FifoResource, SimDuration, SimTime};
+
+/// A single host–device PCIe link.
+pub struct PcieLink {
+    spec: PcieSpec,
+    fifo: FifoResource,
+    /// Queue transactions issued (each a single PCIe transaction).
+    pub txns: Counter,
+    /// DMA copies issued.
+    pub dmas: Counter,
+    /// Remote-poll reads issued.
+    pub polls: Counter,
+}
+
+impl PcieLink {
+    /// Create an idle link.
+    pub fn new(spec: PcieSpec) -> Self {
+        PcieLink {
+            spec,
+            fifo: FifoResource::new(),
+            txns: Counter::default(),
+            dmas: Counter::default(),
+            polls: Counter::default(),
+        }
+    }
+
+    /// Link parameters.
+    pub fn spec(&self) -> &PcieSpec {
+        &self.spec
+    }
+
+    /// Post a queue-entry write of `bytes` (an enqueue). Entries larger than
+    /// the atomic transaction width cost proportionally more transactions.
+    /// Returns the instant the write is visible on the other side.
+    ///
+    /// Posted writes pipeline: each occupies the link for `txn_gap`, and the
+    /// one-way `txn_latency` is added after the link releases the last
+    /// transaction of the entry.
+    pub fn post_txn(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let txns = bytes.div_ceil(self.spec.max_txn_bytes).max(1);
+        self.txns.add(txns);
+        let service = self.spec.txn_gap.saturating_mul(txns);
+        let (_, done) = self.fifo.submit(now, service);
+        done + self.spec.txn_latency
+    }
+
+    /// Read a remote location (tail-pointer poll, credit refresh). Returns
+    /// the instant the value is available to the poller.
+    pub fn poll(&mut self, now: SimTime) -> SimTime {
+        self.polls.inc();
+        let (_, done) = self.fifo.submit(now, self.spec.poll_latency);
+        done
+    }
+
+    /// Bulk DMA copy of `bytes`. Returns the completion instant.
+    pub fn dma_copy(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.dmas.inc();
+        let service = self.spec.dma_setup
+            + SimDuration::from_secs_f64(bytes as f64 / self.spec.dma_bandwidth);
+        let (_, done) = self.fifo.submit(now, service);
+        done
+    }
+
+    /// Cumulative busy time of the link.
+    pub fn busy_total(&self) -> SimDuration {
+        self.fifo.busy_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> PcieLink {
+        PcieLink::new(PcieSpec::greina())
+    }
+
+    #[test]
+    fn small_enqueue_is_one_txn() {
+        let mut l = link();
+        let spec = PcieSpec::greina();
+        let t = l.post_txn(SimTime::ZERO, 16);
+        assert_eq!(t, SimTime::ZERO + spec.txn_gap + spec.txn_latency);
+        assert_eq!(l.txns.get(), 1);
+    }
+
+    #[test]
+    fn posted_writes_pipeline() {
+        // A burst of enqueues is gap-limited, not latency-limited: the Nth
+        // write lands N*gap + latency after the burst start.
+        let mut l = link();
+        let spec = PcieSpec::greina();
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            last = l.post_txn(SimTime::ZERO, 16);
+        }
+        let expect = SimTime::ZERO + spec.txn_gap.saturating_mul(100) + spec.txn_latency;
+        assert_eq!(last, expect);
+    }
+
+    #[test]
+    fn oversized_entry_costs_multiple_txns() {
+        let mut l = link();
+        l.post_txn(SimTime::ZERO, 40); // ceil(40/16) = 3
+        assert_eq!(l.txns.get(), 3);
+    }
+
+    #[test]
+    fn zero_byte_txn_still_costs_one() {
+        let mut l = link();
+        l.post_txn(SimTime::ZERO, 0);
+        assert_eq!(l.txns.get(), 1);
+    }
+
+    #[test]
+    fn dma_has_setup_plus_bandwidth() {
+        let mut l = link();
+        let bytes = 11_000_000; // 1 ms at 11 GB/s
+        let t = l.dma_copy(SimTime::ZERO, bytes);
+        let expect_us = 1000.0 + 1.0; // + 1 us setup
+        assert!((t.as_micros_f64() - expect_us).abs() < 0.01, "got {t}");
+    }
+
+    #[test]
+    fn queue_txn_blocks_behind_dma() {
+        let mut l = link();
+        let dma_done = l.dma_copy(SimTime::ZERO, 11_000_000);
+        let txn_done = l.post_txn(SimTime::ZERO, 16);
+        assert!(txn_done > dma_done, "head-of-line blocking expected");
+    }
+
+    #[test]
+    fn polls_are_cheap_and_counted() {
+        let mut l = link();
+        let t = l.poll(SimTime::ZERO);
+        assert_eq!(t, SimTime::ZERO + PcieSpec::greina().poll_latency);
+        assert_eq!(l.polls.get(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Hardware parameter sets, calibrated to the paper's Greina testbed.
+
+use dcuda_des::SimDuration;
+
+/// Interconnect parameters (LogGP-style).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct NetworkSpec {
+    /// Wire + switch latency for any message (the "L" in LogGP).
+    pub latency: SimDuration,
+    /// Per-message CPU/NIC overhead at the sender (the "o").
+    pub overhead: SimDuration,
+    /// Bandwidth for direct device-to-device (GPUDirect) transfers, bytes/s.
+    pub device_bandwidth: f64,
+    /// Bandwidth for transfers whose payload sits in pinned host memory,
+    /// bytes/s. On the K80-era testbed this is *higher* than GPUDirect
+    /// (paper §IV-C: OpenMPI stages >20 kB messages through the host "to
+    /// achieve better bandwidth").
+    pub host_bandwidth: f64,
+    /// Device-buffer messages at or above this size are staged through host
+    /// memory (OpenMPI `btl_openib` style pipeline).
+    pub stage_threshold: u64,
+    /// Extra one-way latency paid by the staged path (DMA engine setup on
+    /// both endpoints).
+    pub stage_latency: SimDuration,
+    /// Latency of a node-local loopback delivery (same node, e.g. MPI to
+    /// self or a co-located rank pair).
+    pub loopback_latency: SimDuration,
+}
+
+impl NetworkSpec {
+    /// Greina-like defaults: 4x EDR InfiniBand as observed from a K80 —
+    /// ~6 GB/s device-direct, ~1.7 µs small-message latency, host-staged
+    /// pipeline at ~9 GB/s for >20 kB.
+    pub fn greina() -> Self {
+        NetworkSpec {
+            latency: SimDuration::from_nanos(1_700),
+            overhead: SimDuration::from_nanos(300),
+            device_bandwidth: 6.0e9,
+            host_bandwidth: 9.0e9,
+            stage_threshold: 20 * 1024,
+            stage_latency: SimDuration::from_micros(2),
+            loopback_latency: SimDuration::from_nanos(500),
+        }
+    }
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        Self::greina()
+    }
+}
+
+/// PCI-Express link parameters (one link per node between host and device).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PcieSpec {
+    /// Latency of a single small mapped-memory transaction (a queue-entry
+    /// write through BAR mapping / gdrcopy, paper §III-C "an enqueue
+    /// operation with an amortized cost of a single PCI-Express transaction").
+    pub txn_latency: SimDuration,
+    /// Link occupancy per posted transaction (throughput limit for pipelined
+    /// small writes; much smaller than the one-way latency).
+    pub txn_gap: SimDuration,
+    /// Cost of polling a mapped remote location (host polling a device-memory
+    /// tail pointer or vice versa).
+    pub poll_latency: SimDuration,
+    /// DMA engine setup latency ("considerable startup latency", §III-C).
+    pub dma_setup: SimDuration,
+    /// Bulk DMA bandwidth, bytes/s (PCIe 3.0 x16 effective).
+    pub dma_bandwidth: f64,
+    /// Maximum queue-entry size guaranteed atomic by a single vector
+    /// transaction (paper: "limiting the queue entry size to the vector
+    /// instruction width").
+    pub max_txn_bytes: u64,
+}
+
+impl PcieSpec {
+    /// Greina-like defaults.
+    pub fn greina() -> Self {
+        PcieSpec {
+            txn_latency: SimDuration::from_nanos(900),
+            txn_gap: SimDuration::from_nanos(150),
+            poll_latency: SimDuration::from_nanos(400),
+            dma_setup: SimDuration::from_micros(1),
+            dma_bandwidth: 11.0e9,
+            max_txn_bytes: 16,
+        }
+    }
+}
+
+impl Default for PcieSpec {
+    fn default() -> Self {
+        Self::greina()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greina_network_matches_paper_operating_point() {
+        let s = NetworkSpec::greina();
+        // Paper §II: 6 GB/s bandwidth; Little's law with ~19 µs end-to-end
+        // pipeline gives ~112 kB in flight (~7000 threads x 16 B).
+        assert_eq!(s.device_bandwidth, 6.0e9);
+        assert!(s.host_bandwidth > s.device_bandwidth);
+        assert!(s.stage_threshold > 16 * 1024, "16 kB halos must go direct");
+    }
+
+    #[test]
+    fn greina_pcie_txn_is_sub_microsecond() {
+        let s = PcieSpec::greina();
+        assert!(s.txn_latency <= SimDuration::from_micros(1));
+        assert!(s.max_txn_bytes >= 16);
+    }
+}

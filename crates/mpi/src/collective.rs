@@ -1,0 +1,411 @@
+//! Analytic timing models for tree collectives.
+//!
+//! The paper's mini-apps build broadcast and reduction out of binary
+//! (binomial) trees of point-to-point messages, and both programming models
+//! use a barrier (`MPI_Barrier` on the host for MPI-CUDA; the dCUDA `barrier`
+//! collective among ranks). These functions compute per-participant *exit
+//! times* from per-participant *entry times*, given a hop-cost function —
+//! they are pure timing algebra over the same tree schedules the real
+//! implementations use, so they compose with the event-driven parts of the
+//! simulation without needing their own processes.
+
+use dcuda_des::{SimDuration, SimTime};
+
+/// Cost of one tree hop carrying `bytes` from one participant to another.
+///
+/// The implementor typically closes over a [`dcuda_fabric::NetworkSpec`] and
+/// returns `latency + overhead + bytes/bandwidth` (contention-free
+/// approximation; tree hops of one round are disjoint sender/receiver pairs).
+pub trait HopCost {
+    /// Time for a single hop of `bytes`.
+    fn hop(&self, bytes: u64) -> SimDuration;
+}
+
+impl<F: Fn(u64) -> SimDuration> HopCost for F {
+    fn hop(&self, bytes: u64) -> SimDuration {
+        self(bytes)
+    }
+}
+
+/// Dissemination barrier: ⌈log2 n⌉ rounds; in round `k`, participant `i`
+/// signals `(i + 2^k) mod n` and waits for `(i - 2^k) mod n`.
+///
+/// Returns per-participant exit times. Panics if `entry` is empty.
+pub fn barrier_exit_times(entry: &[SimTime], cost: &impl HopCost) -> Vec<SimTime> {
+    assert!(!entry.is_empty(), "barrier over zero participants");
+    let n = entry.len();
+    let mut t = entry.to_vec();
+    if n == 1 {
+        return t;
+    }
+    let hop = cost.hop(0);
+    let mut k = 1usize;
+    while k < n {
+        let prev = t.clone();
+        for i in 0..n {
+            let peer = (i + n - (k % n)) % n;
+            // Signal from `peer` departs at peer's current time and lands
+            // `hop` later; participant `i` proceeds at the max.
+            t[i] = prev[i].max(prev[peer] + hop);
+        }
+        k <<= 1;
+    }
+    t
+}
+
+/// Binomial-tree broadcast from `root`: returns the instant each participant
+/// holds the payload of `bytes`. Participants must have "entered" (be ready
+/// to forward) at their entry times; a non-root participant forwards only
+/// after it has both entered and received.
+pub fn bcast_exit_times(
+    entry: &[SimTime],
+    root: usize,
+    bytes: u64,
+    cost: &impl HopCost,
+) -> Vec<SimTime> {
+    let n = entry.len();
+    assert!(root < n, "bcast root out of range");
+    let hop = cost.hop(bytes);
+    // Work in root-relative virtual ranks: virtual rank v corresponds to
+    // actual participant (root + v) % n. In round k (descending), virtual
+    // rank v < 2^k with v's bit k clear sends to v + 2^k.
+    let mut have: Vec<Option<SimTime>> = vec![None; n];
+    have[root] = Some(entry[root]);
+    let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n), n>=1
+    for k in 0..rounds {
+        let stride = 1usize << k;
+        for v in 0..stride.min(n) {
+            let dst_v = v + stride;
+            if dst_v >= n {
+                continue;
+            }
+            let src = (root + v) % n;
+            let dst = (root + dst_v) % n;
+            if let Some(src_t) = have[src] {
+                // The sender forwards once it holds the payload and has
+                // entered; the receiver additionally must have entered to
+                // complete its recv.
+                let send_at = src_t.max(entry[src]);
+                let arrive = (send_at + hop).max(entry[dst]);
+                have[dst] = Some(match have[dst] {
+                    Some(prev) => prev.min(arrive),
+                    None => arrive,
+                });
+            }
+        }
+    }
+    have.into_iter()
+        .map(|t| t.expect("binomial tree covers all participants"))
+        .collect()
+}
+
+/// Binomial-tree reduction to `root`: returns for each participant the
+/// instant its part of the reduction is finished (for non-roots, when their
+/// contribution has been sent; for the root, when the full result is ready).
+///
+/// `bytes` is the per-message reduction payload; `combine` is the local
+/// combining cost per received message.
+pub fn reduce_exit_times(
+    entry: &[SimTime],
+    root: usize,
+    bytes: u64,
+    combine: SimDuration,
+    cost: &impl HopCost,
+) -> Vec<SimTime> {
+    let n = entry.len();
+    assert!(root < n, "reduce root out of range");
+    let hop = cost.hop(bytes);
+    // Virtual ranks relative to root; mirror of the broadcast schedule.
+    let actual = |v: usize| (root + v) % n;
+    let mut ready: Vec<SimTime> = (0..n).map(|v| entry[actual(v)]).collect();
+    let mut exit: Vec<SimTime> = ready.clone();
+    let rounds = usize::BITS - (n - 1).leading_zeros();
+    // Ascending rounds: in round k, v with bit k set sends to v - 2^k,
+    // provided all lower bits of v are zero (it has finished receiving).
+    for k in 0..rounds {
+        let stride = 1usize << k;
+        for v in (stride..n).step_by(stride << 1) {
+            let dst_v = v - stride;
+            let send_at = ready[v];
+            let arrive = send_at + hop;
+            exit[v] = send_at; // sender is done once its subtree is sent
+            ready[dst_v] = ready[dst_v].max(arrive + combine);
+        }
+    }
+    exit[0] = ready[0];
+    // Map back to actual ranks.
+    let mut out = vec![SimTime::ZERO; n];
+    for v in 0..n {
+        out[actual(v)] = exit[v];
+    }
+    out
+}
+
+/// Allreduce as reduce-to-0 followed by broadcast-from-0 (the classic
+/// composition; returns the instant each participant holds the result).
+pub fn allreduce_exit_times(
+    entry: &[SimTime],
+    bytes: u64,
+    combine: SimDuration,
+    cost: &impl HopCost,
+) -> Vec<SimTime> {
+    let reduced = reduce_exit_times(entry, 0, bytes, combine, cost);
+    // After the reduction, participant i is ready to take part in the
+    // broadcast as soon as its reduction role ended.
+    bcast_exit_times(&reduced, 0, bytes, cost)
+}
+
+/// Ring allgather: `n - 1` rounds, each forwarding one block of `bytes` to
+/// the right neighbour. Returns per-participant completion times.
+pub fn allgather_exit_times(entry: &[SimTime], bytes: u64, cost: &impl HopCost) -> Vec<SimTime> {
+    let n = entry.len();
+    assert!(!entry.is_empty(), "allgather over zero participants");
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let hop = cost.hop(bytes);
+    let mut t = entry.to_vec();
+    for _round in 0..n - 1 {
+        let prev = t.clone();
+        for i in 0..n {
+            let left = (i + n - 1) % n;
+            // Receive the next block from the left; send ours rightward.
+            t[i] = prev[i].max(prev[left] + hop);
+        }
+    }
+    t
+}
+
+/// Binomial scatter from `root`: each hop forwards half the remaining
+/// payload, so the hop size shrinks by powers of two. Returns the instant
+/// each participant holds its block.
+pub fn scatter_exit_times(
+    entry: &[SimTime],
+    root: usize,
+    total_bytes: u64,
+    cost: &impl HopCost,
+) -> Vec<SimTime> {
+    let n = entry.len();
+    assert!(root < n, "scatter root out of range");
+    let mut have: Vec<Option<SimTime>> = vec![None; n];
+    have[root] = Some(entry[root]);
+    let rounds = usize::BITS - (n - 1).leading_zeros();
+    for k in (0..rounds).rev() {
+        let stride = 1usize << k;
+        // Senders in round k are the participants aligned to 2^(k+1).
+        for v in (0..n).step_by(stride << 1) {
+            let dst_v = v + stride;
+            if dst_v >= n {
+                continue;
+            }
+            let src = (root + v) % n;
+            let dst = (root + dst_v) % n;
+            if let Some(src_t) = have[src] {
+                // The subtree rooted at dst_v spans min(stride, n - dst_v)
+                // participants' worth of payload.
+                let span = stride.min(n - dst_v) as u64;
+                let bytes = total_bytes / n as u64 * span;
+                let arrive = (src_t.max(entry[src]) + cost.hop(bytes)).max(entry[dst]);
+                have[dst] = Some(match have[dst] {
+                    Some(p) => p.min(arrive),
+                    None => arrive,
+                });
+            }
+        }
+    }
+    have.into_iter()
+        .map(|t| t.expect("binomial tree covers all participants"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn unit_hop() -> impl HopCost {
+        |_bytes: u64| SimDuration::from_micros(1)
+    }
+
+    #[test]
+    fn barrier_single_rank_is_free() {
+        let out = barrier_exit_times(&[t(5)], &unit_hop());
+        assert_eq!(out, vec![t(5)]);
+    }
+
+    #[test]
+    fn barrier_two_ranks_wait_for_slowest() {
+        let out = barrier_exit_times(&[t(0), t(10)], &unit_hop());
+        // Rank 0 waits for rank 1's signal: 10 + 1 = 11. Rank 1 waits for
+        // rank 0's: max(10, 0+1) = 10.
+        assert_eq!(out[0], t(11));
+        assert_eq!(out[1], t(10));
+    }
+
+    #[test]
+    fn barrier_exit_after_global_max_entry() {
+        // No participant may exit before every participant has entered
+        // (the defining property of a barrier)... it may exit before the
+        // *signal* of the last entrant propagates, but never before the
+        // entry itself minus propagation. Check the weaker invariant: exit
+        // >= own entry, and at least one rank exits >= global max entry.
+        let entry = vec![t(3), t(1), t(4), t(1), t(5), t(9), t(2), t(6)];
+        let out = barrier_exit_times(&entry, &unit_hop());
+        for (e, x) in entry.iter().zip(&out) {
+            assert!(x >= e);
+        }
+        // Dissemination correctness: every exit >= max entry (all-to-all
+        // dependency closure over ceil(log2 8) = 3 rounds with stride 1,2,4
+        // reaches every predecessor).
+        let max_entry = *entry.iter().max().unwrap();
+        for x in &out {
+            assert!(*x >= max_entry, "{x} < {max_entry}");
+        }
+    }
+
+    #[test]
+    fn barrier_log_rounds_cost() {
+        // Synchronized entry: exit = entry + ceil(log2 n) hops.
+        let entry = vec![t(0); 8];
+        let out = barrier_exit_times(&entry, &unit_hop());
+        for x in &out {
+            assert_eq!(*x, t(3));
+        }
+        let entry = vec![t(0); 9];
+        let out = barrier_exit_times(&entry, &unit_hop());
+        for x in &out {
+            assert_eq!(*x, t(4), "9 ranks need 4 rounds");
+        }
+    }
+
+    #[test]
+    fn bcast_root_zero_depths() {
+        let entry = vec![t(0); 8];
+        let out = bcast_exit_times(&entry, 0, 0, &unit_hop());
+        // Binomial tree: rank v receives at depth = position of highest
+        // round that reached it; with 8 ranks max depth is 3 hops.
+        assert_eq!(out[0], t(0));
+        let max = out.iter().max().unwrap();
+        assert_eq!(*max, t(3));
+        // Every rank receives after the root sent.
+        for x in &out[1..] {
+            assert!(*x > t(0));
+        }
+    }
+
+    #[test]
+    fn bcast_nonzero_root_rotates() {
+        let entry = vec![t(0); 4];
+        let a = bcast_exit_times(&entry, 0, 0, &unit_hop());
+        let b = bcast_exit_times(&entry, 2, 0, &unit_hop());
+        // Rotation: participant (i) under root 2 behaves like (i-2) mod 4
+        // under root 0.
+        for i in 0..4 {
+            assert_eq!(b[(i + 2) % 4], a[i]);
+        }
+    }
+
+    #[test]
+    fn bcast_respects_late_forwarder() {
+        // Rank 1 (the first hop) enters late; its subtree is delayed.
+        let entry = vec![t(0), t(100), t(0), t(0)];
+        let out = bcast_exit_times(&entry, 0, 0, &unit_hop());
+        assert_eq!(out[2], t(1), "rank 2 comes straight from root");
+        assert_eq!(out[1], t(100), "late entrant completes when it enters");
+        assert_eq!(out[3], t(101), "rank 3 hangs off rank 1");
+    }
+
+    #[test]
+    fn bcast_payload_size_scales_hop() {
+        let hop = |bytes: u64| SimDuration::from_micros(1 + bytes / 1000);
+        let entry = vec![t(0); 2];
+        let out = bcast_exit_times(&entry, 0, 5000, &hop);
+        assert_eq!(out[1], t(6));
+    }
+
+    #[test]
+    fn reduce_root_collects_all() {
+        let entry = vec![t(0); 8];
+        let out = reduce_exit_times(&entry, 0, 0, SimDuration::ZERO, &unit_hop());
+        // Root finishes after 3 sequential rounds of arrivals.
+        assert_eq!(out[0], t(3));
+        // Leaves finish immediately (they only send).
+        assert_eq!(out[7], t(0));
+    }
+
+    #[test]
+    fn reduce_combine_cost_adds_per_round() {
+        let entry = vec![t(0); 4];
+        let combine = SimDuration::from_micros(10);
+        let out = reduce_exit_times(&entry, 0, 0, combine, &unit_hop());
+        // Round 0: 1->0, 3->2 arrive at 1, combined by 11.
+        // Round 1: 2 sends at 11, arrives 12, combined by 22.
+        assert_eq!(out[0], t(22));
+    }
+
+    #[test]
+    fn reduce_late_leaf_delays_root() {
+        let entry = vec![t(0), t(0), t(0), t(50)];
+        let out = reduce_exit_times(&entry, 0, 0, SimDuration::ZERO, &unit_hop());
+        // Rank 3 sends to rank 2 at t=50, arrives 51; rank 2 sends at 51,
+        // arrives at root at 52.
+        assert_eq!(out[0], t(52));
+    }
+
+    #[test]
+    fn allreduce_everyone_holds_result_after_all_entries() {
+        let entry = vec![t(0), t(5), t(0), t(9)];
+        let out = allreduce_exit_times(&entry, 0, SimDuration::ZERO, &unit_hop());
+        let max_entry = *entry.iter().max().unwrap();
+        for x in &out {
+            assert!(*x > max_entry, "{x} must follow the last entrant");
+        }
+    }
+
+    #[test]
+    fn allgather_costs_n_minus_one_rounds() {
+        let entry = vec![t(0); 5];
+        let out = allgather_exit_times(&entry, 0, &unit_hop());
+        for x in &out {
+            assert_eq!(*x, t(4), "5 participants need 4 ring rounds");
+        }
+        // Single participant is free.
+        assert_eq!(allgather_exit_times(&[t(3)], 0, &unit_hop()), vec![t(3)]);
+    }
+
+    #[test]
+    fn allgather_waits_for_slow_ring_neighbor() {
+        let entry = vec![t(0), t(100), t(0)];
+        let out = allgather_exit_times(&entry, 0, &unit_hop());
+        // Everyone needs a block that passed through participant 1.
+        for x in &out {
+            assert!(*x >= t(100));
+        }
+    }
+
+    #[test]
+    fn scatter_hops_shrink_with_depth() {
+        // 4 participants, 4000 bytes total, hop cost = 1 us + 1 ns/B.
+        let hop = |bytes: u64| SimDuration::from_micros(1) + SimDuration::from_nanos(bytes);
+        let entry = vec![t(0); 4];
+        let out = scatter_exit_times(&entry, 0, 4000, &hop);
+        assert_eq!(out[0], t(0));
+        // Root -> v=2 carries 2 blocks (2000 B): 1 + 2 us = 3 us.
+        assert_eq!(out[2].as_micros_f64(), 3.0);
+        // v=2 -> v=3 carries 1 block: + 2 us.
+        assert_eq!(out[3].as_micros_f64(), 5.0);
+        // Root -> v=1 carries 1 block, sent in a later round but departing
+        // from the root's hold time 0: 2 us.
+        assert_eq!(out[1].as_micros_f64(), 2.0);
+    }
+
+    #[test]
+    fn reduce_nonzero_root() {
+        let entry = vec![t(0); 4];
+        let out = reduce_exit_times(&entry, 3, 0, SimDuration::ZERO, &unit_hop());
+        assert_eq!(out[3], t(2), "root 3 collects in 2 rounds");
+    }
+}

@@ -1,0 +1,33 @@
+//! An MPI subset over the simulated fabric.
+//!
+//! The dCUDA runtime is "connected via MPI: the runtime system instances
+//! control data movement and synchronization of any two ranks in the system"
+//! (paper §III-A), and the paper's baselines are MPI-CUDA programs. This
+//! crate provides the pieces both need:
+//!
+//! * [`plane::MessagePlane`] — nonblocking point-to-point with MPI envelope
+//!   semantics: `(source, tag)` matching with wildcards, FIFO non-overtaking
+//!   order, an unexpected-message queue, and delivery times supplied by the
+//!   [`dcuda_fabric::Network`] model. The payload type is generic: the dCUDA
+//!   runtime ships typed meta-information and raw data buffers; baselines
+//!   ship bytes.
+//! * [`collective`] — analytic timing models for binomial-tree barrier,
+//!   broadcast and reduction (the paper's mini-apps "manually implement the
+//!   broadcast and reduction collectives using a binary tree communication
+//!   pattern", §IV-C).
+//!
+//! The model is *eager*: a message's delivery instant is fixed when it is
+//! injected (send side serializes on the NIC immediately). OpenMPI's
+//! rendezvous path for very large messages is not modeled; the evaluation
+//! workloads exchange 1–16 kB messages, all far below rendezvous thresholds.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod plane;
+
+pub use collective::{
+    allgather_exit_times, allreduce_exit_times, barrier_exit_times, bcast_exit_times,
+    reduce_exit_times, scatter_exit_times, HopCost,
+};
+pub use plane::{MessagePlane, MpiRank, RecvHandle, RecvOutcome, Tag};

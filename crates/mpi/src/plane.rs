@@ -1,0 +1,345 @@
+//! Point-to-point message matching with MPI envelope semantics.
+//!
+//! The plane tracks, per destination rank, the *posted-receive queue* and the
+//! *unexpected-message queue* — the two canonical MPI matching structures.
+//! A send is matched against posted receives in post order; an unmatched send
+//! parks in the unexpected queue; a receive first scans the unexpected queue
+//! in arrival order (preserving non-overtaking semantics per (src, tag)
+//! channel), then parks.
+//!
+//! Timing: the caller obtains the delivery instant from the fabric and hands
+//! it in; a matched receive completes at `max(delivery, post_time)`. The
+//! plane never schedules events itself — matching outcomes are returned to
+//! the caller, which schedules wake-ups in its own event queue.
+
+use dcuda_des::stats::Counter;
+use dcuda_des::{Slab, SimTime, SlotKey};
+use std::collections::VecDeque;
+
+/// An MPI process rank (one per cluster node in the dCUDA runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MpiRank(pub u32);
+
+impl MpiRank {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A message tag.
+pub type Tag = u32;
+
+/// Handle to a posted receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecvHandle(SlotKey);
+
+/// A completed match, delivered to the caller either at `irecv` time (the
+/// message had already arrived) or at `isend` time (a receive was parked).
+#[derive(Debug)]
+pub struct RecvOutcome<P> {
+    /// The receive this outcome belongs to.
+    pub handle: RecvHandle,
+    /// Instant the receive semantically completes.
+    pub completes_at: SimTime,
+    /// Sending rank.
+    pub source: MpiRank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload size in bytes (as declared by the sender).
+    pub bytes: u64,
+    /// The payload itself.
+    pub payload: P,
+}
+
+struct UnexpectedMsg<P> {
+    source: MpiRank,
+    tag: Tag,
+    bytes: u64,
+    delivery: SimTime,
+    payload: P,
+}
+
+struct PostedRecv {
+    source: Option<MpiRank>,
+    tag: Option<Tag>,
+    posted_at: SimTime,
+    key: SlotKey,
+}
+
+struct Endpoint<P> {
+    unexpected: VecDeque<UnexpectedMsg<P>>,
+    posted: VecDeque<PostedRecv>,
+}
+
+impl<P> Default for Endpoint<P> {
+    fn default() -> Self {
+        Endpoint {
+            unexpected: VecDeque::new(),
+            posted: VecDeque::new(),
+        }
+    }
+}
+
+/// The cluster-wide matching plane (generic over payload type).
+pub struct MessagePlane<P> {
+    endpoints: Vec<Endpoint<P>>,
+    recvs: Slab<()>,
+    /// Messages injected.
+    pub sends: Counter,
+    /// Receives posted.
+    pub recv_posts: Counter,
+    /// Sends that found no posted receive (unexpected-queue traffic).
+    pub unexpected: Counter,
+}
+
+impl<P> MessagePlane<P> {
+    /// Create a plane for `ranks` MPI processes.
+    pub fn new(ranks: usize) -> Self {
+        MessagePlane {
+            endpoints: (0..ranks).map(|_| Endpoint::default()).collect(),
+            recvs: Slab::new(),
+            sends: Counter::default(),
+            recv_posts: Counter::default(),
+            unexpected: Counter::default(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Inject a message. `delivery` is the instant the payload lands at the
+    /// destination (obtained from the fabric model). If a posted receive
+    /// matches, the outcome is returned so the caller can schedule the
+    /// completion; otherwise the message parks in the unexpected queue.
+    pub fn isend(
+        &mut self,
+        dst: MpiRank,
+        source: MpiRank,
+        tag: Tag,
+        bytes: u64,
+        delivery: SimTime,
+        payload: P,
+    ) -> Option<RecvOutcome<P>> {
+        self.sends.inc();
+        let ep = &mut self.endpoints[dst.index()];
+        // Match against posted receives in post order (MPI matching rule).
+        let pos = ep
+            .posted
+            .iter()
+            .position(|r| r.source.is_none_or(|s| s == source) && r.tag.is_none_or(|t| t == tag));
+        match pos {
+            Some(i) => {
+                let recv = ep.posted.remove(i).expect("index from position");
+                self.recvs.remove(recv.key);
+                Some(RecvOutcome {
+                    handle: RecvHandle(recv.key),
+                    completes_at: delivery.max(recv.posted_at),
+                    source,
+                    tag,
+                    bytes,
+                    payload,
+                })
+            }
+            None => {
+                self.unexpected.inc();
+                ep.unexpected.push_back(UnexpectedMsg {
+                    source,
+                    tag,
+                    bytes,
+                    delivery,
+                    payload,
+                });
+                None
+            }
+        }
+    }
+
+    /// Post a receive at `rank` with optional source/tag filters (both
+    /// `None` = the MPI `ANY_SOURCE` / `ANY_TAG` wildcards). If an
+    /// unexpected message already matches, the outcome is returned
+    /// immediately; the receive completes at `max(now, delivery)`.
+    pub fn irecv(
+        &mut self,
+        rank: MpiRank,
+        source: Option<MpiRank>,
+        tag: Option<Tag>,
+        now: SimTime,
+    ) -> (RecvHandle, Option<RecvOutcome<P>>) {
+        self.recv_posts.inc();
+        let key = self.recvs.insert(());
+        let handle = RecvHandle(key);
+        let ep = &mut self.endpoints[rank.index()];
+        // Scan the unexpected queue in arrival order.
+        let pos = ep
+            .unexpected
+            .iter()
+            .position(|m| source.is_none_or(|s| s == m.source) && tag.is_none_or(|t| t == m.tag));
+        if let Some(i) = pos {
+            let msg = ep.unexpected.remove(i).expect("index from position");
+            self.recvs.remove(key);
+            let outcome = RecvOutcome {
+                handle,
+                completes_at: msg.delivery.max(now),
+                source: msg.source,
+                tag: msg.tag,
+                bytes: msg.bytes,
+                payload: msg.payload,
+            };
+            (handle, Some(outcome))
+        } else {
+            ep.posted.push_back(PostedRecv {
+                source,
+                tag,
+                posted_at: now,
+                key,
+            });
+            (handle, None)
+        }
+    }
+
+    /// Cancel a posted receive (MPI_Cancel). Returns true if it was still
+    /// pending.
+    pub fn cancel_recv(&mut self, rank: MpiRank, handle: RecvHandle) -> bool {
+        if self.recvs.remove(handle.0).is_none() {
+            return false;
+        }
+        let ep = &mut self.endpoints[rank.index()];
+        if let Some(i) = ep.posted.iter().position(|r| r.key == handle.0) {
+            ep.posted.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of messages parked in `rank`'s unexpected queue.
+    pub fn unexpected_depth(&self, rank: MpiRank) -> usize {
+        self.endpoints[rank.index()].unexpected.len()
+    }
+
+    /// Number of receives parked at `rank`.
+    pub fn posted_depth(&self, rank: MpiRank) -> usize {
+        self.endpoints[rank.index()].posted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcuda_des::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn send_then_recv_completes_at_delivery() {
+        let mut p: MessagePlane<&str> = MessagePlane::new(2);
+        let none = p.isend(MpiRank(1), MpiRank(0), 7, 100, t(10), "hello");
+        assert!(none.is_none());
+        assert_eq!(p.unexpected_depth(MpiRank(1)), 1);
+        let (_, out) = p.irecv(MpiRank(1), Some(MpiRank(0)), Some(7), t(2));
+        let out = out.expect("unexpected message should match");
+        assert_eq!(out.completes_at, t(10));
+        assert_eq!(out.payload, "hello");
+        assert_eq!(out.bytes, 100);
+    }
+
+    #[test]
+    fn recv_posted_late_completes_at_post_time() {
+        let mut p: MessagePlane<()> = MessagePlane::new(2);
+        p.isend(MpiRank(1), MpiRank(0), 7, 0, t(10), ());
+        let (_, out) = p.irecv(MpiRank(1), None, None, t(50));
+        assert_eq!(out.unwrap().completes_at, t(50));
+    }
+
+    #[test]
+    fn recv_then_send_matches_at_send() {
+        let mut p: MessagePlane<u32> = MessagePlane::new(2);
+        let (h, none) = p.irecv(MpiRank(1), Some(MpiRank(0)), Some(3), t(1));
+        assert!(none.is_none());
+        let out = p
+            .isend(MpiRank(1), MpiRank(0), 3, 8, t(20), 42)
+            .expect("posted receive should match");
+        assert_eq!(out.handle, h);
+        assert_eq!(out.completes_at, t(20));
+        assert_eq!(out.payload, 42);
+        assert_eq!(p.posted_depth(MpiRank(1)), 0);
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let mut p: MessagePlane<()> = MessagePlane::new(3);
+        let (_, none) = p.irecv(MpiRank(2), None, None, t(0));
+        assert!(none.is_none());
+        let out = p.isend(MpiRank(2), MpiRank(1), 99, 0, t(5), ()).unwrap();
+        assert_eq!(out.source, MpiRank(1));
+        assert_eq!(out.tag, 99);
+    }
+
+    #[test]
+    fn tag_filter_skips_mismatched() {
+        let mut p: MessagePlane<&str> = MessagePlane::new(2);
+        p.isend(MpiRank(1), MpiRank(0), 1, 0, t(5), "one");
+        p.isend(MpiRank(1), MpiRank(0), 2, 0, t(6), "two");
+        let (_, out) = p.irecv(MpiRank(1), Some(MpiRank(0)), Some(2), t(0));
+        assert_eq!(out.unwrap().payload, "two");
+        assert_eq!(p.unexpected_depth(MpiRank(1)), 1);
+    }
+
+    #[test]
+    fn non_overtaking_fifo_per_channel() {
+        let mut p: MessagePlane<u32> = MessagePlane::new(2);
+        p.isend(MpiRank(1), MpiRank(0), 5, 0, t(10), 1);
+        p.isend(MpiRank(1), MpiRank(0), 5, 0, t(8), 2); // delivered earlier!
+        // MPI matching order is send order, not delivery order.
+        let (_, a) = p.irecv(MpiRank(1), Some(MpiRank(0)), Some(5), t(0));
+        let (_, b) = p.irecv(MpiRank(1), Some(MpiRank(0)), Some(5), t(0));
+        assert_eq!(a.unwrap().payload, 1);
+        assert_eq!(b.unwrap().payload, 2);
+    }
+
+    #[test]
+    fn posted_receives_match_in_post_order() {
+        let mut p: MessagePlane<()> = MessagePlane::new(2);
+        let (h1, _) = p.irecv(MpiRank(1), None, None, t(1));
+        let (_h2, _) = p.irecv(MpiRank(1), None, None, t(2));
+        let out = p.isend(MpiRank(1), MpiRank(0), 0, 0, t(9), ()).unwrap();
+        assert_eq!(out.handle, h1, "earliest posted receive wins");
+        assert_eq!(p.posted_depth(MpiRank(1)), 1);
+    }
+
+    #[test]
+    fn cancel_pending_recv() {
+        let mut p: MessagePlane<()> = MessagePlane::new(2);
+        let (h, _) = p.irecv(MpiRank(1), None, None, t(0));
+        assert!(p.cancel_recv(MpiRank(1), h));
+        assert!(!p.cancel_recv(MpiRank(1), h), "double cancel is a no-op");
+        // Message after cancel parks unexpected.
+        assert!(p.isend(MpiRank(1), MpiRank(0), 0, 0, t(1), ()).is_none());
+    }
+
+    #[test]
+    fn counters() {
+        let mut p: MessagePlane<()> = MessagePlane::new(2);
+        p.isend(MpiRank(1), MpiRank(0), 0, 0, t(1), ());
+        p.irecv(MpiRank(1), None, None, t(0));
+        assert_eq!(p.sends.get(), 1);
+        assert_eq!(p.recv_posts.get(), 1);
+        assert_eq!(p.unexpected.get(), 1);
+    }
+
+    #[test]
+    fn distinct_endpoints_do_not_cross_match() {
+        let mut p: MessagePlane<()> = MessagePlane::new(3);
+        let (_, none) = p.irecv(MpiRank(2), None, None, t(0));
+        assert!(none.is_none());
+        // Send to rank 1, not 2.
+        assert!(p.isend(MpiRank(1), MpiRank(0), 0, 0, t(1), ()).is_none());
+        assert_eq!(p.posted_depth(MpiRank(2)), 1);
+        assert_eq!(p.unexpected_depth(MpiRank(1)), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Lock-free host–device queue implementations from dCUDA (paper §III-C).
+//!
+//! The dCUDA runtime connects each device-side library instance (one per
+//! rank/block) with its host-side block manager through circular-buffer
+//! queues engineered for the PCI-Express bottleneck:
+//!
+//! * the buffer **lives in receiver memory** so the receiver polls locally,
+//! * every entry embeds a **sequence number**; the receiver detects valid
+//!   entries from the sequence number instead of a shared head pointer, so an
+//!   enqueue costs a *single* PCIe transaction (one entry write),
+//! * the sender tracks free space with a **credit counter** and only
+//!   occasionally refreshes it by reading the receiver-published tail.
+//!
+//! [`SpscRing`] implements exactly that protocol with Rust atomics (the PCIe
+//! write becomes a release store; the credit refresh becomes an acquire load
+//! of the tail). [`NotificationMatcher`] implements the device-side
+//! notification matching with (window, rank, tag) wildcards, in-order
+//! matching and queue compaction (paper §III-C "Notification Matching").
+//!
+//! These structures are used for real by the native threaded runtime
+//! (`dcuda-rt`); the discrete-event simulation models their *timing* (one
+//! transaction per enqueue, occasional credit-refresh reads) in
+//! `dcuda-core`.
+
+#![warn(missing_docs)]
+
+pub mod notify;
+pub mod spsc;
+
+pub use notify::{match_in_order, Notification, NotificationMatcher, Query, ANY};
+pub use spsc::{channel, RecvError, Receiver, Sender, TrySendError};

@@ -1,0 +1,166 @@
+//! Property-based tests for the lock-free queues: the ring against a
+//! VecDeque model, and the matcher against a naive specification.
+
+use dcuda_queues::{channel, match_in_order, Notification, Query, RecvError, TrySendError, ANY};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum RingOp {
+    Send(u32),
+    Recv,
+}
+
+fn ring_ops() -> impl Strategy<Value = Vec<RingOp>> {
+    prop::collection::vec(
+        prop_oneof![any::<u32>().prop_map(RingOp::Send), Just(RingOp::Recv)],
+        0..200,
+    )
+}
+
+proptest! {
+    /// Single-threaded ring behaviour is exactly a bounded FIFO.
+    #[test]
+    fn ring_matches_bounded_fifo_model(ops in ring_ops(), cap_pow in 0u32..5) {
+        let cap = 1usize << cap_pow;
+        let (mut tx, mut rx) = channel::<u32>(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                RingOp::Send(v) => {
+                    let res = tx.try_send(v);
+                    if model.len() < cap {
+                        prop_assert_eq!(res, Ok(()));
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(res, Err(TrySendError::Full(v)));
+                    }
+                }
+                RingOp::Recv => {
+                    let res = rx.try_recv();
+                    match model.pop_front() {
+                        Some(v) => prop_assert_eq!(res, Ok(v)),
+                        None => prop_assert_eq!(res, Err(RecvError::Empty)),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(rx.consumed() + model.len() as u64, tx.sent());
+    }
+
+    /// Credit refreshes never exceed one per `capacity` sends plus the
+    /// failures (the paper's "occasional PCI-Express transaction").
+    #[test]
+    fn credit_refreshes_are_amortized(n in 1u64..500, cap_pow in 1u32..6) {
+        let cap = 1usize << cap_pow;
+        let (mut tx, mut rx) = channel::<u64>(cap);
+        let mut sent = 0;
+        while sent < n {
+            match tx.try_send(sent) {
+                Ok(()) => sent += 1,
+                Err(TrySendError::Full(_)) => {
+                    let _ = rx.try_recv();
+                }
+                Err(TrySendError::Disconnected(_)) => unreachable!(),
+            }
+        }
+        // Adversarial consumer (drains one slot only when full): every
+        // failed attempt and every retry refresh — still bounded by 2 per
+        // message. (The amortized ~1/cap claim for a keeping-pace consumer
+        // is covered by the unit test `credit_refresh_is_occasional`.)
+        let _ = cap;
+        prop_assert!(tx.credit_refreshes <= 2 * n + 2);
+    }
+}
+
+/// Naive matching spec: first `count` matching indices, removed; order
+/// preserved otherwise.
+fn naive_match(
+    pending: &mut VecDeque<Notification>,
+    q: Query,
+    count: usize,
+) -> Option<Vec<Notification>> {
+    let idx: Vec<usize> = pending
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| q.matches(n))
+        .map(|(i, _)| i)
+        .take(count)
+        .collect();
+    if idx.len() < count {
+        return None;
+    }
+    let mut out = Vec::new();
+    for &i in idx.iter().rev() {
+        out.push(pending.remove(i).unwrap());
+    }
+    out.reverse();
+    Some(out)
+}
+
+fn notifications() -> impl Strategy<Value = Vec<Notification>> {
+    prop::collection::vec(
+        (0u32..3, 0u32..4, 0u32..3).prop_map(|(win, source, tag)| Notification {
+            win,
+            source,
+            tag,
+        }),
+        0..40,
+    )
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (0u32..4, 0u32..5, 0u32..4).prop_map(|(w, s, t)| Query {
+        win: if w == 3 { ANY } else { w },
+        source: if s == 4 { ANY } else { s },
+        tag: if t == 3 { ANY } else { t },
+    })
+}
+
+proptest! {
+    /// `match_in_order` agrees with the naive specification for any
+    /// notification sequence and any (wildcarded) query.
+    #[test]
+    fn matcher_agrees_with_naive_spec(
+        notifs in notifications(),
+        q in query(),
+        count in 0usize..6,
+    ) {
+        let mut a: VecDeque<Notification> = notifs.iter().copied().collect();
+        let mut b = a.clone();
+        let fast = match_in_order(&mut a, q, count).map(|(m, _)| m);
+        let naive = naive_match(&mut b, q, count);
+        prop_assert_eq!(fast, naive);
+        prop_assert_eq!(a, b, "compaction preserved the same remainder");
+    }
+
+    /// Matching conserves notifications: matched + remaining == initial, and
+    /// a failed match changes nothing.
+    #[test]
+    fn matcher_conserves_notifications(
+        notifs in notifications(),
+        q in query(),
+        count in 0usize..6,
+    ) {
+        let mut pending: VecDeque<Notification> = notifs.iter().copied().collect();
+        let before = pending.len();
+        match match_in_order(&mut pending, q, count) {
+            Some((m, _)) => {
+                prop_assert_eq!(m.len(), count);
+                prop_assert_eq!(pending.len() + count, before);
+                prop_assert!(m.iter().all(|n| q.matches(n)));
+            }
+            None => prop_assert_eq!(pending.len(), before),
+        }
+    }
+
+    /// Sequential queries eventually drain everything a wildcard sees.
+    #[test]
+    fn wildcard_drains_everything(notifs in notifications()) {
+        let mut pending: VecDeque<Notification> = notifs.iter().copied().collect();
+        let n = pending.len();
+        let got = match_in_order(&mut pending, Query::WILDCARD, n).unwrap().0;
+        prop_assert_eq!(got, notifs);
+        prop_assert!(pending.is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Cluster assembly: spawn host and rank threads, wire the queues, run.
+
+use crate::ctx::RtCtx;
+use crate::host::{FlushHistoryHandle, Host};
+use crate::msg::{Cmd, Delivery, HostMsg};
+use dcuda_queues::channel;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64};
+use std::sync::Arc;
+
+/// Cluster shape and window layout.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Number of devices (each with its own host thread).
+    pub devices: u32,
+    /// Ranks per device (each its own thread — keep modest).
+    pub ranks_per_device: u32,
+    /// Window sizes in bytes (same layout on every rank).
+    pub windows: Vec<usize>,
+    /// Ring capacity for the command/delivery queues (power of two).
+    pub ring_capacity: usize,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            devices: 2,
+            ranks_per_device: 4,
+            windows: vec![4096],
+            ring_capacity: 64,
+        }
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RtReport {
+    /// Puts routed by the hosts.
+    pub puts: u64,
+    /// Notifications enqueued at targets.
+    pub notifications: u64,
+}
+
+/// A rank program: a blocking closure over the rank's context.
+pub type RankProgram = Box<dyn FnOnce(&mut RtCtx) + Send>;
+
+/// Run `programs` (one per world rank) on a threaded cluster and return
+/// statistics.
+///
+/// # Panics
+/// Panics if the program count does not match the topology or the ring
+/// capacity is not a power of two.
+pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
+    let world = cfg.devices * cfg.ranks_per_device;
+    assert_eq!(
+        programs.len(),
+        world as usize,
+        "need one program per world rank"
+    );
+
+    // Inter-host channels.
+    let mut peer_txs = Vec::with_capacity(cfg.devices as usize);
+    let mut peer_rxs = VecDeque::with_capacity(cfg.devices as usize);
+    for _ in 0..cfg.devices {
+        let (tx, rx) = crossbeam::channel::unbounded::<HostMsg>();
+        peer_txs.push(tx);
+        peer_rxs.push_back(rx);
+    }
+    let finished_global = Arc::new(AtomicU32::new(0));
+
+    let mut hosts = Vec::new();
+    let mut rank_parts: Vec<(RtCtx, RankProgram)> = Vec::new();
+    let mut programs = programs.into_iter();
+
+    for device in 0..cfg.devices {
+        let barrier_epoch = Arc::new(AtomicU64::new(0));
+        let mut cmd_rx = Vec::new();
+        let mut delivery_tx = Vec::new();
+        let mut flush = Vec::new();
+        for local in 0..cfg.ranks_per_device {
+            let (ctx_cmd_tx, host_cmd_rx) = channel::<Cmd>(cfg.ring_capacity);
+            let (host_del_tx, ctx_del_rx) = channel::<Delivery>(cfg.ring_capacity);
+            let flush_done = Arc::new(AtomicU64::new(0));
+            cmd_rx.push(host_cmd_rx);
+            delivery_tx.push(host_del_tx);
+            flush.push(FlushHistoryHandle::new(flush_done.clone()));
+            let ctx = RtCtx {
+                rank: device * cfg.ranks_per_device + local,
+                world,
+                device,
+                local,
+                ranks_per_device: cfg.ranks_per_device,
+                windows: cfg.windows.iter().map(|&b| vec![0u8; b]).collect(),
+                cmd: ctx_cmd_tx,
+                delivery: ctx_del_rx,
+                pending: VecDeque::new(),
+                flush_sent: 0,
+                flush_done,
+                barrier_epoch: barrier_epoch.clone(),
+                barriers_entered: 0,
+                matched: 0,
+            };
+            rank_parts.push((ctx, programs.next().expect("program count checked")));
+        }
+        hosts.push(Host {
+            device,
+            devices: cfg.devices,
+            ranks_per_device: cfg.ranks_per_device,
+            cmd_rx,
+            delivery_tx,
+            delivery_backlog: (0..cfg.ranks_per_device).map(|_| VecDeque::new()).collect(),
+            peers: peer_txs.clone(),
+            inbox: peer_rxs.pop_front().expect("one inbox per device"),
+            barrier_epoch,
+            barrier_arrived: 0,
+            barrier_tokens: 0,
+            finished_global: finished_global.clone(),
+            finished_local: 0,
+            flush,
+            puts_routed: 0,
+            notifications_sent: 0,
+        });
+    }
+
+    let mut report = RtReport::default();
+    std::thread::scope(|s| {
+        let mut host_handles = Vec::new();
+        for host in hosts {
+            host_handles.push(s.spawn(move || host.run()));
+        }
+        let mut rank_handles = Vec::new();
+        for (mut ctx, program) in rank_parts {
+            rank_handles.push(s.spawn(move || {
+                program(&mut ctx);
+                ctx.finish();
+            }));
+        }
+        for h in rank_handles {
+            h.join().expect("rank thread panicked");
+        }
+        for h in host_handles {
+            let (puts, notifs) = h.join().expect("host thread panicked");
+            report.puts += puts;
+            report.notifications += notifs;
+        }
+    });
+    report
+}

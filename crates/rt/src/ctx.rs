@@ -1,0 +1,214 @@
+//! The per-rank blocking API.
+
+use crate::msg::{Cmd, Delivery, RtQuery};
+use dcuda_queues::{match_in_order, Notification, RecvError, Receiver, Sender, TrySendError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The device-side library handle of one rank (paper: the `dcuda_context`).
+///
+/// All methods block the calling rank thread, exactly like the paper's
+/// device-side calls block the calling block.
+pub struct RtCtx {
+    pub(crate) rank: u32,
+    pub(crate) world: u32,
+    pub(crate) device: u32,
+    pub(crate) local: u32,
+    pub(crate) ranks_per_device: u32,
+    /// Rank-private window memory.
+    pub(crate) windows: Vec<Vec<u8>>,
+    /// Command ring to the block manager.
+    pub(crate) cmd: Sender<Cmd>,
+    /// Delivery ring from the block manager.
+    pub(crate) delivery: Receiver<Delivery>,
+    /// Buffered notifications not yet matched.
+    pub(crate) pending: VecDeque<Notification>,
+    /// Operations issued (flush ids are sequential from 1).
+    pub(crate) flush_sent: u64,
+    /// Highest prefix-complete flush id, published by the host.
+    pub(crate) flush_done: Arc<AtomicU64>,
+    /// Barrier epoch of this device, bumped by the host on release.
+    pub(crate) barrier_epoch: Arc<AtomicU64>,
+    /// Barriers this rank has entered.
+    pub(crate) barriers_entered: u64,
+    /// Notifications matched (stat).
+    pub(crate) matched: u64,
+}
+
+impl RtCtx {
+    /// World-communicator rank (`dcuda_comm_rank(DCUDA_COMM_WORLD)`).
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// World-communicator size.
+    pub fn world_size(&self) -> u32 {
+        self.world
+    }
+
+    /// Device-communicator rank.
+    pub fn device_rank(&self) -> u32 {
+        self.local
+    }
+
+    /// Device-communicator size.
+    pub fn device_size(&self) -> u32 {
+        self.ranks_per_device
+    }
+
+    /// The device this rank runs on.
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+
+    /// This rank's window memory.
+    pub fn win(&self, win: u32) -> &[u8] {
+        &self.windows[win as usize]
+    }
+
+    /// This rank's window memory, mutable.
+    pub fn win_mut(&mut self, win: u32) -> &mut [u8] {
+        &mut self.windows[win as usize]
+    }
+
+    fn send_cmd(&mut self, mut cmd: Cmd) {
+        loop {
+            match self.cmd.try_send(cmd) {
+                Ok(()) => return,
+                Err(TrySendError::Full(c)) => {
+                    cmd = c;
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("rank {}: block manager vanished", self.rank)
+                }
+            }
+        }
+    }
+
+    /// `dcuda_put_notify`: copy window bytes to the target rank and enqueue
+    /// a notification there.
+    ///
+    /// # Panics
+    /// Panics if the source range exceeds this rank's window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_notify(
+        &mut self,
+        win: u32,
+        dst: u32,
+        dst_off: usize,
+        src_off: usize,
+        len: usize,
+        tag: u32,
+    ) {
+        self.put_inner(win, dst, dst_off, src_off, len, tag, true);
+    }
+
+    /// `dcuda_put`: as [`put_notify`](Self::put_notify) without the target
+    /// notification (completion observable through [`flush`](Self::flush)).
+    pub fn put(&mut self, win: u32, dst: u32, dst_off: usize, src_off: usize, len: usize) {
+        self.put_inner(win, dst, dst_off, src_off, len, 0, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn put_inner(
+        &mut self,
+        win: u32,
+        dst: u32,
+        dst_off: usize,
+        src_off: usize,
+        len: usize,
+        tag: u32,
+        notify: bool,
+    ) {
+        assert!(dst < self.world, "put to rank {dst} outside the world");
+        let data = self.windows[win as usize][src_off..src_off + len].to_vec();
+        self.flush_sent += 1;
+        let flush_id = self.flush_sent;
+        self.send_cmd(Cmd::Put {
+            dst,
+            win,
+            dst_off,
+            data,
+            tag,
+            notify,
+            flush_id,
+        });
+    }
+
+    /// Drain the delivery ring: land payloads in window memory and buffer
+    /// notifications.
+    fn drain_deliveries(&mut self) {
+        loop {
+            match self.delivery.try_recv() {
+                Ok(d) => {
+                    let w = &mut self.windows[d.win as usize];
+                    assert!(
+                        d.dst_off + d.data.len() <= w.len(),
+                        "rank {}: delivery overflows window {} ({} + {} > {})",
+                        self.rank,
+                        d.win,
+                        d.dst_off,
+                        d.data.len(),
+                        w.len()
+                    );
+                    w[d.dst_off..d.dst_off + d.data.len()].copy_from_slice(&d.data);
+                    if d.notify {
+                        self.pending.push_back(d.notif);
+                    }
+                }
+                Err(RecvError::Empty) => return,
+                Err(RecvError::Disconnected) => {
+                    panic!("rank {}: delivery ring vanished", self.rank)
+                }
+            }
+        }
+    }
+
+    /// `dcuda_test_notifications`: non-blocking match attempt.
+    pub fn test_notifications(&mut self, query: RtQuery, count: usize) -> bool {
+        self.drain_deliveries();
+        match match_in_order(&mut self.pending, query, count) {
+            Some((m, _)) => {
+                self.matched += m.len() as u64;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `dcuda_wait_notifications`: block until `count` notifications
+    /// matching `query` have been matched (in arrival order, with
+    /// compaction).
+    pub fn wait_notifications(&mut self, query: RtQuery, count: usize) {
+        while !self.test_notifications(query, count) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// `dcuda_win_flush`: block until every operation this rank issued has
+    /// been processed end-to-end.
+    pub fn flush(&mut self) {
+        let want = self.flush_sent;
+        while self.flush_done.load(Ordering::Acquire) < want {
+            self.drain_deliveries();
+            std::thread::yield_now();
+        }
+    }
+
+    /// `dcuda_barrier(DCUDA_COMM_WORLD)`: block in the world barrier.
+    pub fn barrier(&mut self) {
+        self.barriers_entered += 1;
+        let want = self.barriers_entered;
+        self.send_cmd(Cmd::Barrier);
+        while self.barrier_epoch.load(Ordering::Acquire) < want {
+            self.drain_deliveries();
+            std::thread::yield_now();
+        }
+    }
+
+    pub(crate) fn finish(&mut self) {
+        self.send_cmd(Cmd::Finish);
+    }
+}

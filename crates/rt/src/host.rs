@@ -1,0 +1,250 @@
+//! The per-device host thread: event handler plus block managers
+//! (paper Figure 4), executed by a single worker as in §III-A.
+
+use crate::msg::{Cmd, Delivery, HostMsg};
+use dcuda_queues::{Notification, Receiver, Sender, TrySendError};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-local-rank flush bookkeeping: completed ids become visible to the
+/// rank only as a consecutive prefix ("the flush identifier of the last
+/// processed remote memory access operation whose predecessors are done as
+/// well", paper §III-B).
+struct FlushHistory {
+    frontier: u64,
+    completed: BinaryHeap<std::cmp::Reverse<u64>>,
+    publish: Arc<AtomicU64>,
+}
+
+impl FlushHistory {
+    fn new(publish: Arc<AtomicU64>) -> Self {
+        FlushHistory {
+            frontier: 0,
+            completed: BinaryHeap::new(),
+            publish,
+        }
+    }
+
+    fn complete(&mut self, id: u64) {
+        self.completed.push(std::cmp::Reverse(id));
+        while self
+            .completed
+            .peek()
+            .is_some_and(|&std::cmp::Reverse(top)| top == self.frontier + 1)
+        {
+            self.completed.pop();
+            self.frontier += 1;
+        }
+        self.publish.store(self.frontier, Ordering::Release);
+    }
+}
+
+/// Everything one host thread owns.
+pub(crate) struct Host {
+    pub device: u32,
+    pub devices: u32,
+    pub ranks_per_device: u32,
+    /// Command rings from local ranks.
+    pub cmd_rx: Vec<Receiver<Cmd>>,
+    /// Delivery rings to local ranks.
+    pub delivery_tx: Vec<Sender<Delivery>>,
+    /// Overflow buffers when a delivery ring is momentarily full.
+    pub delivery_backlog: Vec<VecDeque<Delivery>>,
+    /// Channels to every host (index = device; own entry unused).
+    pub peers: Vec<crossbeam::channel::Sender<HostMsg>>,
+    /// Inbound channel.
+    pub inbox: crossbeam::channel::Receiver<HostMsg>,
+    /// Barrier state.
+    pub barrier_epoch: Arc<AtomicU64>,
+    pub barrier_arrived: u32,
+    /// Device 0 only: tokens received for the current barrier round.
+    pub barrier_tokens: u32,
+    /// Global count of finished ranks.
+    pub finished_global: Arc<AtomicU32>,
+    pub finished_local: u32,
+    /// Flush bookkeeping per local rank.
+    pub flush: Vec<FlushHistoryHandle>,
+    /// Statistics.
+    pub puts_routed: u64,
+    pub notifications_sent: u64,
+}
+
+/// Public wrapper so `cluster` can construct histories.
+pub(crate) struct FlushHistoryHandle(FlushHistory);
+
+impl FlushHistoryHandle {
+    pub fn new(publish: Arc<AtomicU64>) -> Self {
+        FlushHistoryHandle(FlushHistory::new(publish))
+    }
+}
+
+impl Host {
+    fn local_of(&self, rank: u32) -> Option<u32> {
+        let device = rank / self.ranks_per_device;
+        (device == self.device).then(|| rank % self.ranks_per_device)
+    }
+
+    fn device_of(&self, rank: u32) -> u32 {
+        rank / self.ranks_per_device
+    }
+
+    /// Try to push backlog + a new delivery into a rank's ring.
+    fn deliver_local(&mut self, local: u32, delivery: Delivery) {
+        self.notifications_sent += u64::from(delivery.notify);
+        self.delivery_backlog[local as usize].push_back(delivery);
+        self.pump_backlog(local);
+    }
+
+    fn pump_backlog(&mut self, local: u32) {
+        let backlog = &mut self.delivery_backlog[local as usize];
+        let tx = &mut self.delivery_tx[local as usize];
+        while let Some(d) = backlog.pop_front() {
+            match tx.try_send(d) {
+                Ok(()) => {}
+                Err(TrySendError::Full(d)) => {
+                    backlog.push_front(d);
+                    return;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Rank exited; residual deliveries are moot.
+                    backlog.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_cmd(&mut self, local: u32, cmd: Cmd) {
+        match cmd {
+            Cmd::Put {
+                dst,
+                win,
+                dst_off,
+                data,
+                tag,
+                notify,
+                flush_id,
+            } => {
+                self.puts_routed += 1;
+                let rank = self.device * self.ranks_per_device + local;
+                let delivery = Delivery {
+                    notif: Notification {
+                        win,
+                        source: rank,
+                        tag,
+                    },
+                    win,
+                    dst_off,
+                    data,
+                    notify,
+                };
+                match self.local_of(dst) {
+                    Some(dst_local) => {
+                        // Device-local: deliver directly, flush completes
+                        // immediately.
+                        self.deliver_local(dst_local, delivery);
+                        self.flush[local as usize].0.complete(flush_id);
+                    }
+                    None => {
+                        let peer = self.device_of(dst);
+                        let msg = HostMsg::Deliver {
+                            dst_local: dst % self.ranks_per_device,
+                            delivery,
+                            origin: (self.device, flush_id, local),
+                        };
+                        // A closed peer means its ranks (and ours) are done.
+                        let _ = self.peers[peer as usize].send(msg);
+                    }
+                }
+            }
+            Cmd::Barrier => {
+                self.barrier_arrived += 1;
+                if self.barrier_arrived == self.ranks_per_device {
+                    self.barrier_arrived = 0;
+                    if self.device == 0 {
+                        self.barrier_token_received();
+                    } else {
+                        let _ = self.peers[0].send(HostMsg::BarrierToken {
+                            device: self.device,
+                        });
+                    }
+                }
+            }
+            Cmd::Finish => {
+                self.finished_local += 1;
+                self.finished_global.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn barrier_token_received(&mut self) {
+        self.barrier_tokens += 1;
+        if self.barrier_tokens == self.devices {
+            self.barrier_tokens = 0;
+            for d in 0..self.devices {
+                if d == self.device {
+                    self.barrier_epoch.fetch_add(1, Ordering::AcqRel);
+                } else {
+                    let _ = self.peers[d as usize].send(HostMsg::BarrierRelease);
+                }
+            }
+        }
+    }
+
+    fn handle_peer(&mut self, msg: HostMsg) {
+        match msg {
+            HostMsg::Deliver {
+                dst_local,
+                delivery,
+                origin: (origin_device, flush_id, origin_local),
+            } => {
+                self.deliver_local(dst_local, delivery);
+                let _ = self.peers[origin_device as usize].send(HostMsg::Ack {
+                    origin_local,
+                    flush_id,
+                });
+            }
+            HostMsg::Ack {
+                origin_local,
+                flush_id,
+            } => {
+                self.flush[origin_local as usize].0.complete(flush_id);
+            }
+            HostMsg::BarrierToken { device: _ } => {
+                debug_assert_eq!(self.device, 0, "tokens go to host 0");
+                self.barrier_token_received();
+            }
+            HostMsg::BarrierRelease => {
+                self.barrier_epoch.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Main progress loop. Returns statistics `(puts, notifications)`.
+    pub fn run(mut self) -> (u64, u64) {
+        let world = self.devices * self.ranks_per_device;
+        loop {
+            let mut progress = false;
+            for local in 0..self.ranks_per_device {
+                // Drain this rank's command ring.
+                while let Ok(cmd) = self.cmd_rx[local as usize].try_recv() {
+                    progress = true;
+                    self.handle_cmd(local, cmd);
+                }
+                self.pump_backlog(local);
+            }
+            while let Ok(msg) = self.inbox.try_recv() {
+                progress = true;
+                self.handle_peer(msg);
+            }
+            if !progress {
+                if self.finished_global.load(Ordering::Acquire) == world {
+                    // All ranks everywhere are done and nothing is pending.
+                    return (self.puts_routed, self.notifications_sent);
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}

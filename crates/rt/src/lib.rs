@@ -1,0 +1,31 @@
+//! Native threaded dCUDA executor.
+//!
+//! The discrete-event simulation (`dcuda-core`) models the paper's runtime
+//! in virtual time; this crate *runs* it, with real concurrency:
+//!
+//! * every rank is an OS thread executing a blocking program against
+//!   [`RtCtx`] — the same call shapes as the paper's Figure 2 listing
+//!   (`put_notify`, `wait_notifications`, `flush`, `barrier`);
+//! * every device has a host thread playing the **event handler / block
+//!   manager** role of paper Figure 4, connected to its ranks through the
+//!   real sequence-numbered, credit-controlled rings of [`dcuda_queues`];
+//! * hosts exchange inter-device traffic over channels (the MPI layer).
+//!
+//! Notifications carry their payload; a rank applies pending deliveries to
+//! its window memory when it polls its notification queue, so data is always
+//! visible once the matching notification has been matched — the
+//! linearizable semantics the paper's notification queues provide.
+//!
+//! The executor favours correctness and protocol fidelity over raw speed
+//! (window memory is rank-private, so even same-device puts copy).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod ctx;
+pub mod host;
+pub mod msg;
+
+pub use cluster::{run_cluster, RtConfig, RtReport};
+pub use ctx::RtCtx;
+pub use msg::{RtQuery, ANY_RANK, ANY_TAG, ANY_WIN};

@@ -1,0 +1,85 @@
+//! Message types flowing through the runtime's queues and channels.
+
+use dcuda_queues::{Notification, Query, ANY};
+
+/// Wildcard for the window position of a query (`DCUDA_ANY_WIN`).
+pub const ANY_WIN: u32 = ANY;
+/// Wildcard for the source position of a query (`DCUDA_ANY_SOURCE`).
+pub const ANY_RANK: u32 = ANY;
+/// Wildcard for the tag position of a query (`DCUDA_ANY_TAG`).
+pub const ANY_TAG: u32 = ANY;
+
+/// Re-exported query type (window, source, tag — each may be a wildcard).
+pub type RtQuery = Query;
+
+/// A command from a rank to its block manager (device → host ring).
+#[derive(Debug)]
+pub enum Cmd {
+    /// Remote put: deliver `data` into `dst`'s window and (optionally)
+    /// notify.
+    Put {
+        /// Destination world rank.
+        dst: u32,
+        /// Destination window.
+        win: u32,
+        /// Byte offset in the destination rank's window.
+        dst_off: usize,
+        /// Payload.
+        data: Vec<u8>,
+        /// Notification tag.
+        tag: u32,
+        /// Enqueue a notification at the target.
+        notify: bool,
+        /// Origin's flush sequence number for this operation.
+        flush_id: u64,
+    },
+    /// The rank entered the barrier collective.
+    Barrier,
+    /// The rank's program finished.
+    Finish,
+}
+
+/// A delivery from the host to a rank (host → device ring): payload plus the
+/// notification that announces it.
+#[derive(Debug)]
+pub struct Delivery {
+    /// The notification (window, source, tag).
+    pub notif: Notification,
+    /// Window the data lands in (same as `notif.win`).
+    pub win: u32,
+    /// Byte offset in the target's window.
+    pub dst_off: usize,
+    /// Payload (may be empty for pure notifications).
+    pub data: Vec<u8>,
+    /// True if a notification should be enqueued (false: silent data
+    /// delivery from a plain `put`).
+    pub notify: bool,
+}
+
+/// Inter-host messages (the MPI plane).
+#[derive(Debug)]
+pub enum HostMsg {
+    /// Deliver to a rank local to the receiving host.
+    Deliver {
+        /// Local rank index on the receiving device.
+        dst_local: u32,
+        /// The delivery.
+        delivery: Delivery,
+        /// Origin (device, flush id) to acknowledge once delivered.
+        origin: (u32, u64, u32), // (origin device, flush id, origin local)
+    },
+    /// Acknowledge a remote delivery (advances the origin's flush counter).
+    Ack {
+        /// Origin-local rank whose operation completed.
+        origin_local: u32,
+        /// The flush id that completed.
+        flush_id: u64,
+    },
+    /// A device's ranks have all entered the barrier (sent to host 0).
+    BarrierToken {
+        /// Reporting device.
+        device: u32,
+    },
+    /// Host 0 releases the barrier.
+    BarrierRelease,
+}

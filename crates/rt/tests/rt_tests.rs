@@ -1,0 +1,388 @@
+//! End-to-end tests of the threaded runtime: the blocking API of the
+//! paper's Figure 2 listing running on real threads and real lock-free
+//! queues.
+
+use dcuda_rt::{run_cluster, RtConfig, RtQuery, ANY_RANK, ANY_TAG};
+
+fn cfg(devices: u32, ranks: u32) -> RtConfig {
+    RtConfig {
+        devices,
+        ranks_per_device: ranks,
+        windows: vec![4096],
+        ring_capacity: 16,
+    }
+}
+
+#[test]
+fn put_notify_wait_roundtrip_same_device() {
+    let report = run_cluster(
+        &cfg(1, 2),
+        vec![
+            Box::new(|ctx| {
+                ctx.win_mut(0)[0..4].copy_from_slice(&[1, 2, 3, 4]);
+                ctx.put_notify(0, 1, 100, 0, 4, 7);
+                ctx.flush();
+            }),
+            Box::new(|ctx| {
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: 0,
+                        tag: 7,
+                    },
+                    1,
+                );
+                assert_eq!(&ctx.win(0)[100..104], &[1, 2, 3, 4]);
+            }),
+        ],
+    );
+    assert_eq!(report.puts, 1);
+    assert_eq!(report.notifications, 1);
+}
+
+#[test]
+fn put_notify_crosses_devices() {
+    run_cluster(
+        &cfg(2, 1),
+        vec![
+            Box::new(|ctx| {
+                ctx.win_mut(0)[0] = 42;
+                ctx.put_notify(0, 1, 0, 0, 1, 3);
+                ctx.flush();
+            }),
+            Box::new(|ctx| {
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: 0,
+                        tag: 3,
+                    },
+                    1,
+                );
+                assert_eq!(ctx.win(0)[0], 42);
+            }),
+        ],
+    );
+}
+
+#[test]
+fn pingpong_many_iterations() {
+    const ITERS: u32 = 200;
+    run_cluster(
+        &cfg(2, 1),
+        vec![
+            Box::new(|ctx| {
+                for i in 0..ITERS {
+                    ctx.win_mut(0)[0] = i as u8;
+                    ctx.put_notify(0, 1, 0, 0, 1, 1);
+                    ctx.wait_notifications(
+                        RtQuery {
+                            win: 0,
+                            source: 1,
+                            tag: 2,
+                        },
+                        1,
+                    );
+                    assert_eq!(ctx.win(0)[1], i as u8, "echo mismatch at {i}");
+                }
+            }),
+            Box::new(|ctx| {
+                for _ in 0..ITERS {
+                    ctx.wait_notifications(
+                        RtQuery {
+                            win: 0,
+                            source: 0,
+                            tag: 1,
+                        },
+                        1,
+                    );
+                    let v = ctx.win(0)[0];
+                    ctx.win_mut(0)[1] = v;
+                    ctx.put_notify(0, 0, 1, 1, 1, 2);
+                }
+            }),
+        ],
+    );
+}
+
+#[test]
+fn barrier_orders_writes() {
+    // Every rank writes a value, barriers, then puts it to rank 0, which
+    // waits for all and checks. The barrier guarantees all are running.
+    let devices = 2;
+    let ranks = 3;
+    let world = devices * ranks;
+    let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
+    for r in 0..world {
+        programs.push(Box::new(move |ctx| {
+            ctx.barrier();
+            if r != 0 {
+                ctx.win_mut(0)[0] = r as u8;
+                ctx.put_notify(0, 0, r as usize, 0, 1, 9);
+            } else {
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: ANY_RANK,
+                        tag: 9,
+                    },
+                    (world - 1) as usize,
+                );
+                for s in 1..world {
+                    assert_eq!(ctx.win(0)[s as usize], s as u8);
+                }
+            }
+            ctx.barrier();
+        }));
+    }
+    run_cluster(&cfg(devices, ranks), programs);
+}
+
+#[test]
+fn repeated_barriers_stay_in_step() {
+    const ROUNDS: usize = 25;
+    let devices = 2;
+    let ranks = 2;
+    let world = devices * ranks;
+    let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
+    for r in 0..world {
+        programs.push(Box::new(move |ctx| {
+            for round in 0..ROUNDS {
+                // Ring put: each rank tags with the round number.
+                let dst = (r + 1) % world;
+                ctx.win_mut(0)[0] = round as u8;
+                ctx.put_notify(0, dst, 1, 0, 1, round as u32);
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: (r + world - 1) % world,
+                        tag: round as u32,
+                    },
+                    1,
+                );
+                assert_eq!(ctx.win(0)[1], round as u8);
+                ctx.barrier();
+            }
+        }));
+    }
+    run_cluster(&cfg(devices, ranks), programs);
+}
+
+#[test]
+fn flush_makes_plain_puts_visible() {
+    run_cluster(
+        &cfg(2, 1),
+        vec![
+            Box::new(|ctx| {
+                // Many un-notified puts, then one notified marker: the
+                // runtime's in-order routing makes them all visible when the
+                // marker matches.
+                for i in 0..32usize {
+                    ctx.win_mut(0)[0] = i as u8;
+                    ctx.put(0, 1, i, 0, 1);
+                }
+                ctx.flush();
+                ctx.put_notify(0, 1, 100, 0, 1, 5);
+                ctx.flush();
+            }),
+            Box::new(|ctx| {
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: 0,
+                        tag: 5,
+                    },
+                    1,
+                );
+                for i in 0..32usize {
+                    assert_eq!(ctx.win(0)[i], i as u8, "plain put {i} lost");
+                }
+            }),
+        ],
+    );
+}
+
+#[test]
+fn wildcard_matching_with_compaction() {
+    run_cluster(
+        &cfg(1, 3),
+        vec![
+            Box::new(|ctx| {
+                // Wait for tag 2 first although tag 1 arrives interleaved.
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: ANY_RANK,
+                        tag: 2,
+                    },
+                    1,
+                );
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: ANY_RANK,
+                        tag: 1,
+                    },
+                    1,
+                );
+                // And a fully wildcard wait for the stragglers.
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: ANY_RANK,
+                        tag: ANY_TAG,
+                    },
+                    2,
+                );
+            }),
+            Box::new(|ctx| {
+                ctx.put_notify(0, 0, 0, 0, 1, 1);
+                ctx.put_notify(0, 0, 1, 0, 1, 3);
+                ctx.flush();
+            }),
+            Box::new(|ctx| {
+                ctx.put_notify(0, 0, 2, 0, 1, 2);
+                ctx.put_notify(0, 0, 3, 0, 1, 4);
+                ctx.flush();
+            }),
+        ],
+    );
+}
+
+#[test]
+fn ring_stress_small_rings_backpressure() {
+    // Tiny rings force the credit system and host backlog into action.
+    let cfg = RtConfig {
+        devices: 2,
+        ranks_per_device: 2,
+        windows: vec![1024],
+        ring_capacity: 4,
+    };
+    let world = 4;
+    let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
+    for r in 0..world {
+        programs.push(Box::new(move |ctx| {
+            let dst = (r + 1) % world;
+            for i in 0..100u32 {
+                ctx.win_mut(0)[0] = (i % 251) as u8;
+                ctx.put_notify(0, dst, 1, 0, 1, 0);
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: (r + world - 1) % world,
+                        tag: 0,
+                    },
+                    1,
+                );
+                assert_eq!(ctx.win(0)[1], (i % 251) as u8);
+            }
+        }));
+    }
+    let report = run_cluster(&cfg, programs);
+    assert_eq!(report.puts, 400);
+}
+
+#[test]
+fn stencil_like_halo_exchange_on_rt() {
+    // A miniature 1-D Jacobi over the runtime: each rank owns 8 f64 cells
+    // with double-buffered 1-cell halos (parity slots avoid the classic
+    // one-sided race where a fast neighbour's next-iteration put clobbers a
+    // halo still in use); compare against a serial computation.
+    const CELLS: usize = 8;
+    const ITERS: usize = 10;
+    let devices = 2;
+    let ranks = 2;
+    let world = (devices * ranks) as usize;
+    // Window layout (f64 indices): [halo_l(par 0), halo_l(par 1),
+    // cells[CELLS], halo_r(par 0), halo_r(par 1)].
+    let win_len = (CELLS + 4) * 8;
+    let get = |w: &[u8], i: usize| f64::from_le_bytes(w[i * 8..(i + 1) * 8].try_into().unwrap());
+    let put = |w: &mut [u8], i: usize, v: f64| {
+        w[i * 8..(i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+    };
+
+    // Serial reference.
+    let n = world * CELLS;
+    let mut serial = vec![0.0f64; n + 2];
+    for (i, v) in serial.iter_mut().enumerate().skip(1).take(n) {
+        *v = i as f64;
+    }
+    for _ in 0..ITERS {
+        let prev = serial.clone();
+        for i in 1..=n {
+            serial[i] = 0.5 * (prev[i - 1] + prev[i + 1]);
+        }
+    }
+
+    let results: Vec<std::sync::Arc<std::sync::Mutex<Vec<f64>>>> = (0..world)
+        .map(|_| std::sync::Arc::new(std::sync::Mutex::new(Vec::new())))
+        .collect();
+    let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
+    for r in 0..world {
+        let result = results[r].clone();
+        programs.push(Box::new(move |ctx| {
+            // Init interior (cells start at f64 index 2).
+            for c in 0..CELLS {
+                let global = r * CELLS + c + 1;
+                let w = ctx.win_mut(0);
+                put(w, c + 2, global as f64);
+            }
+            let left = (r > 0).then(|| (r - 1) as u32);
+            let right = (r + 1 < world).then(|| (r + 1) as u32);
+            for it in 0..ITERS {
+                let par = it % 2;
+                let tag = it as u32;
+                // Send my edge cells into the parity slot of each
+                // neighbour's facing halo.
+                if let Some(l) = left {
+                    ctx.put_notify(0, l, (CELLS + 2 + par) * 8, 2 * 8, 8, tag);
+                }
+                if let Some(rt) = right {
+                    ctx.put_notify(0, rt, par * 8, (CELLS + 1) * 8, 8, tag);
+                }
+                let expect = left.is_some() as usize + right.is_some() as usize;
+                ctx.wait_notifications(
+                    RtQuery {
+                        win: 0,
+                        source: dcuda_rt::ANY_RANK,
+                        tag,
+                    },
+                    expect,
+                );
+                // Jacobi step (edges use parity halos; world edges read 0).
+                let w = ctx.win_mut(0);
+                let halo_l = get(w, par);
+                let halo_r = get(w, CELLS + 2 + par);
+                let prev: Vec<f64> = (0..CELLS).map(|c| get(w, c + 2)).collect();
+                for c in 0..CELLS {
+                    let lv = if c == 0 { halo_l } else { prev[c - 1] };
+                    let rv = if c + 1 == CELLS { halo_r } else { prev[c + 1] };
+                    put(w, c + 2, 0.5 * (lv + rv));
+                }
+            }
+            let w = ctx.win(0);
+            let vals: Vec<f64> = (0..CELLS).map(|i| get(w, i + 2)).collect();
+            *result.lock().unwrap() = vals;
+        }));
+    }
+    run_cluster(
+        &RtConfig {
+            devices,
+            ranks_per_device: ranks,
+            windows: vec![win_len],
+            ring_capacity: 16,
+        },
+        programs,
+    );
+    for r in 0..world {
+        let vals = results[r].lock().unwrap();
+        for c in 0..CELLS {
+            let expect = serial[r * CELLS + c + 1];
+            assert!(
+                (vals[c] - expect).abs() < 1e-12,
+                "rank {r} cell {c}: {} vs serial {expect}",
+                vals[c]
+            );
+        }
+    }
+}

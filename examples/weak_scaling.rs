@@ -1,0 +1,59 @@
+//! Weak-scaling comparison: dCUDA vs MPI-CUDA on the COSMO
+//! horizontal-diffusion stencil (the paper's Figure 10 in miniature).
+//!
+//! ```text
+//! cargo run --release --example weak_scaling [nodes...]
+//! ```
+//!
+//! For each node count the example runs both variants on identical numerics
+//! (bit-checked against each other), printing execution and halo-exchange
+//! times. The dCUDA column should stay nearly flat while the MPI-CUDA column
+//! grows by roughly its halo time — hardware-supported overlap at work.
+
+use dcuda::apps::stencil::{numerics, run_dcuda, run_mpicuda, StencilConfig};
+use dcuda::core::SystemSpec;
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("node counts"))
+        .collect();
+    let node_counts = if args.is_empty() {
+        vec![1, 2, 4, 8]
+    } else {
+        args
+    };
+    let spec = SystemSpec::greina();
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>10}",
+        "nodes", "dCUDA [ms]", "MPI-CUDA [ms]", "halo [ms]", "speedup"
+    );
+    for nodes in node_counts {
+        let mut cfg = StencilConfig::paper(nodes);
+        cfg.iters = 30;
+        let (d_field, d) = run_dcuda(&spec, &cfg);
+        let (m_field, m) = run_mpicuda(&spec, &cfg);
+        // The two variants share numerics: results must agree bit-for-bit
+        // with the serial reference (checked on the smallest run to keep
+        // this example fast).
+        if nodes <= 2 {
+            let reference = numerics::serial_reference(&cfg);
+            assert!(d_field
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| (a - b).abs() < 1e-12));
+            assert!(m_field
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| (a - b).abs() < 1e-12));
+        }
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>12.2} {:>9.2}x",
+            nodes,
+            d.time_ms,
+            m.time_ms,
+            m.halo_ms,
+            m.time_ms / d.time_ms
+        );
+    }
+}
