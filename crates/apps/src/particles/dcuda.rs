@@ -6,9 +6,7 @@
 //! data movement only takes place for distributed memory ranks" on the halo
 //! path but migration always writes).
 
-use super::model::{
-    init_cell, migrate, step_cell, ParticleConfig, Particles,
-};
+use super::model::{init_cell, migrate, step_cell, ParticleConfig, Particles};
 use super::ParticleResult;
 use dcuda_core::window::f64_slice;
 use dcuda_core::{ClusterSim, Rank, RankCtx, RankKernel, Suspend, SystemSpec, WinId, WindowSpec};
@@ -145,17 +143,12 @@ impl RankKernel for ParticleKernel {
                             self.right.map(|_| unpack_halo(&w[2 * hs..3 * hs])),
                         )
                     };
-                    let work = step_cell(
-                        &mut self.own,
-                        left_p.as_ref(),
-                        right_p.as_ref(),
-                        &self.cfg,
-                    );
+                    let work =
+                        step_cell(&mut self.own, left_p.as_ref(), right_p.as_ref(), &self.cfg);
                     ctx.charge(work.force_charge(self.cfg.charge_scale));
                     let (to_left, to_right) = migrate(&mut self.own, self.cell, &self.cfg);
                     // Pack and ship the migrants from the staging slots.
-                    let pack_bytes =
-                        8 * (2 + 4 * to_left.len() + 4 * to_right.len());
+                    let pack_bytes = 8 * (2 + 4 * to_left.len() + 4 * to_right.len());
                     ctx.charge(BlockCharge::mem(pack_bytes as f64));
                     {
                         let w = ctx.win_f64_mut(W_MIG);

@@ -204,7 +204,12 @@ pub fn step_cell(
     let n = own.len();
     let mut fx = vec![0.0; n];
     let mut fy = vec![0.0; n];
-    let accumulate = |own: &Particles, other: &Particles, same: bool, fx: &mut [f64], fy: &mut [f64], work: &mut StepWork| {
+    let accumulate = |own: &Particles,
+                      other: &Particles,
+                      same: bool,
+                      fx: &mut [f64],
+                      fy: &mut [f64],
+                      work: &mut StepWork| {
         for i in 0..own.len() {
             for j in 0..other.len() {
                 if same && i == j {

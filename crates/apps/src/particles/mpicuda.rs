@@ -7,9 +7,7 @@
 //! "continuously fetches the book keeping counters to the host" to size its
 //! messages — modeled as an extra host synchronization per iteration.
 
-use super::model::{
-    init_cell, migrate, step_cell, ParticleConfig, Particles, StepWork,
-};
+use super::model::{init_cell, migrate, step_cell, ParticleConfig, Particles, StepWork};
 use super::ParticleResult;
 use dcuda_core::baseline::{BaselineCosts, ExchangeMsg, MpiCudaSim};
 use dcuda_core::SystemSpec;

@@ -323,9 +323,9 @@ mod tests {
         for pcol in [0u32, 1] {
             let a = generate_patch(&cfg, 0, pcol);
             let x = generate_x(&cfg, pcol);
-            for r in 0..n {
+            for (r, e) in expect.iter_mut().enumerate() {
                 for k in a.row_ptr[r]..a.row_ptr[r + 1] {
-                    expect[r] += a.values[k] * x[a.col_idx[k]];
+                    *e += a.values[k] * x[a.col_idx[k]];
                 }
             }
         }

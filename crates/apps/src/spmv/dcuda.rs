@@ -182,10 +182,7 @@ impl RankKernel for SpmvKernel {
                         let k = (round - 1) as usize;
                         let slot = self.rows.len();
                         let w = ctx.win_f64(W_RED);
-                        for (dst, src) in self
-                            .partial
-                            .iter_mut()
-                            .zip(&w[k * slot..(k + 1) * slot])
+                        for (dst, src) in self.partial.iter_mut().zip(&w[k * slot..(k + 1) * slot])
                         {
                             *dst += src;
                         }
@@ -334,8 +331,7 @@ fn run_once(spec: &SystemSpec, cfg: &SpmvConfig) -> (Vec<f64>, f64) {
                 let rows = cfg.rank_rows(local);
                 let base = local as usize * max_rows * 8;
                 let vals = f64_slice(&arena[base..base + rows.len() * 8]);
-                y[prow as usize * cfg.patch + rows.start
-                    ..prow as usize * cfg.patch + rows.end]
+                y[prow as usize * cfg.patch + rows.start..prow as usize * cfg.patch + rows.end]
                     .copy_from_slice(vals);
             }
         }

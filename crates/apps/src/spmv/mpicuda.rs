@@ -24,7 +24,13 @@ pub fn run_mpicuda(spec: &SystemSpec, cfg: &SpmvConfig) -> (Vec<f64>, SpmvResult
 
     // Numerics state: per node the (possibly received) x part and partial y.
     let patches: Vec<_> = (0..nodes)
-        .map(|node| generate_patch(cfg, cfg.grid_pos(node as u32).0, cfg.grid_pos(node as u32).1))
+        .map(|node| {
+            generate_patch(
+                cfg,
+                cfg.grid_pos(node as u32).0,
+                cfg.grid_pos(node as u32).1,
+            )
+        })
         .collect();
     let mut xs: Vec<Vec<f64>> = (0..nodes)
         .map(|node| {

@@ -42,7 +42,7 @@ struct StencilKernel {
 
 impl StencilKernel {
     fn win_in(&self) -> WinId {
-        if self.iter % 2 == 0 {
+        if self.iter.is_multiple_of(2) {
             W_A
         } else {
             W_B
@@ -50,7 +50,7 @@ impl StencilKernel {
     }
 
     fn win_out(&self) -> WinId {
-        if self.iter % 2 == 0 {
+        if self.iter.is_multiple_of(2) {
             W_B
         } else {
             W_A
@@ -269,7 +269,11 @@ fn run_once(spec: &SystemSpec, cfg: &StencilConfig) -> (Vec<f64>, f64) {
     let mut sim = ClusterSim::new(spec.clone(), topo, windows, kernels);
     let report = sim.run();
     // Final field lives in A for even iteration counts, B for odd.
-    let final_win = if cfg.iters % 2 == 0 { W_A } else { W_B };
+    let final_win = if cfg.iters.is_multiple_of(2) {
+        W_A
+    } else {
+        W_B
+    };
     let jpn = cfg.j_per_node();
     let mut field = Vec::with_capacity(cfg.j_total() * cfg.dims.line_len());
     for node in 0..topo.nodes {

@@ -59,7 +59,10 @@ impl StencilConfig {
             nodes,
             ranks_per_node: 4,
             j_per_rank: 2,
-            dims: Dims { isize: 16, ksize: 2 },
+            dims: Dims {
+                isize: 16,
+                ksize: 2,
+            },
             iters: 4,
         }
     }

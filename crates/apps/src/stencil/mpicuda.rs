@@ -66,8 +66,7 @@ pub fn run_mpicuda(spec: &SystemSpec, cfg: &StencilConfig) -> (Vec<f64>, Stencil
     let mut sim = MpiCudaSim::new(spec.clone(), BaselineCosts::default(), topo);
     // Per-block charges: every block covers `j_per_rank` lines.
     let charges = phase_charges(cfg.j_per_rank, &d);
-    let kernel_charges =
-        |c: BlockCharge| vec![vec![c; topo.ranks_per_node as usize]; nodes];
+    let kernel_charges = |c: BlockCharge| vec![vec![c; topo.ranks_per_node as usize]; nodes];
 
     // Node-boundary exchange message lists (computed once; sizes are fixed).
     let boundary_msgs = |both_dirs: bool| -> Vec<ExchangeMsg> {

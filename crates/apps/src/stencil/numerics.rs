@@ -93,19 +93,19 @@ pub fn compute_fluxes(
         for k in 0..d.ksize {
             for i in 1..d.isize - 1 {
                 let f = lap[d.at(j, k, i + 1)] - lap[d.at(j, k, i)];
-                flx[d.at(j, k, i)] =
-                    if f * (input[d.at(j, k, i + 1)] - input[d.at(j, k, i)]) > 0.0 {
-                        0.0
-                    } else {
-                        f
-                    };
+                flx[d.at(j, k, i)] = if f * (input[d.at(j, k, i + 1)] - input[d.at(j, k, i)]) > 0.0
+                {
+                    0.0
+                } else {
+                    f
+                };
                 let g = lap[d.at(j + 1, k, i)] - lap[d.at(j, k, i)];
-                fly[d.at(j, k, i)] =
-                    if g * (input[d.at(j + 1, k, i)] - input[d.at(j, k, i)]) > 0.0 {
-                        0.0
-                    } else {
-                        g
-                    };
+                fly[d.at(j, k, i)] = if g * (input[d.at(j + 1, k, i)] - input[d.at(j, k, i)]) > 0.0
+                {
+                    0.0
+                } else {
+                    g
+                };
             }
         }
     }

@@ -2,11 +2,11 @@
 //! occupancy (Little's law), host-staging threshold, and notification
 //! matching cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dcuda_bench::harness::bench;
 use dcuda_bench::{ablation_match_cost, ablation_occupancy, ablation_staging};
 use dcuda_core::SystemSpec;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = SystemSpec::greina();
     println!("Ablation: blocks/SM vs overlap efficiency (Little's law):");
     for (bps, eff) in ablation_occupancy(&spec) {
@@ -20,11 +20,5 @@ fn bench(c: &mut Criterion) {
     for (us, ms) in ablation_match_cost(&spec) {
         println!("  {us:.1} us/entry: {ms:.3} ms");
     }
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("occupancy_sweep", |b| b.iter(|| ablation_occupancy(&spec)));
-    g.finish();
+    bench("ablations/occupancy_sweep", || ablation_occupancy(&spec));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

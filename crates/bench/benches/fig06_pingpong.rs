@@ -1,10 +1,10 @@
 //! Figure 6 bench: ping-pong put bandwidth, shared vs distributed.
 //!
 //! Prints the figure's series (simulated metrics), then times the simulation
-//! itself with Criterion.
+//! itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcuda_apps::micro::pingpong::{figure6_sizes, run, Placement};
+use dcuda_bench::harness::bench;
 use dcuda_core::SystemSpec;
 
 fn print_series() {
@@ -21,20 +21,12 @@ fn print_series() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series();
     let spec = SystemSpec::greina();
-    let mut g = c.benchmark_group("fig06_pingpong");
-    g.sample_size(10);
     for placement in [Placement::Shared, Placement::Distributed] {
-        g.bench_with_input(
-            BenchmarkId::new("sim", format!("{placement:?}")),
-            &placement,
-            |b, &p| b.iter(|| run(&spec, p, 1024, 50)),
-        );
+        bench(&format!("fig06_pingpong/sim/{placement:?}"), || {
+            run(&spec, placement, 1024, 50)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

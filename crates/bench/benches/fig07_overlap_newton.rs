@@ -1,12 +1,14 @@
 //! Figure 7 bench: overlap for the compute-bound Newton-Raphson workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dcuda_apps::micro::overlap::{sweep, Workload};
+use dcuda_bench::harness::bench;
 use dcuda_core::SystemSpec;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = SystemSpec::greina();
-    println!("Figure 7 series (Newton-Raphson; paper shape: good overlap, full slightly above max):");
+    println!(
+        "Figure 7 series (Newton-Raphson; paper shape: good overlap, full slightly above max):"
+    );
     for p in sweep(&spec, Workload::Newton, 30, &[0, 64, 256, 512], 2, 104) {
         println!(
             "  x={:>4}: full={:>7.3} ms, compute={:>7.3} ms, exchange={:>7.3} ms (eff {:.2})",
@@ -17,13 +19,7 @@ fn bench(c: &mut Criterion) {
             p.overlap_efficiency()
         );
     }
-    let mut g = c.benchmark_group("fig07_overlap_newton");
-    g.sample_size(10);
-    g.bench_function("sim_x256", |b| {
-        b.iter(|| sweep(&spec, Workload::Newton, 10, &[256], 2, 52))
+    bench("fig07_overlap_newton/sim_x256", || {
+        sweep(&spec, Workload::Newton, 10, &[256], 2, 52)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Figure 8 bench: overlap for the bandwidth-bound copy workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dcuda_apps::micro::overlap::{sweep, Workload};
+use dcuda_bench::harness::bench;
 use dcuda_core::SystemSpec;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = SystemSpec::greina();
-    println!("Figure 8 series (copy; paper shape: perfect overlap, full ~ max(compute, exchange)):");
+    println!(
+        "Figure 8 series (copy; paper shape: perfect overlap, full ~ max(compute, exchange)):"
+    );
     for p in sweep(&spec, Workload::Copy, 30, &[0, 64, 256, 512], 2, 104) {
         println!(
             "  x={:>4}: full={:>7.3} ms, compute={:>7.3} ms, exchange={:>7.3} ms (eff {:.2})",
@@ -17,13 +19,7 @@ fn bench(c: &mut Criterion) {
             p.overlap_efficiency()
         );
     }
-    let mut g = c.benchmark_group("fig08_overlap_copy");
-    g.sample_size(10);
-    g.bench_function("sim_x256", |b| {
-        b.iter(|| sweep(&spec, Workload::Copy, 10, &[256], 2, 52))
+    bench("fig08_overlap_copy/sim_x256", || {
+        sweep(&spec, Workload::Copy, 10, &[256], 2, 52)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

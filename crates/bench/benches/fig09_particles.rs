@@ -1,10 +1,10 @@
 //! Figure 9 bench: particle-simulation weak scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcuda_apps::particles::{run_dcuda, run_mpicuda, ParticleConfig};
+use dcuda_bench::harness::bench;
 use dcuda_core::SystemSpec;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = SystemSpec::greina();
     println!("Figure 9 series (paper shape: dCUDA outperforms MPI-CUDA beyond ~3 nodes; MPI-CUDA scaling cost ~ halo time):");
     for nodes in [1u32, 2, 4, 8] {
@@ -17,20 +17,14 @@ fn bench(c: &mut Criterion) {
             d.time_ms, m.time_ms, m.halo_ms
         );
     }
-    let mut g = c.benchmark_group("fig09_particles");
-    g.sample_size(10);
     for nodes in [1u32, 2] {
         let mut cfg = ParticleConfig::paper(nodes);
         cfg.iters = 5;
-        g.bench_with_input(BenchmarkId::new("dcuda", nodes), &cfg, |b, cfg| {
-            b.iter(|| run_dcuda(&spec, cfg))
+        bench(&format!("fig09_particles/dcuda/{nodes}"), || {
+            run_dcuda(&spec, &cfg)
         });
-        g.bench_with_input(BenchmarkId::new("mpicuda", nodes), &cfg, |b, cfg| {
-            b.iter(|| run_mpicuda(&spec, cfg))
+        bench(&format!("fig09_particles/mpicuda/{nodes}"), || {
+            run_mpicuda(&spec, &cfg)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

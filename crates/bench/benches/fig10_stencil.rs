@@ -1,10 +1,10 @@
 //! Figure 10 bench: stencil (horizontal diffusion) weak scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcuda_apps::stencil::{run_dcuda, run_mpicuda, StencilConfig};
+use dcuda_bench::harness::bench;
 use dcuda_core::SystemSpec;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = SystemSpec::greina();
     println!("Figure 10 series (paper shape: dCUDA weak-scales flat — halo fully overlapped; MPI-CUDA pays the halo):");
     for nodes in [1u32, 2, 4, 8] {
@@ -17,18 +17,8 @@ fn bench(c: &mut Criterion) {
             d.time_ms, m.time_ms, m.halo_ms
         );
     }
-    let mut g = c.benchmark_group("fig10_stencil");
-    g.sample_size(10);
     let mut cfg = StencilConfig::paper(2);
     cfg.iters = 5;
-    g.bench_with_input(BenchmarkId::new("dcuda", 2), &cfg, |b, cfg| {
-        b.iter(|| run_dcuda(&spec, cfg))
-    });
-    g.bench_with_input(BenchmarkId::new("mpicuda", 2), &cfg, |b, cfg| {
-        b.iter(|| run_mpicuda(&spec, cfg))
-    });
-    g.finish();
+    bench("fig10_stencil/dcuda/2", || run_dcuda(&spec, &cfg));
+    bench("fig10_stencil/mpicuda/2", || run_mpicuda(&spec, &cfg));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

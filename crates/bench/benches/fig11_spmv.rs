@@ -1,10 +1,10 @@
 //! Figure 11 bench: sparse matrix-vector weak scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcuda_apps::spmv::{run_dcuda, run_mpicuda, SpmvConfig};
+use dcuda_bench::harness::bench;
 use dcuda_core::SystemSpec;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = SystemSpec::greina();
     println!("Figure 11 series (paper shape: tight synchronization leaves no overlap; dCUDA comparable, catching up at 9 nodes):");
     for grid in [1u32, 2, 3] {
@@ -21,18 +21,8 @@ fn bench(c: &mut Criterion) {
             d.time_ms / m.time_ms
         );
     }
-    let mut g = c.benchmark_group("fig11_spmv");
-    g.sample_size(10);
     let mut cfg = SpmvConfig::paper(2);
     cfg.iters = 5;
-    g.bench_with_input(BenchmarkId::new("dcuda", 4), &cfg, |b, cfg| {
-        b.iter(|| run_dcuda(&spec, cfg))
-    });
-    g.bench_with_input(BenchmarkId::new("mpicuda", 4), &cfg, |b, cfg| {
-        b.iter(|| run_mpicuda(&spec, cfg))
-    });
-    g.finish();
+    bench("fig11_spmv/dcuda/4", || run_dcuda(&spec, &cfg));
+    bench("fig11_spmv/mpicuda/4", || run_mpicuda(&spec, &cfg));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,16 +1,22 @@
 //! Regenerate the dCUDA paper's evaluation figures as printed series.
 //!
 //! ```text
-//! figures [--fig 6|7|8|9|10|11|ablations|all] [--full]
+//! figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial]
+//!         [--json [PATH]]
 //! ```
 //!
-//! Default: all figures at `--quick` effort. `--full` uses the paper's
-//! iteration counts (slower).
+//! Default: all figures at `--quick` effort, rows fanned out over all
+//! cores. `--full` uses the paper's iteration counts (slower). `--serial`
+//! disables the parallel driver (the simulated series are identical either
+//! way — diffing the two outputs is the determinism check). `--json`
+//! additionally writes the machine-readable series to `BENCH_figures.json`
+//! (or PATH); the schema is documented in EXPERIMENTS.md.
 
-use dcuda_apps::micro::overlap::Workload;
+use dcuda_apps::micro::overlap::{OverlapPoint, Workload};
+use dcuda_bench::json::Json;
 use dcuda_bench::{
     ablation_bcast_put, ablation_match_cost, ablation_occupancy, ablation_staging,
-    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, Effort, ScalingRow,
+    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, set_serial, Effort, ScalingRow,
 };
 use dcuda_core::SystemSpec;
 
@@ -28,21 +34,96 @@ fn print_scaling(name: &str, rows: &[ScalingRow]) {
     }
 }
 
+fn scaling_json(rows: &[ScalingRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .field("nodes", Json::from(r.nodes))
+                    .field("dcuda_ms", Json::from(r.dcuda_ms))
+                    .field("mpicuda_ms", Json::from(r.mpicuda_ms))
+                    .field("halo_ms", Json::from(r.halo_ms))
+            })
+            .collect(),
+    )
+}
+
+fn overlap_json(points: &[OverlapPoint]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("work_iters", Json::from(p.work_iters))
+                    .field("full_ms", Json::from(p.full_ms))
+                    .field("compute_ms", Json::from(p.compute_ms))
+                    .field("exchange_ms", Json::from(p.exchange_ms))
+                    .field("overlap_efficiency", Json::from(p.overlap_efficiency()))
+            })
+            .collect(),
+    )
+}
+
+const USAGE: &str =
+    "usage: figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial] [--json [PATH]]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Values consumed by --fig / --json; everything else must be a known flag.
+    let mut value_slots = Vec::new();
     let effort = if args.iter().any(|a| a == "--full") {
         Effort::Full
     } else {
         Effort::Quick
     };
-    let which = args
-        .iter()
-        .position(|a| a == "--fig")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    if args.iter().any(|a| a == "--serial") || std::env::var_os("DCUDA_FIGURES_SERIAL").is_some() {
+        set_serial(true);
+    }
+    let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
+        match args.get(i + 1).filter(|p| !p.starts_with("--")) {
+            Some(p) => {
+                value_slots.push(i + 1);
+                p.clone()
+            }
+            None => "BENCH_figures.json".to_string(),
+        }
+    });
+    let which = match args.iter().position(|a| a == "--fig") {
+        Some(i) => {
+            value_slots.push(i + 1);
+            args.get(i + 1).cloned().unwrap_or_default()
+        }
+        None => "all".to_string(),
+    };
+    const FIGS: [&str; 8] = ["6", "7", "8", "9", "10", "11", "ablations", "all"];
+    if !FIGS.contains(&which.as_str()) {
+        eprintln!("figures: unknown --fig value {which:?} (expected one of {FIGS:?})");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    for (i, a) in args.iter().enumerate() {
+        if !value_slots.contains(&i)
+            && !["--fig", "--full", "--serial", "--json"].contains(&a.as_str())
+        {
+            eprintln!("figures: unknown argument {a:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
     let spec = SystemSpec::greina();
     let all = which == "all";
+    let started = std::time::Instant::now();
+    let mut out = Json::obj()
+        .field("schema", Json::str("dcuda-figures-v1"))
+        .field(
+            "effort",
+            Json::str(if effort == Effort::Full {
+                "full"
+            } else {
+                "quick"
+            }),
+        )
+        .field("serial", Json::from(dcuda_bench::is_serial()));
 
     if all || which == "6" {
         println!("== Figure 6: put bandwidth (paper: saturates ~5757.6 MB/s distributed, ~1057.9 MB/s shared; 19.4 us / 7.8 us empty-packet latency) ==");
@@ -50,7 +131,8 @@ fn main() {
             "{:>12} {:>14} {:>16} {:>18}",
             "placement", "packet [B]", "latency [us]", "bandwidth [MB/s]"
         );
-        for row in fig6(&spec, effort) {
+        let rows = fig6(&spec, effort);
+        for row in &rows {
             println!(
                 "{:>12} {:>14} {:>16.2} {:>18.1}",
                 format!("{:?}", row.placement),
@@ -59,6 +141,20 @@ fn main() {
                 row.result.bandwidth_mbs
             );
         }
+        out = out.field(
+            "fig6",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("placement", Json::str(format!("{:?}", r.placement)))
+                            .field("bytes", Json::from(r.result.bytes))
+                            .field("latency_us", Json::from(r.result.latency_us))
+                            .field("bandwidth_mbs", Json::from(r.result.bandwidth_mbs))
+                    })
+                    .collect(),
+            ),
+        );
     }
     for (fig, workload) in [("7", Workload::Newton), ("8", Workload::Copy)] {
         if all || which == fig {
@@ -71,7 +167,8 @@ fn main() {
                 "{:>8} {:>20} {:>16} {:>16} {:>10}",
                 "iters/x", "compute&exch [ms]", "compute [ms]", "exchange [ms]", "overlap"
             );
-            for p in fig7_8(&spec, workload, effort) {
+            let points = fig7_8(&spec, workload, effort);
+            for p in &points {
                 println!(
                     "{:>8} {:>20.3} {:>16.3} {:>16.3} {:>10.2}",
                     p.work_iters,
@@ -81,33 +178,42 @@ fn main() {
                     p.overlap_efficiency()
                 );
             }
+            out = out.field(&format!("fig{fig}"), overlap_json(&points));
         }
     }
     if all || which == "9" {
+        let rows = fig9(&spec, effort);
         print_scaling(
             "Figure 9: particle simulation weak scaling (paper: dCUDA wins beyond ~3 nodes; MPI-CUDA scaling cost ~ halo time)",
-            &fig9(&spec, effort),
+            &rows,
         );
+        out = out.field("fig9", scaling_json(&rows));
     }
     if all || which == "10" {
+        let rows = fig10(&spec, effort);
         print_scaling(
             "Figure 10: stencil weak scaling (paper: dCUDA flat, fully overlapped; MPI-CUDA pays the halo)",
-            &fig10(&spec, effort),
+            &rows,
         );
+        out = out.field("fig10", scaling_json(&rows));
     }
     if all || which == "11" {
+        let rows = fig11(&spec, effort);
         print_scaling(
             "Figure 11: SpMV weak scaling (paper: no overlap; dCUDA comparable, catching up at 9 nodes)",
-            &fig11(&spec, effort),
+            &rows,
         );
+        out = out.field("fig11", scaling_json(&rows));
     }
     if all || which == "ablations" {
+        let occupancy = ablation_occupancy(&spec);
         println!("\n== Ablation: occupancy vs overlap efficiency (Little's law) ==");
-        for (blocks_per_sm, eff) in ablation_occupancy(&spec) {
+        for (blocks_per_sm, eff) in &occupancy {
             println!("blocks/SM = {blocks_per_sm:>3}: overlap efficiency {eff:.2}");
         }
+        let staging = ablation_staging(&spec);
         println!("\n== Ablation: host-staging threshold vs 1 MiB put bandwidth ==");
-        for (threshold, bw) in ablation_staging(&spec) {
+        for &(threshold, bw) in &staging {
             let t = if threshold == u64::MAX {
                 "never".to_string()
             } else {
@@ -115,20 +221,116 @@ fn main() {
             };
             println!("stage >= {t:>8}: {bw:.0} MB/s");
         }
+        let match_cost = ablation_match_cost(&spec);
         println!("\n== Ablation: notification matching cost vs Newton overlap ==");
-        for (us, full) in ablation_match_cost(&spec) {
+        for &(us, full) in &match_cost {
             println!("match cost {us:.1} us/entry: compute&exchange {full:.3} ms");
         }
-        println!("\n== Ablation: SpMV x fan-out — notification tree vs broadcast-put (paper SV) ==");
-        for (nodes, tree, bput) in ablation_bcast_put(&spec) {
+        let bcast = ablation_bcast_put(&spec);
+        println!(
+            "\n== Ablation: SpMV x fan-out — notification tree vs broadcast-put (paper SV) =="
+        );
+        for &(nodes, tree, bput) in &bcast {
             println!("nodes={nodes}: tree {tree:.2} ms, put_notify_all {bput:.2} ms");
         }
-        println!("\n== Ablation: vertical levels vs stencil variants (paper SIV-C staging claim) ==");
-        for (k, d, m) in ablation_vertical_levels(&spec) {
+        let vertical = ablation_vertical_levels(&spec);
+        println!(
+            "\n== Ablation: vertical levels vs stencil variants (paper SIV-C staging claim) =="
+        );
+        for &(k, d, m) in &vertical {
             println!(
                 "ksize={k:>3} (MPI halo {:>3} kB): dCUDA {d:.2} ms, MPI-CUDA {m:.2} ms, ratio {:.2}",
                 k, m / d
             );
         }
+        out = out.field(
+            "ablations",
+            Json::obj()
+                .field(
+                    "occupancy",
+                    Json::Arr(
+                        occupancy
+                            .iter()
+                            .map(|&(bps, eff)| {
+                                Json::obj()
+                                    .field("blocks_per_sm", Json::from(bps))
+                                    .field("overlap_efficiency", Json::from(eff))
+                            })
+                            .collect(),
+                    ),
+                )
+                .field(
+                    "staging",
+                    Json::Arr(
+                        staging
+                            .iter()
+                            .map(|&(thr, bw)| {
+                                Json::obj()
+                                    .field(
+                                        "threshold_bytes",
+                                        if thr == u64::MAX {
+                                            Json::Null
+                                        } else {
+                                            Json::from(thr)
+                                        },
+                                    )
+                                    .field("bandwidth_mbs", Json::from(bw))
+                            })
+                            .collect(),
+                    ),
+                )
+                .field(
+                    "match_cost",
+                    Json::Arr(
+                        match_cost
+                            .iter()
+                            .map(|&(us, ms)| {
+                                Json::obj()
+                                    .field("us_per_entry", Json::from(us))
+                                    .field("full_ms", Json::from(ms))
+                            })
+                            .collect(),
+                    ),
+                )
+                .field(
+                    "bcast_put",
+                    Json::Arr(
+                        bcast
+                            .iter()
+                            .map(|&(nodes, tree, bput)| {
+                                Json::obj()
+                                    .field("nodes", Json::from(nodes))
+                                    .field("tree_ms", Json::from(tree))
+                                    .field("bcast_ms", Json::from(bput))
+                            })
+                            .collect(),
+                    ),
+                )
+                .field(
+                    "vertical_levels",
+                    Json::Arr(
+                        vertical
+                            .iter()
+                            .map(|&(k, d, m)| {
+                                Json::obj()
+                                    .field("ksize", Json::from(k))
+                                    .field("dcuda_ms", Json::from(d))
+                                    .field("mpicuda_ms", Json::from(m))
+                            })
+                            .collect(),
+                    ),
+                ),
+        );
+    }
+
+    let wall = started.elapsed().as_secs_f64();
+    eprintln!("\nfigures: {wall:.2} s wall clock");
+    if let Some(path) = json_path {
+        out = out.field("wall_seconds", Json::from(wall));
+        if let Err(e) = std::fs::write(&path, format!("{out}\n")) {
+            eprintln!("figures: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("figures: wrote {path}");
     }
 }

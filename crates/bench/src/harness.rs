@@ -1,0 +1,99 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace builds offline with zero external crates, so the benches
+//! under `benches/` time themselves with this ~60-line harness instead of
+//! Criterion: one warmup call sizes the iteration count toward a fixed time
+//! budget, then every iteration is timed and the spread reported. Good
+//! enough to compare simulator-engineering alternatives (linear vs indexed
+//! matcher, serial vs parallel driver) by factors, which is all the benches
+//! claim.
+
+use std::time::Instant;
+
+/// Timing summary of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Case name as printed.
+    pub name: String,
+    /// Timed iterations (after warmup).
+    pub iters: u32,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    /// Mean milliseconds per iteration.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Time `f`, print one summary line, and return the measurements.
+///
+/// One warmup call sizes the loop: enough iterations to fill ~300 ms of
+/// wall time, clamped to [3, 30] so a slow case still gets a spread and a
+/// fast one doesn't spin forever.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> BenchResult {
+    let warmup = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = warmup.elapsed().as_nanos().max(1) as f64;
+    let iters = ((3e8 / once_ns) as u32).clamp(3, 30);
+    let mut total_ns = 0.0;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let ns = t.elapsed().as_nanos() as f64;
+        total_ns += ns;
+        min_ns = min_ns.min(ns);
+    }
+    let r = BenchResult {
+        name: name.to_string(),
+        iters,
+        mean_ns: total_ns / iters as f64,
+        min_ns,
+    };
+    println!(
+        "bench {:<44} {:>12}/iter (min {:>12}, {} iters)",
+        r.name,
+        fmt_ns(r.mean_ns),
+        fmt_ns(r.min_ns),
+        r.iters
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let r = bench("noop", || 42u64);
+        assert!(r.iters >= 3);
+        assert!(r.min_ns <= r.mean_ns);
+        assert!(r.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5.0e3).ends_with("us"));
+        assert!(fmt_ns(5.0e6).ends_with("ms"));
+        assert!(fmt_ns(5.0e9).ends_with(" s"));
+    }
+}

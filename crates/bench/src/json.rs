@@ -1,0 +1,194 @@
+//! Hand-rolled JSON emission for `figures --json`.
+//!
+//! The workspace carries no serde; the figure series are flat records of
+//! numbers and short enum names, so a five-variant value tree plus an
+//! escaping writer covers everything `BENCH_figures.json` needs.
+
+use std::fmt::{self, Write as _};
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null` (also used for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number; u64 counters keep full precision.
+    Num(f64),
+    /// Unsigned integer, emitted without a decimal point.
+    UInt(u64),
+    /// String (escaped on write).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Add a field to an object (panics on non-objects — builder misuse).
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("field() on non-object"),
+        }
+        self
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(v)
+        } else {
+            Json::Null
+        }
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Num(n) => {
+            // f64 Display round-trips; JSON has no NaN/inf (mapped to null
+            // at construction).
+            let _ = write!(out, "{n}");
+        }
+        Json::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                let _ = write!(out, "{pad}  ");
+                write_value(out, item, indent + 1);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}]");
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                let _ = write!(out, "{pad}  \"");
+                escape_into(out, k);
+                out.push_str("\": ");
+                write_value(out, val, indent + 1);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}}}");
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, 0);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj()
+            .field("name", Json::str("fig6"))
+            .field(
+                "rows",
+                Json::Arr(vec![Json::from(1.5f64), Json::from(2u64)]),
+            )
+            .field("ok", Json::from(true));
+        let s = j.to_string();
+        assert!(s.contains("\"name\": \"fig6\""));
+        assert!(s.contains("1.5"));
+        assert!(s.contains("true"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::str("a\"b\\c\nd").to_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert!(matches!(Json::from(f64::NAN), Json::Null));
+        assert!(matches!(Json::from(f64::INFINITY), Json::Null));
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX - 1;
+        assert_eq!(Json::from(big).to_string(), format!("{big}"));
+    }
+}

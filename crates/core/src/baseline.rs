@@ -136,9 +136,9 @@ impl MpiCudaSim {
     /// Panics if `charges` does not match the topology.
     pub fn kernel_phase(&mut self, charges: &[Vec<BlockCharge>]) {
         assert_eq!(charges.len(), self.topo.nodes as usize);
-        for node in 0..self.topo.nodes as usize {
+        for (node, node_charges) in charges.iter().enumerate() {
             assert!(
-                charges[node].len() <= self.topo.ranks_per_node as usize,
+                node_charges.len() <= self.topo.ranks_per_node as usize,
                 "more block charges than blocks"
             );
             self.kernel_launches += 1;
@@ -146,7 +146,7 @@ impl MpiCudaSim {
             let dev = &mut self.devices[node];
             self.scratch.clear();
             dev.advance_to(start, &mut self.scratch);
-            for (b, &c) in charges[node].iter().enumerate() {
+            for (b, &c) in node_charges.iter().enumerate() {
                 dev.submit_block_work(BlockSlot(b as u32), c, b as u64);
             }
             let mut end = start;
@@ -168,25 +168,25 @@ impl MpiCudaSim {
         for m in msgs {
             assert!(m.src < self.topo.nodes && m.dst < self.topo.nodes);
             let (s, d) = (m.src as usize, m.dst as usize);
-            let path = self
-                .net
-                .device_path(NodeId(m.src), NodeId(m.dst), m.bytes);
+            let path = self.net.device_path(NodeId(m.src), NodeId(m.dst), m.bytes);
             let path = if m.src == m.dst {
                 TransferPath::Loopback
             } else {
                 path
             };
             let send_start = entry[s] + self.costs.mpi_call_cost;
-            let del = self.net.send(send_start, NodeId(m.src), NodeId(m.dst), m.bytes, path);
+            let del = self
+                .net
+                .send(send_start, NodeId(m.src), NodeId(m.dst), m.bytes, path);
             // Sender completes when its buffer frees; receiver when the
             // payload arrives and it has posted the receive.
             new_t[s] = new_t[s].max(del.egress_free + self.costs.mpi_call_cost);
             let recv_ready = entry[d] + self.costs.mpi_call_cost;
             new_t[d] = new_t[d].max(del.arrival.max(recv_ready) + self.costs.mpi_call_cost);
         }
-        for n in 0..self.t.len() {
-            self.exchange_time[n] += new_t[n].since(entry[n]);
-            self.t[n] = new_t[n];
+        for (n, &nt) in new_t.iter().enumerate() {
+            self.exchange_time[n] += nt.since(entry[n]);
+            self.t[n] = nt;
         }
     }
 
@@ -197,9 +197,9 @@ impl MpiCudaSim {
             move |_bytes: u64| netspec.overhead + netspec.latency + SimDuration::from_nanos(100);
         let entry = self.t.clone();
         let exits = barrier_exit_times(&entry, &hop);
-        for n in 0..self.t.len() {
-            self.exchange_time[n] += exits[n].since(entry[n]);
-            self.t[n] = exits[n];
+        for (n, &x) in exits.iter().enumerate() {
+            self.exchange_time[n] += x.since(entry[n]);
+            self.t[n] = x;
         }
     }
 
@@ -288,7 +288,8 @@ mod tests {
         let total = s.elapsed();
         assert!(total > after_kernel, "exchange adds time on top of compute");
         assert!(
-            (total.as_micros_f64() - after_kernel.as_micros_f64()
+            (total.as_micros_f64()
+                - after_kernel.as_micros_f64()
                 - s.exchange_elapsed().as_micros_f64())
             .abs()
                 < 0.5
@@ -298,12 +299,7 @@ mod tests {
     #[test]
     fn barrier_synchronizes_timelines() {
         let mut s = sim(4);
-        s.kernel_phase(&[
-            vec![BlockCharge::flops(105.0e6); 8],
-            vec![],
-            vec![],
-            vec![],
-        ]);
+        s.kernel_phase(&[vec![BlockCharge::flops(105.0e6); 8], vec![], vec![], vec![]]);
         s.barrier_phase();
         let times = s.times();
         let max = times.iter().max().unwrap();

@@ -375,6 +375,8 @@ where
 }
 
 #[cfg(test)]
+// Fixtures really do mean a one-window world: a single `Range` per arena.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
     use crate::window::Arena;

@@ -27,6 +27,7 @@
 
 pub mod baseline;
 pub mod kernel;
+pub mod pool;
 pub mod report;
 pub mod spec;
 pub mod types;

@@ -33,6 +33,15 @@ pub struct RunReport {
     pub net_bytes: u64,
     /// Total simulation events processed.
     pub events: u64,
+    /// High-water mark of the event queue (scheduled, not yet fired).
+    pub peak_event_queue: u64,
+    /// High-water mark of any single rank's pending-notification backlog.
+    pub peak_pending_notifications: u64,
+    /// Payload snapshot buffers handed out by the pool (host-side metric;
+    /// does not affect modeled time).
+    pub pool_acquires: u64,
+    /// Pool acquires served without allocating.
+    pub pool_hits: u64,
 }
 
 impl RunReport {

@@ -6,7 +6,7 @@ use dcuda_fabric::{NetworkSpec, PcieSpec};
 
 /// Host-runtime cost parameters (the event handler / block manager layer of
 /// paper Figure 4, executed by a single worker thread per node).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct HostSpec {
     /// Pipeline latency of one block-manager action (process a command,
     /// handle a completion, post a receive).
@@ -49,7 +49,7 @@ impl Default for HostSpec {
 }
 
 /// Every hardware and runtime parameter of the simulated cluster.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SystemSpec {
     /// Per-node GPU parameters.
     pub device: DeviceSpec,

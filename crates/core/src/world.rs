@@ -25,15 +25,16 @@
 //! loop device local notifications through the host as well").
 
 use crate::kernel::{NotifyMode, RankCtx, RankKernel, RmaKind, RmaOp, Segment, Suspend};
+use crate::pool::PayloadPool;
 use crate::report::RunReport;
 use crate::spec::SystemSpec;
 use crate::types::{Rank, Topology};
 use crate::window::{Arena, WindowSpec};
-use dcuda_des::{EventQueue, FifoResource, Slab, SimDuration, SimTime, SlotKey, Timer};
+use dcuda_des::{EventQueue, FifoResource, SimDuration, SimTime, Slab, SlotKey, Timer};
 use dcuda_device::{BlockCharge, BlockSlot, Device, LaunchConfig};
 use dcuda_fabric::{Network, NodeId, PcieLink, TransferPath};
 use dcuda_mpi::collective::barrier_exit_times;
-use dcuda_queues::{match_in_order, Notification, Query, ANY};
+use dcuda_queues::{IndexedMatcher, Notification, Query, ANY};
 use std::collections::VecDeque;
 
 /// One executable step element derived from a kernel's recorded segments.
@@ -67,7 +68,10 @@ struct RankState {
     query: Query,
     want: u32,
     outstanding: u32,
-    pending: VecDeque<Notification>,
+    /// Arrived-but-unmatched notifications. The index answers queries in
+    /// O(matches) host time; the *modeled* linear-scan cost it reports is
+    /// charged to the simulated device unchanged.
+    pending: IndexedMatcher,
     /// Device work owed for notification matching, prepended to the next
     /// charge (the paper: "the notification matching itself is relatively
     /// compute heavy").
@@ -84,7 +88,7 @@ impl RankState {
             query: Query::WILDCARD,
             want: 0,
             outstanding: 0,
-            pending: VecDeque::new(),
+            pending: IndexedMatcher::new(),
             match_backlog_flops: 0.0,
             finish: SimTime::ZERO,
         }
@@ -175,6 +179,10 @@ pub struct ClusterSim {
     notifications: u64,
     notifications_scanned: u64,
     barriers: u64,
+    /// Deepest per-rank pending-notification backlog observed.
+    peak_pending_notifications: usize,
+    /// Reusable payload snapshot buffers.
+    pool: PayloadPool,
     // Scratch.
     completed_buf: Vec<u64>,
 }
@@ -253,6 +261,8 @@ impl ClusterSim {
             notifications: 0,
             notifications_scanned: 0,
             barriers: 0,
+            peak_pending_notifications: 0,
+            pool: PayloadPool::new(),
             completed_buf: Vec::new(),
         }
     }
@@ -298,7 +308,13 @@ impl ClusterSim {
                 .enumerate()
                 .filter(|(_, s)| s.status != Status::Done)
                 .take(16)
-                .map(|(i, s)| format!("rank {i}: {:?} (pending notifs: {})", s.status, s.pending.len()))
+                .map(|(i, s)| {
+                    format!(
+                        "rank {i}: {:?} (pending notifs: {})",
+                        s.status,
+                        s.pending.len()
+                    )
+                })
                 .collect();
             panic!(
                 "dCUDA deadlock: {}/{} ranks finished; stuck examples: {:#?}",
@@ -329,6 +345,10 @@ impl ClusterSim {
                 .map(|n| self.net.bytes_sent(NodeId(n)))
                 .sum(),
             events: self.queue.scheduled_total(),
+            peak_event_queue: self.queue.peak_pending() as u64,
+            peak_pending_notifications: self.peak_pending_notifications as u64,
+            pool_acquires: self.pool.acquires(),
+            pool_hits: self.pool.hits(),
         }
     }
 
@@ -345,8 +365,8 @@ impl ClusterSim {
                 // The action occupies the single worker thread briefly
                 // (throughput limit) and completes after its pipeline
                 // latency.
-                let (_, freed) = self.host_worker[node as usize]
-                    .submit(now, self.spec.host.worker_gap);
+                let (_, freed) =
+                    self.host_worker[node as usize].submit(now, self.spec.host.worker_gap);
                 let done = freed + self.host_cost(item);
                 self.queue.schedule_at(done, Ev::HostDone { node, item });
             }
@@ -371,7 +391,10 @@ impl ClusterSim {
                 let key = SlotKey::from_bits(xfer);
                 // Land the payload in destination memory.
                 self.land_payload(key);
-                let tr = self.transfers.get_mut(key).expect("data for unknown transfer");
+                let tr = self
+                    .transfers
+                    .get_mut(key)
+                    .expect("data for unknown transfer");
                 tr.data_ready = Some(now);
                 self.maybe_complete(key, now);
             }
@@ -683,7 +706,9 @@ impl ClusterSim {
         let payload = match op.kind {
             RmaKind::Put => {
                 let local = self.local_span(r, &op);
-                self.arenas[node as usize][op.win.index()].bytes()[local].to_vec()
+                let mut buf = self.pool.acquire(op.len);
+                buf.extend_from_slice(&self.arenas[node as usize][op.win.index()].bytes()[local]);
+                buf
             }
             RmaKind::Get => Vec::new(),
         };
@@ -733,9 +758,9 @@ impl ClusterSim {
                     RmaKind::Put => {
                         // Inject the data message (payload was snapshotted
                         // at issue time).
-                        let path =
-                            self.net
-                                .device_path(origin_node, partner_node, op.len as u64);
+                        let path = self
+                            .net
+                            .device_path(origin_node, partner_node, op.len as u64);
                         let data =
                             self.net
                                 .send(now, origin_node, partner_node, op.len as u64, path);
@@ -766,8 +791,13 @@ impl ClusterSim {
                     for local in 0..self.topo.ranks_per_node {
                         let rank = self.topo.rank_of(node, local);
                         let visible = self.pcie[node as usize].post_txn(now, 16);
-                        self.queue
-                            .schedule_at(visible, Ev::NotifDeliver { rank: rank.0, notif });
+                        self.queue.schedule_at(
+                            visible,
+                            Ev::NotifDeliver {
+                                rank: rank.0,
+                                notif,
+                            },
+                        );
                     }
                 } else {
                     let visible = self.pcie[node as usize].post_txn(now, 16);
@@ -798,8 +828,10 @@ impl ClusterSim {
                         let holder_node = NodeId(node);
                         let origin_node = NodeId(self.topo.node_of(origin));
                         let remote = self.remote_span(&op);
-                        let payload =
-                            self.arenas[node as usize][op.win.index()].bytes()[remote].to_vec();
+                        let mut payload = self.pool.acquire(op.len);
+                        payload.extend_from_slice(
+                            &self.arenas[node as usize][op.win.index()].bytes()[remote],
+                        );
                         {
                             let tr = self.transfers.get_mut(key).expect("live transfer");
                             tr.payload = payload;
@@ -808,9 +840,9 @@ impl ClusterSim {
                         let path = self
                             .net
                             .device_path(holder_node, origin_node, op.len as u64);
-                        let data = self
-                            .net
-                            .send(now, holder_node, origin_node, op.len as u64, path);
+                        let data =
+                            self.net
+                                .send(now, holder_node, origin_node, op.len as u64, path);
                         self.queue
                             .schedule_at(data.arrival, Ev::NetDataArrive { xfer });
                     }
@@ -818,7 +850,10 @@ impl ClusterSim {
             }
             HostItem::Complete { xfer } => {
                 let key = SlotKey::from_bits(xfer);
-                let tr = self.transfers.remove(key).expect("complete unknown transfer");
+                let tr = self
+                    .transfers
+                    .remove(key)
+                    .expect("complete unknown transfer");
                 match tr.op.kind {
                     RmaKind::Put => {
                         let notif = Notification {
@@ -841,11 +876,13 @@ impl ClusterSim {
                             NotifyMode::AllOnTargetDevice => {
                                 for local in 0..self.topo.ranks_per_node {
                                     let rank = self.topo.rank_of(node, local);
-                                    let visible =
-                                        self.pcie[node as usize].post_txn(now, 16);
+                                    let visible = self.pcie[node as usize].post_txn(now, 16);
                                     self.queue.schedule_at(
                                         visible,
-                                        Ev::NotifDeliver { rank: rank.0, notif },
+                                        Ev::NotifDeliver {
+                                            rank: rank.0,
+                                            notif,
+                                        },
                                     );
                                 }
                             }
@@ -854,12 +891,8 @@ impl ClusterSim {
                     RmaKind::Get => {
                         // Origin side: data landed; flush can advance and the
                         // origin rank is notified.
-                        self.queue.schedule_at(
-                            now,
-                            Ev::OriginFree {
-                                rank: tr.origin.0,
-                            },
-                        );
+                        self.queue
+                            .schedule_at(now, Ev::OriginFree { rank: tr.origin.0 });
                         if tr.op.notify != NotifyMode::None {
                             let visible = self.pcie[node as usize].post_txn(now, 16);
                             self.queue.schedule_at(
@@ -958,6 +991,8 @@ impl ClusterSim {
                 self.arenas[node][op.win.index()].bytes_mut()[span].copy_from_slice(&payload);
             }
         }
+        // The snapshot buffer's job is done; keep it for the next put.
+        self.pool.recycle(payload);
     }
 
     /// If meta and data are both in, submit the completion host job (on the
@@ -986,7 +1021,9 @@ impl ClusterSim {
     /// A notification became visible in a rank's device-side queue.
     fn deliver_notification(&mut self, rank: u32, notif: Notification, now: SimTime) {
         self.notifications += 1;
-        self.ranks[rank as usize].pending.push_back(notif);
+        let st = &mut self.ranks[rank as usize];
+        st.pending.insert(notif);
+        self.peak_pending_notifications = self.peak_pending_notifications.max(st.pending.len());
         if self.ranks[rank as usize].status == Status::Waiting {
             self.try_match(rank, now, true);
         }
@@ -999,7 +1036,7 @@ impl ClusterSim {
             self.spec.device.notification_match_cost.as_secs_f64() * self.spec.device.sm_flops;
         let st = &mut self.ranks[rank as usize];
         debug_assert_eq!(st.status, Status::Waiting);
-        match match_in_order(&mut st.pending, st.query, st.want as usize) {
+        match st.pending.try_match(st.query, st.want as usize) {
             Some((matched, scanned)) => {
                 self.notifications_scanned += scanned as u64;
                 st.match_backlog_flops += scanned as f64 * match_flops_per_scan;
@@ -1014,8 +1051,11 @@ impl ClusterSim {
                 self.queue.schedule_at(wake, Ev::RankWork { rank });
             }
             None => {
-                // Failed scans also consume device time while spinning.
-                let scanned = st.pending.len();
+                // Failed scans also consume device time while spinning. The
+                // modeled cost comes from the matcher (a linear matcher
+                // re-reads every pending entry), not from any host-side
+                // shortcut the index takes.
+                let scanned = st.pending.failed_scan_cost();
                 self.notifications_scanned += scanned as u64;
                 st.match_backlog_flops += scanned as f64 * match_flops_per_scan;
             }

@@ -2,31 +2,36 @@
 
 use dcuda_core::types::{Rank, Topology};
 use dcuda_core::window::{Arena, WindowSpec};
-use proptest::prelude::*;
+use dcuda_des::check::{forall, Gen};
 
-fn topo() -> impl Strategy<Value = Topology> {
-    (1u32..6, 1u32..16).prop_map(|(nodes, ranks_per_node)| Topology {
-        nodes,
-        ranks_per_node,
-    })
+fn topo(g: &mut Gen) -> Topology {
+    Topology {
+        nodes: 1 + g.u32_below(5),
+        ranks_per_node: 1 + g.u32_below(15),
+    }
 }
 
-proptest! {
-    /// Topology round trips: rank -> (node, local) -> rank.
-    #[test]
-    fn topology_round_trip(t in topo()) {
+/// Topology round trips: rank -> (node, local) -> rank.
+#[test]
+fn topology_round_trip() {
+    forall("topology_round_trip", 256, |g| {
+        let t = topo(g);
         for r in t.ranks() {
             let node = t.node_of(r);
             let local = t.local_of(r);
-            prop_assert!(node < t.nodes);
-            prop_assert!(local < t.ranks_per_node);
-            prop_assert_eq!(t.rank_of(node, local), r);
+            assert!(node < t.nodes);
+            assert!(local < t.ranks_per_node);
+            assert_eq!(t.rank_of(node, local), r);
         }
-    }
+    });
+}
 
-    /// Uniform windows are disjoint per node and fit the arena exactly.
-    #[test]
-    fn uniform_windows_are_disjoint(t in topo(), bytes in 1usize..512) {
+/// Uniform windows are disjoint per node and fit the arena exactly.
+#[test]
+fn uniform_windows_are_disjoint() {
+    forall("uniform_windows_are_disjoint", 256, |g| {
+        let t = topo(g);
+        let bytes = g.usize_in(1, 512);
         let w = WindowSpec::uniform(&t, bytes);
         w.validate(&t);
         for node in 0..t.nodes {
@@ -35,23 +40,22 @@ proptest! {
                 .collect();
             ranges.sort_by_key(|r| r.start);
             for pair in ranges.windows(2) {
-                prop_assert!(pair[0].end <= pair[1].start, "overlap in uniform layout");
+                assert!(pair[0].end <= pair[1].start, "overlap in uniform layout");
             }
-            prop_assert_eq!(
-                w.arena_len(&t, node),
-                bytes * t.ranks_per_node as usize
-            );
+            assert_eq!(w.arena_len(&t, node), bytes * t.ranks_per_node as usize);
         }
-    }
+    });
+}
 
-    /// Halo-ring windows overlap adjacent on-device ranks by exactly the
-    /// halo on each side, and the zero-copy geometry holds: a rank's first
-    /// interior byte coincides with its left neighbour's right-halo start.
-    #[test]
-    fn halo_ring_geometry(t in topo(), interior in 8usize..256, halo in 1usize..8) {
-        let interior = interior & !7; // keep 8-aligned
-        let halo = halo * 8;
-        let interior = interior.max(8);
+/// Halo-ring windows overlap adjacent on-device ranks by exactly the
+/// halo on each side, and the zero-copy geometry holds: a rank's first
+/// interior byte coincides with its left neighbour's right-halo start.
+#[test]
+fn halo_ring_geometry() {
+    forall("halo_ring_geometry", 256, |g| {
+        let t = topo(g);
+        let interior = (g.usize_in(8, 256) & !7).max(8); // keep 8-aligned
+        let halo = g.usize_in(1, 8) * 8;
         let w = WindowSpec::halo_ring(&t, interior, halo);
         w.validate(&t);
         for r in t.ranks() {
@@ -61,27 +65,30 @@ proptest! {
             let left = Rank(r.0 - 1);
             let my_first_interior = w.range_of(r).start + halo;
             let left_right_halo = w.range_of(left).start + halo + interior;
-            prop_assert_eq!(my_first_interior, left_right_halo);
+            assert_eq!(my_first_interior, left_right_halo);
         }
         // Arena covers all windows.
         for node in 0..t.nodes {
             let len = w.arena_len(&t, node);
             for l in 0..t.ranks_per_node {
-                prop_assert!(w.range_of(t.rank_of(node, l)).end <= len);
+                assert!(w.range_of(t.rank_of(node, l)).end <= len);
             }
         }
-    }
+    });
+}
 
-    /// Arena byte/f64 views agree for any 8-aligned write.
-    #[test]
-    fn arena_views_consistent(words in prop::collection::vec(any::<u64>(), 1..64)) {
+/// Arena byte/f64 views agree for any 8-aligned write.
+#[test]
+fn arena_views_consistent() {
+    forall("arena_views_consistent", 256, |g| {
+        let words: Vec<u64> = (0..g.usize_in(1, 64)).map(|_| g.u64()).collect();
         let mut a = Arena::new(words.len() * 8);
         for (i, &w) in words.iter().enumerate() {
             a.bytes_mut()[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
         }
         let f = dcuda_core::window::f64_slice(a.bytes());
         for (i, &w) in words.iter().enumerate() {
-            prop_assert_eq!(f[i].to_bits(), w);
+            assert_eq!(f[i].to_bits(), w);
         }
-    }
+    });
 }

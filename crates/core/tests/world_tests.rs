@@ -326,8 +326,10 @@ fn get_notify_pulls_remote_data() {
             }
         }
     }
-    let kernels: Vec<Box<dyn RankKernel>> =
-        vec![Box::new(Getter { phase: 0 }), Box::new(Seeder { done: false })];
+    let kernels: Vec<Box<dyn RankKernel>> = vec![
+        Box::new(Getter { phase: 0 }),
+        Box::new(Seeder { done: false }),
+    ];
     let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
     let report = sim.run();
     assert_eq!(report.rma_ops, 2);
@@ -559,8 +561,7 @@ fn unmatched_wait_deadlocks_with_diagnostics() {
             }
         }
     }
-    let kernels: Vec<Box<dyn RankKernel>> =
-        vec![Box::new(W { waited: false }), Box::new(Noop)];
+    let kernels: Vec<Box<dyn RankKernel>> = vec![Box::new(W { waited: false }), Box::new(Noop)];
     let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![], kernels);
     sim.run();
 }

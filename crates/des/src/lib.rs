@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod fifo;
 pub mod ps;
 pub mod queue;

@@ -43,8 +43,14 @@ impl SlotKey {
 }
 
 enum Slot<T> {
-    Occupied { generation: u32, value: T },
-    Free { generation: u32, next_free: Option<u32> },
+    Occupied {
+        generation: u32,
+        value: T,
+    },
+    Free {
+        generation: u32,
+        next_free: Option<u32>,
+    },
 }
 
 /// A slab with generation-checked keys.

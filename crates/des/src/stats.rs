@@ -7,7 +7,7 @@
 use crate::time::{SimDuration, SimTime};
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Default, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -32,7 +32,7 @@ impl Counter {
 
 /// Running scalar summary: count, mean, min, max (Welford-free; sums are fine
 /// at our magnitudes).
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Summary {
     count: u64,
     sum: f64,
@@ -132,7 +132,7 @@ impl TimeWeighted {
 
 /// Power-of-two latency histogram over `SimDuration`s, bucketed by
 /// microsecond log2 (bucket 0: <1 µs, bucket k: `[2^(k-1), 2^k)` µs).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
     summary: Summary,

@@ -1,15 +1,16 @@
 //! Property-based tests for the simulation kernel: event ordering, PS
 //! conservation laws, slab soundness.
 
+use dcuda_des::check::forall;
 use dcuda_des::stats::Summary;
 use dcuda_des::{EventQueue, PsResource, SimDuration, SimTime, Slab};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always pop in non-decreasing time order, FIFO among ties, and
-    /// none are lost.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..1000, 0..300)) {
+/// Events always pop in non-decreasing time order, FIFO among ties, and
+/// none are lost.
+#[test]
+fn event_queue_total_order() {
+    forall("event_queue_total_order", 256, |g| {
+        let times = g.vec_with(300, |g| g.u64_below(1000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(SimTime::from_ps(t), i);
@@ -17,28 +18,69 @@ proptest! {
         let mut popped = Vec::new();
         let mut last = SimTime::ZERO;
         while let Some((t, idx)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             popped.push((t, idx));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         // FIFO among equal timestamps: indices increase within a tie group.
         for w in popped.windows(2) {
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1);
+                assert!(w[0].1 < w[1].1);
             }
         }
-    }
+    });
+}
 
-    /// Processor sharing conserves work: total delivered equals total
-    /// demand once all jobs complete, regardless of arrival pattern.
-    #[test]
-    fn ps_conserves_work(
-        demands in prop::collection::vec(1.0f64..1000.0, 1..40),
-        arrivals in prop::collection::vec(0u64..10_000, 1..40),
-    ) {
-        let n = demands.len().min(arrivals.len());
-        let mut arr: Vec<u64> = arrivals[..n].to_vec();
+/// Same ordering guarantees when events are scheduled *while popping* —
+/// the real driver pattern, which exercises the `now`-FIFO fast path
+/// against the heap.
+#[test]
+fn event_queue_total_order_interleaved() {
+    forall("event_queue_total_order_interleaved", 256, |g| {
+        let mut q = EventQueue::new();
+        let mut next_id = 0u64;
+        let mut scheduled = 0usize;
+        for _ in 0..g.usize_in(1, 40) {
+            q.schedule_at(SimTime::from_ps(g.u64_below(500)), next_id);
+            next_id += 1;
+            scheduled += 1;
+        }
+        let mut popped = 0usize;
+        let mut last = SimTime::ZERO;
+        let mut last_seq_at: Option<(SimTime, u64)> = None;
+        while let Some((t, id)) = q.pop() {
+            assert!(t >= last, "time went backwards");
+            if let Some((lt, lid)) = last_seq_at {
+                if t == lt {
+                    assert!(id > lid, "FIFO violated among ties");
+                }
+            }
+            last = t;
+            last_seq_at = Some((t, id));
+            popped += 1;
+            // Sometimes schedule follow-ups at `now` (fast path) or later.
+            if scheduled < 300 {
+                for _ in 0..g.usize_below(3) {
+                    let dt = if g.bool() { 0 } else { 1 + g.u64_below(100) };
+                    q.schedule_at(t + SimDuration::from_ps(dt), next_id);
+                    next_id += 1;
+                    scheduled += 1;
+                }
+            }
+        }
+        assert_eq!(popped, scheduled, "no events lost");
+    });
+}
+
+/// Processor sharing conserves work: total delivered equals total
+/// demand once all jobs complete, regardless of arrival pattern.
+#[test]
+fn ps_conserves_work() {
+    forall("ps_conserves_work", 128, |g| {
+        let n = g.usize_in(1, 40);
+        let demands: Vec<f64> = (0..n).map(|_| g.f64_in(1.0, 1000.0)).collect();
+        let mut arr: Vec<u64> = (0..n).map(|_| g.u64_below(10_000)).collect();
         arr.sort_unstable();
         let mut r = PsResource::new(1e6);
         let mut done = Vec::new();
@@ -55,7 +97,7 @@ proptest! {
                 (None, Some(c)) => c,
                 (None, None) => break,
             };
-            prop_assert!(t >= now);
+            assert!(t >= now);
             now = t;
             r.advance_to(now, &mut done);
             completed = done.len();
@@ -64,19 +106,22 @@ proptest! {
                 i += 1;
             }
         }
-        let total: f64 = demands[..n].iter().sum();
-        prop_assert!((r.delivered() - total).abs() < total * 1e-9 + 1e-6);
+        let total: f64 = demands.iter().sum();
+        assert!((r.delivered() - total).abs() < total * 1e-9 + 1e-6);
         // Every job completed exactly once.
         let mut tags: Vec<u64> = done.iter().map(|&(_, t)| t).collect();
         tags.sort_unstable();
-        prop_assert_eq!(tags, (0..n as u64).collect::<Vec<_>>());
-    }
+        assert_eq!(tags, (0..n as u64).collect::<Vec<_>>());
+    });
+}
 
-    /// Capped PS never exceeds the resource rate nor any job's cap.
-    #[test]
-    fn ps_caps_respected(
-        caps in prop::collection::vec(1.0f64..100.0, 1..20),
-    ) {
+/// Capped PS never exceeds the resource rate nor any job's cap.
+#[test]
+fn ps_caps_respected() {
+    forall("ps_caps_respected", 256, |g| {
+        let caps: Vec<f64> = (0..g.usize_in(1, 20))
+            .map(|_| g.f64_in(1.0, 100.0))
+            .collect();
         let rate = 50.0;
         let mut r = PsResource::new(rate);
         let mut done = Vec::new();
@@ -88,12 +133,15 @@ proptest! {
         let first = r.next_completion().unwrap();
         // No completion can happen before 1 s (cap-bound) and before
         // total/rate (resource-bound, for the smallest job).
-        prop_assert!(first >= SimTime::ZERO + SimDuration::from_secs_f64(1.0 - 1e-9));
-    }
+        assert!(first >= SimTime::ZERO + SimDuration::from_secs_f64(1.0 - 1e-9));
+    });
+}
 
-    /// Slab keys stay valid until removed and never resolve after.
-    #[test]
-    fn slab_soundness(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+/// Slab keys stay valid until removed and never resolve after.
+#[test]
+fn slab_soundness() {
+    forall("slab_soundness", 256, |g| {
+        let ops = g.vec_with(200, |g| g.bool());
         let mut slab = Slab::new();
         let mut live: Vec<(dcuda_des::SlotKey, u32)> = Vec::new();
         let mut counter = 0u32;
@@ -104,19 +152,24 @@ proptest! {
                 counter += 1;
             } else {
                 let (key, val) = live.swap_remove(counter as usize % live.len());
-                prop_assert_eq!(slab.remove(key), Some(val));
-                prop_assert_eq!(slab.get(key), None);
+                assert_eq!(slab.remove(key), Some(val));
+                assert_eq!(slab.get(key), None);
             }
             for &(k, v) in &live {
-                prop_assert_eq!(slab.get(k), Some(&v));
+                assert_eq!(slab.get(k), Some(&v));
             }
         }
-        prop_assert_eq!(slab.len(), live.len());
-    }
+        assert_eq!(slab.len(), live.len());
+    });
+}
 
-    /// Summary statistics are order-invariant.
-    #[test]
-    fn summary_order_invariant(mut xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+/// Summary statistics are order-invariant.
+#[test]
+fn summary_order_invariant() {
+    forall("summary_order_invariant", 256, |g| {
+        let mut xs: Vec<f64> = (0..g.usize_in(1, 50))
+            .map(|_| g.f64_in(-1e6, 1e6))
+            .collect();
         let mut a = Summary::default();
         for &x in &xs {
             a.record(x);
@@ -126,8 +179,8 @@ proptest! {
         for &x in &xs {
             b.record(x);
         }
-        prop_assert_eq!(a.min(), b.min());
-        prop_assert_eq!(a.max(), b.max());
-        prop_assert!((a.mean().unwrap() - b.mean().unwrap()).abs() < 1e-6);
-    }
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert!((a.mean().unwrap() - b.mean().unwrap()).abs() < 1e-6);
+    });
 }

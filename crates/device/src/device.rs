@@ -10,7 +10,7 @@ use crate::charge::BlockCharge;
 use crate::occupancy::{occupancy, LaunchConfig};
 use crate::spec::DeviceSpec;
 use dcuda_des::stats::Counter;
-use dcuda_des::{PsResource, Slab, SimTime, SlotKey};
+use dcuda_des::{PsResource, SimTime, Slab, SlotKey};
 
 /// A resident block's position on the device (index within the launch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -9,7 +9,7 @@
 use crate::spec::DeviceSpec;
 
 /// A kernel launch configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchConfig {
     /// Number of blocks launched.
     pub blocks: u32,

@@ -4,7 +4,7 @@ use dcuda_des::SimDuration;
 
 /// Parameters of one simulated GPU (defaults: one GK210 chip of a Tesla K80,
 /// the device used in the paper's Greina testbed).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceSpec {
     /// Number of streaming multiprocessors.
     pub sm_count: u32,

@@ -185,10 +185,7 @@ mod tests {
         // overhead + latency = 0.3 + 1.7 us
         assert_eq!(d.arrival, SimTime::ZERO + SimDuration::from_micros(2));
         // The sender is free as soon as serialization (overhead) ends.
-        assert_eq!(
-            d.egress_free,
-            SimTime::ZERO + SimDuration::from_nanos(300)
-        );
+        assert_eq!(d.egress_free, SimTime::ZERO + SimDuration::from_nanos(300));
     }
 
     #[test]

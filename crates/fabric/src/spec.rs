@@ -3,7 +3,7 @@
 use dcuda_des::SimDuration;
 
 /// Interconnect parameters (LogGP-style).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkSpec {
     /// Wire + switch latency for any message (the "L" in LogGP).
     pub latency: SimDuration,
@@ -51,7 +51,7 @@ impl Default for NetworkSpec {
 }
 
 /// PCI-Express link parameters (one link per node between host and device).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct PcieSpec {
     /// Latency of a single small mapped-memory transaction (a queue-entry
     /// write through BAR mapping / gdrcopy, paper §III-C "an enqueue

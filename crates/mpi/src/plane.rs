@@ -13,7 +13,7 @@
 //! the caller, which schedules wake-ups in its own event queue.
 
 use dcuda_des::stats::Counter;
-use dcuda_des::{Slab, SimTime, SlotKey};
+use dcuda_des::{SimTime, Slab, SlotKey};
 use std::collections::VecDeque;
 
 /// An MPI process rank (one per cluster node in the dCUDA runtime).
@@ -295,7 +295,7 @@ mod tests {
         let mut p: MessagePlane<u32> = MessagePlane::new(2);
         p.isend(MpiRank(1), MpiRank(0), 5, 0, t(10), 1);
         p.isend(MpiRank(1), MpiRank(0), 5, 0, t(8), 2); // delivered earlier!
-        // MPI matching order is send order, not delivery order.
+                                                        // MPI matching order is send order, not delivery order.
         let (_, a) = p.irecv(MpiRank(1), Some(MpiRank(0)), Some(5), t(0));
         let (_, b) = p.irecv(MpiRank(1), Some(MpiRank(0)), Some(5), t(0));
         assert_eq!(a.unwrap().payload, 1);

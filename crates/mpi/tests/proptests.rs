@@ -1,80 +1,92 @@
 //! Property-based tests for the MPI subset: collective timing invariants
 //! and matching-plane conservation.
 
+use dcuda_des::check::{forall, Gen};
 use dcuda_des::{SimDuration, SimTime};
 use dcuda_mpi::collective::{barrier_exit_times, bcast_exit_times, reduce_exit_times};
 use dcuda_mpi::plane::{MessagePlane, MpiRank};
-use proptest::prelude::*;
 
-fn entry_times() -> impl Strategy<Value = Vec<SimTime>> {
-    prop::collection::vec(0u64..10_000, 1..20)
-        .prop_map(|v| v.into_iter().map(|us| SimTime::from_ps(us * 1_000_000)).collect())
+fn entry_times(g: &mut Gen) -> Vec<SimTime> {
+    (0..g.usize_in(1, 20))
+        .map(|_| SimTime::from_ps(g.u64_below(10_000) * 1_000_000))
+        .collect()
 }
 
 fn hop() -> impl Fn(u64) -> SimDuration {
     |bytes: u64| SimDuration::from_micros(2) + SimDuration::from_nanos(bytes)
 }
 
-proptest! {
-    /// A barrier never releases anyone before the last entrant, and every
-    /// exit is at or after the participant's own entry.
-    #[test]
-    fn barrier_is_a_barrier(entry in entry_times()) {
+/// A barrier never releases anyone before the last entrant, and every
+/// exit is at or after the participant's own entry.
+#[test]
+fn barrier_is_a_barrier() {
+    forall("barrier_is_a_barrier", 256, |g| {
+        let entry = entry_times(g);
         let exits = barrier_exit_times(&entry, &hop());
         let max_entry = *entry.iter().max().unwrap();
         for (e, x) in entry.iter().zip(&exits) {
-            prop_assert!(x >= e);
+            assert!(x >= e);
             if entry.len() > 1 {
-                prop_assert!(*x >= max_entry, "exit {x} before last entry {max_entry}");
+                assert!(*x >= max_entry, "exit {x} before last entry {max_entry}");
             }
         }
         // Bounded: at most ceil(log2 n) rounds of hops beyond the max entry.
         let rounds = (usize::BITS - (entry.len() - 1).leading_zeros()).max(1);
         let bound = max_entry + SimDuration::from_micros(3 * rounds as u64);
         for x in &exits {
-            prop_assert!(*x <= bound);
+            assert!(*x <= bound);
         }
-    }
+    });
+}
 
-    /// Broadcast: the root is first; everyone receives after the root's
-    /// entry; total depth is bounded by popcount-of-vrank hops.
-    #[test]
-    fn bcast_reaches_everyone_after_root(entry in entry_times(), root_sel in 0usize..20) {
+/// Broadcast: the root is first; everyone receives after the root's
+/// entry; total depth is bounded by popcount-of-vrank hops.
+#[test]
+fn bcast_reaches_everyone_after_root() {
+    forall("bcast_reaches_everyone_after_root", 256, |g| {
+        let entry = entry_times(g);
         let n = entry.len();
-        let root = root_sel % n;
+        let root = g.usize_below(20) % n;
         let exits = bcast_exit_times(&entry, root, 64, &hop());
-        prop_assert_eq!(exits[root], entry[root]);
+        assert_eq!(exits[root], entry[root]);
         for (i, x) in exits.iter().enumerate() {
             if i != root {
-                prop_assert!(*x > entry[root], "participant {i} got data before the root sent");
-                prop_assert!(*x >= entry[i], "participant {i} received before entering");
+                assert!(
+                    *x > entry[root],
+                    "participant {i} got data before the root sent"
+                );
+                assert!(*x >= entry[i], "participant {i} received before entering");
             }
         }
-    }
+    });
+}
 
-    /// Reduce: the root finishes last among its dependency chain — no
-    /// earlier than any participant's entry.
-    #[test]
-    fn reduce_root_after_all_entries(entry in entry_times(), root_sel in 0usize..20) {
+/// Reduce: the root finishes last among its dependency chain — no
+/// earlier than any participant's entry.
+#[test]
+fn reduce_root_after_all_entries() {
+    forall("reduce_root_after_all_entries", 256, |g| {
+        let entry = entry_times(g);
         let n = entry.len();
-        let root = root_sel % n;
+        let root = g.usize_below(20) % n;
         let exits = reduce_exit_times(&entry, root, 64, SimDuration::from_nanos(100), &hop());
         let max_entry = *entry.iter().max().unwrap();
         if n > 1 {
             // >= because the root itself can be the last entrant (children
             // arrived earlier and wait in its receive buffers).
-            prop_assert!(exits[root] >= max_entry);
+            assert!(exits[root] >= max_entry);
         } else {
-            prop_assert_eq!(exits[root], entry[root]);
+            assert_eq!(exits[root], entry[root]);
         }
-    }
+    });
+}
 
-    /// The matching plane conserves messages: every send is eventually
-    /// received exactly once by wildcard receives, in send order per pair.
-    #[test]
-    fn plane_conserves_messages(
-        sends in prop::collection::vec((0u32..4, 0u32..4, 0u32..3), 0..30),
-    ) {
+/// The matching plane conserves messages: every send is eventually
+/// received exactly once by wildcard receives, in send order per pair.
+#[test]
+fn plane_conserves_messages() {
+    forall("plane_conserves_messages", 256, |g| {
+        let sends = g.vec_with(30, |g| (g.u32_below(4), g.u32_below(4), g.u32_below(3)));
         let mut plane: MessagePlane<usize> = MessagePlane::new(4);
         for (i, &(src, dst, tag)) in sends.iter().enumerate() {
             let out = plane.isend(
@@ -85,7 +97,7 @@ proptest! {
                 SimTime::from_ps(i as u64 + 1),
                 i,
             );
-            prop_assert!(out.is_none(), "no receives posted yet");
+            assert!(out.is_none(), "no receives posted yet");
         }
         // Drain each endpoint with wildcard receives.
         let mut received = Vec::new();
@@ -97,6 +109,6 @@ proptest! {
             }
         }
         received.sort_unstable();
-        prop_assert_eq!(received, (0..sends.len()).collect::<Vec<_>>());
-    }
+        assert_eq!(received, (0..sends.len()).collect::<Vec<_>>());
+    });
 }

@@ -24,8 +24,10 @@
 
 #![warn(missing_docs)]
 
+pub mod indexed;
 pub mod notify;
 pub mod spsc;
 
+pub use indexed::IndexedMatcher;
 pub use notify::{match_in_order, Notification, NotificationMatcher, Query, ANY};
-pub use spsc::{channel, RecvError, Receiver, Sender, TrySendError};
+pub use spsc::{channel, Receiver, RecvError, Sender, TrySendError};

@@ -104,11 +104,14 @@ pub fn match_in_order(
 
 /// Consumer-side matcher over a notification ring.
 ///
-/// Owns the ring's receive endpoint plus the compaction buffer holding
-/// notifications that arrived but did not match past queries.
+/// Owns the ring's receive endpoint plus the buffer of notifications that
+/// arrived but did not match past queries. Matching is served by the
+/// [`IndexedMatcher`](crate::IndexedMatcher) — O(matches) host cost — while
+/// `scanned_total` still reports the *modeled* linear-scan work, exactly as
+/// the paper's re-scanning matcher would incur it.
 pub struct NotificationMatcher {
     rx: Receiver<Notification>,
-    pending: VecDeque<Notification>,
+    pending: crate::IndexedMatcher,
     /// Notifications matched over the matcher's lifetime.
     pub matched_total: u64,
     /// Notifications scanned (including mismatches re-buffered) — the
@@ -121,7 +124,7 @@ impl NotificationMatcher {
     pub fn new(rx: Receiver<Notification>) -> Self {
         NotificationMatcher {
             rx,
-            pending: VecDeque::new(),
+            pending: crate::IndexedMatcher::new(),
             matched_total: 0,
             scanned_total: 0,
         }
@@ -132,7 +135,7 @@ impl NotificationMatcher {
     pub fn drain_ring(&mut self) -> usize {
         let mut n = 0;
         while let Ok(notif) = self.rx.try_recv() {
-            self.pending.push_back(notif);
+            self.pending.insert(notif);
             n += 1;
         }
         n
@@ -145,17 +148,16 @@ impl NotificationMatcher {
     /// nothing and returns `None`.
     pub fn try_match(&mut self, query: Query, count: usize) -> Option<Vec<Notification>> {
         self.drain_ring();
-        // Count the scan work even when the match fails (the paper's matcher
-        // re-reads the queue on every poll).
-        let failed_scan = self.pending.len();
-        match match_in_order(&mut self.pending, query, count) {
+        match self.pending.try_match(query, count) {
             Some((matched, scanned)) => {
                 self.scanned_total += scanned as u64;
                 self.matched_total += matched.len() as u64;
                 Some(matched)
             }
             None => {
-                self.scanned_total += failed_scan as u64;
+                // The scan work accrues even when the match fails (the
+                // paper's matcher re-reads the queue on every poll).
+                self.scanned_total += self.pending.failed_scan_cost() as u64;
                 None
             }
         }

@@ -1,8 +1,12 @@
 //! Property-based tests for the lock-free queues: the ring against a
-//! VecDeque model, and the matcher against a naive specification.
+//! VecDeque model, the linear matcher against a naive specification, and
+//! the indexed matcher against the linear matcher (byte-identical matches,
+//! ordering, modeled scan counts, and residual queue).
 
-use dcuda_queues::{channel, match_in_order, Notification, Query, RecvError, TrySendError, ANY};
-use proptest::prelude::*;
+use dcuda_des::check::{forall, Gen};
+use dcuda_queues::{
+    channel, match_in_order, IndexedMatcher, Notification, Query, RecvError, TrySendError, ANY,
+};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone)]
@@ -11,18 +15,22 @@ enum RingOp {
     Recv,
 }
 
-fn ring_ops() -> impl Strategy<Value = Vec<RingOp>> {
-    prop::collection::vec(
-        prop_oneof![any::<u32>().prop_map(RingOp::Send), Just(RingOp::Recv)],
-        0..200,
-    )
+fn ring_ops(g: &mut Gen) -> Vec<RingOp> {
+    g.vec_with(200, |g| {
+        if g.bool() {
+            RingOp::Send(g.u64() as u32)
+        } else {
+            RingOp::Recv
+        }
+    })
 }
 
-proptest! {
-    /// Single-threaded ring behaviour is exactly a bounded FIFO.
-    #[test]
-    fn ring_matches_bounded_fifo_model(ops in ring_ops(), cap_pow in 0u32..5) {
-        let cap = 1usize << cap_pow;
+/// Single-threaded ring behaviour is exactly a bounded FIFO.
+#[test]
+fn ring_matches_bounded_fifo_model() {
+    forall("ring_matches_bounded_fifo_model", 256, |g| {
+        let cap = 1usize << g.u32_below(5);
+        let ops = ring_ops(g);
         let (mut tx, mut rx) = channel::<u32>(cap);
         let mut model: VecDeque<u32> = VecDeque::new();
         for op in ops {
@@ -30,29 +38,32 @@ proptest! {
                 RingOp::Send(v) => {
                     let res = tx.try_send(v);
                     if model.len() < cap {
-                        prop_assert_eq!(res, Ok(()));
+                        assert_eq!(res, Ok(()));
                         model.push_back(v);
                     } else {
-                        prop_assert_eq!(res, Err(TrySendError::Full(v)));
+                        assert_eq!(res, Err(TrySendError::Full(v)));
                     }
                 }
                 RingOp::Recv => {
                     let res = rx.try_recv();
                     match model.pop_front() {
-                        Some(v) => prop_assert_eq!(res, Ok(v)),
-                        None => prop_assert_eq!(res, Err(RecvError::Empty)),
+                        Some(v) => assert_eq!(res, Ok(v)),
+                        None => assert_eq!(res, Err(RecvError::Empty)),
                     }
                 }
             }
         }
-        prop_assert_eq!(rx.consumed() + model.len() as u64, tx.sent());
-    }
+        assert_eq!(rx.consumed() + model.len() as u64, tx.sent());
+    });
+}
 
-    /// Credit refreshes never exceed one per `capacity` sends plus the
-    /// failures (the paper's "occasional PCI-Express transaction").
-    #[test]
-    fn credit_refreshes_are_amortized(n in 1u64..500, cap_pow in 1u32..6) {
-        let cap = 1usize << cap_pow;
+/// Credit refreshes never exceed one per `capacity` sends plus the
+/// failures (the paper's "occasional PCI-Express transaction").
+#[test]
+fn credit_refreshes_are_amortized() {
+    forall("credit_refreshes_are_amortized", 128, |g| {
+        let cap = 1usize << (1 + g.u32_below(5));
+        let n = 1 + g.u64_below(499);
         let (mut tx, mut rx) = channel::<u64>(cap);
         let mut sent = 0;
         while sent < n {
@@ -68,9 +79,8 @@ proptest! {
         // failed attempt and every retry refresh — still bounded by 2 per
         // message. (The amortized ~1/cap claim for a keeping-pace consumer
         // is covered by the unit test `credit_refresh_is_occasional`.)
-        let _ = cap;
-        prop_assert!(tx.credit_refreshes <= 2 * n + 2);
-    }
+        assert!(tx.credit_refreshes <= 2 * n + 2);
+    });
 }
 
 /// Naive matching spec: first `count` matching indices, removed; order
@@ -98,69 +108,214 @@ fn naive_match(
     Some(out)
 }
 
-fn notifications() -> impl Strategy<Value = Vec<Notification>> {
-    prop::collection::vec(
-        (0u32..3, 0u32..4, 0u32..3).prop_map(|(win, source, tag)| Notification {
-            win,
-            source,
-            tag,
-        }),
-        0..40,
-    )
-}
-
-fn query() -> impl Strategy<Value = Query> {
-    (0u32..4, 0u32..5, 0u32..4).prop_map(|(w, s, t)| Query {
-        win: if w == 3 { ANY } else { w },
-        source: if s == 4 { ANY } else { s },
-        tag: if t == 3 { ANY } else { t },
+/// Small value domains force collisions so wildcards and duplicates are
+/// exercised hard.
+fn notifications(g: &mut Gen) -> Vec<Notification> {
+    g.vec_with(40, |g| Notification {
+        win: g.u32_below(3),
+        source: g.u32_below(4),
+        tag: g.u32_below(3),
     })
 }
 
-proptest! {
-    /// `match_in_order` agrees with the naive specification for any
-    /// notification sequence and any (wildcarded) query.
-    #[test]
-    fn matcher_agrees_with_naive_spec(
-        notifs in notifications(),
-        q in query(),
-        count in 0usize..6,
-    ) {
+fn query(g: &mut Gen) -> Query {
+    let w = g.u32_below(4);
+    let s = g.u32_below(5);
+    let t = g.u32_below(4);
+    Query {
+        win: if w == 3 { ANY } else { w },
+        source: if s == 4 { ANY } else { s },
+        tag: if t == 3 { ANY } else { t },
+    }
+}
+
+/// `match_in_order` agrees with the naive specification for any
+/// notification sequence and any (wildcarded) query.
+#[test]
+fn matcher_agrees_with_naive_spec() {
+    forall("matcher_agrees_with_naive_spec", 512, |g| {
+        let notifs = notifications(g);
+        let q = query(g);
+        let count = g.usize_below(6);
         let mut a: VecDeque<Notification> = notifs.iter().copied().collect();
         let mut b = a.clone();
         let fast = match_in_order(&mut a, q, count).map(|(m, _)| m);
         let naive = naive_match(&mut b, q, count);
-        prop_assert_eq!(fast, naive);
-        prop_assert_eq!(a, b, "compaction preserved the same remainder");
-    }
+        assert_eq!(fast, naive);
+        assert_eq!(a, b, "compaction preserved the same remainder");
+    });
+}
 
-    /// Matching conserves notifications: matched + remaining == initial, and
-    /// a failed match changes nothing.
-    #[test]
-    fn matcher_conserves_notifications(
-        notifs in notifications(),
-        q in query(),
-        count in 0usize..6,
-    ) {
+/// Matching conserves notifications: matched + remaining == initial, and
+/// a failed match changes nothing.
+#[test]
+fn matcher_conserves_notifications() {
+    forall("matcher_conserves_notifications", 512, |g| {
+        let notifs = notifications(g);
+        let q = query(g);
+        let count = g.usize_below(6);
         let mut pending: VecDeque<Notification> = notifs.iter().copied().collect();
         let before = pending.len();
         match match_in_order(&mut pending, q, count) {
             Some((m, _)) => {
-                prop_assert_eq!(m.len(), count);
-                prop_assert_eq!(pending.len() + count, before);
-                prop_assert!(m.iter().all(|n| q.matches(n)));
+                assert_eq!(m.len(), count);
+                assert_eq!(pending.len() + count, before);
+                assert!(m.iter().all(|n| q.matches(n)));
             }
-            None => prop_assert_eq!(pending.len(), before),
+            None => assert_eq!(pending.len(), before),
         }
-    }
+    });
+}
 
-    /// Sequential queries eventually drain everything a wildcard sees.
-    #[test]
-    fn wildcard_drains_everything(notifs in notifications()) {
+/// Sequential queries eventually drain everything a wildcard sees.
+#[test]
+fn wildcard_drains_everything() {
+    forall("wildcard_drains_everything", 256, |g| {
+        let notifs = notifications(g);
         let mut pending: VecDeque<Notification> = notifs.iter().copied().collect();
         let n = pending.len();
         let got = match_in_order(&mut pending, Query::WILDCARD, n).unwrap().0;
-        prop_assert_eq!(got, notifs);
-        prop_assert!(pending.is_empty());
+        assert_eq!(got, notifs);
+        assert!(pending.is_empty());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Indexed matcher ≡ linear matcher.
+//
+// `match_in_order` over a VecDeque is the executable specification; the
+// indexed matcher must be observationally identical on every interleaving
+// of inserts and (wildcarded) matches: same Some/None outcome, same matched
+// notifications in the same order, the same *modeled* scan count, and the
+// same residual queue in the same arrival order.
+// ---------------------------------------------------------------------------
+
+/// Drive both matchers through one random schedule, checking equivalence
+/// after every step.
+fn check_equivalence(g: &mut Gen, max_batch: usize, steps: usize, max_count: usize) {
+    let mut spec: VecDeque<Notification> = VecDeque::new();
+    let mut indexed = IndexedMatcher::new();
+    for _ in 0..steps {
+        // Insert a batch.
+        for _ in 0..g.usize_below(max_batch + 1) {
+            let n = Notification {
+                win: g.u32_below(3),
+                source: g.u32_below(4),
+                tag: g.u32_below(3),
+            };
+            spec.push_back(n);
+            indexed.insert(n);
+        }
+        // Try a match.
+        let q = query(g);
+        let count = g.usize_below(max_count + 1);
+        let expected = match_in_order(&mut spec, q, count);
+        let got = indexed.try_match(q, count);
+        match (&expected, &got) {
+            (Some((em, es)), Some((gm, gs))) => {
+                assert_eq!(gm, em, "matched notifications and order");
+                assert_eq!(gs, es, "modeled scan count");
+            }
+            (None, None) => {
+                // The failure-path modeled cost must equal what the linear
+                // matcher would charge: one read per pending entry.
+                assert_eq!(indexed.failed_scan_cost(), spec.len());
+            }
+            _ => panic!("outcome diverged: spec {expected:?} vs indexed {got:?}"),
+        }
+        // Residual queues agree, in arrival order.
+        assert_eq!(
+            indexed.pending_in_order(),
+            spec.iter().copied().collect::<Vec<_>>(),
+            "residual queue"
+        );
+        assert_eq!(indexed.len(), spec.len());
     }
+}
+
+/// Indexed matcher is observationally identical to `match_in_order` on
+/// random insert/match interleavings.
+#[test]
+fn indexed_matcher_equals_linear_spec() {
+    forall("indexed_matcher_equals_linear_spec", 256, |g| {
+        check_equivalence(g, 6, 24, 5);
+    });
+}
+
+/// Same equivalence under the 208-rank stress shape: deep backlogs from
+/// hundreds of distinct sources, queries that skip most of the queue.
+#[test]
+fn indexed_matcher_equals_linear_spec_208_ranks() {
+    forall("indexed_matcher_equals_linear_spec_208_ranks", 12, |g| {
+        let mut spec: VecDeque<Notification> = VecDeque::new();
+        let mut indexed = IndexedMatcher::new();
+        // Deep backlog: several notifications per source across 208 ranks.
+        for i in 0..(208 * 4) {
+            let n = Notification {
+                win: g.u32_below(2),
+                source: (i % 208) as u32,
+                tag: g.u32_below(3),
+            };
+            spec.push_back(n);
+            indexed.insert(n);
+        }
+        for _ in 0..64 {
+            let source = if g.bool() { g.u32_below(208) } else { ANY };
+            let q = Query {
+                win: if g.bool() { g.u32_below(2) } else { ANY },
+                source,
+                tag: if g.bool() { g.u32_below(3) } else { ANY },
+            };
+            let count = 1 + g.usize_below(6);
+            let expected = match_in_order(&mut spec, q, count);
+            let got = indexed.try_match(q, count);
+            match (&expected, &got) {
+                (Some((em, es)), Some((gm, gs))) => {
+                    assert_eq!(gm, em);
+                    assert_eq!(gs, es);
+                }
+                (None, None) => assert_eq!(indexed.failed_scan_cost(), spec.len()),
+                _ => panic!("outcome diverged: spec {expected:?} vs indexed {got:?}"),
+            }
+        }
+        assert_eq!(
+            indexed.pending_in_order(),
+            spec.iter().copied().collect::<Vec<_>>()
+        );
+    });
+}
+
+/// Tombstone compaction never changes observable state: after heavy
+/// matching (most entries removed), the residual still agrees.
+#[test]
+fn indexed_matcher_survives_compaction_churn() {
+    forall("indexed_matcher_survives_compaction_churn", 64, |g| {
+        let mut spec: VecDeque<Notification> = VecDeque::new();
+        let mut indexed = IndexedMatcher::new();
+        for _ in 0..200 {
+            let n = Notification {
+                win: 0,
+                source: g.u32_below(8),
+                tag: g.u32_below(2),
+            };
+            spec.push_back(n);
+            indexed.insert(n);
+        }
+        // Drain in small wildcard bites to churn tombstones and trigger
+        // slab compaction.
+        while !spec.is_empty() {
+            let count = 1 + g.usize_below(7).min(spec.len() - 1);
+            let expected = match_in_order(&mut spec, Query::WILDCARD, count);
+            let got = indexed.try_match(Query::WILDCARD, count);
+            assert_eq!(
+                got.as_ref().map(|(m, s)| (m.clone(), *s)),
+                expected.as_ref().map(|(m, s)| (m.clone(), *s))
+            );
+            assert_eq!(
+                indexed.pending_in_order(),
+                spec.iter().copied().collect::<Vec<_>>()
+            );
+        }
+        assert!(indexed.is_empty());
+    });
 }

@@ -62,7 +62,7 @@ pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
     let mut peer_txs = Vec::with_capacity(cfg.devices as usize);
     let mut peer_rxs = VecDeque::with_capacity(cfg.devices as usize);
     for _ in 0..cfg.devices {
-        let (tx, rx) = crossbeam::channel::unbounded::<HostMsg>();
+        let (tx, rx) = std::sync::mpsc::channel::<HostMsg>();
         peer_txs.push(tx);
         peer_rxs.push_back(rx);
     }

@@ -1,7 +1,7 @@
 //! The per-rank blocking API.
 
 use crate::msg::{Cmd, Delivery, RtQuery};
-use dcuda_queues::{match_in_order, Notification, RecvError, Receiver, Sender, TrySendError};
+use dcuda_queues::{match_in_order, Notification, Receiver, RecvError, Sender, TrySendError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

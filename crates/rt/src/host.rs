@@ -52,9 +52,9 @@ pub(crate) struct Host {
     /// Overflow buffers when a delivery ring is momentarily full.
     pub delivery_backlog: Vec<VecDeque<Delivery>>,
     /// Channels to every host (index = device; own entry unused).
-    pub peers: Vec<crossbeam::channel::Sender<HostMsg>>,
+    pub peers: Vec<std::sync::mpsc::Sender<HostMsg>>,
     /// Inbound channel.
-    pub inbox: crossbeam::channel::Receiver<HostMsg>,
+    pub inbox: std::sync::mpsc::Receiver<HostMsg>,
     /// Barrier state.
     pub barrier_epoch: Arc<AtomicU64>,
     pub barrier_arrived: u32,

@@ -318,8 +318,8 @@ fn stencil_like_halo_exchange_on_rt() {
         .map(|_| std::sync::Arc::new(std::sync::Mutex::new(Vec::new())))
         .collect();
     let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
-    for r in 0..world {
-        let result = results[r].clone();
+    for (r, result) in results.iter().enumerate() {
+        let result = result.clone();
         programs.push(Box::new(move |ctx| {
             // Init interior (cells start at f64 index 2).
             for c in 0..CELLS {

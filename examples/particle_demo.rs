@@ -48,8 +48,10 @@ fn main() {
     let max = *after.iter().max().unwrap();
     let min = *after.iter().min().unwrap();
     println!("  simulated execution time: {:.3} ms", result.time_ms);
-    println!("  net population change across cells: {moved} (conserved total: {})",
-        after.iter().sum::<usize>());
+    println!(
+        "  net population change across cells: {moved} (conserved total: {})",
+        after.iter().sum::<usize>()
+    );
     println!(
         "  load imbalance after {} steps: min {} / max {} particles per cell (factor {:.2})",
         cfg.iters,

@@ -53,8 +53,11 @@ impl RankKernel for StencilKernel {
             for j in 0..JPR {
                 let jg = rank * JPR + j;
                 for i in 0..LINE {
-                    a[(j + 1) * LINE + i] =
-                        if jg == world * JPR / 2 && i == LINE / 2 { 1000.0 } else { 0.0 };
+                    a[(j + 1) * LINE + i] = if jg == world * JPR / 2 && i == LINE / 2 {
+                        1000.0
+                    } else {
+                        0.0
+                    };
                 }
             }
         }
@@ -83,7 +86,14 @@ impl RankKernel for StencilKernel {
         let line_bytes = LINE * 8;
         let mut expected = 0;
         if let Some(l) = self.left {
-            ctx.put_notify(win_out, l, (JPR + 1) * line_bytes, line_bytes, line_bytes, 0);
+            ctx.put_notify(
+                win_out,
+                l,
+                (JPR + 1) * line_bytes,
+                line_bytes,
+                line_bytes,
+                0,
+            );
             expected += 1;
         }
         // if (rsend) dcuda_put_notify(ctx, wout, rank + 1, ...);
@@ -124,7 +134,10 @@ fn main() {
     let report = sim.run();
 
     println!("dCUDA quickstart: {STEPS}-step 5-point stencil on 2 nodes x 4 ranks");
-    println!("  simulated execution time: {:.3} ms", report.elapsed().as_millis_f64());
+    println!(
+        "  simulated execution time: {:.3} ms",
+        report.elapsed().as_millis_f64()
+    );
     println!(
         "  RMA ops: {} ({} zero-copy on overlapping shared-memory windows, {} across the network)",
         report.rma_ops, report.zero_copy_ops, report.distributed_ops

@@ -28,8 +28,8 @@ fn main() {
         .map(|_| std::sync::Arc::new(std::sync::Mutex::new(0.0f64)))
         .collect();
     let mut programs: Vec<dcuda::rt::cluster::RankProgram> = Vec::new();
-    for r in 0..world {
-        let result = results[r].clone();
+    for (r, result) in results.iter().enumerate() {
+        let result = result.clone();
         programs.push(Box::new(move |ctx| {
             // Initial bump on rank 0.
             for c in 0..CELLS {

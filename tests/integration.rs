@@ -87,7 +87,14 @@ fn simulated_and_threaded_backends_agree() {
                     let me = ctx.rank().0;
                     ctx.win_f64_mut(dcuda::core::WinId(0))[0] = VAL_BASE + me as f64;
                     // Send my value to the right neighbour's slot 1.
-                    ctx.put_notify(dcuda::core::WinId(0), dcuda::core::Rank(self.right), 8, 0, 8, 0);
+                    ctx.put_notify(
+                        dcuda::core::WinId(0),
+                        dcuda::core::Rank(self.right),
+                        8,
+                        0,
+                        8,
+                        0,
+                    );
                     Suspend::WaitNotifications {
                         win: None,
                         source: None,
@@ -119,9 +126,7 @@ fn simulated_and_threaded_backends_agree() {
         let node = r / 2;
         let local = (r % 2) as usize;
         let arena = sim.arena(node, dcuda::core::WinId(0));
-        sim_values.push(dcuda::core::window::f64_slice(
-            &arena[local * 16 + 8..local * 16 + 16],
-        )[0]);
+        sim_values.push(dcuda::core::window::f64_slice(&arena[local * 16 + 8..local * 16 + 16])[0]);
     }
 
     // --- threaded backend ---
