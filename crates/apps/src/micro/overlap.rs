@@ -160,6 +160,36 @@ pub fn run(spec: &SystemSpec, cfg: &OverlapConfig) -> f64 {
     elapsed(cfg.exchanges) - setup
 }
 
+/// Run one configuration with cluster-wide tracing enabled; returns the full
+/// [`dcuda_core::RunReport`] (whose `trace` field holds the aggregates) and
+/// the raw event [`dcuda_core::Tracer`] for export. No setup subtraction —
+/// the trace covers the whole run.
+pub fn run_traced(
+    spec: &SystemSpec,
+    cfg: &OverlapConfig,
+) -> (dcuda_core::RunReport, dcuda_core::Tracer) {
+    let topo = Topology {
+        nodes: cfg.nodes,
+        ranks_per_node: cfg.ranks_per_node,
+    };
+    let win = WindowSpec::uniform(&topo, 3 * cfg.halo_bytes);
+    let kernels: Vec<Box<dyn RankKernel>> = topo
+        .ranks()
+        .map(|r| {
+            Box::new(OverlapKernel {
+                left: (r.0 > 0).then(|| Rank(r.0 - 1)),
+                right: (r.0 + 1 < topo.world_size()).then(|| Rank(r.0 + 1)),
+                cfg: cfg.clone(),
+                exchange: 0,
+            }) as Box<dyn RankKernel>
+        })
+        .collect();
+    let mut sim = ClusterSim::new(spec.clone(), topo, vec![win], kernels);
+    sim.enable_tracing();
+    let report = sim.run();
+    (report, sim.take_trace())
+}
+
 /// One x-axis point of Figure 7/8.
 #[derive(Debug, Clone, Copy)]
 pub struct OverlapPoint {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial]
-//!         [--json [PATH]]
+//!         [--json [PATH]] [--trace PATH]
 //! ```
 //!
 //! Default: all figures at `--quick` effort, rows fanned out over all
@@ -10,7 +10,10 @@
 //! disables the parallel driver (the simulated series are identical either
 //! way — diffing the two outputs is the determinism check). `--json`
 //! additionally writes the machine-readable series to `BENCH_figures.json`
-//! (or PATH); the schema is documented in EXPERIMENTS.md.
+//! (or PATH); the schema is documented in EXPERIMENTS.md. `--trace PATH`
+//! runs one representative traced simulation for the selected figure and
+//! writes a Chrome-trace / Perfetto JSON timeline to PATH (see
+//! EXPERIMENTS.md for the walkthrough).
 
 use dcuda_apps::micro::overlap::{OverlapPoint, Workload};
 use dcuda_bench::json::Json;
@@ -64,8 +67,7 @@ fn overlap_json(points: &[OverlapPoint]) -> Json {
     )
 }
 
-const USAGE: &str =
-    "usage: figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial] [--json [PATH]]";
+const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial] [--json [PATH]] [--trace PATH]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,6 +90,19 @@ fn main() {
             None => "BENCH_figures.json".to_string(),
         }
     });
+    let trace_path: Option<String> = args.iter().position(|a| a == "--trace").map(|i| {
+        match args.get(i + 1).filter(|p| !p.starts_with("--")) {
+            Some(p) => {
+                value_slots.push(i + 1);
+                p.clone()
+            }
+            None => {
+                eprintln!("figures: --trace needs a PATH");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    });
     let which = match args.iter().position(|a| a == "--fig") {
         Some(i) => {
             value_slots.push(i + 1);
@@ -103,7 +118,7 @@ fn main() {
     }
     for (i, a) in args.iter().enumerate() {
         if !value_slots.contains(&i)
-            && !["--fig", "--full", "--serial", "--json"].contains(&a.as_str())
+            && !["--fig", "--full", "--serial", "--json", "--trace"].contains(&a.as_str())
         {
             eprintln!("figures: unknown argument {a:?}");
             eprintln!("{USAGE}");
@@ -320,6 +335,31 @@ fn main() {
                             .collect(),
                     ),
                 ),
+        );
+    }
+
+    if let Some(path) = &trace_path {
+        // One traced run of the figure's representative workload (Copy for
+        // the bandwidth-bound Figure 8, Newton otherwise).
+        let workload = if which == "8" {
+            Workload::Copy
+        } else {
+            Workload::Newton
+        };
+        let (chrome_json, summary) = dcuda_bench::trace_run(&spec, workload);
+        if let Err(e) = std::fs::write(path, &chrome_json) {
+            eprintln!("figures: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("figures: wrote Chrome trace {path} (load in https://ui.perfetto.dev)");
+        match summary.overlap_efficiency {
+            Some(eff) => eprintln!("figures: traced overlap efficiency {eff:.3}"),
+            None => eprintln!("figures: traced run recorded no rank waits"),
+        }
+        eprintln!(
+            "figures: traced wait spans {}, network messages {}",
+            summary.wait_hist.summary().count(),
+            summary.net_hist.summary().count()
         );
     }
 

@@ -1,0 +1,135 @@
+//! Validate a Chrome-trace JSON file emitted by `figures --trace`.
+//!
+//! ```text
+//! trace_check PATH
+//! ```
+//!
+//! Checks the Trace Event Format invariants the CI trace job relies on:
+//! top-level shape (`displayTimeUnit`, `traceEvents`), per-event required
+//! keys by phase (`X` complete events carry `dur`, `i` instants carry
+//! `"s":"t"`, `M` metadata names its process/thread), timestamps
+//! non-decreasing per `(pid, tid)` track, and the rank/process taxonomy
+//! (at least one rank track under the `ranks` process group). Exits 0 on a
+//! valid trace, 1 with a diagnostic otherwise.
+
+use dcuda_bench::json::Json;
+use std::collections::HashMap;
+
+fn fail(msg: String) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) => p,
+        _ => fail("usage: trace_check PATH".into()),
+    };
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(format!("{path}: invalid JSON: {e}")));
+
+    if doc.get("displayTimeUnit").and_then(Json::as_str) != Some("ms") {
+        fail("displayTimeUnit missing or not \"ms\"".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail("traceEvents missing or not an array".into()));
+    if events.is_empty() {
+        fail("traceEvents is empty".into());
+    }
+
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut rank_events = 0usize;
+    let mut saw_ranks_process = false;
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("event {i}: missing ph")));
+        *counts
+            .entry(match ph {
+                "X" => "X",
+                "i" => "i",
+                "M" => "M",
+                other => fail(format!("event {i}: unknown phase {other:?}")),
+            })
+            .or_insert(0) += 1;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| fail(format!("event {i}: missing pid")));
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| fail(format!("event {i}: missing tid")));
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("event {i}: missing name")));
+        match ph {
+            "M" => {
+                if !matches!(name, "process_name" | "thread_name") {
+                    fail(format!("event {i}: metadata named {name:?}"));
+                }
+                let label = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail(format!("event {i}: metadata without args.name")));
+                if name == "process_name" && label == "ranks" {
+                    saw_ranks_process = true;
+                }
+            }
+            ph => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| fail(format!("event {i}: missing ts")));
+                if !(ts.is_finite() && ts >= 0.0) {
+                    fail(format!("event {i}: bad ts {ts}"));
+                }
+                let prev = last_ts.entry((pid, tid)).or_insert(0.0);
+                if ts < *prev {
+                    fail(format!(
+                        "event {i}: ts {ts} goes backwards on track ({pid},{tid}) after {prev}"
+                    ));
+                }
+                *prev = ts;
+                if ph == "X" {
+                    let dur = ev
+                        .get("dur")
+                        .and_then(Json::as_f64)
+                        .unwrap_or_else(|| fail(format!("event {i}: X event without dur")));
+                    if !(dur.is_finite() && dur >= 0.0) {
+                        fail(format!("event {i}: bad dur {dur}"));
+                    }
+                } else if ev.get("s").and_then(Json::as_str) != Some("t") {
+                    fail(format!("event {i}: instant without \"s\":\"t\""));
+                }
+                if pid == 0 {
+                    rank_events += 1;
+                }
+            }
+        }
+    }
+
+    if !saw_ranks_process {
+        fail("no \"ranks\" process metadata".into());
+    }
+    if rank_events == 0 {
+        fail("no events on any rank track (pid 0)".into());
+    }
+    let tracks = last_ts.len();
+    println!(
+        "trace_check: {path} OK — {} events ({} spans, {} instants, {} metadata) on {tracks} tracks, {rank_events} rank events",
+        events.len(),
+        counts.get("X").copied().unwrap_or(0),
+        counts.get("i").copied().unwrap_or(0),
+        counts.get("M").copied().unwrap_or(0),
+    );
+}

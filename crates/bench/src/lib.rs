@@ -311,3 +311,16 @@ pub fn ablation_match_cost(spec: &SystemSpec) -> Vec<(f64, f64)> {
         (us_scale, pts[0].full_ms)
     })
 }
+
+/// Run the representative traced simulation behind `figures --trace`: a
+/// reduced Figure 7/8-style overlap workload with cluster-wide tracing
+/// enabled. Returns the Chrome-trace JSON document and the trace aggregates
+/// (wait histograms, occupancy, overlap efficiency).
+pub fn trace_run(spec: &SystemSpec, workload: Workload) -> (String, dcuda_core::TraceSummary) {
+    let mut cfg = overlap::OverlapConfig::paper(workload, 64, 10);
+    cfg.nodes = 2;
+    cfg.ranks_per_node = 26;
+    let (report, tracer) = overlap::run_traced(spec, &cfg);
+    let json = dcuda_trace::chrome::to_chrome_json(&tracer);
+    (json, report.trace.expect("tracing was enabled"))
+}

@@ -17,7 +17,7 @@
 //! * a **barrier phase** runs the host dissemination barrier.
 //!
 //! Kernels run real numerics through a caller-provided closure over the
-//! per-node [`Arena`] memory, so baseline results can be compared bit-wise
+//! per-node [`Arena`](crate::window::Arena) memory, so baseline results can be compared bit-wise
 //! against dCUDA results.
 
 use crate::spec::SystemSpec;

@@ -40,3 +40,7 @@ pub use spec::{HostSpec, SystemSpec};
 pub use types::{Rank, Tag, WinId};
 pub use window::WindowSpec;
 pub use world::ClusterSim;
+
+// Re-exported so downstream crates can consume traces without a direct
+// `dcuda-trace` dependency.
+pub use dcuda_trace::{TraceSummary, Tracer};

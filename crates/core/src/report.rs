@@ -1,6 +1,7 @@
 //! Run outcome and statistics.
 
 use dcuda_des::{SimDuration, SimTime};
+use dcuda_trace::TraceSummary;
 
 /// Statistics and timing of one simulated kernel run.
 #[derive(Debug, Clone)]
@@ -42,6 +43,9 @@ pub struct RunReport {
     pub pool_acquires: u64,
     /// Pool acquires served without allocating.
     pub pool_hits: u64,
+    /// Trace-derived aggregates (wait histograms, occupancy, overlap
+    /// efficiency). `None` unless tracing was enabled before the run.
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunReport {

@@ -34,7 +34,9 @@ use dcuda_des::{EventQueue, FifoResource, SimDuration, SimTime, Slab, SlotKey, T
 use dcuda_device::{BlockCharge, BlockSlot, Device, LaunchConfig};
 use dcuda_fabric::{Network, NodeId, PcieLink, TransferPath};
 use dcuda_mpi::collective::barrier_exit_times;
-use dcuda_queues::{IndexedMatcher, Notification, Query, ANY};
+use dcuda_queues::{DepthStats, IndexedMatcher, Notification, Query, ANY};
+use dcuda_trace::metrics::{overlap_efficiency, IntervalSet};
+use dcuda_trace::{TraceSummary, Tracer, Track};
 use std::collections::VecDeque;
 
 /// One executable step element derived from a kernel's recorded segments.
@@ -131,6 +133,31 @@ enum HostItem {
     BarrierCmd { rank: u32, nb_tag: Option<u32> },
 }
 
+impl HostItem {
+    /// Trace span label.
+    fn label(self) -> &'static str {
+        match self {
+            HostItem::RmaCmd { .. } => "rma_cmd",
+            HostItem::SharedNotify { .. } => "shared_notify",
+            HostItem::MetaAtTarget { .. } => "meta_at_target",
+            HostItem::Complete { .. } => "complete",
+            HostItem::BarrierCmd { .. } => "barrier_cmd",
+        }
+    }
+}
+
+/// Trace span label of the state a rank is leaving (`None` for states that
+/// are not materialized as spans).
+fn status_span_name(s: Status) -> Option<&'static str> {
+    match s {
+        Status::Computing => Some("compute"),
+        Status::Waiting => Some("wait"),
+        Status::Flushing => Some("flush"),
+        Status::InBarrier => Some("barrier"),
+        Status::Ready | Status::Done => None,
+    }
+}
+
 /// Simulation events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
@@ -183,6 +210,11 @@ pub struct ClusterSim {
     peak_pending_notifications: usize,
     /// Reusable payload snapshot buffers.
     pool: PayloadPool,
+    /// Cluster-wide trace recorder (disabled unless
+    /// [`enable_tracing`](Self::enable_tracing) ran before `run`).
+    tracer: Tracer,
+    /// Instant each rank entered its current [`Status`] (trace span start).
+    status_since: Vec<SimTime>,
     // Scratch.
     completed_buf: Vec<u64>,
 }
@@ -263,8 +295,46 @@ impl ClusterSim {
             barriers: 0,
             peak_pending_notifications: 0,
             pool: PayloadPool::new(),
+            tracer: Tracer::disabled(),
+            status_since: vec![SimTime::ZERO; topo.world_size() as usize],
             completed_buf: Vec::new(),
         }
+    }
+
+    /// Start recording a cluster-wide trace. Call before [`run`](Self::run);
+    /// the run itself is unaffected (tracing observes sim-time instants, it
+    /// never schedules events), and the resulting `RunReport` gains a
+    /// [`TraceSummary`].
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled();
+        self.net.enable_log();
+        for link in &mut self.pcie {
+            link.enable_log();
+        }
+    }
+
+    /// Take the recorded trace (empty unless
+    /// [`enable_tracing`](Self::enable_tracing) preceded [`run`](Self::run)).
+    pub fn take_trace(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Move a rank to a new status, closing the trace span of the state it
+    /// leaves.
+    fn set_status(&mut self, rank: u32, new: Status, now: SimTime) {
+        let prev = self.ranks[rank as usize].status;
+        if prev == new {
+            return;
+        }
+        self.ranks[rank as usize].status = new;
+        if self.tracer.is_enabled() {
+            if let Some(name) = status_span_name(prev) {
+                let since = self.status_since[rank as usize];
+                self.tracer
+                    .span(Track::Rank(rank), name, since.as_ps(), now.as_ps(), vec![]);
+            }
+        }
+        self.status_since[rank as usize] = now;
     }
 
     /// Immutable access to a node's arena for a window (for test inspection
@@ -329,6 +399,10 @@ impl ClusterSim {
             .map(|s| s.finish)
             .max()
             .unwrap_or(SimTime::ZERO);
+        let trace = self
+            .tracer
+            .is_enabled()
+            .then(|| self.finish_trace(end_time));
         RunReport {
             end_time,
             rank_finish: self.ranks.iter().map(|s| s.finish).collect(),
@@ -349,7 +423,101 @@ impl ClusterSim {
             peak_pending_notifications: self.peak_pending_notifications as u64,
             pool_acquires: self.pool.acquires(),
             pool_hits: self.pool.hits(),
+            trace,
         }
+    }
+
+    /// Fold the component-local logs into the tracer and compute the run's
+    /// [`TraceSummary`]. Only called on traced runs, after the event loop.
+    fn finish_trace(&mut self, end_time: SimTime) -> TraceSummary {
+        let mut summary = TraceSummary::new();
+
+        // Network message lifecycles: the NIC track shows each message's
+        // serialization interval (FIFO — never overlapping), the receiver
+        // gets an arrival instant, and end-to-end latency feeds the
+        // histogram.
+        for rec in self.net.take_log() {
+            self.tracer.span(
+                Track::NetLink(rec.src.0),
+                "msg",
+                rec.egress_start.as_ps(),
+                rec.egress_free.as_ps(),
+                vec![
+                    ("dst", u64::from(rec.dst.0).into()),
+                    ("bytes", rec.bytes.into()),
+                    ("path", rec.path.label().into()),
+                ],
+            );
+            self.tracer.instant(
+                Track::NetLink(rec.dst.0),
+                "arrive",
+                rec.arrival.as_ps(),
+                vec![
+                    ("src", u64::from(rec.src.0).into()),
+                    ("bytes", rec.bytes.into()),
+                ],
+            );
+            summary.net_hist.record(rec.arrival.since(rec.inject));
+        }
+        for (node, link) in self.pcie.iter_mut().enumerate() {
+            for rec in link.take_log() {
+                self.tracer.span(
+                    Track::Pcie(node as u32),
+                    rec.op.label(),
+                    rec.start.as_ps(),
+                    rec.done.as_ps(),
+                    vec![("bytes", rec.bytes.into())],
+                );
+            }
+        }
+
+        // Per-rank blocked/compute intervals from the recorded spans.
+        let world = self.topo.world_size() as usize;
+        let mut waits: Vec<IntervalSet> = (0..world).map(|_| IntervalSet::new()).collect();
+        let mut computes: Vec<IntervalSet> = (0..world).map(|_| IntervalSet::new()).collect();
+        for s in self.tracer.spans() {
+            if let Track::Rank(r) = s.track {
+                match s.name {
+                    "compute" => computes[r as usize].push(s.start_ps, s.end_ps),
+                    "wait" | "flush" | "barrier" => {
+                        waits[r as usize].push(s.start_ps, s.end_ps);
+                        summary
+                            .wait_hist
+                            .record(SimDuration::from_ps(s.end_ps - s.start_ps));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let device_of: Vec<u32> = (0..self.topo.world_size())
+            .map(|r| self.topo.node_of(Rank(r)))
+            .collect();
+        summary.overlap_efficiency = overlap_efficiency(&mut waits, &mut computes, &device_of);
+
+        let total = end_time.since(SimTime::ZERO).as_secs_f64();
+        if total > 0.0 {
+            summary.host_busy_frac = self
+                .host_worker
+                .iter()
+                .map(|w| w.busy_total().as_secs_f64() / total)
+                .collect();
+            summary.nic_busy_frac = (0..self.topo.nodes)
+                .map(|n| self.net.nic_busy(NodeId(n)).as_secs_f64() / total)
+                .collect();
+            summary.pcie_busy_frac = self
+                .pcie
+                .iter()
+                .map(|l| l.busy_total().as_secs_f64() / total)
+                .collect();
+        }
+
+        let mut depth = DepthStats::new();
+        for st in &self.ranks {
+            depth.merge(st.pending.depth_stats());
+        }
+        summary.notif_depth_mean = depth.mean().unwrap_or(0.0);
+        summary.notif_depth_peak = depth.peak();
+        summary
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
@@ -368,6 +536,13 @@ impl ClusterSim {
                 let (_, freed) =
                     self.host_worker[node as usize].submit(now, self.spec.host.worker_gap);
                 let done = freed + self.host_cost(item);
+                if self.tracer.is_enabled() {
+                    let start = freed
+                        .as_ps()
+                        .saturating_sub(self.spec.host.worker_gap.as_ps());
+                    self.tracer
+                        .span(Track::Host(node), item.label(), start, done.as_ps(), vec![]);
+                }
                 self.queue.schedule_at(done, Ev::HostDone { node, item });
             }
             Ev::HostDone { node, item } => self.host_done(node, item, now),
@@ -404,16 +579,16 @@ impl ClusterSim {
                 debug_assert!(st.outstanding > 0, "origin-free without outstanding op");
                 st.outstanding -= 1;
                 if st.status == Status::Flushing && st.outstanding == 0 {
-                    st.status = Status::Ready;
                     st.suspend = None;
+                    self.set_status(rank, Status::Ready, now);
                     self.queue.schedule_at(now, Ev::RankWork { rank });
                 }
             }
             Ev::BarrierAck { rank } => {
                 let st = &mut self.ranks[rank as usize];
                 debug_assert_eq!(st.status, Status::InBarrier);
-                st.status = Status::Ready;
                 st.suspend = None;
+                self.set_status(rank, Status::Ready, now);
                 self.queue.schedule_at(
                     now + self.spec.device.notification_poll_interval,
                     Ev::RankWork { rank },
@@ -463,16 +638,23 @@ impl ClusterSim {
 
     /// Process a rank's action list until it blocks.
     fn advance_rank(&mut self, rank: u32, now: SimTime) {
+        // A `RankWork` event for a computing rank means its device charge
+        // drained: the compute span ends here.
+        if self.ranks[rank as usize].status == Status::Computing {
+            self.set_status(rank, Status::Ready, now);
+        }
         loop {
             if self.ranks[rank as usize].status == Status::Done {
                 return;
             }
             match self.ranks[rank as usize].actions.pop_front() {
                 Some(Action::Charge(mut c)) => {
-                    let st = &mut self.ranks[rank as usize];
-                    c.flops += st.match_backlog_flops;
-                    st.match_backlog_flops = 0.0;
-                    st.status = Status::Computing;
+                    {
+                        let st = &mut self.ranks[rank as usize];
+                        c.flops += st.match_backlog_flops;
+                        st.match_backlog_flops = 0.0;
+                    }
+                    self.set_status(rank, Status::Computing, now);
                     let node = self.topo.node_of(Rank(rank));
                     let local = self.topo.local_of(Rank(rank));
                     let tag = self.work.insert(rank).to_bits();
@@ -508,9 +690,8 @@ impl ClusterSim {
                             // Loop to process the freshly recorded actions.
                         }
                         Some(Suspend::Finished) => {
-                            let st = &mut self.ranks[rank as usize];
-                            st.status = Status::Done;
-                            st.finish = now;
+                            self.set_status(rank, Status::Done, now);
+                            self.ranks[rank as usize].finish = now;
                             self.finished += 1;
                             return;
                         }
@@ -520,19 +701,21 @@ impl ClusterSim {
                             tag,
                             count,
                         }) => {
-                            let st = &mut self.ranks[rank as usize];
-                            st.status = Status::Waiting;
-                            st.query = Query {
-                                win: win.map_or(ANY, |w| w.0),
-                                source: source.map_or(ANY, |r| r.0),
-                                tag: tag.unwrap_or(ANY),
-                            };
-                            st.want = count;
+                            {
+                                let st = &mut self.ranks[rank as usize];
+                                st.query = Query {
+                                    win: win.map_or(ANY, |w| w.0),
+                                    source: source.map_or(ANY, |r| r.0),
+                                    tag: tag.unwrap_or(ANY),
+                                };
+                                st.want = count;
+                            }
+                            self.set_status(rank, Status::Waiting, now);
                             self.try_match(rank, now, false);
                             return;
                         }
                         Some(Suspend::Barrier) => {
-                            self.ranks[rank as usize].status = Status::InBarrier;
+                            self.set_status(rank, Status::InBarrier, now);
                             let node = self.topo.node_of(Rank(rank));
                             let visible = self.pcie[node as usize].post_txn(now, 16);
                             self.queue.schedule_at(
@@ -545,9 +728,8 @@ impl ClusterSim {
                             return;
                         }
                         Some(Suspend::Flush) => {
-                            let st = &mut self.ranks[rank as usize];
-                            if st.outstanding > 0 {
-                                st.status = Status::Flushing;
+                            if self.ranks[rank as usize].outstanding > 0 {
+                                self.set_status(rank, Status::Flushing, now);
                                 return;
                             }
                             // Already flushed; continue straight into the
@@ -612,9 +794,8 @@ impl ClusterSim {
                 }
             }
         }
-        let st = &mut self.ranks[rank as usize];
-        st.suspend = Some(suspend);
-        st.status = Status::Ready;
+        self.ranks[rank as usize].suspend = Some(suspend);
+        self.set_status(rank, Status::Ready, _now);
     }
 
     /// Absolute byte span of the *local* side of an op in its node arena.
@@ -650,6 +831,25 @@ impl ClusterSim {
             );
         }
         self.rma_ops += 1;
+        if self.tracer.is_enabled() {
+            let name = match (op.kind, op.notify) {
+                (RmaKind::Put, NotifyMode::None) => "put",
+                (RmaKind::Put, _) => "put_notify",
+                (RmaKind::Get, NotifyMode::None) => "get",
+                (RmaKind::Get, _) => "get_notify",
+            };
+            self.tracer.instant(
+                Track::Rank(rank),
+                name,
+                now.as_ps(),
+                vec![
+                    ("win", u64::from(op.win.0).into()),
+                    ("partner", u64::from(op.partner.0).into()),
+                    ("len", (op.len as u64).into()),
+                    ("tag", u64::from(op.tag).into()),
+                ],
+            );
+        }
         let r = Rank(rank);
         let node = self.topo.node_of(r);
         let same = self.topo.same_device(r, op.partner);
@@ -1021,6 +1221,18 @@ impl ClusterSim {
     /// A notification became visible in a rank's device-side queue.
     fn deliver_notification(&mut self, rank: u32, notif: Notification, now: SimTime) {
         self.notifications += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                Track::Rank(rank),
+                "notify",
+                now.as_ps(),
+                vec![
+                    ("win", u64::from(notif.win).into()),
+                    ("source", u64::from(notif.source).into()),
+                    ("tag", u64::from(notif.tag).into()),
+                ],
+            );
+        }
         let st = &mut self.ranks[rank as usize];
         st.pending.insert(notif);
         self.peak_pending_notifications = self.peak_pending_notifications.max(st.pending.len());
@@ -1041,8 +1253,8 @@ impl ClusterSim {
                 self.notifications_scanned += scanned as u64;
                 st.match_backlog_flops += scanned as f64 * match_flops_per_scan;
                 debug_assert_eq!(matched.len(), st.want as usize);
-                st.status = Status::Ready;
                 st.suspend = None;
+                self.set_status(rank, Status::Ready, now);
                 let wake = if poll {
                     now + self.spec.device.notification_poll_interval
                 } else {

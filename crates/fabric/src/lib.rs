@@ -22,6 +22,6 @@ pub mod network;
 pub mod pcie;
 pub mod spec;
 
-pub use network::{Delivery, Network, NodeId, TransferPath};
-pub use pcie::PcieLink;
+pub use network::{Delivery, MsgRecord, Network, NodeId, TransferPath};
+pub use pcie::{PcieLink, PcieOp, PcieRecord};
 pub use spec::{NetworkSpec, PcieSpec};

@@ -37,6 +37,41 @@ pub enum TransferPath {
     Loopback,
 }
 
+impl TransferPath {
+    /// Short static label (trace/diagnostic output).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferPath::DeviceDirect => "device-direct",
+            TransferPath::HostStaged => "host-staged",
+            TransferPath::HostToHost => "host-to-host",
+            TransferPath::Loopback => "loopback",
+        }
+    }
+}
+
+/// Lifecycle record of one injected message (only collected while the
+/// network log is enabled).
+#[derive(Clone, Copy, Debug)]
+pub struct MsgRecord {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size.
+    pub bytes: u64,
+    /// Transfer path taken.
+    pub path: TransferPath,
+    /// Instant the message was handed to the NIC.
+    pub inject: SimTime,
+    /// Instant the NIC began serializing it (= `inject` when the NIC was
+    /// idle; later under egress contention).
+    pub egress_start: SimTime,
+    /// Instant the sender's NIC released it.
+    pub egress_free: SimTime,
+    /// Instant it landed at the destination.
+    pub arrival: SimTime,
+}
+
 /// Timing outcome of injecting one message.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Delivery {
@@ -61,6 +96,9 @@ pub struct Network {
     pub messages: Counter,
     /// Messages that took the host-staged path.
     pub staged_messages: Counter,
+    /// Message lifecycle log; `None` (the default) records nothing, so the
+    /// hook in [`send`](Self::send) costs one branch.
+    log: Option<Vec<MsgRecord>>,
 }
 
 impl Network {
@@ -76,7 +114,19 @@ impl Network {
             spec,
             messages: Counter::default(),
             staged_messages: Counter::default(),
+            log: None,
         }
+    }
+
+    /// Start collecting per-message lifecycle records.
+    pub fn enable_log(&mut self) {
+        self.log.get_or_insert_with(Vec::new);
+    }
+
+    /// Drain the collected lifecycle records (empty if logging was never
+    /// enabled). Logging stays enabled.
+    pub fn take_log(&mut self) -> Vec<MsgRecord> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Number of nodes.
@@ -124,10 +174,23 @@ impl Network {
                 src == dst,
                 "loopback path requires src == dst (got {src:?} -> {dst:?})"
             );
-            return Delivery {
+            let d = Delivery {
                 egress_free: now,
                 arrival: now + self.spec.loopback_latency,
             };
+            if let Some(log) = &mut self.log {
+                log.push(MsgRecord {
+                    src,
+                    dst,
+                    bytes,
+                    path: TransferPath::Loopback,
+                    inject: now,
+                    egress_start: now,
+                    egress_free: d.egress_free,
+                    arrival: d.arrival,
+                });
+            }
+            return d;
         }
         assert!(src.index() < self.nics.len(), "src node out of range");
         assert!(dst.index() < self.nics.len(), "dst node out of range");
@@ -147,10 +210,25 @@ impl Network {
         let nic = &mut self.nics[src.index()];
         nic.bytes_sent += bytes;
         let (_, egress_done) = nic.egress.submit(now, serialization);
-        Delivery {
+        let d = Delivery {
             egress_free: egress_done,
             arrival: egress_done + self.spec.latency + extra_latency,
+        };
+        if let Some(log) = &mut self.log {
+            log.push(MsgRecord {
+                src,
+                dst,
+                bytes,
+                path,
+                inject: now,
+                egress_start: SimTime::from_ps(
+                    egress_done.as_ps().saturating_sub(serialization.as_ps()),
+                ),
+                egress_free: d.egress_free,
+                arrival: d.arrival,
+            });
         }
+        d
     }
 
     /// Total bytes injected by `node`.

@@ -16,6 +16,46 @@ use crate::spec::PcieSpec;
 use dcuda_des::stats::Counter;
 use dcuda_des::{FifoResource, SimDuration, SimTime};
 
+/// Traffic class of one logged PCIe job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PcieOp {
+    /// Queue-entry posted write.
+    Txn,
+    /// Remote tail-pointer / credit poll read.
+    Poll,
+    /// Bulk DMA copy.
+    Dma,
+}
+
+impl PcieOp {
+    /// Short static label (trace/diagnostic output).
+    pub fn label(self) -> &'static str {
+        match self {
+            PcieOp::Txn => "txn",
+            PcieOp::Poll => "poll",
+            PcieOp::Dma => "dma",
+        }
+    }
+}
+
+/// Lifecycle record of one PCIe job (only collected while the link log is
+/// enabled).
+#[derive(Clone, Copy, Debug)]
+pub struct PcieRecord {
+    /// Traffic class.
+    pub op: PcieOp,
+    /// Payload bytes (zero for polls).
+    pub bytes: u64,
+    /// Instant the job was issued.
+    pub issue: SimTime,
+    /// Instant the link began servicing it (later than `issue` under
+    /// head-of-line blocking).
+    pub start: SimTime,
+    /// Instant the link released it (excludes the one-way wire latency a
+    /// posted write still needs before it is visible remotely).
+    pub done: SimTime,
+}
+
 /// A single host–device PCIe link.
 pub struct PcieLink {
     spec: PcieSpec,
@@ -26,6 +66,8 @@ pub struct PcieLink {
     pub dmas: Counter,
     /// Remote-poll reads issued.
     pub polls: Counter,
+    /// Job lifecycle log; `None` (the default) records nothing.
+    log: Option<Vec<PcieRecord>>,
 }
 
 impl PcieLink {
@@ -37,12 +79,45 @@ impl PcieLink {
             txns: Counter::default(),
             dmas: Counter::default(),
             polls: Counter::default(),
+            log: None,
         }
     }
 
     /// Link parameters.
     pub fn spec(&self) -> &PcieSpec {
         &self.spec
+    }
+
+    /// Start collecting per-job lifecycle records.
+    pub fn enable_log(&mut self) {
+        self.log.get_or_insert_with(Vec::new);
+    }
+
+    /// Drain the collected lifecycle records (empty if logging was never
+    /// enabled). Logging stays enabled.
+    pub fn take_log(&mut self) -> Vec<PcieRecord> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Record one serviced job.
+    #[inline]
+    fn log_job(
+        &mut self,
+        op: PcieOp,
+        bytes: u64,
+        issue: SimTime,
+        service: SimDuration,
+        done: SimTime,
+    ) {
+        if let Some(log) = &mut self.log {
+            log.push(PcieRecord {
+                op,
+                bytes,
+                issue,
+                start: SimTime::from_ps(done.as_ps().saturating_sub(service.as_ps())),
+                done,
+            });
+        }
     }
 
     /// Post a queue-entry write of `bytes` (an enqueue). Entries larger than
@@ -57,6 +132,7 @@ impl PcieLink {
         self.txns.add(txns);
         let service = self.spec.txn_gap.saturating_mul(txns);
         let (_, done) = self.fifo.submit(now, service);
+        self.log_job(PcieOp::Txn, bytes, now, service, done);
         done + self.spec.txn_latency
     }
 
@@ -64,7 +140,9 @@ impl PcieLink {
     /// the instant the value is available to the poller.
     pub fn poll(&mut self, now: SimTime) -> SimTime {
         self.polls.inc();
-        let (_, done) = self.fifo.submit(now, self.spec.poll_latency);
+        let service = self.spec.poll_latency;
+        let (_, done) = self.fifo.submit(now, service);
+        self.log_job(PcieOp::Poll, 0, now, service, done);
         done
     }
 
@@ -74,6 +152,7 @@ impl PcieLink {
         let service = self.spec.dma_setup
             + SimDuration::from_secs_f64(bytes as f64 / self.spec.dma_bandwidth);
         let (_, done) = self.fifo.submit(now, service);
+        self.log_job(PcieOp::Dma, bytes, now, service, done);
         done
     }
 

@@ -1,0 +1,90 @@
+//! Queue-depth sampling.
+//!
+//! Over-subscription only hides latency while queues stay busy but shallow;
+//! depth statistics are the cheapest observable proxy for that regime. Every
+//! queue in the runtime samples its occupancy at enqueue/dequeue into a
+//! [`DepthStats`]: O(1) per sample, no allocation, no time source — so
+//! sampling is deterministic and always on, like the existing
+//! `credit_refreshes` counter.
+
+/// Running depth statistics of one queue (sample count, mean, peak).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DepthStats {
+    samples: u64,
+    sum: u64,
+    peak: u64,
+}
+
+impl DepthStats {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        DepthStats::default()
+    }
+
+    /// Record one occupancy observation.
+    #[inline]
+    pub fn sample(&mut self, depth: u64) {
+        self.samples += 1;
+        self.sum += depth;
+        self.peak = self.peak.max(depth);
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean observed depth, or `None` before the first sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.sum as f64 / self.samples as f64)
+    }
+
+    /// Highest observed depth.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Fold another recorder's samples into this one (per-rank recorders
+    /// aggregate into a cluster-wide figure after a run).
+    pub fn merge(&mut self, other: &DepthStats) {
+        self.samples += other.samples;
+        self.sum += other.sum;
+        self.peak = self.peak.max(other.peak);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_mean() {
+        let d = DepthStats::new();
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.peak(), 0);
+        assert_eq!(d.samples(), 0);
+    }
+
+    #[test]
+    fn tracks_mean_and_peak() {
+        let mut d = DepthStats::new();
+        for x in [1, 5, 3] {
+            d.sample(x);
+        }
+        assert_eq!(d.samples(), 3);
+        assert_eq!(d.mean(), Some(3.0));
+        assert_eq!(d.peak(), 5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = DepthStats::new();
+        a.sample(2);
+        let mut b = DepthStats::new();
+        b.sample(8);
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert_eq!(a.mean(), Some(5.0));
+        assert_eq!(a.peak(), 8);
+    }
+}

@@ -39,6 +39,7 @@
 //! a bucket that turns out more than half dead during a walk is compacted
 //! on the spot, bounding total skip work by total insert work.
 
+use crate::depth::DepthStats;
 use crate::notify::{Notification, Query, ANY};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -122,6 +123,8 @@ pub struct IndexedMatcher {
     built: [bool; 8],
     /// Notifications matched over the matcher's lifetime.
     pub matched_total: u64,
+    /// Pending-queue occupancy sampled at every insert and successful match.
+    depth: DepthStats,
 }
 
 impl Default for IndexedMatcher {
@@ -140,7 +143,14 @@ impl IndexedMatcher {
             buckets: Default::default(),
             built: [false; 8],
             matched_total: 0,
+            depth: DepthStats::new(),
         }
+    }
+
+    /// Occupancy statistics (sampled after every insert and successful
+    /// match).
+    pub fn depth_stats(&self) -> &DepthStats {
+        &self.depth
     }
 
     /// Number of notifications buffered but not yet matched.
@@ -169,6 +179,7 @@ impl IndexedMatcher {
         self.slots.push(Some(n));
         self.fen.push_live();
         self.live += 1;
+        self.depth.sample(self.live as u64);
         for mask in 0..8 {
             if self.built[mask] {
                 self.buckets[mask]
@@ -259,6 +270,7 @@ impl IndexedMatcher {
         debug_assert_eq!(matched.len(), count);
         self.live -= count;
         self.matched_total += count as u64;
+        self.depth.sample(self.live as u64);
         self.maybe_compact();
         Some((matched, scanned))
     }

@@ -11,7 +11,7 @@
 //! * the sender tracks free space with a **credit counter** and only
 //!   occasionally refreshes it by reading the receiver-published tail.
 //!
-//! [`SpscRing`] implements exactly that protocol with Rust atomics (the PCIe
+//! [`channel`] implements exactly that protocol with Rust atomics (the PCIe
 //! write becomes a release store; the credit refresh becomes an acquire load
 //! of the tail). [`NotificationMatcher`] implements the device-side
 //! notification matching with (window, rank, tag) wildcards, in-order
@@ -24,10 +24,12 @@
 
 #![warn(missing_docs)]
 
+pub mod depth;
 pub mod indexed;
 pub mod notify;
 pub mod spsc;
 
+pub use depth::DepthStats;
 pub use indexed::IndexedMatcher;
 pub use notify::{match_in_order, Notification, NotificationMatcher, Query, ANY};
 pub use spsc::{channel, Receiver, RecvError, Sender, TrySendError};

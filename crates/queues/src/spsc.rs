@@ -26,6 +26,7 @@
 //! * consumer payload read → `tail.store(Release)` pairs with producer
 //!   `tail.load(Acquire)` → slot reuse.
 
+use crate::depth::DepthStats;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,6 +82,10 @@ pub struct Sender<T> {
     /// Number of times the credit counter was refreshed from `tail` —
     /// observable cost metric matching the paper's "occasional transaction".
     pub credit_refreshes: u64,
+    /// Ring occupancy as known to the producer (`capacity - credits`),
+    /// sampled after every successful send. Credits are refreshed lazily, so
+    /// this is an upper bound on true occupancy.
+    depth: DepthStats,
 }
 
 /// Consumer endpoint.
@@ -88,6 +93,12 @@ pub struct Receiver<T> {
     ring: Arc<Ring<T>>,
     /// Next message index to read.
     next: u64,
+    /// Length of the current drain burst (consecutive successful receives).
+    burst: u64,
+    /// Backlog drained per consumer wakeup: each time the ring runs empty,
+    /// the length of the burst of messages consumed since the previous empty
+    /// poll is recorded as one sample.
+    depth: DepthStats,
 }
 
 /// Create a ring with `capacity` slots (must be a power of two for cheap
@@ -118,8 +129,14 @@ pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
             head: 0,
             credits: capacity as u64,
             credit_refreshes: 0,
+            depth: DepthStats::new(),
         },
-        Receiver { ring, next: 0 },
+        Receiver {
+            ring,
+            next: 0,
+            burst: 0,
+            depth: DepthStats::new(),
+        },
     )
 }
 
@@ -156,12 +173,19 @@ impl<T> Sender<T> {
         slot.seq.store(self.head + 1, Ordering::Release);
         self.head += 1;
         self.credits -= 1;
+        self.depth.sample(cap - self.credits);
         Ok(())
     }
 
     /// Messages sent so far.
     pub fn sent(&self) -> u64 {
         self.head
+    }
+
+    /// Producer-side occupancy statistics (see the field docs for the
+    /// sampling convention).
+    pub fn depth_stats(&self) -> &DepthStats {
+        &self.depth
     }
 }
 
@@ -178,6 +202,10 @@ impl<T> Receiver<T> {
         let seq = slot.seq.load(Ordering::Acquire);
         if seq != self.next + 1 {
             // Not yet published (or a stale earlier round).
+            if self.burst > 0 {
+                self.depth.sample(self.burst);
+                self.burst = 0;
+            }
             return if self.ring.disconnected.load(Ordering::Acquire) != 0 {
                 Err(RecvError::Disconnected)
             } else {
@@ -188,9 +216,16 @@ impl<T> Receiver<T> {
         // our acquire load synchronizes with it, and only we read this slot.
         let value = unsafe { (*slot.value.get()).assume_init_read() };
         self.next += 1;
+        self.burst += 1;
         // Publish progress for the producer's credit refresh.
         self.ring.tail.0.store(self.next, Ordering::Release);
         Ok(value)
+    }
+
+    /// Consumer-side drain-burst statistics (see the field docs for the
+    /// sampling convention).
+    pub fn depth_stats(&self) -> &DepthStats {
+        &self.depth
     }
 
     /// Peek whether a message is available without consuming it.

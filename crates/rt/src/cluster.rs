@@ -3,12 +3,24 @@
 use crate::ctx::RtCtx;
 use crate::host::{FlushHistoryHandle, Host};
 use crate::msg::{Cmd, Delivery, HostMsg};
-use dcuda_queues::channel;
+use crate::types::RtError;
+use dcuda_queues::{channel, ANY};
+use dcuda_trace::Tracer;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64};
 use std::sync::Arc;
 
+/// Upper bound on a single window's size (windows are allocated per rank, so
+/// oversized layouts exhaust memory before any useful work happens).
+pub const MAX_WINDOW_BYTES: usize = 1 << 30;
+
+/// Upper bound on the world size (every rank is an OS thread).
+pub const MAX_WORLD: u32 = 4096;
+
 /// Cluster shape and window layout.
+///
+/// Construct via [`RtConfig::builder`] for validated assembly, or fill the
+/// fields directly and let [`try_run_cluster`] validate at launch.
 #[derive(Debug, Clone)]
 pub struct RtConfig {
     /// Number of devices (each with its own host thread).
@@ -32,6 +44,107 @@ impl Default for RtConfig {
     }
 }
 
+impl RtConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> RtConfigBuilder {
+        RtConfigBuilder {
+            cfg: RtConfig::default(),
+        }
+    }
+
+    /// World size (`devices * ranks_per_device`).
+    pub fn world(&self) -> u32 {
+        self.devices * self.ranks_per_device
+    }
+
+    /// Check every invariant [`try_run_cluster`] relies on.
+    pub fn validate(&self) -> Result<(), RtError> {
+        let fail = |msg: String| Err(RtError::InvalidConfig(msg));
+        if self.devices == 0 {
+            return fail("zero devices".into());
+        }
+        if self.ranks_per_device == 0 {
+            return fail("zero ranks per device".into());
+        }
+        let world = self.devices.saturating_mul(self.ranks_per_device);
+        if world > MAX_WORLD {
+            return fail(format!(
+                "world of {world} ranks exceeds the {MAX_WORLD}-thread cap"
+            ));
+        }
+        if self.windows.is_empty() {
+            return fail("no windows registered".into());
+        }
+        if self.windows.len() >= ANY as usize {
+            return fail(format!(
+                "{} windows collide with the wildcard",
+                self.windows.len()
+            ));
+        }
+        if let Some((i, &bytes)) = self
+            .windows
+            .iter()
+            .enumerate()
+            .find(|&(_, &b)| b > MAX_WINDOW_BYTES)
+        {
+            return fail(format!(
+                "window {i} of {bytes} bytes exceeds the {MAX_WINDOW_BYTES}-byte cap"
+            ));
+        }
+        if !self.ring_capacity.is_power_of_two() || self.ring_capacity < 2 {
+            return fail(format!(
+                "ring capacity {} is not a power of two >= 2",
+                self.ring_capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`RtConfig`].
+#[derive(Debug, Clone)]
+pub struct RtConfigBuilder {
+    cfg: RtConfig,
+}
+
+impl RtConfigBuilder {
+    /// Number of devices.
+    pub fn devices(mut self, n: u32) -> Self {
+        self.cfg.devices = n;
+        self
+    }
+
+    /// Ranks per device.
+    pub fn ranks_per_device(mut self, n: u32) -> Self {
+        self.cfg.ranks_per_device = n;
+        self
+    }
+
+    /// Replace the window layout.
+    pub fn windows(mut self, sizes: Vec<usize>) -> Self {
+        self.cfg.windows = sizes;
+        self
+    }
+
+    /// Append one window of `bytes` to the layout.
+    pub fn window(mut self, bytes: usize) -> Self {
+        self.cfg.windows.push(bytes);
+        self
+    }
+
+    /// Command/delivery ring capacity (power of two).
+    pub fn ring_capacity(mut self, cap: usize) -> Self {
+        self.cfg.ring_capacity = cap;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<RtConfig, RtError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RtReport {
@@ -39,6 +152,10 @@ pub struct RtReport {
     pub puts: u64,
     /// Notifications enqueued at targets.
     pub notifications: u64,
+    /// Notifications matched by rank-side queries.
+    pub matched: u64,
+    /// Barrier collectives completed (world-wide rounds).
+    pub barriers: u64,
 }
 
 /// A rank program: a blocking closure over the rank's context.
@@ -48,15 +165,43 @@ pub type RankProgram = Box<dyn FnOnce(&mut RtCtx) + Send>;
 /// statistics.
 ///
 /// # Panics
-/// Panics if the program count does not match the topology or the ring
-/// capacity is not a power of two.
+/// Panics if the configuration fails [`RtConfig::validate`] or the program
+/// count does not match the topology; [`try_run_cluster`] reports the same
+/// conditions as [`RtError`] values.
 pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
-    let world = cfg.devices * cfg.ranks_per_device;
-    assert_eq!(
-        programs.len(),
-        world as usize,
-        "need one program per world rank"
-    );
+    try_run_cluster(cfg, programs).unwrap_or_else(|e| panic!("run_cluster: {e}"))
+}
+
+/// Fallible [`run_cluster`].
+pub fn try_run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> Result<RtReport, RtError> {
+    run_inner(cfg, programs, false).map(|(report, _)| report)
+}
+
+/// As [`try_run_cluster`], with per-rank tracing enabled: returns the merged
+/// cluster [`Tracer`] alongside the statistics. Rank spans (`wait`, `flush`,
+/// `barrier`) and instants (`put`, `put_notify`) are stamped with per-rank
+/// logical sequence numbers — ordering is meaningful within a rank's track,
+/// not across tracks.
+pub fn run_cluster_traced(
+    cfg: &RtConfig,
+    programs: Vec<RankProgram>,
+) -> Result<(RtReport, Tracer), RtError> {
+    run_inner(cfg, programs, true)
+}
+
+fn run_inner(
+    cfg: &RtConfig,
+    programs: Vec<RankProgram>,
+    traced: bool,
+) -> Result<(RtReport, Tracer), RtError> {
+    cfg.validate()?;
+    let world = cfg.world();
+    if programs.len() != world as usize {
+        return Err(RtError::InvalidConfig(format!(
+            "{} programs for a world of {world} ranks",
+            programs.len()
+        )));
+    }
 
     // Inter-host channels.
     let mut peer_txs = Vec::with_capacity(cfg.devices as usize);
@@ -99,6 +244,12 @@ pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
                 barrier_epoch: barrier_epoch.clone(),
                 barriers_entered: 0,
                 matched: 0,
+                tracer: if traced {
+                    Tracer::enabled()
+                } else {
+                    Tracer::disabled()
+                },
+                clock: 0,
             };
             rank_parts.push((ctx, programs.next().expect("program count checked")));
         }
@@ -123,6 +274,12 @@ pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
     }
 
     let mut report = RtReport::default();
+    let mut trace = if traced {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let mut barrier_rounds = 0u64;
     std::thread::scope(|s| {
         let mut host_handles = Vec::new();
         for host in hosts {
@@ -132,11 +289,20 @@ pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
         for (mut ctx, program) in rank_parts {
             rank_handles.push(s.spawn(move || {
                 program(&mut ctx);
-                ctx.finish();
+                ctx.finish()
+                    .unwrap_or_else(|e| panic!("rank {}: finish: {e}", ctx.rank));
+                (
+                    ctx.matched,
+                    ctx.barriers_entered,
+                    std::mem::take(&mut ctx.tracer),
+                )
             }));
         }
         for h in rank_handles {
-            h.join().expect("rank thread panicked");
+            let (matched, barriers, tracer) = h.join().expect("rank thread panicked");
+            report.matched += matched;
+            barrier_rounds = barrier_rounds.max(barriers);
+            trace.absorb(tracer);
         }
         for h in host_handles {
             let (puts, notifs) = h.join().expect("host thread panicked");
@@ -144,5 +310,6 @@ pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
             report.notifications += notifs;
         }
     });
-    report
+    report.barriers = barrier_rounds;
+    Ok((report, trace))
 }

@@ -1,7 +1,11 @@
 //! The per-rank blocking API.
 
-use crate::msg::{Cmd, Delivery, RtQuery};
-use dcuda_queues::{match_in_order, Notification, Receiver, RecvError, Sender, TrySendError};
+use crate::msg::{Cmd, Delivery};
+use crate::types::{Rank, RtError, RtQuery, Tag, WindowId};
+use dcuda_queues::{
+    match_in_order, Notification, Query, Receiver, RecvError, Sender, TrySendError,
+};
+use dcuda_trace::{Tracer, Track};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -9,7 +13,10 @@ use std::sync::Arc;
 /// The device-side library handle of one rank (paper: the `dcuda_context`).
 ///
 /// All methods block the calling rank thread, exactly like the paper's
-/// device-side calls block the calling block.
+/// device-side calls block the calling block. Every fallible entry point
+/// exists in two shapes: a panicking convenience (`put_notify`, `win`) and a
+/// `try_` variant returning [`RtError`] for callers that want to handle bad
+/// arguments or a torn-down runtime themselves.
 pub struct RtCtx {
     pub(crate) rank: u32,
     pub(crate) world: u32,
@@ -34,12 +41,19 @@ pub struct RtCtx {
     pub(crate) barriers_entered: u64,
     /// Notifications matched (stat).
     pub(crate) matched: u64,
+    /// Per-rank trace recorder (disabled unless the cluster runs traced).
+    pub(crate) tracer: Tracer,
+    /// Logical clock for trace timestamps: the threaded runtime has no
+    /// simulated time, so spans are stamped with per-rank event sequence
+    /// numbers (one tick per API call or poll iteration). Deterministic per
+    /// rank; only ordering within a rank's track is meaningful.
+    pub(crate) clock: u64,
 }
 
 impl RtCtx {
     /// World-communicator rank (`dcuda_comm_rank(DCUDA_COMM_WORLD)`).
-    pub fn rank(&self) -> u32 {
-        self.rank
+    pub fn rank(&self) -> Rank {
+        Rank(self.rank)
     }
 
     /// World-communicator size.
@@ -62,26 +76,66 @@ impl RtCtx {
         self.device
     }
 
+    /// Advance the per-rank logical clock by one tick.
+    #[inline]
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
     /// This rank's window memory.
-    pub fn win(&self, win: u32) -> &[u8] {
-        &self.windows[win as usize]
+    ///
+    /// # Panics
+    /// Panics if `win` is not a registered window; use
+    /// [`try_win`](Self::try_win) to handle that as a value.
+    pub fn win(&self, win: WindowId) -> &[u8] {
+        self.try_win(win)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank))
     }
 
     /// This rank's window memory, mutable.
-    pub fn win_mut(&mut self, win: u32) -> &mut [u8] {
-        &mut self.windows[win as usize]
+    ///
+    /// # Panics
+    /// Panics if `win` is not a registered window; use
+    /// [`try_win_mut`](Self::try_win_mut) to handle that as a value.
+    pub fn win_mut(&mut self, win: WindowId) -> &mut [u8] {
+        let rank = self.rank;
+        self.try_win_mut(win)
+            .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
     }
 
-    fn send_cmd(&mut self, mut cmd: Cmd) {
+    /// This rank's window memory, or [`RtError::NoSuchWindow`].
+    pub fn try_win(&self, win: WindowId) -> Result<&[u8], RtError> {
+        self.windows
+            .get(win.index())
+            .map(Vec::as_slice)
+            .ok_or(RtError::NoSuchWindow {
+                win,
+                count: self.windows.len(),
+            })
+    }
+
+    /// This rank's window memory, mutable, or [`RtError::NoSuchWindow`].
+    pub fn try_win_mut(&mut self, win: WindowId) -> Result<&mut [u8], RtError> {
+        let count = self.windows.len();
+        self.windows
+            .get_mut(win.index())
+            .map(Vec::as_mut_slice)
+            .ok_or(RtError::NoSuchWindow { win, count })
+    }
+
+    fn send_cmd(&mut self, mut cmd: Cmd) -> Result<(), RtError> {
         loop {
             match self.cmd.try_send(cmd) {
-                Ok(()) => return,
+                Ok(()) => return Ok(()),
                 Err(TrySendError::Full(c)) => {
                     cmd = c;
                     std::thread::yield_now();
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    panic!("rank {}: block manager vanished", self.rank)
+                    return Err(RtError::Disconnected {
+                        link: "command ring",
+                    })
                 }
             }
         }
@@ -91,124 +145,321 @@ impl RtCtx {
     /// a notification there.
     ///
     /// # Panics
-    /// Panics if the source range exceeds this rank's window.
-    #[allow(clippy::too_many_arguments)]
+    /// Panics on any [`RtError`] — unknown window, destination outside the
+    /// world, source range beyond the window. Use
+    /// [`try_put_notify`](Self::try_put_notify) to handle those as values.
     pub fn put_notify(
         &mut self,
-        win: u32,
-        dst: u32,
+        win: WindowId,
+        dst: Rank,
         dst_off: usize,
         src_off: usize,
         len: usize,
-        tag: u32,
+        tag: Tag,
     ) {
-        self.put_inner(win, dst, dst_off, src_off, len, tag, true);
+        let rank = self.rank;
+        self.try_put_notify(win, dst, dst_off, src_off, len, tag)
+            .unwrap_or_else(|e| panic!("rank {rank}: put_notify: {e}"));
     }
 
     /// `dcuda_put`: as [`put_notify`](Self::put_notify) without the target
     /// notification (completion observable through [`flush`](Self::flush)).
-    pub fn put(&mut self, win: u32, dst: u32, dst_off: usize, src_off: usize, len: usize) {
-        self.put_inner(win, dst, dst_off, src_off, len, 0, false);
+    ///
+    /// # Panics
+    /// Panics on any [`RtError`]; use [`try_put`](Self::try_put) instead to
+    /// handle errors.
+    pub fn put(&mut self, win: WindowId, dst: Rank, dst_off: usize, src_off: usize, len: usize) {
+        let rank = self.rank;
+        self.try_put(win, dst, dst_off, src_off, len)
+            .unwrap_or_else(|e| panic!("rank {rank}: put: {e}"));
+    }
+
+    /// Fallible [`put_notify`](Self::put_notify).
+    pub fn try_put_notify(
+        &mut self,
+        win: WindowId,
+        dst: Rank,
+        dst_off: usize,
+        src_off: usize,
+        len: usize,
+        tag: Tag,
+    ) -> Result<(), RtError> {
+        self.put_inner(win, dst, dst_off, src_off, len, tag, true)
+    }
+
+    /// Fallible [`put`](Self::put).
+    pub fn try_put(
+        &mut self,
+        win: WindowId,
+        dst: Rank,
+        dst_off: usize,
+        src_off: usize,
+        len: usize,
+    ) -> Result<(), RtError> {
+        self.put_inner(win, dst, dst_off, src_off, len, Tag(0), false)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn put_inner(
         &mut self,
-        win: u32,
-        dst: u32,
+        win: WindowId,
+        dst: Rank,
         dst_off: usize,
         src_off: usize,
         len: usize,
-        tag: u32,
+        tag: Tag,
         notify: bool,
-    ) {
-        assert!(dst < self.world, "put to rank {dst} outside the world");
-        let data = self.windows[win as usize][src_off..src_off + len].to_vec();
+    ) -> Result<(), RtError> {
+        if dst == Rank::ANY {
+            return Err(RtError::WildcardNotAllowed { position: "dst" });
+        }
+        if dst.0 >= self.world {
+            return Err(RtError::RankOutOfRange {
+                rank: dst,
+                world: self.world,
+            });
+        }
+        let window = self.try_win(win)?;
+        if src_off + len > window.len() {
+            return Err(RtError::RangeOutOfBounds {
+                win,
+                offset: src_off,
+                len,
+                window_len: window.len(),
+            });
+        }
+        let data = window[src_off..src_off + len].to_vec();
         self.flush_sent += 1;
         let flush_id = self.flush_sent;
+        if self.tracer.is_enabled() {
+            let ts = self.tick();
+            self.tracer.instant(
+                Track::Rank(self.rank),
+                if notify { "put_notify" } else { "put" },
+                ts,
+                vec![
+                    ("win", u64::from(win.0).into()),
+                    ("dst", u64::from(dst.0).into()),
+                    ("len", (len as u64).into()),
+                    ("tag", u64::from(tag.0).into()),
+                ],
+            );
+        }
         self.send_cmd(Cmd::Put {
-            dst,
-            win,
+            dst: dst.0,
+            win: win.0,
             dst_off,
             data,
-            tag,
+            tag: tag.0,
             notify,
             flush_id,
-        });
+        })
     }
 
     /// Drain the delivery ring: land payloads in window memory and buffer
     /// notifications.
-    fn drain_deliveries(&mut self) {
+    fn drain_deliveries(&mut self) -> Result<(), RtError> {
         loop {
             match self.delivery.try_recv() {
                 Ok(d) => {
-                    let w = &mut self.windows[d.win as usize];
-                    assert!(
-                        d.dst_off + d.data.len() <= w.len(),
-                        "rank {}: delivery overflows window {} ({} + {} > {})",
-                        self.rank,
-                        d.win,
-                        d.dst_off,
-                        d.data.len(),
-                        w.len()
-                    );
+                    let win = WindowId(d.win);
+                    let count = self.windows.len();
+                    let w = self
+                        .windows
+                        .get_mut(win.index())
+                        .ok_or(RtError::NoSuchWindow { win, count })?;
+                    if d.dst_off + d.data.len() > w.len() {
+                        return Err(RtError::RangeOutOfBounds {
+                            win,
+                            offset: d.dst_off,
+                            len: d.data.len(),
+                            window_len: w.len(),
+                        });
+                    }
                     w[d.dst_off..d.dst_off + d.data.len()].copy_from_slice(&d.data);
                     if d.notify {
                         self.pending.push_back(d.notif);
                     }
                 }
-                Err(RecvError::Empty) => return,
+                Err(RecvError::Empty) => return Ok(()),
                 Err(RecvError::Disconnected) => {
-                    panic!("rank {}: delivery ring vanished", self.rank)
+                    return Err(RtError::Disconnected {
+                        link: "delivery ring",
+                    })
                 }
             }
         }
     }
 
     /// `dcuda_test_notifications`: non-blocking match attempt.
+    ///
+    /// # Panics
+    /// Panics if the runtime tore down mid-run or a delivery is malformed;
+    /// use [`try_test_notifications`](Self::try_test_notifications) instead
+    /// to handle errors.
     pub fn test_notifications(&mut self, query: RtQuery, count: usize) -> bool {
-        self.drain_deliveries();
+        let rank = self.rank;
+        self.try_test_notifications(query, count)
+            .unwrap_or_else(|e| panic!("rank {rank}: test_notifications: {e}"))
+    }
+
+    /// Fallible [`test_notifications`](Self::test_notifications).
+    pub fn try_test_notifications(
+        &mut self,
+        query: RtQuery,
+        count: usize,
+    ) -> Result<bool, RtError> {
+        self.drain_deliveries()?;
+        self.match_pending(query.raw(), count)
+    }
+
+    fn match_pending(&mut self, query: Query, count: usize) -> Result<bool, RtError> {
         match match_in_order(&mut self.pending, query, count) {
             Some((m, _)) => {
                 self.matched += m.len() as u64;
-                true
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
     /// `dcuda_wait_notifications`: block until `count` notifications
     /// matching `query` have been matched (in arrival order, with
     /// compaction).
+    ///
+    /// # Panics
+    /// Panics if the runtime tore down mid-run; use
+    /// [`try_wait_notifications`](Self::try_wait_notifications) instead.
     pub fn wait_notifications(&mut self, query: RtQuery, count: usize) {
-        while !self.test_notifications(query, count) {
+        let rank = self.rank;
+        self.try_wait_notifications(query, count)
+            .unwrap_or_else(|e| panic!("rank {rank}: wait_notifications: {e}"));
+    }
+
+    /// Fallible [`wait_notifications`](Self::wait_notifications).
+    pub fn try_wait_notifications(&mut self, query: RtQuery, count: usize) -> Result<(), RtError> {
+        let start = self.tick();
+        while !self.try_test_notifications(query, count)? {
+            self.tick();
             std::thread::yield_now();
         }
+        let end = self.tick();
+        self.tracer.span(
+            Track::Rank(self.rank),
+            "wait",
+            start,
+            end,
+            vec![("count", (count as u64).into())],
+        );
+        Ok(())
     }
 
     /// `dcuda_win_flush`: block until every operation this rank issued has
     /// been processed end-to-end.
+    ///
+    /// # Panics
+    /// Panics if the runtime tore down mid-run; use
+    /// [`try_flush`](Self::try_flush) instead.
     pub fn flush(&mut self) {
+        let rank = self.rank;
+        self.try_flush()
+            .unwrap_or_else(|e| panic!("rank {rank}: flush: {e}"));
+    }
+
+    /// Fallible [`flush`](Self::flush).
+    pub fn try_flush(&mut self) -> Result<(), RtError> {
+        let start = self.tick();
         let want = self.flush_sent;
         while self.flush_done.load(Ordering::Acquire) < want {
-            self.drain_deliveries();
+            self.drain_deliveries()?;
+            self.tick();
             std::thread::yield_now();
         }
+        let end = self.tick();
+        self.tracer.span(
+            Track::Rank(self.rank),
+            "flush",
+            start,
+            end,
+            vec![("ops", want.into())],
+        );
+        Ok(())
     }
 
     /// `dcuda_barrier(DCUDA_COMM_WORLD)`: block in the world barrier.
+    ///
+    /// # Panics
+    /// Panics if the runtime tore down mid-run; use
+    /// [`try_barrier`](Self::try_barrier) instead.
     pub fn barrier(&mut self) {
-        self.barriers_entered += 1;
-        let want = self.barriers_entered;
-        self.send_cmd(Cmd::Barrier);
-        while self.barrier_epoch.load(Ordering::Acquire) < want {
-            self.drain_deliveries();
-            std::thread::yield_now();
-        }
+        let rank = self.rank;
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("rank {rank}: barrier: {e}"));
     }
 
-    pub(crate) fn finish(&mut self) {
-        self.send_cmd(Cmd::Finish);
+    /// Fallible [`barrier`](Self::barrier).
+    pub fn try_barrier(&mut self) -> Result<(), RtError> {
+        let start = self.tick();
+        self.barriers_entered += 1;
+        let want = self.barriers_entered;
+        self.send_cmd(Cmd::Barrier)?;
+        while self.barrier_epoch.load(Ordering::Acquire) < want {
+            self.drain_deliveries()?;
+            self.tick();
+            std::thread::yield_now();
+        }
+        let end = self.tick();
+        self.tracer
+            .span(Track::Rank(self.rank), "barrier", start, end, vec![]);
+        Ok(())
+    }
+
+    pub(crate) fn finish(&mut self) -> Result<(), RtError> {
+        self.send_cmd(Cmd::Finish)
+    }
+
+    // --- Deprecated untyped shims (one release) -------------------------
+
+    /// Untyped [`put_notify`](Self::put_notify).
+    #[deprecated(since = "0.2.0", note = "use `put_notify(WindowId, Rank, …, Tag)`")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_notify_raw(
+        &mut self,
+        win: u32,
+        dst: u32,
+        dst_off: usize,
+        src_off: usize,
+        len: usize,
+        tag: u32,
+    ) {
+        self.put_notify(WindowId(win), Rank(dst), dst_off, src_off, len, Tag(tag));
+    }
+
+    /// Untyped [`put`](Self::put).
+    #[deprecated(since = "0.2.0", note = "use `put(WindowId, Rank, …)`")]
+    pub fn put_raw(&mut self, win: u32, dst: u32, dst_off: usize, src_off: usize, len: usize) {
+        self.put(WindowId(win), Rank(dst), dst_off, src_off, len);
+    }
+
+    /// Untyped [`wait_notifications`](Self::wait_notifications) over a raw
+    /// matcher query.
+    #[deprecated(since = "0.2.0", note = "use `wait_notifications(RtQuery, …)`")]
+    pub fn wait_notifications_raw(&mut self, query: Query, count: usize) {
+        self.wait_notifications(
+            RtQuery::exact(WindowId(query.win), Rank(query.source), Tag(query.tag)),
+            count,
+        );
+    }
+
+    /// Untyped [`win`](Self::win).
+    #[deprecated(since = "0.2.0", note = "use `win(WindowId)`")]
+    pub fn win_raw(&self, win: u32) -> &[u8] {
+        self.win(WindowId(win))
+    }
+
+    /// Untyped [`win_mut`](Self::win_mut).
+    #[deprecated(since = "0.2.0", note = "use `win_mut(WindowId)`")]
+    pub fn win_mut_raw(&mut self, win: u32) -> &mut [u8] {
+        self.win_mut(WindowId(win))
     }
 }

@@ -25,7 +25,18 @@ pub mod cluster;
 pub mod ctx;
 pub mod host;
 pub mod msg;
+pub mod types;
 
-pub use cluster::{run_cluster, RtConfig, RtReport};
+pub use cluster::{
+    run_cluster, run_cluster_traced, try_run_cluster, RtConfig, RtConfigBuilder, RtReport,
+    MAX_WINDOW_BYTES, MAX_WORLD,
+};
 pub use ctx::RtCtx;
-pub use msg::{RtQuery, ANY_RANK, ANY_TAG, ANY_WIN};
+pub use types::{Rank, RtError, RtQuery, Tag, WindowId};
+
+#[allow(deprecated)]
+pub use msg::{ANY_RANK, ANY_TAG, ANY_WIN};
+
+/// Raw untyped matcher query, superseded by the typed [`RtQuery`].
+#[deprecated(since = "0.2.0", note = "use `RtQuery`")]
+pub use dcuda_queues::Query as RawQuery;

@@ -1,16 +1,16 @@
 //! Message types flowing through the runtime's queues and channels.
 
-use dcuda_queues::{Notification, Query, ANY};
+use dcuda_queues::{Notification, ANY};
 
 /// Wildcard for the window position of a query (`DCUDA_ANY_WIN`).
+#[deprecated(since = "0.2.0", note = "use `WindowId::ANY`")]
 pub const ANY_WIN: u32 = ANY;
 /// Wildcard for the source position of a query (`DCUDA_ANY_SOURCE`).
+#[deprecated(since = "0.2.0", note = "use `Rank::ANY`")]
 pub const ANY_RANK: u32 = ANY;
 /// Wildcard for the tag position of a query (`DCUDA_ANY_TAG`).
+#[deprecated(since = "0.2.0", note = "use `Tag::ANY`")]
 pub const ANY_TAG: u32 = ANY;
-
-/// Re-exported query type (window, source, tag — each may be a wildcard).
-pub type RtQuery = Query;
 
 /// A command from a rank to its block manager (device → host ring).
 #[derive(Debug)]

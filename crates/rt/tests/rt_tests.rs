@@ -2,7 +2,10 @@
 //! paper's Figure 2 listing running on real threads and real lock-free
 //! queues.
 
-use dcuda_rt::{run_cluster, RtConfig, RtQuery, ANY_RANK, ANY_TAG};
+use dcuda_rt::{
+    run_cluster, run_cluster_traced, try_run_cluster, Rank, RtConfig, RtError, RtQuery, Tag,
+    WindowId,
+};
 
 fn cfg(devices: u32, ranks: u32) -> RtConfig {
     RtConfig {
@@ -13,31 +16,27 @@ fn cfg(devices: u32, ranks: u32) -> RtConfig {
     }
 }
 
+const W0: WindowId = WindowId(0);
+
 #[test]
 fn put_notify_wait_roundtrip_same_device() {
     let report = run_cluster(
         &cfg(1, 2),
         vec![
             Box::new(|ctx| {
-                ctx.win_mut(0)[0..4].copy_from_slice(&[1, 2, 3, 4]);
-                ctx.put_notify(0, 1, 100, 0, 4, 7);
+                ctx.win_mut(W0)[0..4].copy_from_slice(&[1, 2, 3, 4]);
+                ctx.put_notify(W0, Rank(1), 100, 0, 4, Tag(7));
                 ctx.flush();
             }),
             Box::new(|ctx| {
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: 0,
-                        tag: 7,
-                    },
-                    1,
-                );
-                assert_eq!(&ctx.win(0)[100..104], &[1, 2, 3, 4]);
+                ctx.wait_notifications(RtQuery::exact(W0, Rank(0), Tag(7)), 1);
+                assert_eq!(&ctx.win(W0)[100..104], &[1, 2, 3, 4]);
             }),
         ],
     );
     assert_eq!(report.puts, 1);
     assert_eq!(report.notifications, 1);
+    assert_eq!(report.matched, 1);
 }
 
 #[test]
@@ -46,20 +45,13 @@ fn put_notify_crosses_devices() {
         &cfg(2, 1),
         vec![
             Box::new(|ctx| {
-                ctx.win_mut(0)[0] = 42;
-                ctx.put_notify(0, 1, 0, 0, 1, 3);
+                ctx.win_mut(W0)[0] = 42;
+                ctx.put_notify(W0, Rank(1), 0, 0, 1, Tag(3));
                 ctx.flush();
             }),
             Box::new(|ctx| {
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: 0,
-                        tag: 3,
-                    },
-                    1,
-                );
-                assert_eq!(ctx.win(0)[0], 42);
+                ctx.wait_notifications(RtQuery::exact(W0, Rank(0), Tag(3)), 1);
+                assert_eq!(ctx.win(W0)[0], 42);
             }),
         ],
     );
@@ -73,32 +65,18 @@ fn pingpong_many_iterations() {
         vec![
             Box::new(|ctx| {
                 for i in 0..ITERS {
-                    ctx.win_mut(0)[0] = i as u8;
-                    ctx.put_notify(0, 1, 0, 0, 1, 1);
-                    ctx.wait_notifications(
-                        RtQuery {
-                            win: 0,
-                            source: 1,
-                            tag: 2,
-                        },
-                        1,
-                    );
-                    assert_eq!(ctx.win(0)[1], i as u8, "echo mismatch at {i}");
+                    ctx.win_mut(W0)[0] = i as u8;
+                    ctx.put_notify(W0, Rank(1), 0, 0, 1, Tag(1));
+                    ctx.wait_notifications(RtQuery::exact(W0, Rank(1), Tag(2)), 1);
+                    assert_eq!(ctx.win(W0)[1], i as u8, "echo mismatch at {i}");
                 }
             }),
             Box::new(|ctx| {
                 for _ in 0..ITERS {
-                    ctx.wait_notifications(
-                        RtQuery {
-                            win: 0,
-                            source: 0,
-                            tag: 1,
-                        },
-                        1,
-                    );
-                    let v = ctx.win(0)[0];
-                    ctx.win_mut(0)[1] = v;
-                    ctx.put_notify(0, 0, 1, 1, 1, 2);
+                    ctx.wait_notifications(RtQuery::exact(W0, Rank(0), Tag(1)), 1);
+                    let v = ctx.win(W0)[0];
+                    ctx.win_mut(W0)[1] = v;
+                    ctx.put_notify(W0, Rank(0), 1, 1, 1, Tag(2));
                 }
             }),
         ],
@@ -117,25 +95,19 @@ fn barrier_orders_writes() {
         programs.push(Box::new(move |ctx| {
             ctx.barrier();
             if r != 0 {
-                ctx.win_mut(0)[0] = r as u8;
-                ctx.put_notify(0, 0, r as usize, 0, 1, 9);
+                ctx.win_mut(W0)[0] = r as u8;
+                ctx.put_notify(W0, Rank(0), r as usize, 0, 1, Tag(9));
             } else {
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: ANY_RANK,
-                        tag: 9,
-                    },
-                    (world - 1) as usize,
-                );
+                ctx.wait_notifications(RtQuery::exact(W0, Rank::ANY, Tag(9)), (world - 1) as usize);
                 for s in 1..world {
-                    assert_eq!(ctx.win(0)[s as usize], s as u8);
+                    assert_eq!(ctx.win(W0)[s as usize], s as u8);
                 }
             }
             ctx.barrier();
         }));
     }
-    run_cluster(&cfg(devices, ranks), programs);
+    let report = run_cluster(&cfg(devices, ranks), programs);
+    assert_eq!(report.barriers, 2);
 }
 
 #[test]
@@ -150,17 +122,13 @@ fn repeated_barriers_stay_in_step() {
             for round in 0..ROUNDS {
                 // Ring put: each rank tags with the round number.
                 let dst = (r + 1) % world;
-                ctx.win_mut(0)[0] = round as u8;
-                ctx.put_notify(0, dst, 1, 0, 1, round as u32);
+                ctx.win_mut(W0)[0] = round as u8;
+                ctx.put_notify(W0, Rank(dst), 1, 0, 1, Tag(round as u32));
                 ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: (r + world - 1) % world,
-                        tag: round as u32,
-                    },
+                    RtQuery::exact(W0, Rank((r + world - 1) % world), Tag(round as u32)),
                     1,
                 );
-                assert_eq!(ctx.win(0)[1], round as u8);
+                assert_eq!(ctx.win(W0)[1], round as u8);
                 ctx.barrier();
             }
         }));
@@ -178,24 +146,17 @@ fn flush_makes_plain_puts_visible() {
                 // runtime's in-order routing makes them all visible when the
                 // marker matches.
                 for i in 0..32usize {
-                    ctx.win_mut(0)[0] = i as u8;
-                    ctx.put(0, 1, i, 0, 1);
+                    ctx.win_mut(W0)[0] = i as u8;
+                    ctx.put(W0, Rank(1), i, 0, 1);
                 }
                 ctx.flush();
-                ctx.put_notify(0, 1, 100, 0, 1, 5);
+                ctx.put_notify(W0, Rank(1), 100, 0, 1, Tag(5));
                 ctx.flush();
             }),
             Box::new(|ctx| {
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: 0,
-                        tag: 5,
-                    },
-                    1,
-                );
+                ctx.wait_notifications(RtQuery::exact(W0, Rank(0), Tag(5)), 1);
                 for i in 0..32usize {
-                    assert_eq!(ctx.win(0)[i], i as u8, "plain put {i} lost");
+                    assert_eq!(ctx.win(W0)[i], i as u8, "plain put {i} lost");
                 }
             }),
         ],
@@ -209,41 +170,207 @@ fn wildcard_matching_with_compaction() {
         vec![
             Box::new(|ctx| {
                 // Wait for tag 2 first although tag 1 arrives interleaved.
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: ANY_RANK,
-                        tag: 2,
-                    },
-                    1,
-                );
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: ANY_RANK,
-                        tag: 1,
-                    },
-                    1,
-                );
+                ctx.wait_notifications(RtQuery::exact(W0, Rank::ANY, Tag(2)), 1);
+                ctx.wait_notifications(RtQuery::exact(W0, Rank::ANY, Tag(1)), 1);
                 // And a fully wildcard wait for the stragglers.
-                ctx.wait_notifications(
-                    RtQuery {
+                ctx.wait_notifications(RtQuery::WILDCARD, 2);
+            }),
+            Box::new(|ctx| {
+                ctx.put_notify(W0, Rank(0), 0, 0, 1, Tag(1));
+                ctx.put_notify(W0, Rank(0), 1, 0, 1, Tag(3));
+                ctx.flush();
+            }),
+            Box::new(|ctx| {
+                ctx.put_notify(W0, Rank(0), 2, 0, 1, Tag(2));
+                ctx.put_notify(W0, Rank(0), 3, 0, 1, Tag(4));
+                ctx.flush();
+            }),
+        ],
+    );
+}
+
+#[test]
+fn wildcard_matrix_all_eight_combos() {
+    // Every any/exact combination over (win, source, tag) must match a
+    // notification from (win 1, rank 1, tag 7) — and an exact mismatch in
+    // any position must not.
+    let two_windows = RtConfig {
+        devices: 1,
+        ranks_per_device: 2,
+        windows: vec![256, 256],
+        ring_capacity: 16,
+    };
+    let report = run_cluster(
+        &two_windows,
+        vec![
+            Box::new(|ctx| {
+                let combos = [
+                    RtQuery::exact(WindowId(1), Rank(1), Tag(7)),
+                    RtQuery::exact(WindowId(1), Rank(1), Tag::ANY),
+                    RtQuery::exact(WindowId(1), Rank::ANY, Tag(7)),
+                    RtQuery::exact(WindowId(1), Rank::ANY, Tag::ANY),
+                    RtQuery::exact(WindowId::ANY, Rank(1), Tag(7)),
+                    RtQuery::exact(WindowId::ANY, Rank(1), Tag::ANY),
+                    RtQuery::exact(WindowId::ANY, Rank::ANY, Tag(7)),
+                    RtQuery::WILDCARD,
+                ];
+                for (i, q) in combos.into_iter().enumerate() {
+                    ctx.wait_notifications(q, 1);
+                    // Mismatches in each position find nothing buffered.
+                    assert!(
+                        !ctx.test_notifications(
+                            RtQuery::exact(WindowId(0), Rank::ANY, Tag::ANY),
+                            1
+                        ),
+                        "combo {i}: wrong window matched"
+                    );
+                    assert!(
+                        !ctx.test_notifications(
+                            RtQuery::exact(WindowId::ANY, Rank(0), Tag::ANY),
+                            1
+                        ),
+                        "combo {i}: wrong source matched"
+                    );
+                    assert!(
+                        !ctx.test_notifications(
+                            RtQuery::exact(WindowId::ANY, Rank::ANY, Tag(8)),
+                            1
+                        ),
+                        "combo {i}: wrong tag matched"
+                    );
+                }
+            }),
+            Box::new(|ctx| {
+                for _ in 0..8 {
+                    ctx.put_notify(WindowId(1), Rank(0), 0, 0, 1, Tag(7));
+                    ctx.flush();
+                }
+            }),
+        ],
+    );
+    assert_eq!(report.matched, 8);
+}
+
+#[test]
+fn builder_validates_shapes() {
+    assert!(RtConfig::builder().build().is_ok());
+    let bad = [
+        RtConfig::builder().devices(0).build(),
+        RtConfig::builder().ranks_per_device(0).build(),
+        RtConfig::builder()
+            .devices(1024)
+            .ranks_per_device(1024)
+            .build(),
+        RtConfig::builder().windows(vec![]).build(),
+        RtConfig::builder().windows(vec![usize::MAX]).build(),
+        RtConfig::builder().ring_capacity(3).build(),
+        RtConfig::builder().ring_capacity(0).build(),
+    ];
+    for (i, b) in bad.iter().enumerate() {
+        assert!(
+            matches!(b, Err(RtError::InvalidConfig(_))),
+            "case {i} accepted: {b:?}"
+        );
+    }
+    let cfg = RtConfig::builder()
+        .devices(1)
+        .ranks_per_device(2)
+        .windows(vec![128])
+        .window(64)
+        .ring_capacity(8)
+        .build()
+        .unwrap();
+    assert_eq!(cfg.world(), 2);
+    assert_eq!(cfg.windows, vec![128, 64]);
+}
+
+#[test]
+fn try_run_cluster_rejects_program_miscount() {
+    let err = try_run_cluster(&cfg(1, 2), vec![Box::new(|_| {})]).unwrap_err();
+    assert!(matches!(err, RtError::InvalidConfig(_)), "{err}");
+}
+
+#[test]
+fn bad_arguments_surface_as_errors() {
+    run_cluster(
+        &cfg(1, 1),
+        vec![Box::new(|ctx| {
+            assert!(matches!(
+                ctx.try_win(WindowId(5)),
+                Err(RtError::NoSuchWindow { .. })
+            ));
+            assert!(matches!(
+                ctx.try_put_notify(WindowId(5), Rank(0), 0, 0, 1, Tag(0)),
+                Err(RtError::NoSuchWindow { .. })
+            ));
+            assert!(matches!(
+                ctx.try_put_notify(WindowId(0), Rank(99), 0, 0, 1, Tag(0)),
+                Err(RtError::RankOutOfRange { .. })
+            ));
+            assert!(matches!(
+                ctx.try_put_notify(WindowId(0), Rank::ANY, 0, 0, 1, Tag(0)),
+                Err(RtError::WildcardNotAllowed { position: "dst" })
+            ));
+            assert!(matches!(
+                ctx.try_put(WindowId(0), Rank(0), 0, 4000, 1000),
+                Err(RtError::RangeOutOfBounds { .. })
+            ));
+        })],
+    );
+}
+
+#[test]
+fn traced_run_records_rank_timelines() {
+    let (report, trace) = run_cluster_traced(
+        &cfg(1, 2),
+        vec![
+            Box::new(|ctx| {
+                ctx.win_mut(W0)[0] = 9;
+                ctx.put_notify(W0, Rank(1), 0, 0, 1, Tag(7));
+                ctx.flush();
+                ctx.barrier();
+            }),
+            Box::new(|ctx| {
+                ctx.wait_notifications(RtQuery::exact(W0, Rank(0), Tag(7)), 1);
+                ctx.barrier();
+            }),
+        ],
+    )
+    .unwrap();
+    assert_eq!(report.matched, 1);
+    let names: Vec<&str> = trace.spans().iter().map(|s| s.name).collect();
+    assert!(names.contains(&"wait"), "no wait span in {names:?}");
+    assert!(names.contains(&"flush"), "no flush span in {names:?}");
+    assert!(names.contains(&"barrier"), "no barrier span in {names:?}");
+    assert_eq!(trace.instants().len(), 1, "one put_notify instant");
+    for s in trace.spans() {
+        assert!(s.end_ps >= s.start_ps, "span {} inverted", s.name);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_raw_shims_still_work() {
+    use dcuda_rt::ANY_TAG;
+    run_cluster(
+        &cfg(1, 2),
+        vec![
+            Box::new(|ctx| {
+                ctx.win_mut_raw(0)[0] = 5;
+                ctx.put_notify_raw(0, 1, 0, 0, 1, 3);
+                ctx.put_raw(0, 1, 1, 0, 1);
+                ctx.flush();
+            }),
+            Box::new(|ctx| {
+                ctx.wait_notifications_raw(
+                    dcuda_rt::RawQuery {
                         win: 0,
-                        source: ANY_RANK,
+                        source: dcuda_rt::ANY_RANK,
                         tag: ANY_TAG,
                     },
-                    2,
+                    1,
                 );
-            }),
-            Box::new(|ctx| {
-                ctx.put_notify(0, 0, 0, 0, 1, 1);
-                ctx.put_notify(0, 0, 1, 0, 1, 3);
-                ctx.flush();
-            }),
-            Box::new(|ctx| {
-                ctx.put_notify(0, 0, 2, 0, 1, 2);
-                ctx.put_notify(0, 0, 3, 0, 1, 4);
-                ctx.flush();
+                assert_eq!(ctx.win_raw(0)[0], 5);
             }),
         ],
     );
@@ -264,17 +391,13 @@ fn ring_stress_small_rings_backpressure() {
         programs.push(Box::new(move |ctx| {
             let dst = (r + 1) % world;
             for i in 0..100u32 {
-                ctx.win_mut(0)[0] = (i % 251) as u8;
-                ctx.put_notify(0, dst, 1, 0, 1, 0);
+                ctx.win_mut(W0)[0] = (i % 251) as u8;
+                ctx.put_notify(W0, Rank(dst), 1, 0, 1, Tag(0));
                 ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: (r + world - 1) % world,
-                        tag: 0,
-                    },
+                    RtQuery::exact(W0, Rank((r + world - 1) % world), Tag(0)),
                     1,
                 );
-                assert_eq!(ctx.win(0)[1], (i % 251) as u8);
+                assert_eq!(ctx.win(W0)[1], (i % 251) as u8);
             }
         }));
     }
@@ -324,33 +447,26 @@ fn stencil_like_halo_exchange_on_rt() {
             // Init interior (cells start at f64 index 2).
             for c in 0..CELLS {
                 let global = r * CELLS + c + 1;
-                let w = ctx.win_mut(0);
+                let w = ctx.win_mut(W0);
                 put(w, c + 2, global as f64);
             }
-            let left = (r > 0).then(|| (r - 1) as u32);
-            let right = (r + 1 < world).then(|| (r + 1) as u32);
+            let left = (r > 0).then(|| Rank((r - 1) as u32));
+            let right = (r + 1 < world).then(|| Rank((r + 1) as u32));
             for it in 0..ITERS {
                 let par = it % 2;
-                let tag = it as u32;
+                let tag = Tag(it as u32);
                 // Send my edge cells into the parity slot of each
                 // neighbour's facing halo.
                 if let Some(l) = left {
-                    ctx.put_notify(0, l, (CELLS + 2 + par) * 8, 2 * 8, 8, tag);
+                    ctx.put_notify(W0, l, (CELLS + 2 + par) * 8, 2 * 8, 8, tag);
                 }
                 if let Some(rt) = right {
-                    ctx.put_notify(0, rt, par * 8, (CELLS + 1) * 8, 8, tag);
+                    ctx.put_notify(W0, rt, par * 8, (CELLS + 1) * 8, 8, tag);
                 }
                 let expect = left.is_some() as usize + right.is_some() as usize;
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: dcuda_rt::ANY_RANK,
-                        tag,
-                    },
-                    expect,
-                );
+                ctx.wait_notifications(RtQuery::exact(W0, Rank::ANY, tag), expect);
                 // Jacobi step (edges use parity halos; world edges read 0).
-                let w = ctx.win_mut(0);
+                let w = ctx.win_mut(W0);
                 let halo_l = get(w, par);
                 let halo_r = get(w, CELLS + 2 + par);
                 let prev: Vec<f64> = (0..CELLS).map(|c| get(w, c + 2)).collect();
@@ -360,7 +476,7 @@ fn stencil_like_halo_exchange_on_rt() {
                     put(w, c + 2, 0.5 * (lv + rv));
                 }
             }
-            let w = ctx.win(0);
+            let w = ctx.win(W0);
             let vals: Vec<f64> = (0..CELLS).map(|i| get(w, i + 2)).collect();
             *result.lock().unwrap() = vals;
         }));

@@ -7,7 +7,9 @@
 //! cargo run --release --example threaded_runtime
 //! ```
 
-use dcuda::rt::{run_cluster, RtConfig, RtQuery, ANY_RANK};
+use dcuda::rt::{run_cluster, Rank, RtConfig, RtQuery, Tag, WindowId};
+
+const W0: WindowId = WindowId(0);
 
 fn main() {
     const CELLS: usize = 16;
@@ -34,29 +36,22 @@ fn main() {
             // Initial bump on rank 0.
             for c in 0..CELLS {
                 let v = if r == 0 && c == 0 { 100.0 } else { 0.0 };
-                set(ctx.win_mut(0), c + 2, v);
+                set(ctx.win_mut(W0), c + 2, v);
             }
             ctx.barrier();
-            let left = (r > 0).then(|| (r - 1) as u32);
-            let right = (r + 1 < world).then(|| (r + 1) as u32);
+            let left = (r > 0).then(|| Rank((r - 1) as u32));
+            let right = (r + 1 < world).then(|| Rank((r + 1) as u32));
             for it in 0..STEPS {
                 let par = it % 2;
                 if let Some(l) = left {
-                    ctx.put_notify(0, l, (CELLS + 2 + par) * 8, 2 * 8, 8, it as u32);
+                    ctx.put_notify(W0, l, (CELLS + 2 + par) * 8, 2 * 8, 8, Tag(it as u32));
                 }
                 if let Some(rt) = right {
-                    ctx.put_notify(0, rt, par * 8, (CELLS + 1) * 8, 8, it as u32);
+                    ctx.put_notify(W0, rt, par * 8, (CELLS + 1) * 8, 8, Tag(it as u32));
                 }
                 let expect = left.is_some() as usize + right.is_some() as usize;
-                ctx.wait_notifications(
-                    RtQuery {
-                        win: 0,
-                        source: ANY_RANK,
-                        tag: it as u32,
-                    },
-                    expect,
-                );
-                let w = ctx.win_mut(0);
+                ctx.wait_notifications(RtQuery::exact(W0, Rank::ANY, Tag(it as u32)), expect);
+                let w = ctx.win_mut(W0);
                 let hl = get(w, par);
                 let hr = get(w, CELLS + 2 + par);
                 let prev: Vec<f64> = (0..CELLS).map(|c| get(w, c + 2)).collect();
@@ -67,7 +62,7 @@ fn main() {
                 }
             }
             ctx.barrier();
-            let mass: f64 = (0..CELLS).map(|c| get(ctx.win(0), c + 2)).sum();
+            let mass: f64 = (0..CELLS).map(|c| get(ctx.win(W0), c + 2)).sum();
             *result.lock().unwrap() = mass;
         }));
     }

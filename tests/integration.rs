@@ -2,6 +2,7 @@
 //! and threaded backends computing the same problems, calibration against
 //! the paper's measured numbers, and figure-shape checks.
 
+use dcuda::apps::micro::overlap::{self, OverlapConfig, Workload};
 use dcuda::apps::micro::pingpong::{self, Placement};
 use dcuda::apps::particles::{self, ParticleConfig};
 use dcuda::apps::spmv::{self, SpmvConfig};
@@ -9,6 +10,7 @@ use dcuda::apps::stencil::{self, StencilConfig};
 use dcuda::core::types::Topology;
 use dcuda::core::{ClusterSim, RankCtx, RankKernel, Suspend, SystemSpec, WindowSpec};
 use dcuda::rt::{run_cluster, RtConfig, RtQuery};
+use dcuda::rt::{Rank as RtRank, Tag as RtTag, WindowId as RtWin};
 
 /// The paper's §IV-B calibration: empty-packet notified-put latencies.
 #[test]
@@ -138,17 +140,10 @@ fn simulated_and_threaded_backends_agree() {
         let out = results[r as usize].clone();
         programs.push(Box::new(move |ctx| {
             let v = VAL_BASE + r as f64;
-            ctx.win_mut(0)[0..8].copy_from_slice(&v.to_le_bytes());
-            ctx.put_notify(0, (r + 1) % world, 8, 0, 8, 0);
-            ctx.wait_notifications(
-                RtQuery {
-                    win: 0,
-                    source: dcuda::rt::ANY_RANK,
-                    tag: 0,
-                },
-                1,
-            );
-            let got = f64::from_le_bytes(ctx.win(0)[8..16].try_into().unwrap());
+            ctx.win_mut(RtWin(0))[0..8].copy_from_slice(&v.to_le_bytes());
+            ctx.put_notify(RtWin(0), RtRank((r + 1) % world), 8, 0, 8, RtTag(0));
+            ctx.wait_notifications(RtQuery::exact(RtWin(0), RtRank::ANY, RtTag(0)), 1);
+            let got = f64::from_le_bytes(ctx.win(RtWin(0))[8..16].try_into().unwrap());
             *out.lock().unwrap() = got;
         }));
     }
@@ -207,5 +202,123 @@ fn headline_overlap_claim_holds() {
         "scaling cost {:.2} ms vs halo {:.2} ms",
         gap,
         m4.halo_ms
+    );
+}
+
+/// Tracing must be pure observation: with the tracer disabled (the default),
+/// every benchmark series reproduces the pre-trace-subsystem numbers
+/// bit-for-bit. Golden values captured at PR 1.
+#[test]
+fn trace_disabled_series_are_byte_identical_to_pr1() {
+    let spec = SystemSpec::greina();
+
+    let mut newton = OverlapConfig::paper(Workload::Newton, 64, 10);
+    newton.nodes = 2;
+    newton.ranks_per_node = 26;
+    assert_eq!(
+        overlap::run(&spec, &newton).to_bits(),
+        0.227598308f64.to_bits()
+    );
+
+    let mut copy = OverlapConfig::paper(Workload::Copy, 64, 10);
+    copy.nodes = 2;
+    copy.ranks_per_node = 26;
+    assert_eq!(
+        overlap::run(&spec, &copy).to_bits(),
+        0.8135510450000001f64.to_bits()
+    );
+
+    let pp = pingpong::run(&spec, Placement::Distributed, 1024, 20);
+    assert_eq!(pp.latency_us.to_bits(), 18.590332999999998f64.to_bits());
+    assert_eq!(pp.bandwidth_mbs.to_bits(), 55.08239147733395f64.to_bits());
+
+    let (_, st) = stencil::run_dcuda(&spec, &StencilConfig::tiny(2));
+    assert_eq!(st.time_ms.to_bits(), 0.22593622200000002f64.to_bits());
+}
+
+/// A traced simulation yields the same modeled time as an untraced one and
+/// produces a populated trace with the overlap-efficiency aggregate.
+#[test]
+fn traced_sim_is_observation_only() {
+    use dcuda::core::{ClusterSim as Sim, WindowSpec as Win};
+
+    struct Ring {
+        phase: u32,
+        right: u32,
+    }
+    impl RankKernel for Ring {
+        fn resume(&mut self, ctx: &mut RankCtx<'_>) -> Suspend {
+            self.phase += 1;
+            match self.phase {
+                1 => {
+                    ctx.charge(dcuda::device::BlockCharge::flops(4096.0));
+                    ctx.put_notify(
+                        dcuda::core::WinId(0),
+                        dcuda::core::Rank(self.right),
+                        0,
+                        0,
+                        8,
+                        1,
+                    );
+                    Suspend::WaitNotifications {
+                        win: None,
+                        source: None,
+                        tag: Some(1),
+                        count: 1,
+                    }
+                }
+                _ => Suspend::Finished,
+            }
+        }
+    }
+    let topo = Topology {
+        nodes: 2,
+        ranks_per_node: 4,
+    };
+    let world = topo.nodes * topo.ranks_per_node;
+    let mk = || -> Vec<Box<dyn RankKernel>> {
+        (0..world)
+            .map(|r| {
+                Box::new(Ring {
+                    phase: 0,
+                    right: (r + 1) % world,
+                }) as Box<dyn RankKernel>
+            })
+            .collect()
+    };
+    let win = WindowSpec::uniform(&topo, 64);
+
+    let mut plain = Sim::new(SystemSpec::greina(), topo, vec![win.clone()], mk());
+    let plain_report = plain.run();
+    assert!(plain_report.trace.is_none(), "tracing is opt-in");
+
+    let mut traced = Sim::new(
+        SystemSpec::greina(),
+        topo,
+        vec![Win::uniform(&topo, 64)],
+        mk(),
+    );
+    traced.enable_tracing();
+    let traced_report = traced.run();
+
+    assert_eq!(
+        plain_report.end_time, traced_report.end_time,
+        "tracing changed the modeled schedule"
+    );
+    assert_eq!(plain_report.events, traced_report.events);
+
+    let summary = traced_report.trace.expect("trace summary present");
+    let eff = summary.overlap_efficiency.expect("ranks waited");
+    assert!((0.0..=1.0).contains(&eff), "efficiency {eff} out of range");
+    assert!(
+        summary.wait_hist.summary().count() > 0,
+        "wait spans recorded"
+    );
+
+    let tracer = traced.take_trace();
+    assert!(!tracer.is_empty(), "trace has events");
+    assert!(
+        tracer.spans().iter().any(|s| s.name == "wait"),
+        "per-rank wait spans present"
     );
 }
