@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial]
-//!         [--json [PATH]] [--trace PATH]
+//!         [--json [PATH]] [--trace PATH] [--verify]
 //! ```
 //!
 //! Default: all figures at `--quick` effort, rows fanned out over all
@@ -13,7 +13,11 @@
 //! (or PATH); the schema is documented in EXPERIMENTS.md. `--trace PATH`
 //! runs one representative traced simulation for the selected figure and
 //! writes a Chrome-trace / Perfetto JSON timeline to PATH (see
-//! EXPERIMENTS.md for the walkthrough).
+//! EXPERIMENTS.md for the walkthrough). `--verify` attaches the
+//! `dcuda-verify` invariant monitor to every simulation: the run aborts
+//! loudly on any conservation/delivery violation, and the printed series
+//! are byte-identical to a verify-off run (the monitor observes, it never
+//! schedules).
 
 use dcuda_apps::micro::overlap::{OverlapPoint, Workload};
 use dcuda_bench::json::Json;
@@ -67,7 +71,7 @@ fn overlap_json(points: &[OverlapPoint]) -> Json {
     )
 }
 
-const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial] [--json [PATH]] [--trace PATH]";
+const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +84,12 @@ fn main() {
     };
     if args.iter().any(|a| a == "--serial") || std::env::var_os("DCUDA_FIGURES_SERIAL").is_some() {
         set_serial(true);
+    }
+    let verify = args.iter().any(|a| a == "--verify");
+    if verify {
+        // Every ClusterSim built from here on carries the invariant
+        // monitor; a violation panics the run. Stdout stays byte-identical.
+        dcuda_core::verify_mode::enable();
     }
     let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
         match args.get(i + 1).filter(|p| !p.starts_with("--")) {
@@ -118,7 +128,10 @@ fn main() {
     }
     for (i, a) in args.iter().enumerate() {
         if !value_slots.contains(&i)
-            && !["--fig", "--full", "--serial", "--json", "--trace"].contains(&a.as_str())
+            && ![
+                "--fig", "--full", "--serial", "--json", "--trace", "--verify",
+            ]
+            .contains(&a.as_str())
         {
             eprintln!("figures: unknown argument {a:?}");
             eprintln!("{USAGE}");
@@ -365,6 +378,10 @@ fn main() {
 
     let wall = started.elapsed().as_secs_f64();
     eprintln!("\nfigures: {wall:.2} s wall clock");
+    if verify {
+        // Reaching here means no simulation panicked on a violation.
+        eprintln!("figures: invariant monitor clean on every simulation");
+    }
     if let Some(path) = json_path {
         out = out.field("wall_seconds", Json::from(wall));
         if let Err(e) = std::fs::write(&path, format!("{out}\n")) {

@@ -1,0 +1,32 @@
+//! Golden transparency test: attaching the invariant monitor (`figures
+//! --verify`) must leave every reported series byte-identical — the
+//! monitor observes the simulation, it never schedules events or alters
+//! timing. A run with a violation panics instead, so a passing identical
+//! series also certifies the figure workload monitor-clean.
+
+use dcuda_bench::{fig6, Effort};
+use dcuda_core::SystemSpec;
+
+fn series() -> String {
+    let spec = SystemSpec::greina();
+    fig6(&spec, Effort::Quick)
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?} {} {} {}\n",
+                r.placement, r.result.bytes, r.result.latency_us, r.result.bandwidth_mbs
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fig6_series_identical_with_monitor_attached() {
+    // Both runs live in one test so the process-global flag cannot leak
+    // into unrelated tests.
+    let plain = series();
+    dcuda_core::verify_mode::enable();
+    let verified = series();
+    dcuda_core::verify_mode::disable();
+    assert_eq!(plain, verified, "verify mode changed a reported series");
+}

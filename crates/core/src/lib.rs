@@ -31,6 +31,7 @@ pub mod pool;
 pub mod report;
 pub mod spec;
 pub mod types;
+pub mod verify_mode;
 pub mod window;
 pub mod world;
 

@@ -2,6 +2,7 @@
 
 use dcuda_des::{SimDuration, SimTime};
 use dcuda_trace::TraceSummary;
+use dcuda_verify::VerifyReport;
 
 /// Statistics and timing of one simulated kernel run.
 #[derive(Debug, Clone)]
@@ -46,6 +47,10 @@ pub struct RunReport {
     /// Trace-derived aggregates (wait histograms, occupancy, overlap
     /// efficiency). `None` unless tracing was enabled before the run.
     pub trace: Option<TraceSummary>,
+    /// Invariant-monitor verdict (notification conservation, exactly-once
+    /// delivery, matched ≤ delivered). `None` unless verify mode was on
+    /// when the simulation was built (see [`crate::verify_mode`]).
+    pub verify: Option<VerifyReport>,
 }
 
 impl RunReport {

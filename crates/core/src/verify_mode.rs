@@ -1,0 +1,31 @@
+//! Process-global verify-mode switch.
+//!
+//! The figure driver builds its simulations deep inside the app harnesses,
+//! which do not expose the [`ClusterSim`](crate::world::ClusterSim) before
+//! running it. This flag is the hook: set it before constructing
+//! simulations (e.g. `figures --verify`) and every subsequently built
+//! `ClusterSim` attaches an
+//! [`InvariantMonitor`](dcuda_verify::InvariantMonitor).
+//!
+//! The monitor is strictly observational — it never schedules events or
+//! alters timing — so enabling it must leave every reported series
+//! byte-identical (covered by the `verify_transparency` golden test).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static VERIFY: AtomicBool = AtomicBool::new(false);
+
+/// Attach an invariant monitor to every `ClusterSim` built from now on.
+pub fn enable() {
+    VERIFY.store(true, Ordering::Release);
+}
+
+/// Stop attaching monitors (mainly for tests that toggle the flag).
+pub fn disable() {
+    VERIFY.store(false, Ordering::Release);
+}
+
+/// Whether verify mode is on.
+pub fn is_enabled() -> bool {
+    VERIFY.load(Ordering::Acquire)
+}

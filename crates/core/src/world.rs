@@ -37,6 +37,7 @@ use dcuda_mpi::collective::barrier_exit_times;
 use dcuda_queues::{DepthStats, IndexedMatcher, Notification, Query, ANY};
 use dcuda_trace::metrics::{overlap_efficiency, IntervalSet};
 use dcuda_trace::{TraceSummary, Tracer, Track};
+use dcuda_verify::{InvariantMonitor, WaitForGraph, WaitReason};
 use std::collections::VecDeque;
 
 /// One executable step element derived from a kernel's recorded segments.
@@ -109,6 +110,9 @@ struct Transfer {
     /// Data landed in destination device memory.
     data_ready: Option<SimTime>,
     completion_submitted: bool,
+    /// First monitor token minted for this transfer's notification fan-out
+    /// (0 when unmonitored or the op does not notify).
+    notif_token: u64,
 }
 
 /// Host-side work items (everything the per-node worker thread does).
@@ -123,6 +127,9 @@ enum HostItem {
         notif: Notification,
         origin: u32,
         all: bool,
+        /// First monitor token of the (contiguously minted) fan-out; 0 when
+        /// the run is unmonitored.
+        token: u64,
     },
     /// Target event handler + block manager process incoming meta.
     MetaAtTarget { xfer: u64 },
@@ -146,6 +153,16 @@ impl HostItem {
     }
 }
 
+/// Token of the `local`-th member of a contiguously minted broadcast
+/// fan-out (0 stays 0: unmonitored run).
+fn fan_token(first: u64, local: u32) -> u64 {
+    if first == 0 {
+        0
+    } else {
+        first + u64::from(local)
+    }
+}
+
 /// Trace span label of the state a rank is leaving (`None` for states that
 /// are not materialized as spans).
 fn status_span_name(s: Status) -> Option<&'static str> {
@@ -161,15 +178,38 @@ fn status_span_name(s: Status) -> Option<&'static str> {
 /// Simulation events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    RankWork { rank: u32 },
-    DeviceTick { node: u32, gen: u64 },
-    HostNotice { node: u32, item: HostItem },
-    HostDone { node: u32, item: HostItem },
-    NetMetaArrive { xfer: u64 },
-    NetDataArrive { xfer: u64 },
-    NotifDeliver { rank: u32, notif: Notification },
-    OriginFree { rank: u32 },
-    BarrierAck { rank: u32 },
+    RankWork {
+        rank: u32,
+    },
+    DeviceTick {
+        node: u32,
+        gen: u64,
+    },
+    HostNotice {
+        node: u32,
+        item: HostItem,
+    },
+    HostDone {
+        node: u32,
+        item: HostItem,
+    },
+    NetMetaArrive {
+        xfer: u64,
+    },
+    NetDataArrive {
+        xfer: u64,
+    },
+    NotifDeliver {
+        rank: u32,
+        notif: Notification,
+        token: u64,
+    },
+    OriginFree {
+        rank: u32,
+    },
+    BarrierAck {
+        rank: u32,
+    },
 }
 
 /// The simulated cluster executing one dCUDA kernel.
@@ -213,6 +253,11 @@ pub struct ClusterSim {
     /// Cluster-wide trace recorder (disabled unless
     /// [`enable_tracing`](Self::enable_tracing) ran before `run`).
     tracer: Tracer,
+    /// Token-level invariant monitor (attached when
+    /// [`verify_mode`](crate::verify_mode) was on at construction or
+    /// [`enable_verification`](Self::enable_verification) ran). Strictly
+    /// observational: it never schedules events or changes timing.
+    monitor: Option<InvariantMonitor>,
     /// Instant each rank entered its current [`Status`] (trace span start).
     status_since: Vec<SimTime>,
     // Scratch.
@@ -296,6 +341,8 @@ impl ClusterSim {
             peak_pending_notifications: 0,
             pool: PayloadPool::new(),
             tracer: Tracer::disabled(),
+            monitor: crate::verify_mode::is_enabled()
+                .then(|| InvariantMonitor::new(topo.world_size())),
             status_since: vec![SimTime::ZERO; topo.world_size() as usize],
             completed_buf: Vec::new(),
         }
@@ -317,6 +364,40 @@ impl ClusterSim {
     /// [`enable_tracing`](Self::enable_tracing) preceded [`run`](Self::run)).
     pub fn take_trace(&mut self) -> Tracer {
         std::mem::take(&mut self.tracer)
+    }
+
+    /// Attach the invariant monitor to this simulation regardless of the
+    /// global [`verify_mode`](crate::verify_mode) flag. Call before
+    /// [`run`](Self::run); the run itself is unaffected (the monitor
+    /// observes, it never schedules), and the resulting `RunReport` gains a
+    /// [`dcuda_verify::VerifyReport`]. The run panics if the monitor finds
+    /// a violation — verification is loud by design.
+    pub fn enable_verification(&mut self) {
+        if self.monitor.is_none() {
+            self.monitor = Some(InvariantMonitor::new(self.topo.world_size()));
+        }
+    }
+
+    /// Mint a monitor token for one notification headed to `target`
+    /// (0 = unmonitored run).
+    fn mint(&mut self, origin: u32, target: u32, notif: Notification) -> u64 {
+        self.monitor
+            .as_mut()
+            .map_or(0, |m| m.sent(origin, target, notif))
+    }
+
+    /// Mint one token per resident rank of `node` (contiguous range; the
+    /// fan-out addresses token `first + local`). Returns the first token.
+    fn mint_broadcast(&mut self, origin: u32, node: u32, notif: Notification) -> u64 {
+        let mut first = 0;
+        for local in 0..self.topo.ranks_per_node {
+            let target = self.topo.rank_of(node, local).0;
+            let t = self.mint(origin, target, notif);
+            if local == 0 {
+                first = t;
+            }
+        }
+        first
     }
 
     /// Move a rank to a new status, closing the trace span of the state it
@@ -372,6 +453,40 @@ impl ClusterSim {
             }
         }
         if self.finished != self.topo.world_size() {
+            // Event queue drained with unfinished ranks: build the
+            // wildcard-aware wait-for graph and report *why* — hopeless
+            // ranks, wait cycles, and the "no matching sender exists" lint —
+            // instead of a bare status dump.
+            let not_entered: Vec<u32> = self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.status != Status::InBarrier && s.status != Status::Done)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut graph = WaitForGraph::new(self.topo.world_size());
+            for (i, s) in self.ranks.iter().enumerate() {
+                let rank = i as u32;
+                match s.status {
+                    Status::Done => graph.set_done(rank),
+                    Status::Waiting => graph.add_waiter(
+                        rank,
+                        WaitReason::Notification {
+                            query: s.query,
+                            want: u64::from(s.want),
+                        },
+                    ),
+                    Status::InBarrier => graph.add_waiter(
+                        rank,
+                        WaitReason::Barrier {
+                            missing: not_entered.clone(),
+                        },
+                    ),
+                    Status::Flushing => graph.add_waiter(rank, WaitReason::Flush),
+                    Status::Ready | Status::Computing => {}
+                }
+            }
+            let analysis = graph.analyze();
             let stuck: Vec<String> = self
                 .ranks
                 .iter()
@@ -387,7 +502,7 @@ impl ClusterSim {
                 })
                 .collect();
             panic!(
-                "dCUDA deadlock: {}/{} ranks finished; stuck examples: {:#?}",
+                "dCUDA deadlock: {}/{} ranks finished\n{analysis}stuck examples: {:#?}",
                 self.finished,
                 self.topo.world_size(),
                 stuck
@@ -403,6 +518,10 @@ impl ClusterSim {
             .tracer
             .is_enabled()
             .then(|| self.finish_trace(end_time));
+        let verify = self.monitor.take().map(InvariantMonitor::finish);
+        if let Some(v) = &verify {
+            assert!(v.is_clean(), "invariant monitor: {}", v.summary());
+        }
         RunReport {
             end_time,
             rank_finish: self.ranks.iter().map(|s| s.finish).collect(),
@@ -424,6 +543,7 @@ impl ClusterSim {
             pool_acquires: self.pool.acquires(),
             pool_hits: self.pool.hits(),
             trace,
+            verify,
         }
     }
 
@@ -573,7 +693,9 @@ impl ClusterSim {
                 tr.data_ready = Some(now);
                 self.maybe_complete(key, now);
             }
-            Ev::NotifDeliver { rank, notif } => self.deliver_notification(rank, notif, now),
+            Ev::NotifDeliver { rank, notif, token } => {
+                self.deliver_notification(rank, notif, token, now)
+            }
             Ev::OriginFree { rank } => {
                 let st = &mut self.ranks[rank as usize];
                 debug_assert!(st.outstanding > 0, "origin-free without outstanding op");
@@ -870,11 +992,20 @@ impl ClusterSim {
             }
             if op.notify != NotifyMode::None {
                 // Notification loops through the host (paper §III-A).
-                let st = &mut self.ranks[rank as usize];
-                st.outstanding += 1;
+                self.ranks[rank as usize].outstanding += 1;
                 let notif_target = match op.kind {
                     RmaKind::Put => op.partner.0,
                     RmaKind::Get => rank,
+                };
+                let notif = Notification {
+                    win: op.win.0,
+                    source: rank,
+                    tag: op.tag,
+                };
+                let token = if op.notify == NotifyMode::AllOnTargetDevice {
+                    self.mint_broadcast(rank, node, notif)
+                } else {
+                    self.mint(rank, notif_target, notif)
                 };
                 let visible = self.pcie[node as usize].post_txn(now, 16);
                 self.queue.schedule_at(
@@ -885,11 +1016,8 @@ impl ClusterSim {
                             target: notif_target,
                             origin: rank,
                             all: op.notify == NotifyMode::AllOnTargetDevice,
-                            notif: Notification {
-                                win: op.win.0,
-                                source: rank,
-                                tag: op.tag,
-                            },
+                            notif,
+                            token,
                         },
                     },
                 );
@@ -903,6 +1031,38 @@ impl ClusterSim {
         // issue-time-snapshot semantics).
         self.distributed_ops += 1;
         self.ranks[rank as usize].outstanding += 1;
+        // Monitor tokens are minted at issue time (the origin "sends" the
+        // notification with the put); delivery consumes them at the target.
+        let notif_token = match (op.kind, op.notify) {
+            (_, NotifyMode::None) => 0,
+            (RmaKind::Put, NotifyMode::Target) => self.mint(
+                rank,
+                op.partner.0,
+                Notification {
+                    win: op.win.0,
+                    source: rank,
+                    tag: op.tag,
+                },
+            ),
+            (RmaKind::Put, NotifyMode::AllOnTargetDevice) => self.mint_broadcast(
+                rank,
+                self.topo.node_of(op.partner),
+                Notification {
+                    win: op.win.0,
+                    source: rank,
+                    tag: op.tag,
+                },
+            ),
+            (RmaKind::Get, _) => self.mint(
+                op.partner.0,
+                rank,
+                Notification {
+                    win: op.win.0,
+                    source: op.partner.0,
+                    tag: op.tag,
+                },
+            ),
+        };
         let payload = match op.kind {
             RmaKind::Put => {
                 let local = self.local_span(r, &op);
@@ -921,6 +1081,7 @@ impl ClusterSim {
                 meta_ready: None,
                 data_ready: None,
                 completion_submitted: false,
+                notif_token,
             })
             .to_bits();
         let visible = self.pcie[node as usize].post_txn(now, self.spec.host.meta_bytes);
@@ -983,11 +1144,13 @@ impl ClusterSim {
                 notif,
                 origin,
                 all,
+                token,
             } => {
                 self.queue.schedule_at(now, Ev::OriginFree { rank: origin });
                 if all {
                     // Broadcast-put: one notification per resident rank of
                     // the target device (each its own queue transaction).
+                    // Tokens were minted contiguously in local order.
                     for local in 0..self.topo.ranks_per_node {
                         let rank = self.topo.rank_of(node, local);
                         let visible = self.pcie[node as usize].post_txn(now, 16);
@@ -996,6 +1159,7 @@ impl ClusterSim {
                             Ev::NotifDeliver {
                                 rank: rank.0,
                                 notif,
+                                token: fan_token(token, local),
                             },
                         );
                     }
@@ -1006,6 +1170,7 @@ impl ClusterSim {
                         Ev::NotifDeliver {
                             rank: target,
                             notif,
+                            token,
                         },
                     );
                 }
@@ -1070,6 +1235,7 @@ impl ClusterSim {
                                     Ev::NotifDeliver {
                                         rank: tr.op.partner.0,
                                         notif,
+                                        token: tr.notif_token,
                                     },
                                 );
                             }
@@ -1082,6 +1248,7 @@ impl ClusterSim {
                                         Ev::NotifDeliver {
                                             rank: rank.0,
                                             notif,
+                                            token: fan_token(tr.notif_token, local),
                                         },
                                     );
                                 }
@@ -1104,6 +1271,7 @@ impl ClusterSim {
                                         source: tr.op.partner.0,
                                         tag: tr.op.tag,
                                     },
+                                    token: tr.notif_token,
                                 },
                             );
                         }
@@ -1150,15 +1318,18 @@ impl ClusterSim {
                     Some(tag) => {
                         // Nonblocking entry: completion as a notification
                         // (paper §V).
+                        let notif = Notification {
+                            win: crate::kernel::IBARRIER_WIN,
+                            source: rank.0,
+                            tag,
+                        };
+                        let token = self.mint(rank.0, rank.0, notif);
                         self.queue.schedule_at(
                             visible,
                             Ev::NotifDeliver {
                                 rank: rank.0,
-                                notif: Notification {
-                                    win: crate::kernel::IBARRIER_WIN,
-                                    source: rank.0,
-                                    tag,
-                                },
+                                notif,
+                                token,
                             },
                         );
                     }
@@ -1219,8 +1390,11 @@ impl ClusterSim {
     }
 
     /// A notification became visible in a rank's device-side queue.
-    fn deliver_notification(&mut self, rank: u32, notif: Notification, now: SimTime) {
+    fn deliver_notification(&mut self, rank: u32, notif: Notification, token: u64, now: SimTime) {
         self.notifications += 1;
+        if let Some(m) = self.monitor.as_mut() {
+            m.delivered(notif.source, rank, token, notif);
+        }
         if self.tracer.is_enabled() {
             self.tracer.instant(
                 Track::Rank(rank),
@@ -1254,6 +1428,11 @@ impl ClusterSim {
                 st.match_backlog_flops += scanned as f64 * match_flops_per_scan;
                 debug_assert_eq!(matched.len(), st.want as usize);
                 st.suspend = None;
+                if let Some(m) = self.monitor.as_mut() {
+                    for n in &matched {
+                        m.matched(rank, *n, 1);
+                    }
+                }
                 self.set_status(rank, Status::Ready, now);
                 let wake = if poll {
                     now + self.spec.device.notification_poll_interval

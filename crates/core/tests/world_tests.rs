@@ -765,3 +765,54 @@ fn ibarrier_overlaps_compute_and_synchronizes() {
     );
     assert_eq!(report.barriers, 1);
 }
+
+#[test]
+fn verified_run_is_clean_and_transparent() {
+    let build = || {
+        let t = topo(2, 1);
+        let win = WindowSpec::uniform(&t, 1024);
+        let kernels: Vec<Box<dyn RankKernel>> = vec![
+            Box::new(PingSender {
+                dst: Rank(1),
+                sent: false,
+            }),
+            Box::new(PingReceiver {
+                src: Rank(0),
+                got: false,
+            }),
+        ];
+        ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels)
+    };
+    let plain = build().run();
+    let mut sim = build();
+    sim.enable_verification();
+    let verified = sim.run();
+    // The monitor observed a clean run...
+    let v = verified.verify.as_ref().expect("monitor attached");
+    assert!(v.is_clean(), "{}", v.summary());
+    assert_eq!(v.notifications_tracked, 1);
+    // ...and observing changed nothing (same virtual time, same events).
+    assert_eq!(plain.end_time, verified.end_time);
+    assert_eq!(plain.events, verified.events);
+    assert_eq!(plain.notifications, verified.notifications);
+    assert!(plain.verify.is_none());
+}
+
+#[test]
+#[should_panic(expected = "no matching sender exists")]
+fn deadlock_panic_carries_wait_for_graph_analysis() {
+    // Rank 1 waits for a notification rank 0 never sends; rank 0 finishes
+    // immediately. The quiescence report must name the liveness failure,
+    // not just dump statuses.
+    let t = topo(1, 2);
+    let win = WindowSpec::uniform(&t, 64);
+    let kernels: Vec<Box<dyn RankKernel>> = vec![
+        Box::new(Noop),
+        Box::new(PingReceiver {
+            src: Rank(0),
+            got: false,
+        }),
+    ];
+    let mut sim = ClusterSim::new(SystemSpec::greina(), t, vec![win], kernels);
+    sim.run();
+}

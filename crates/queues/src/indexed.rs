@@ -61,8 +61,10 @@ impl Fenwick {
         if lo < i {
             val += self.prefix_live(i - 1) - if lo > 0 { self.prefix_live(lo - 1) } else { 0 };
         }
-        self.tree
-            .push(u32::try_from(val).expect("live count fits u32"));
+        // Infallible: `val` counts live entries in a sub-range of the slab,
+        // and `insert` caps slab positions at u32::MAX.
+        debug_assert!(u32::try_from(val).is_ok());
+        self.tree.push(val as u32);
     }
 
     fn add(&mut self, mut i: usize, delta: i32) {
@@ -175,7 +177,13 @@ impl IndexedMatcher {
 
     /// Buffer an arrived notification.
     pub fn insert(&mut self, n: Notification) {
-        let pos = u32::try_from(self.slots.len()).expect("matcher slab exceeds u32 positions");
+        // Slab positions are u32. Reaching 2^32 slab entries would require
+        // ~48 GiB of buffered notifications (12 bytes each) plus index
+        // overhead — allocation fails long before the cast can truncate.
+        // Compaction keeps `slots.len() <= 2 * live`, so tombstones cannot
+        // inflate the slab past that bound either.
+        debug_assert!(self.slots.len() < u32::MAX as usize);
+        let pos = self.slots.len() as u32;
         self.slots.push(Some(n));
         self.fen.push_live();
         self.live += 1;

@@ -27,9 +27,11 @@
 pub mod depth;
 pub mod indexed;
 pub mod notify;
+pub mod plat;
 pub mod spsc;
 
 pub use depth::DepthStats;
 pub use indexed::IndexedMatcher;
 pub use notify::{match_in_order, Notification, NotificationMatcher, Query, ANY};
-pub use spsc::{channel, Receiver, RecvError, Sender, TrySendError};
+pub use plat::{PlatAtomicU64, PlatCell, Platform, StdPlatform};
+pub use spsc::{channel, channel_on, Receiver, RecvError, Sender, TrySendError};

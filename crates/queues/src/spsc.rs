@@ -25,34 +25,43 @@
 //!   `seq.load(Acquire)` → payload read;
 //! * consumer payload read → `tail.store(Release)` pairs with producer
 //!   `tail.load(Acquire)` → slot reuse.
+//!
+//! # Platform genericity
+//!
+//! The ring is generic over [`Platform`], which supplies the atomic counter
+//! and payload-cell types. Production code uses the default
+//! [`StdPlatform`] (real atomics — identical code to a non-generic ring);
+//! `dcuda-verify` instantiates the very same functions over a virtual
+//! platform whose atomics are scheduled by a bounded model checker. Use
+//! [`channel`] for the standard ring and [`channel_on`] to pick a platform.
 
 use crate::depth::DepthStats;
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::plat::{PlatAtomicU64, PlatCell, Platform, StdPlatform};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 #[repr(align(64))]
 struct CachePadded<T>(T);
 
-struct Slot<T> {
-    seq: AtomicU64,
-    value: UnsafeCell<MaybeUninit<T>>,
+struct Slot<T, P: Platform> {
+    seq: P::AtomicU64,
+    value: P::Cell<T>,
 }
 
-struct Ring<T> {
-    slots: Box<[Slot<T>]>,
+struct Ring<T, P: Platform> {
+    slots: Box<[Slot<T, P>]>,
     /// Messages consumed, published by the consumer (receiver memory).
-    tail: CachePadded<AtomicU64>,
+    tail: CachePadded<P::AtomicU64>,
     /// Set when either endpoint drops, so the peer can observe disconnect.
-    disconnected: AtomicU64,
+    disconnected: P::AtomicU64,
 }
 
 // SAFETY: the SPSC protocol guarantees exclusive access to each slot's
 // payload between the seq/tail synchronization points; T crossing threads
-// requires T: Send.
-unsafe impl<T: Send> Sync for Ring<T> {}
-unsafe impl<T: Send> Send for Ring<T> {}
+// requires T: Send. Platform implementations promise thread-safe primitives
+// (see the `plat` module's safety contract).
+unsafe impl<T: Send, P: Platform> Sync for Ring<T, P> {}
+unsafe impl<T: Send, P: Platform> Send for Ring<T, P> {}
 
 /// Error returned by [`Sender::try_send`].
 #[derive(Debug, PartialEq, Eq)]
@@ -73,8 +82,8 @@ pub enum RecvError {
 }
 
 /// Producer endpoint.
-pub struct Sender<T> {
-    ring: Arc<Ring<T>>,
+pub struct Sender<T, P: Platform = StdPlatform> {
+    ring: Arc<Ring<T, P>>,
     /// Next message index to write.
     head: u64,
     /// Local credit count (free slots known without reading `tail`).
@@ -89,8 +98,8 @@ pub struct Sender<T> {
 }
 
 /// Consumer endpoint.
-pub struct Receiver<T> {
-    ring: Arc<Ring<T>>,
+pub struct Receiver<T, P: Platform = StdPlatform> {
+    ring: Arc<Ring<T, P>>,
     /// Next message index to read.
     next: u64,
     /// Length of the current drain burst (consecutive successful receives).
@@ -107,21 +116,31 @@ pub struct Receiver<T> {
 /// # Panics
 /// Panics if `capacity` is zero or not a power of two.
 pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel_on::<T, StdPlatform>(capacity)
+}
+
+/// As [`channel`], but over an explicit [`Platform`]. This is how
+/// `dcuda-verify` runs the production ring under its model-checking
+/// scheduler; production code should keep using [`channel`].
+///
+/// # Panics
+/// Panics if `capacity` is zero or not a power of two.
+pub fn channel_on<T, P: Platform>(capacity: usize) -> (Sender<T, P>, Receiver<T, P>) {
     assert!(
         capacity.is_power_of_two() && capacity > 0,
         "capacity must be a nonzero power of two, got {capacity}"
     );
     let slots = (0..capacity)
         .map(|_| Slot {
-            seq: AtomicU64::new(0),
-            value: UnsafeCell::new(MaybeUninit::uninit()),
+            seq: P::AtomicU64::new(0),
+            value: P::Cell::<T>::empty(),
         })
         .collect::<Vec<_>>()
         .into_boxed_slice();
     let ring = Arc::new(Ring {
         slots,
-        tail: CachePadded(AtomicU64::new(0)),
-        disconnected: AtomicU64::new(0),
+        tail: CachePadded(P::AtomicU64::new(0)),
+        disconnected: P::AtomicU64::new(0),
     });
     (
         Sender {
@@ -140,7 +159,7 @@ pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     )
 }
 
-impl<T> Sender<T> {
+impl<T, P: Platform> Sender<T, P> {
     /// Capacity of the ring.
     pub fn capacity(&self) -> usize {
         self.ring.slots.len()
@@ -168,7 +187,7 @@ impl<T> Sender<T> {
         // SAFETY: credits > 0 guarantees the consumer has finished with this
         // slot (tail >= head - cap + 1), so we have exclusive access.
         unsafe {
-            (*slot.value.get()).write(value);
+            slot.value.write(value);
         }
         slot.seq.store(self.head + 1, Ordering::Release);
         self.head += 1;
@@ -182,6 +201,15 @@ impl<T> Sender<T> {
         self.head
     }
 
+    /// Producer's current view of ring occupancy: messages sent minus
+    /// consumed progress as of the last credit refresh (`capacity -
+    /// credits`). The invariant monitor checks this never exceeds
+    /// [`capacity`](Self::capacity) — credit flow control must bound
+    /// in-flight messages without reading the tail on every send.
+    pub fn in_flight_upper_bound(&self) -> u64 {
+        self.ring.slots.len() as u64 - self.credits
+    }
+
     /// Producer-side occupancy statistics (see the field docs for the
     /// sampling convention).
     pub fn depth_stats(&self) -> &DepthStats {
@@ -189,7 +217,7 @@ impl<T> Sender<T> {
     }
 }
 
-impl<T> Receiver<T> {
+impl<T, P: Platform> Receiver<T, P> {
     /// Capacity of the ring.
     pub fn capacity(&self) -> usize {
         self.ring.slots.len()
@@ -199,22 +227,36 @@ impl<T> Receiver<T> {
     pub fn try_recv(&mut self) -> Result<T, RecvError> {
         let cap = self.ring.slots.len() as u64;
         let slot = &self.ring.slots[(self.next % cap) as usize];
-        let seq = slot.seq.load(Ordering::Acquire);
+        let mut seq = slot.seq.load(Ordering::Acquire);
         if seq != self.next + 1 {
             // Not yet published (or a stale earlier round).
-            if self.burst > 0 {
-                self.depth.sample(self.burst);
-                self.burst = 0;
+            if self.ring.disconnected.load(Ordering::Acquire) == 0 {
+                if self.burst > 0 {
+                    self.depth.sample(self.burst);
+                    self.burst = 0;
+                }
+                return Err(RecvError::Empty);
             }
-            return if self.ring.disconnected.load(Ordering::Acquire) != 0 {
-                Err(RecvError::Disconnected)
-            } else {
-                Err(RecvError::Empty)
-            };
+            // Disconnect observed. The sender's disconnect store releases
+            // everything it published, and our acquire load synchronized
+            // with it — so a *re-read* of seq now sees any publication that
+            // preceded the drop. Without this re-check, a stale first seq
+            // read paired with a fresh disconnected read would drop the
+            // ring's tail messages (found by the dcuda-verify model
+            // checker: two independent loads may read from different
+            // moments on weakly-ordered hardware).
+            seq = slot.seq.load(Ordering::Acquire);
+            if seq != self.next + 1 {
+                if self.burst > 0 {
+                    self.depth.sample(self.burst);
+                    self.burst = 0;
+                }
+                return Err(RecvError::Disconnected);
+            }
         }
         // SAFETY: the release store of seq happened after the payload write;
         // our acquire load synchronizes with it, and only we read this slot.
-        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        let value = unsafe { slot.value.read() };
         self.next += 1;
         self.burst += 1;
         // Publish progress for the producer's credit refresh.
@@ -241,13 +283,13 @@ impl<T> Receiver<T> {
     }
 }
 
-impl<T> Drop for Sender<T> {
+impl<T, P: Platform> Drop for Sender<T, P> {
     fn drop(&mut self) {
         self.ring.disconnected.store(1, Ordering::Release);
     }
 }
 
-impl<T> Drop for Receiver<T> {
+impl<T, P: Platform> Drop for Receiver<T, P> {
     fn drop(&mut self) {
         self.ring.disconnected.store(1, Ordering::Release);
         // Drain remaining messages so their destructors run.
@@ -257,14 +299,16 @@ impl<T> Drop for Receiver<T> {
     }
 }
 
-impl<T> Receiver<T> {
+impl<T, P: Platform> Receiver<T, P> {
     fn try_recv_ignore_disconnect(&mut self) -> Result<T, ()> {
         let cap = self.ring.slots.len() as u64;
         let slot = &self.ring.slots[(self.next % cap) as usize];
         if slot.seq.load(Ordering::Acquire) != self.next + 1 {
             return Err(());
         }
-        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        // SAFETY: same argument as `try_recv` — seq publication guards the
+        // payload read.
+        let value = unsafe { slot.value.read() };
         self.next += 1;
         self.ring.tail.0.store(self.next, Ordering::Release);
         Ok(value)
@@ -274,6 +318,7 @@ impl<T> Receiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn send_recv_roundtrip() {
@@ -312,6 +357,17 @@ mod tests {
             "got {} refreshes",
             tx.credit_refreshes
         );
+    }
+
+    #[test]
+    fn in_flight_never_exceeds_capacity() {
+        let (mut tx, mut rx) = channel::<u64>(4);
+        for round in 0..100u64 {
+            while tx.try_send(round).is_ok() {
+                assert!(tx.in_flight_upper_bound() <= 4);
+            }
+            while rx.try_recv().is_ok() {}
+        }
     }
 
     #[test]

@@ -6,9 +6,11 @@ use crate::msg::{Cmd, Delivery, HostMsg};
 use crate::types::RtError;
 use dcuda_queues::{channel, ANY};
 use dcuda_trace::Tracer;
+use dcuda_verify::{reconcile_shards, ShardCounters, VerifyReport};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, AtomicU64};
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Upper bound on a single window's size (windows are allocated per rank, so
 /// oversized layouts exhaust memory before any useful work happens).
@@ -174,7 +176,7 @@ pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
 
 /// Fallible [`run_cluster`].
 pub fn try_run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> Result<RtReport, RtError> {
-    run_inner(cfg, programs, false).map(|(report, _)| report)
+    run_inner(cfg, programs, false, false).map(|(report, _, _)| report)
 }
 
 /// As [`try_run_cluster`], with per-rank tracing enabled: returns the merged
@@ -186,14 +188,49 @@ pub fn run_cluster_traced(
     cfg: &RtConfig,
     programs: Vec<RankProgram>,
 ) -> Result<(RtReport, Tracer), RtError> {
-    run_inner(cfg, programs, true)
+    run_inner(cfg, programs, true, false).map(|(report, trace, _)| (report, trace))
+}
+
+/// As [`try_run_cluster`], with the invariant monitor enabled: every rank
+/// and host keeps a [`ShardCounters`] shard, reconciled after the join into
+/// a [`VerifyReport`] covering notification conservation (`delivered +
+/// dropped == sent`, `matched <= delivered` per class), the credit bound on
+/// every command ring, and flush/barrier sequence monotonicity.
+pub fn try_run_cluster_verified(
+    cfg: &RtConfig,
+    programs: Vec<RankProgram>,
+) -> Result<(RtReport, VerifyReport), RtError> {
+    run_inner(cfg, programs, false, true)
+        .map(|(report, _, verify)| (report, verify.unwrap_or_default()))
+}
+
+/// Record the first failure observed across the cluster's threads.
+fn record_first(slot: &Mutex<Option<RtError>>, err: RtError) {
+    let mut g = match slot.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if g.is_none() {
+        *g = Some(err);
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn run_inner(
     cfg: &RtConfig,
     programs: Vec<RankProgram>,
     traced: bool,
-) -> Result<(RtReport, Tracer), RtError> {
+    verified: bool,
+) -> Result<(RtReport, Tracer, Option<VerifyReport>), RtError> {
     cfg.validate()?;
     let world = cfg.world();
     if programs.len() != world as usize {
@@ -212,6 +249,8 @@ fn run_inner(
         peer_rxs.push_back(rx);
     }
     let finished_global = Arc::new(AtomicU32::new(0));
+    let abort = Arc::new(AtomicBool::new(false));
+    let first_error: Arc<Mutex<Option<RtError>>> = Arc::new(Mutex::new(None));
 
     let mut hosts = Vec::new();
     let mut rank_parts: Vec<(RtCtx, RankProgram)> = Vec::new();
@@ -250,8 +289,17 @@ fn run_inner(
                     Tracer::disabled()
                 },
                 clock: 0,
+                abort: abort.clone(),
+                counters: verified.then(Box::default),
+                last_flush_seen: 0,
+                last_epoch_seen: 0,
             };
-            rank_parts.push((ctx, programs.next().expect("program count checked")));
+            // Count already validated against the topology above; treat a
+            // mismatch as the config error it would have to be.
+            let program = programs.next().ok_or_else(|| {
+                RtError::InvalidConfig("program list shorter than the validated world".into())
+            })?;
+            rank_parts.push((ctx, program));
         }
         hosts.push(Host {
             device,
@@ -261,7 +309,9 @@ fn run_inner(
             delivery_tx,
             delivery_backlog: (0..cfg.ranks_per_device).map(|_| VecDeque::new()).collect(),
             peers: peer_txs.clone(),
-            inbox: peer_rxs.pop_front().expect("one inbox per device"),
+            inbox: peer_rxs
+                .pop_front()
+                .ok_or_else(|| RtError::InvalidConfig("fewer inboxes than devices".into()))?,
             barrier_epoch,
             barrier_arrived: 0,
             barrier_tokens: 0,
@@ -270,6 +320,7 @@ fn run_inner(
             flush,
             puts_routed: 0,
             notifications_sent: 0,
+            counters: verified.then(Box::default),
         });
     }
 
@@ -280,36 +331,128 @@ fn run_inner(
         Tracer::disabled()
     };
     let mut barrier_rounds = 0u64;
+    let mut shards: Vec<ShardCounters> = Vec::new();
     std::thread::scope(|s| {
         let mut host_handles = Vec::new();
         for host in hosts {
-            host_handles.push(s.spawn(move || host.run()));
+            let abort = abort.clone();
+            let first_error = first_error.clone();
+            host_handles.push(s.spawn(move || {
+                let device = host.device;
+                match std::panic::catch_unwind(AssertUnwindSafe(move || host.run())) {
+                    Ok(out) => Some(out),
+                    Err(p) => {
+                        // First-wins abort: ranks spinning on deliveries or
+                        // flush acks observe the flag and bail with
+                        // `Aborted` so the scope join completes.
+                        record_first(
+                            &first_error,
+                            RtError::HostPanicked {
+                                device,
+                                message: panic_text(p),
+                            },
+                        );
+                        abort.store(true, Ordering::Release);
+                        None
+                    }
+                }
+            }));
         }
         let mut rank_handles = Vec::new();
         for (mut ctx, program) in rank_parts {
+            let abort = abort.clone();
+            let first_error = first_error.clone();
+            let finished_global = finished_global.clone();
             rank_handles.push(s.spawn(move || {
-                program(&mut ctx);
-                ctx.finish()
-                    .unwrap_or_else(|e| panic!("rank {}: finish: {e}", ctx.rank));
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
+                let finish = match outcome {
+                    Ok(()) => ctx.finish(),
+                    Err(p) => {
+                        record_first(
+                            &first_error,
+                            RtError::RankPanicked {
+                                rank: ctx.rank,
+                                message: panic_text(p),
+                            },
+                        );
+                        Err(RtError::Aborted)
+                    }
+                };
+                if let Err(e) = finish {
+                    // The host never sees our Finish command: count this
+                    // rank finished directly so every host's quiescence
+                    // check still reaches the world count, and flag the
+                    // abort so blocked peers unwind too.
+                    if !matches!(e, RtError::Aborted) {
+                        record_first(&first_error, e);
+                    }
+                    abort.store(true, Ordering::Release);
+                    finished_global.fetch_add(1, Ordering::AcqRel);
+                }
                 (
                     ctx.matched,
                     ctx.barriers_entered,
                     std::mem::take(&mut ctx.tracer),
+                    ctx.counters.take(),
                 )
             }));
         }
         for h in rank_handles {
-            let (matched, barriers, tracer) = h.join().expect("rank thread panicked");
-            report.matched += matched;
-            barrier_rounds = barrier_rounds.max(barriers);
-            trace.absorb(tracer);
+            match h.join() {
+                Ok((matched, barriers, tracer, shard)) => {
+                    report.matched += matched;
+                    barrier_rounds = barrier_rounds.max(barriers);
+                    trace.absorb(tracer);
+                    if let Some(shard) = shard {
+                        shards.push(*shard);
+                    }
+                }
+                Err(p) => {
+                    // Unreachable in practice (the closure catches program
+                    // panics), but never poison the whole join over it.
+                    record_first(
+                        &first_error,
+                        RtError::RankPanicked {
+                            rank: u32::MAX,
+                            message: panic_text(p),
+                        },
+                    );
+                }
+            }
         }
         for h in host_handles {
-            let (puts, notifs) = h.join().expect("host thread panicked");
-            report.puts += puts;
-            report.notifications += notifs;
+            match h.join() {
+                Ok(Some((puts, notifs, shard))) => {
+                    report.puts += puts;
+                    report.notifications += notifs;
+                    if let Some(shard) = shard {
+                        shards.push(*shard);
+                    }
+                }
+                Ok(None) => {}
+                Err(p) => {
+                    record_first(
+                        &first_error,
+                        RtError::HostPanicked {
+                            device: u32::MAX,
+                            message: panic_text(p),
+                        },
+                    );
+                }
+            }
         }
     });
+    let first = {
+        let mut g = match first_error.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        g.take()
+    };
+    if let Some(err) = first {
+        return Err(err);
+    }
     report.barriers = barrier_rounds;
-    Ok((report, trace))
+    let verify = verified.then(|| reconcile_shards(cfg.ring_capacity as u64, shards));
+    Ok((report, trace, verify))
 }

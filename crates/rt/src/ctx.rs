@@ -6,8 +6,9 @@ use dcuda_queues::{
     match_in_order, Notification, Query, Receiver, RecvError, Sender, TrySendError,
 };
 use dcuda_trace::{Tracer, Track};
+use dcuda_verify::ShardCounters;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The device-side library handle of one rank (paper: the `dcuda_context`).
@@ -48,6 +49,17 @@ pub struct RtCtx {
     /// numbers (one tick per API call or poll iteration). Deterministic per
     /// rank; only ordering within a rank's track is meaningful.
     pub(crate) clock: u64,
+    /// First-failure abort flag: set when any rank or host thread fails;
+    /// blocking loops observe it and return [`RtError::Aborted`] so the
+    /// cluster join completes instead of hanging.
+    pub(crate) abort: Arc<AtomicBool>,
+    /// Invariant-counter shard (verified runs only; `None` keeps the
+    /// unverified hot path free of bookkeeping).
+    pub(crate) counters: Option<Box<ShardCounters>>,
+    /// Last observed flush frontier (sequence-monotonicity check).
+    pub(crate) last_flush_seen: u64,
+    /// Last observed barrier epoch (sequence-monotonicity check).
+    pub(crate) last_epoch_seen: u64,
 }
 
 impl RtCtx {
@@ -124,11 +136,28 @@ impl RtCtx {
             .ok_or(RtError::NoSuchWindow { win, count })
     }
 
+    /// Has the cluster aborted (another thread failed first)?
+    #[inline]
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
     fn send_cmd(&mut self, mut cmd: Cmd) -> Result<(), RtError> {
         loop {
             match self.cmd.try_send(cmd) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if let Some(c) = self.counters.as_mut() {
+                        c.note_in_flight(
+                            self.cmd.in_flight_upper_bound(),
+                            self.cmd.capacity() as u64,
+                        );
+                    }
+                    return Ok(());
+                }
                 Err(TrySendError::Full(c)) => {
+                    if self.aborted() {
+                        return Err(RtError::Aborted);
+                    }
                     cmd = c;
                     std::thread::yield_now();
                 }
@@ -231,6 +260,18 @@ impl RtCtx {
         let data = window[src_off..src_off + len].to_vec();
         self.flush_sent += 1;
         let flush_id = self.flush_sent;
+        if notify {
+            if let Some(c) = self.counters.as_mut() {
+                c.note_sent(
+                    dst.0,
+                    Notification {
+                        win: win.0,
+                        source: self.rank,
+                        tag: tag.0,
+                    },
+                );
+            }
+        }
         if self.tracer.is_enabled() {
             let ts = self.tick();
             self.tracer.instant(
@@ -317,6 +358,11 @@ impl RtCtx {
         match match_in_order(&mut self.pending, query, count) {
             Some((m, _)) => {
                 self.matched += m.len() as u64;
+                if let Some(c) = self.counters.as_mut() {
+                    for n in &m {
+                        c.note_matched(self.rank, *n, 1);
+                    }
+                }
                 Ok(true)
             }
             None => Ok(false),
@@ -340,6 +386,9 @@ impl RtCtx {
     pub fn try_wait_notifications(&mut self, query: RtQuery, count: usize) -> Result<(), RtError> {
         let start = self.tick();
         while !self.try_test_notifications(query, count)? {
+            if self.aborted() {
+                return Err(RtError::Aborted);
+            }
             self.tick();
             std::thread::yield_now();
         }
@@ -370,7 +419,21 @@ impl RtCtx {
     pub fn try_flush(&mut self) -> Result<(), RtError> {
         let start = self.tick();
         let want = self.flush_sent;
-        while self.flush_done.load(Ordering::Acquire) < want {
+        loop {
+            let done = self.flush_done.load(Ordering::Acquire);
+            if self.counters.is_some() {
+                let prev = self.last_flush_seen;
+                if let Some(c) = self.counters.as_mut() {
+                    c.note_consumed(prev, done);
+                }
+                self.last_flush_seen = self.last_flush_seen.max(done);
+            }
+            if done >= want {
+                break;
+            }
+            if self.aborted() {
+                return Err(RtError::Aborted);
+            }
             self.drain_deliveries()?;
             self.tick();
             std::thread::yield_now();
@@ -403,7 +466,21 @@ impl RtCtx {
         self.barriers_entered += 1;
         let want = self.barriers_entered;
         self.send_cmd(Cmd::Barrier)?;
-        while self.barrier_epoch.load(Ordering::Acquire) < want {
+        loop {
+            let epoch = self.barrier_epoch.load(Ordering::Acquire);
+            if self.counters.is_some() {
+                let prev = self.last_epoch_seen;
+                if let Some(c) = self.counters.as_mut() {
+                    c.note_consumed(prev, epoch);
+                }
+                self.last_epoch_seen = self.last_epoch_seen.max(epoch);
+            }
+            if epoch >= want {
+                break;
+            }
+            if self.aborted() {
+                return Err(RtError::Aborted);
+            }
             self.drain_deliveries()?;
             self.tick();
             std::thread::yield_now();

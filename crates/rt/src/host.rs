@@ -3,6 +3,7 @@
 
 use crate::msg::{Cmd, Delivery, HostMsg};
 use dcuda_queues::{Notification, Receiver, Sender, TrySendError};
+use dcuda_verify::ShardCounters;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,6 +69,13 @@ pub(crate) struct Host {
     /// Statistics.
     pub puts_routed: u64,
     pub notifications_sent: u64,
+    /// Invariant-counter shard (verified runs only). The host accounts the
+    /// fabric side of conservation: a notification counts as *delivered*
+    /// when it enters the target rank's delivery ring and as *dropped* when
+    /// the target finished before it could (disconnected ring or residual
+    /// backlog at shutdown) — so `delivered + dropped == sent` holds exactly
+    /// even for fire-and-forget puts the target never polls.
+    pub counters: Option<Box<ShardCounters>>,
 }
 
 /// Public wrapper so `cluster` can construct histories.
@@ -97,18 +105,36 @@ impl Host {
     }
 
     fn pump_backlog(&mut self, local: u32) {
-        let backlog = &mut self.delivery_backlog[local as usize];
-        let tx = &mut self.delivery_tx[local as usize];
-        while let Some(d) = backlog.pop_front() {
-            match tx.try_send(d) {
-                Ok(()) => {}
+        let target = self.device * self.ranks_per_device + local;
+        while let Some(d) = self.delivery_backlog[local as usize].pop_front() {
+            let notify = d.notify;
+            let notif = d.notif;
+            match self.delivery_tx[local as usize].try_send(d) {
+                Ok(()) => {
+                    if notify {
+                        if let Some(c) = self.counters.as_mut() {
+                            c.note_delivered(target, notif);
+                        }
+                    }
+                }
                 Err(TrySendError::Full(d)) => {
-                    backlog.push_front(d);
+                    self.delivery_backlog[local as usize].push_front(d);
                     return;
                 }
-                Err(TrySendError::Disconnected(_)) => {
-                    // Rank exited; residual deliveries are moot.
-                    backlog.clear();
+                Err(TrySendError::Disconnected(d)) => {
+                    // Rank exited; residual deliveries are moot — but the
+                    // conservation ledger must still account for them.
+                    if let Some(c) = self.counters.as_mut() {
+                        if d.notify {
+                            c.note_dropped(target, d.notif);
+                        }
+                        for d in self.delivery_backlog[local as usize].drain(..) {
+                            if d.notify {
+                                c.note_dropped(target, d.notif);
+                            }
+                        }
+                    }
+                    self.delivery_backlog[local as usize].clear();
                     return;
                 }
             }
@@ -221,8 +247,9 @@ impl Host {
         }
     }
 
-    /// Main progress loop. Returns statistics `(puts, notifications)`.
-    pub fn run(mut self) -> (u64, u64) {
+    /// Main progress loop. Returns statistics `(puts, notifications)` and
+    /// the invariant-counter shard (verified runs only).
+    pub fn run(mut self) -> (u64, u64, Option<Box<ShardCounters>>) {
         let world = self.devices * self.ranks_per_device;
         loop {
             let mut progress = false;
@@ -241,7 +268,33 @@ impl Host {
             if !progress {
                 if self.finished_global.load(Ordering::Acquire) == world {
                     // All ranks everywhere are done and nothing is pending.
-                    return (self.puts_routed, self.notifications_sent);
+                    // Every inbound `Deliver` was enqueued before its origin
+                    // rank's `Finish` was counted (channel send happens-
+                    // before the finished_global increment), so one final
+                    // drain sees the complete stream; whatever the exited
+                    // ranks never picked up is accounted as dropped.
+                    while let Ok(msg) = self.inbox.try_recv() {
+                        self.handle_peer(msg);
+                    }
+                    for local in 0..self.ranks_per_device {
+                        self.pump_backlog(local);
+                    }
+                    if self.counters.is_some() {
+                        for local in 0..self.ranks_per_device {
+                            let target = self.device * self.ranks_per_device + local;
+                            let residue: Vec<Notification> = self.delivery_backlog[local as usize]
+                                .drain(..)
+                                .filter(|d| d.notify)
+                                .map(|d| d.notif)
+                                .collect();
+                            if let Some(c) = self.counters.as_mut() {
+                                for n in residue {
+                                    c.note_dropped(target, n);
+                                }
+                            }
+                        }
+                    }
+                    return (self.puts_routed, self.notifications_sent, self.counters);
                 }
                 std::thread::yield_now();
             }

@@ -28,10 +28,11 @@ pub mod msg;
 pub mod types;
 
 pub use cluster::{
-    run_cluster, run_cluster_traced, try_run_cluster, RtConfig, RtConfigBuilder, RtReport,
-    MAX_WINDOW_BYTES, MAX_WORLD,
+    run_cluster, run_cluster_traced, try_run_cluster, try_run_cluster_verified, RtConfig,
+    RtConfigBuilder, RtReport, MAX_WINDOW_BYTES, MAX_WORLD,
 };
 pub use ctx::RtCtx;
+pub use dcuda_verify::VerifyReport;
 pub use types::{Rank, RtError, RtQuery, Tag, WindowId};
 
 #[allow(deprecated)]

@@ -189,6 +189,23 @@ pub enum RtError {
         /// Which link broke.
         link: &'static str,
     },
+    /// A rank program panicked; the cluster aborted and joined cleanly.
+    RankPanicked {
+        /// World rank of the panicking program.
+        rank: u32,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// A host thread panicked; the cluster aborted and joined cleanly.
+    HostPanicked {
+        /// Device whose host thread panicked.
+        device: u32,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// The cluster aborted because another thread failed first; this rank's
+    /// blocking call was interrupted so the join could complete.
+    Aborted,
 }
 
 impl fmt::Display for RtError {
@@ -215,6 +232,13 @@ impl fmt::Display for RtError {
             }
             RtError::InvalidConfig(msg) => write!(f, "invalid cluster config: {msg}"),
             RtError::Disconnected { link } => write!(f, "{link} disconnected"),
+            RtError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            RtError::HostPanicked { device, message } => {
+                write!(f, "host thread of device {device} panicked: {message}")
+            }
+            RtError::Aborted => write!(f, "execution aborted (another thread failed first)"),
         }
     }
 }

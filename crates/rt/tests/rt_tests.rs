@@ -502,3 +502,75 @@ fn stencil_like_halo_exchange_on_rt() {
         }
     }
 }
+
+#[test]
+fn rank_panic_propagates_as_typed_error() {
+    let err = dcuda_rt::try_run_cluster_verified(
+        &cfg(1, 2),
+        vec![
+            Box::new(|_ctx| panic!("deliberate test panic")),
+            Box::new(|ctx| {
+                // Blocks forever unless the abort flag interrupts the wait.
+                ctx.try_wait_notifications(RtQuery::WILDCARD, 1).ok();
+            }),
+        ],
+    )
+    .unwrap_err();
+    match err {
+        RtError::RankPanicked { rank, message } => {
+            assert_eq!(rank, 0);
+            assert!(message.contains("deliberate test panic"), "{message}");
+        }
+        other => panic!("expected RankPanicked, got {other}"),
+    }
+}
+
+#[test]
+fn verified_run_reports_clean_invariants() {
+    let (report, verify) = dcuda_rt::try_run_cluster_verified(
+        &cfg(2, 2),
+        vec![
+            Box::new(|ctx| {
+                ctx.win_mut(W0)[0..4].copy_from_slice(&[9, 8, 7, 6]);
+                for i in 0..8u32 {
+                    ctx.put_notify(W0, Rank(3), 0, 0, 4, Tag(i));
+                }
+                ctx.flush();
+                ctx.barrier();
+            }),
+            Box::new(|ctx| {
+                ctx.barrier();
+            }),
+            Box::new(|ctx| {
+                ctx.barrier();
+            }),
+            Box::new(|ctx| {
+                ctx.wait_notifications(RtQuery::exact(W0, Rank(0), Tag::ANY), 8);
+                assert_eq!(&ctx.win(W0)[0..4], &[9, 8, 7, 6]);
+                ctx.barrier();
+            }),
+        ],
+    )
+    .unwrap();
+    assert_eq!(report.puts, 8);
+    assert_eq!(report.matched, 8);
+    assert!(verify.is_clean(), "monitor flagged violations: {verify}");
+}
+
+#[test]
+fn verified_run_accounts_unconsumed_notifications_as_dropped() {
+    // Rank 1 never polls; the host must book the residue as dropped, not
+    // lost, so conservation still closes.
+    let (_, verify) = dcuda_rt::try_run_cluster_verified(
+        &cfg(1, 2),
+        vec![
+            Box::new(|ctx| {
+                ctx.put_notify(W0, Rank(1), 0, 0, 1, Tag(1));
+                ctx.flush();
+            }),
+            Box::new(|_ctx| {}),
+        ],
+    )
+    .unwrap();
+    assert!(verify.is_clean(), "monitor flagged violations: {verify}");
+}

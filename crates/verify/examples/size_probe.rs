@@ -1,0 +1,30 @@
+use dcuda_verify::suite::{mk_credit_handshake, mk_relay};
+use dcuda_verify::Model;
+fn main() {
+    let m = Model {
+        preemption_bound: 3,
+        max_executions: 3_000_000,
+        ..Model::default()
+    };
+    let t = std::time::Instant::now();
+    let o = m.check(mk_credit_handshake());
+    println!(
+        "credit bound3: {} execs, passed={}, {:?}",
+        o.executions(),
+        o.passed(),
+        t.elapsed()
+    );
+    let m = Model {
+        preemption_bound: 2,
+        max_executions: 3_000_000,
+        ..Model::default()
+    };
+    let t = std::time::Instant::now();
+    let o = m.check(mk_relay(2));
+    println!(
+        "relay bound2: {} execs, passed={}, {:?}",
+        o.executions(),
+        o.passed(),
+        t.elapsed()
+    );
+}

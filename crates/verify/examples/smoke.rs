@@ -1,0 +1,24 @@
+//! Timing/eyeball harness for the model-checker corpus:
+//! `cargo run --release -p dcuda-verify --example smoke [-- full]`.
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "full") {
+        dcuda_verify::suite::SuiteEffort::Full
+    } else {
+        dcuda_verify::suite::SuiteEffort::Quick
+    };
+    let t0 = std::time::Instant::now();
+    for r in dcuda_verify::suite::run_suite(effort) {
+        println!(
+            "{:40} ok={} executions={} {}",
+            r.name,
+            r.ok(),
+            r.outcome.executions(),
+            match r.outcome.failure() {
+                Some(f) => format!("FAIL: {f}"),
+                None => "pass".into(),
+            }
+        );
+    }
+    println!("total: {:?}", t0.elapsed());
+}

@@ -1,0 +1,140 @@
+//! Model-checker regression suite: the corpus at `Quick` effort, plus
+//! replay/shrink round-trips on the failures the checker must find.
+
+use dcuda_verify::suite::{mk_handoff, mk_lost_wakeup, mutation_model, run_suite, SuiteEffort};
+use dcuda_verify::{FailureKind, Model, Outcome, Schedule};
+
+/// Every corpus entry must deliver its expected verdict: protocol programs
+/// pass, the seeded mutation and the lost-wakeup demo fail with the right
+/// failure kind.
+#[test]
+fn corpus_verdicts() {
+    for r in run_suite(SuiteEffort::Quick) {
+        assert!(
+            r.ok(),
+            "corpus entry {} delivered the wrong verdict: {:?}",
+            r.name,
+            r.outcome
+        );
+    }
+}
+
+/// The exhaustive cap-2 handoff — the acceptance-critical entry — must
+/// complete its branch space, not merely hit the execution cap.
+#[test]
+fn exhaustive_handoff_completes() {
+    let m = Model {
+        preemption_bound: usize::MAX,
+        max_executions: 150_000,
+        ..Model::default()
+    };
+    match m.check(mk_handoff(2, 1)) {
+        Outcome::Pass {
+            truncated,
+            executions,
+        } => {
+            assert!(!truncated, "exhaustive search hit the execution cap");
+            assert!(executions > 100, "suspiciously small branch space");
+        }
+        Outcome::Fail(f) => panic!("exhaustive handoff failed: {f}"),
+    }
+}
+
+/// The seeded Release→Relaxed mutation must surface as a data race, and the
+/// reported schedule must reproduce the same failure under `replay`.
+#[test]
+fn mutation_caught_and_replays() {
+    let m = mutation_model();
+    let failure = m
+        .check(mk_handoff(2, 1))
+        .failure()
+        .expect("mutation must be caught")
+        .clone();
+    assert_eq!(failure.kind, FailureKind::DataRace);
+
+    let replayed = m.replay(mk_handoff(2, 1), &failure.schedule);
+    let rf = replayed
+        .failure()
+        .expect("replay must reproduce the failure");
+    assert_eq!(rf.kind, FailureKind::DataRace);
+    assert_eq!(rf.message, failure.message);
+}
+
+/// Shrinking a failing schedule keeps the failure kind, never grows the
+/// schedule, and the shrunk schedule still replays to the same failure.
+#[test]
+fn shrink_preserves_failure() {
+    let m = mutation_model();
+    let failure = m
+        .check(mk_handoff(2, 1))
+        .failure()
+        .expect("mutation must be caught")
+        .clone();
+    let shrunk = m.shrink(mk_handoff(2, 1), &failure);
+    assert_eq!(shrunk.kind, failure.kind);
+    assert!(
+        shrunk.schedule.0.len() <= failure.schedule.0.len(),
+        "shrink grew the schedule"
+    );
+    let rf = m.replay(mk_handoff(2, 1), &shrunk.schedule);
+    assert_eq!(
+        rf.failure().expect("shrunk schedule must still fail").kind,
+        failure.kind
+    );
+}
+
+/// Seeded random exploration finds the mutation race too (any seed works —
+/// the race is dense), and its failure carries a replayable schedule.
+#[test]
+fn random_exploration_finds_mutation() {
+    let m = mutation_model();
+    let outcome = m.explore_random(mk_handoff(2, 1), 0x5eed, 5_000);
+    let f = outcome
+        .failure()
+        .expect("random exploration must find the dense race");
+    assert_eq!(f.kind, FailureKind::DataRace);
+    assert!(m.replay(mk_handoff(2, 1), &f.schedule).failure().is_some());
+}
+
+/// Livelock detection: the lost-wakeup program must report `Livelock`, not
+/// hang the checker.
+#[test]
+fn lost_wakeup_reported_as_livelock() {
+    let m = Model {
+        preemption_bound: 1,
+        max_steps: 2_000,
+        ..Model::default()
+    };
+    let f = m
+        .check(mk_lost_wakeup())
+        .failure()
+        .expect("lost wakeup must be detected")
+        .clone();
+    assert_eq!(f.kind, FailureKind::Livelock);
+}
+
+/// `Schedule` Display/parse round-trip — the replay recipe in
+/// EXPERIMENTS.md depends on it.
+#[test]
+fn schedule_display_parse_roundtrip() {
+    let s = Schedule(vec![0, 3, 1, 0, 2]);
+    assert_eq!(Schedule::parse(&s.to_string()), Some(s));
+    assert_eq!(Schedule::parse(""), Some(Schedule(Vec::new())));
+    assert_eq!(Schedule::parse("1, 2, 3"), Some(Schedule(vec![1, 2, 3])));
+    assert_eq!(Schedule::parse("1,x"), None);
+}
+
+/// A panic inside a model thread must surface as a `Panic` failure with the
+/// panic message attached, not abort the test process.
+#[test]
+fn program_panic_becomes_failure() {
+    let m = Model::default();
+    let outcome = m.check(|| vec![Box::new(|| panic!("boom from model thread")) as _]);
+    let f = outcome.failure().expect("panic must fail the execution");
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(
+        f.message.contains("boom from model thread"),
+        "{}",
+        f.message
+    );
+}

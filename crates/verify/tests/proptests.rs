@@ -1,0 +1,123 @@
+//! Property tests: the indexed matcher against the in-order reference
+//! semantics under randomized wildcard queries interleaved with compaction,
+//! with the invariant counters asserting conservation on every case.
+
+use dcuda_des::check::{forall, Gen};
+use dcuda_queues::indexed::IndexedMatcher;
+use dcuda_queues::{match_in_order, Notification, Query, ANY};
+use dcuda_verify::{reconcile_shards, ShardCounters};
+use std::collections::VecDeque;
+
+const TARGET: u32 = 0;
+
+fn gen_notification(g: &mut Gen) -> Notification {
+    Notification {
+        win: g.u32_below(3),
+        source: g.u32_below(3),
+        tag: g.u32_below(4),
+    }
+}
+
+fn gen_query(g: &mut Gen) -> Query {
+    let field = |g: &mut Gen, bound: u32| if g.bool() { ANY } else { g.u32_below(bound) };
+    Query {
+        win: field(g, 3),
+        source: field(g, 3),
+        tag: field(g, 4),
+    }
+}
+
+/// `IndexedMatcher::try_match` must agree with the `match_in_order`
+/// reference — same matches, same leftover pending order — through any
+/// interleaving of inserts and wildcard queries, and the conservation
+/// counters must reconcile clean (every insert matched at most once, and
+/// matched + still-pending == inserted).
+#[test]
+fn indexed_matcher_agrees_with_reference_and_conserves() {
+    forall("indexed_matcher_vs_reference", 400, |g: &mut Gen| {
+        let mut indexed = IndexedMatcher::new();
+        let mut reference: VecDeque<Notification> = VecDeque::new();
+        let mut counters = ShardCounters::default();
+        let mut matched_total = 0u64;
+        let mut inserted_total = 0u64;
+
+        let steps = g.usize_in(1, 60);
+        for _ in 0..steps {
+            if g.bool() {
+                let n = gen_notification(g);
+                indexed.insert(n);
+                reference.push_back(n);
+                counters.note_sent(TARGET, n);
+                counters.note_delivered(TARGET, n);
+                inserted_total += 1;
+            } else {
+                let q = gen_query(g);
+                let count = g.usize_in(1, 4);
+                let got_indexed = indexed.try_match(q, count);
+                let got_reference = match_in_order(&mut reference, q, count);
+                match (&got_indexed, &got_reference) {
+                    (Some((a, _)), Some((b, _))) => {
+                        assert_eq!(a, b, "matched notifications diverged");
+                        for n in a {
+                            counters.note_matched(TARGET, *n, 1);
+                        }
+                        matched_total += a.len() as u64;
+                    }
+                    (None, None) => {}
+                    _ => panic!(
+                        "match verdicts diverged for {q:?} x{count}: \
+                         indexed={got_indexed:?} reference={got_reference:?}"
+                    ),
+                }
+            }
+            // Compaction must preserve arrival order of the unmatched rest.
+            assert_eq!(
+                indexed.pending_in_order(),
+                reference.iter().copied().collect::<Vec<_>>(),
+                "pending order diverged after compaction"
+            );
+        }
+
+        assert_eq!(
+            matched_total + reference.len() as u64,
+            inserted_total,
+            "notifications not conserved"
+        );
+        let report = reconcile_shards(u64::MAX, [counters]);
+        assert!(report.is_clean(), "monitor flagged violations: {report}");
+    });
+}
+
+/// Draining every notification with repeated wildcard queries empties both
+/// matchers and matches each insert exactly once.
+#[test]
+fn wildcard_drain_conserves_every_notification() {
+    forall("wildcard_drain", 200, |g: &mut Gen| {
+        let mut indexed = IndexedMatcher::new();
+        let mut reference: VecDeque<Notification> = VecDeque::new();
+        let inserts = g.vec_with(40, gen_notification);
+        for n in &inserts {
+            indexed.insert(*n);
+            reference.push_back(*n);
+        }
+        // Interleave narrow queries (forcing compaction over mismatches)
+        // with a final wildcard drain.
+        for _ in 0..g.usize_below(6) {
+            let q = gen_query(g);
+            let count = g.usize_in(1, 3);
+            let a = indexed.try_match(q, count);
+            let b = match_in_order(&mut reference, q, count);
+            assert_eq!(a.as_ref().map(|(m, _)| m), b.as_ref().map(|(m, _)| m));
+        }
+        let mut drained = 0usize;
+        while let Some((m, _)) = indexed.try_match(Query::WILDCARD, 1) {
+            let r = match_in_order(&mut reference, Query::WILDCARD, 1)
+                .expect("reference must drain in lockstep");
+            assert_eq!(m, r.0);
+            drained += m.len();
+        }
+        assert!(indexed.is_empty());
+        assert!(reference.is_empty());
+        assert_eq!(drained, indexed.len() + drained); // drained everything left
+    });
+}

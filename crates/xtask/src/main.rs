@@ -1,0 +1,199 @@
+//! `cargo run -p xtask -- <task>`: dependency-free repo maintenance.
+//!
+//! Currently one task, `lint`: a line-based source pass enforcing repo
+//! rules that rustc/clippy cannot express (see `LINT RULES` below). It is
+//! deliberately simple — line-oriented with a brace-tracking skip for
+//! `#[cfg(test)]` modules — and wired into the CI `lint` job.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// LINT RULES
+///
+/// R1 `no-unwrap`: no `.unwrap()` / `.expect(` in non-test code under
+///    `crates/rt/src` and `crates/queues/src`. Queue and runtime code runs
+///    on rank/host threads where a panic poisons the whole cluster join;
+///    errors must flow as typed `RtError`s (or be documented
+///    `debug_assert` + infallible conversions).
+/// R2 `no-raw-shims`: no internal *use* of the `#[deprecated] *_raw`
+///    compatibility shims outside their definition site and `tests/`
+///    directories (the shims exist for downstream callers only).
+/// R3 `no-relaxed-spsc`: no `Ordering::Relaxed` in `crates/queues/src`
+///    non-test code — every counter in the SPSC protocol (seq, tail,
+///    disconnected) carries release/acquire semantics; a relaxed access is
+///    a protocol bug (the dcuda-verify model checker proves the demoted
+///    variant racy).
+///
+/// An escape hatch comment `// xtask: allow` on the offending line skips
+/// all rules for that line.
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint\n  (got {:?})",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // R1 + R3 targets: protocol crates' non-test sources.
+    for dir in ["crates/rt/src", "crates/queues/src"] {
+        for file in rust_files(&root.join(dir)) {
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (lineno, line) in non_test_lines(&text) {
+                if line.contains("xtask: allow") || is_comment(line) {
+                    continue;
+                }
+                if line.contains(".unwrap()") || line.contains(".expect(") {
+                    findings.push(finding(&file, lineno, "no-unwrap", line));
+                }
+                if line.contains("Ordering::Relaxed") && dir.contains("queues") {
+                    findings.push(finding(&file, lineno, "no-relaxed-spsc", line));
+                }
+            }
+        }
+    }
+
+    // R2 targets: every crate's src/ (shim definitions in ctx.rs are
+    // `pub fn <name>_raw` items; uses are `.<name>_raw(` method calls).
+    let raw_shims = [
+        ".put_raw(",
+        ".put_notify_raw(",
+        ".wait_notifications_raw(",
+        ".win_raw(",
+        ".win_mut_raw(",
+    ];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            // The linter's own pattern table is not a use site.
+            if entry.file_name() == "xtask" {
+                continue;
+            }
+            let src = entry.path().join("src");
+            for file in rust_files(&src) {
+                let text = match std::fs::read_to_string(&file) {
+                    Ok(t) => t,
+                    Err(_) => continue,
+                };
+                for (lineno, line) in non_test_lines(&text) {
+                    if line.contains("xtask: allow") || is_comment(line) {
+                        continue;
+                    }
+                    if raw_shims.iter().any(|s| line.contains(s)) {
+                        findings.push(finding(&file, lineno, "no-raw-shims", line));
+                    }
+                }
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!(
+                "{}:{}: [{}] {}",
+                f.file.display(),
+                f.line,
+                f.rule,
+                f.text.trim()
+            );
+        }
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn finding(file: &Path, line: usize, rule: &'static str, text: &str) -> Finding {
+    Finding {
+        file: file.to_path_buf(),
+        line,
+        rule,
+        text: text.to_string(),
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/xtask; the repo root is two levels up.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    let p = PathBuf::from(manifest);
+    p.parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(p)
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("//!") || t.starts_with("///")
+}
+
+/// Iterate `(1-based line number, line)` pairs, skipping the bodies of
+/// `#[cfg(test)]`-annotated items (brace-tracked from the annotation).
+fn non_test_lines(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut skip_depth: i64 = -1; // >= 0: inside a skipped item's braces
+    let mut pending_skip = false; // saw #[cfg(test)], waiting for the item
+    let mut depth: i64 = 0;
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if skip_depth < 0 && trimmed.starts_with("#[cfg(test)]") {
+            pending_skip = true;
+            continue;
+        }
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if pending_skip && opens > 0 {
+            skip_depth = depth;
+            pending_skip = false;
+        }
+        depth += opens - closes;
+        if skip_depth >= 0 {
+            if depth <= skip_depth {
+                skip_depth = -1;
+            }
+            continue;
+        }
+        out.push((i + 1, line));
+    }
+    out
+}
