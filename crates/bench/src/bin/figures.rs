@@ -1,8 +1,9 @@
 //! Regenerate the dCUDA paper's evaluation figures as printed series.
 //!
 //! ```text
-//! figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial]
-//!         [--json [PATH]] [--trace PATH] [--verify]
+//! figures [--fig 6|7|8|9|10|11|ablations|faults|all[,..]] [--full]
+//!         [--serial] [--json [PATH]] [--trace PATH] [--verify]
+//!         [--faults PROFILE]
 //! ```
 //!
 //! Default: all figures at `--quick` effort, rows fanned out over all
@@ -17,15 +18,22 @@
 //! `dcuda-verify` invariant monitor to every simulation: the run aborts
 //! loudly on any conservation/delivery violation, and the printed series
 //! are byte-identical to a verify-off run (the monitor observes, it never
-//! schedules).
+//! schedules). `--fig` accepts a comma list (`--fig 6,7,8`).
+//!
+//! `--fig faults` renders the overlap-under-faults figure; `--faults
+//! PROFILE` selects its fault profile (default `lossy` — see
+//! `dcuda_fabric::FaultSpec::parse` for the `name[@seed][,key=val...]`
+//! grammar, e.g. `drop@7,drop=0.02`).
 
 use dcuda_apps::micro::overlap::{OverlapPoint, Workload};
 use dcuda_bench::json::Json;
 use dcuda_bench::{
     ablation_bcast_put, ablation_match_cost, ablation_occupancy, ablation_staging,
-    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, set_serial, Effort, ScalingRow,
+    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, fig_faults, set_serial, Effort,
+    ScalingRow,
 };
 use dcuda_core::SystemSpec;
+use dcuda_fabric::FaultSpec;
 
 fn print_scaling(name: &str, rows: &[ScalingRow]) {
     println!("\n== {name} ==");
@@ -71,7 +79,7 @@ fn overlap_json(points: &[OverlapPoint]) -> Json {
     )
 }
 
-const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|all] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify]";
+const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify] [--faults PROFILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -120,16 +128,40 @@ fn main() {
         }
         None => "all".to_string(),
     };
-    const FIGS: [&str; 8] = ["6", "7", "8", "9", "10", "11", "ablations", "all"];
-    if !FIGS.contains(&which.as_str()) {
-        eprintln!("figures: unknown --fig value {which:?} (expected one of {FIGS:?})");
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+    const FIGS: [&str; 9] = ["6", "7", "8", "9", "10", "11", "ablations", "faults", "all"];
+    let selected: Vec<&str> = which.split(',').map(str::trim).collect();
+    for part in &selected {
+        if !FIGS.contains(part) {
+            eprintln!("figures: unknown --fig value {part:?} (expected a comma list of {FIGS:?})");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
     }
+    let fault_profile: String = match args.iter().position(|a| a == "--faults") {
+        Some(i) => match args.get(i + 1).filter(|p| !p.starts_with("--")) {
+            Some(p) => {
+                value_slots.push(i + 1);
+                p.clone()
+            }
+            None => {
+                eprintln!("figures: --faults needs a PROFILE (e.g. lossy, drop@7,drop=0.02)");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        },
+        None => "lossy".to_string(),
+    };
+    let fault_spec = match FaultSpec::parse(&fault_profile) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("figures: bad --faults profile: {e}");
+            std::process::exit(2);
+        }
+    };
     for (i, a) in args.iter().enumerate() {
         if !value_slots.contains(&i)
             && ![
-                "--fig", "--full", "--serial", "--json", "--trace", "--verify",
+                "--fig", "--full", "--serial", "--json", "--trace", "--verify", "--faults",
             ]
             .contains(&a.as_str())
         {
@@ -139,7 +171,7 @@ fn main() {
         }
     }
     let spec = SystemSpec::greina();
-    let all = which == "all";
+    let all = selected.contains(&"all");
     let started = std::time::Instant::now();
     let mut out = Json::obj()
         .field("schema", Json::str("dcuda-figures-v1"))
@@ -153,7 +185,7 @@ fn main() {
         )
         .field("serial", Json::from(dcuda_bench::is_serial()));
 
-    if all || which == "6" {
+    if all || selected.contains(&"6") {
         println!("== Figure 6: put bandwidth (paper: saturates ~5757.6 MB/s distributed, ~1057.9 MB/s shared; 19.4 us / 7.8 us empty-packet latency) ==");
         println!(
             "{:>12} {:>14} {:>16} {:>18}",
@@ -185,7 +217,7 @@ fn main() {
         );
     }
     for (fig, workload) in [("7", Workload::Newton), ("8", Workload::Copy)] {
-        if all || which == fig {
+        if all || selected.contains(&fig) {
             let label = match workload {
                 Workload::Newton => "Figure 7: overlap, Newton-Raphson (compute-bound)",
                 Workload::Copy => "Figure 8: overlap, memory-to-memory copy (bandwidth-bound)",
@@ -209,7 +241,7 @@ fn main() {
             out = out.field(&format!("fig{fig}"), overlap_json(&points));
         }
     }
-    if all || which == "9" {
+    if all || selected.contains(&"9") {
         let rows = fig9(&spec, effort);
         print_scaling(
             "Figure 9: particle simulation weak scaling (paper: dCUDA wins beyond ~3 nodes; MPI-CUDA scaling cost ~ halo time)",
@@ -217,7 +249,7 @@ fn main() {
         );
         out = out.field("fig9", scaling_json(&rows));
     }
-    if all || which == "10" {
+    if all || selected.contains(&"10") {
         let rows = fig10(&spec, effort);
         print_scaling(
             "Figure 10: stencil weak scaling (paper: dCUDA flat, fully overlapped; MPI-CUDA pays the halo)",
@@ -225,7 +257,7 @@ fn main() {
         );
         out = out.field("fig10", scaling_json(&rows));
     }
-    if all || which == "11" {
+    if all || selected.contains(&"11") {
         let rows = fig11(&spec, effort);
         print_scaling(
             "Figure 11: SpMV weak scaling (paper: no overlap; dCUDA comparable, catching up at 9 nodes)",
@@ -233,7 +265,7 @@ fn main() {
         );
         out = out.field("fig11", scaling_json(&rows));
     }
-    if all || which == "ablations" {
+    if all || selected.contains(&"ablations") {
         let occupancy = ablation_occupancy(&spec);
         println!("\n== Ablation: occupancy vs overlap efficiency (Little's law) ==");
         for (blocks_per_sm, eff) in &occupancy {
@@ -350,16 +382,80 @@ fn main() {
                 ),
         );
     }
+    if all || selected.contains(&"faults") {
+        println!(
+            "\n== Overlap under faults: Newton overlap vs fault intensity (profile {fault_profile:?}) =="
+        );
+        println!(
+            "{:>7} {:>12} {:>12} {:>13} {:>8} {:>7} {:>9} {:>7} {:>9} {:>8}",
+            "factor",
+            "full [ms]",
+            "comp [ms]",
+            "exch [ms]",
+            "overlap",
+            "drops",
+            "retries",
+            "dups",
+            "deduped",
+            "demoted"
+        );
+        let rows = fig_faults(&spec, &fault_spec, effort);
+        for r in &rows {
+            println!(
+                "{:>7.2} {:>12.3} {:>12.3} {:>13.3} {:>8.2} {:>7} {:>9} {:>7} {:>9} {:>8}",
+                r.factor,
+                r.full_ms,
+                r.compute_ms,
+                r.exchange_ms,
+                r.overlap_efficiency,
+                r.fault_drops,
+                r.retries,
+                r.fault_dups,
+                r.dups_suppressed,
+                r.demotions
+            );
+        }
+        out = out.field(
+            "faults",
+            Json::obj()
+                .field("profile", Json::str(fault_profile.clone()))
+                .field(
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj()
+                                    .field("factor", Json::from(r.factor))
+                                    .field("full_ms", Json::from(r.full_ms))
+                                    .field("compute_ms", Json::from(r.compute_ms))
+                                    .field("exchange_ms", Json::from(r.exchange_ms))
+                                    .field("overlap_efficiency", Json::from(r.overlap_efficiency))
+                                    .field("fault_drops", Json::from(r.fault_drops))
+                                    .field("fault_dups", Json::from(r.fault_dups))
+                                    .field("retries", Json::from(r.retries))
+                                    .field("timeouts", Json::from(r.timeouts))
+                                    .field("dups_suppressed", Json::from(r.dups_suppressed))
+                                    .field("demotions", Json::from(r.demotions))
+                            })
+                            .collect(),
+                    ),
+                ),
+        );
+    }
 
     if let Some(path) = &trace_path {
         // One traced run of the figure's representative workload (Copy for
         // the bandwidth-bound Figure 8, Newton otherwise).
-        let workload = if which == "8" {
+        let workload = if selected.contains(&"8") {
             Workload::Copy
         } else {
             Workload::Newton
         };
-        let (chrome_json, summary) = dcuda_bench::trace_run(&spec, workload);
+        // When the faults figure is selected, trace under the same fault
+        // profile so the timeline shows fault_drop/fault_dup/retry/demote
+        // instants alongside the rank spans.
+        let traced_faults = (all || selected.contains(&"faults")).then_some(&fault_spec);
+        let (chrome_json, summary) = dcuda_bench::trace_run(&spec, workload, traced_faults);
         if let Err(e) = std::fs::write(path, &chrome_json) {
             eprintln!("figures: cannot write trace {path}: {e}");
             std::process::exit(1);

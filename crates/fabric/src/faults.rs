@@ -1,0 +1,623 @@
+//! Deterministic, seed-reproducible fault injection for the fabric.
+//!
+//! The fault layer sits between the runtime and the LogGP timing model in
+//! [`crate::network`]: every packet handed to a faulted [`Network`] first
+//! rolls a *fate* (drop / duplicate / reorder delay / latency spike / NIC
+//! stall) on a per-directed-link random stream, and bandwidth brownouts are
+//! decided by hashing the (seed, time window, link) triple so the decision is
+//! independent of event-processing order. Both mechanisms are driven by
+//! [`SplitMix64`] streams forked from a single user seed, which makes any run
+//! replay exactly: the same seed produces the same drops at the same virtual
+//! times, byte for byte.
+//!
+//! The layer also tracks per-link health. Each acknowledged-transfer timeout
+//! reported by the runtime bumps a per-link counter; crossing the
+//! [`RetrySpec::demote_after`] threshold demotes the link down the adaptive
+//! path ladder: DeviceDirect (policy default) → forced HostStaged → rerouted
+//! staging through a relay node that avoids the sick link entirely.
+//!
+//! [`Network`]: crate::network::Network
+
+use crate::network::NodeId;
+use dcuda_des::{SimDuration, SimTime, SplitMix64};
+
+/// Retry/acknowledgement protocol parameters, consumed by the runtime layers
+/// (`dcuda-core`'s reliable RMA protocol and `dcuda-rt`'s host threads).
+#[derive(Debug, Clone)]
+pub struct RetrySpec {
+    /// Time after a packet clears the sender NIC before the origin declares
+    /// a timeout and retransmits.
+    pub ack_timeout: SimDuration,
+    /// Upper bound on the exponential backoff between retries.
+    pub backoff_cap: SimDuration,
+    /// Fraction of the backoff added as deterministic pseudo-random jitter
+    /// (0.2 means up to +20%), de-synchronizing retry storms.
+    pub jitter_frac: f64,
+    /// Consecutive timeouts on one link before it is demoted one level down
+    /// the path ladder.
+    pub demote_after: u32,
+    /// Hard cap on delivery attempts for one transfer; exceeding it is a
+    /// protocol failure and the runtime aborts loudly instead of spinning.
+    pub max_attempts: u32,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        RetrySpec {
+            ack_timeout: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_micros(1_000),
+            jitter_frac: 0.2,
+            demote_after: 3,
+            max_attempts: 30,
+        }
+    }
+}
+
+impl RetrySpec {
+    /// Backoff before attempt `attempt` (1-based): `ack_timeout * 2^(a-1)`,
+    /// capped at [`backoff_cap`](Self::backoff_cap), plus up to
+    /// `jitter_frac` of itself drawn from `rng`.
+    pub fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let base = self.ack_timeout.saturating_mul(1u64 << shift);
+        let capped = if base > self.backoff_cap {
+            self.backoff_cap
+        } else {
+            base
+        };
+        let jitter_ps = (capped.as_ps() as f64 * self.jitter_frac * rng.next_f64()) as u64;
+        capped + SimDuration::from_ps(jitter_ps)
+    }
+}
+
+/// A permanently failing directed link: all direct traffic `src -> dst` is
+/// lost from `at` onwards (the reverse direction stays healthy).
+#[derive(Debug, Clone, Copy)]
+pub struct KillLink {
+    /// Sending side of the dead link.
+    pub src: u32,
+    /// Receiving side of the dead link.
+    pub dst: u32,
+    /// Virtual time the link dies.
+    pub at: SimDuration,
+}
+
+/// Full description of a fault profile. `Default` is a healthy fabric
+/// (all probabilities zero); presets and a `key=val` mini-language are
+/// available through [`FaultSpec::parse`].
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Seed for every derived random stream; equal seeds replay exactly.
+    pub seed: u64,
+    /// Per-packet probability the payload is lost after serialization.
+    pub drop_p: f64,
+    /// Per-packet probability a second copy is injected right behind the
+    /// first (both arrive; the receiver must deduplicate).
+    pub dup_p: f64,
+    /// Per-packet probability of an extra delivery delay, uniform in
+    /// `[0, reorder_max)`, which reorders the packet past later traffic.
+    pub reorder_p: f64,
+    /// Maximum reorder delay.
+    pub reorder_max: SimDuration,
+    /// Per-packet probability of a latency spike of [`spike`](Self::spike).
+    pub spike_p: f64,
+    /// Latency-spike magnitude (added to the wire latency).
+    pub spike: SimDuration,
+    /// Per-packet probability the sender NIC stalls for
+    /// [`stall`](Self::stall) before serializing (occupies the egress FIFO,
+    /// so queued packets behind it wait too).
+    pub stall_p: f64,
+    /// NIC-stall magnitude.
+    pub stall: SimDuration,
+    /// Brownout window length; zero disables brownouts.
+    pub brownout_period: SimDuration,
+    /// Probability that any given (window, link) is browned out.
+    pub brownout_p: f64,
+    /// Bandwidth multiplier during a brownout (0.25 = quarter speed).
+    pub brownout_factor: f64,
+    /// Optional permanent link death.
+    pub kill_link: Option<KillLink>,
+    /// Retry-protocol parameters paired with this profile.
+    pub retry: RetrySpec,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 1,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            reorder_max: SimDuration::from_micros(5),
+            spike_p: 0.0,
+            spike: SimDuration::from_micros(10),
+            stall_p: 0.0,
+            stall: SimDuration::from_micros(20),
+            brownout_period: SimDuration::from_micros(200),
+            brownout_p: 0.0,
+            brownout_factor: 0.25,
+            kill_link: None,
+            retry: RetrySpec::default(),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A healthy fabric under seed `seed` (useful as a sweep baseline).
+    pub fn healthy(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// The acceptance profile: 1% drop + 0.5% duplicate.
+    pub fn lossy(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop_p: 0.01,
+            dup_p: 0.005,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Return a copy with drop/duplicate probabilities scaled by `factor`
+    /// (clamped to 1.0) — the knob behind the overlap-under-faults sweep.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut s = self.clone();
+        s.drop_p = (s.drop_p * factor).min(1.0);
+        s.dup_p = (s.dup_p * factor).min(1.0);
+        s
+    }
+
+    /// Parse a fault-profile string: `name[@seed][,key=val...]`.
+    ///
+    /// Preset names: `healthy`, `drop` (1% drop), `dup` (0.5% duplicate),
+    /// `lossy` (drop+dup), `reorder` (10% reorder), `brownout`, `stall`,
+    /// `linkdeath` (link 0→1 dies at 50 µs). Keys override preset fields:
+    /// `drop`, `dup`, `reorder`, `reorder_us`, `spike`, `spike_us`, `stall`,
+    /// `stall_us`, `brownout`, `brownout_factor`, `brownout_period_us`,
+    /// `timeout_us`, `demote_after`, `max_attempts`, `seed`, and
+    /// `kill=SRC-DST@US`. Example: `lossy@42,drop=0.02,timeout_us=80`.
+    pub fn parse(profile: &str) -> Result<FaultSpec, String> {
+        let mut parts = profile.split(',');
+        let head = parts.next().unwrap_or("").trim();
+        let (name, seed) = match head.split_once('@') {
+            Some((n, s)) => {
+                let seed: u64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed in fault profile: {s:?}"))?;
+                (n.trim(), Some(seed))
+            }
+            None => (head, None),
+        };
+        let mut spec = match name {
+            "" | "healthy" => FaultSpec::default(),
+            "drop" => FaultSpec {
+                drop_p: 0.01,
+                ..FaultSpec::default()
+            },
+            "dup" => FaultSpec {
+                dup_p: 0.005,
+                ..FaultSpec::default()
+            },
+            "lossy" => FaultSpec::lossy(1),
+            "reorder" => FaultSpec {
+                reorder_p: 0.10,
+                ..FaultSpec::default()
+            },
+            "brownout" => FaultSpec {
+                brownout_p: 0.30,
+                ..FaultSpec::default()
+            },
+            "stall" => FaultSpec {
+                stall_p: 0.02,
+                ..FaultSpec::default()
+            },
+            "linkdeath" => FaultSpec {
+                kill_link: Some(KillLink {
+                    src: 0,
+                    dst: 1,
+                    at: SimDuration::from_micros(50),
+                }),
+                ..FaultSpec::default()
+            },
+            other => {
+                return Err(format!(
+                    "unknown fault preset {other:?} (expected healthy, drop, dup, \
+                     lossy, reorder, brownout, stall or linkdeath)"
+                ))
+            }
+        };
+        if let Some(s) = seed {
+            spec.seed = s;
+        }
+        for kv in parts {
+            let kv = kv.trim();
+            let (key, val) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=val in fault profile, got {kv:?}"))?;
+            let fnum = || -> Result<f64, String> {
+                val.parse()
+                    .map_err(|_| format!("bad number for {key}: {val:?}"))
+            };
+            let unum = || -> Result<u64, String> {
+                val.parse()
+                    .map_err(|_| format!("bad integer for {key}: {val:?}"))
+            };
+            match key.trim() {
+                "drop" => spec.drop_p = fnum()?,
+                "dup" => spec.dup_p = fnum()?,
+                "reorder" => spec.reorder_p = fnum()?,
+                "reorder_us" => spec.reorder_max = SimDuration::from_micros_f64(fnum()?),
+                "spike" => spec.spike_p = fnum()?,
+                "spike_us" => spec.spike = SimDuration::from_micros_f64(fnum()?),
+                "stall" => spec.stall_p = fnum()?,
+                "stall_us" => spec.stall = SimDuration::from_micros_f64(fnum()?),
+                "brownout" => spec.brownout_p = fnum()?,
+                "brownout_factor" => spec.brownout_factor = fnum()?,
+                "brownout_period_us" => {
+                    spec.brownout_period = SimDuration::from_micros_f64(fnum()?)
+                }
+                "timeout_us" => spec.retry.ack_timeout = SimDuration::from_micros_f64(fnum()?),
+                "demote_after" => spec.retry.demote_after = unum()? as u32,
+                "max_attempts" => spec.retry.max_attempts = unum()? as u32,
+                "seed" => spec.seed = unum()?,
+                "kill" => {
+                    let (pair, at) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("kill wants SRC-DST@US, got {val:?}"))?;
+                    let (s, d) = pair
+                        .split_once('-')
+                        .ok_or_else(|| format!("kill wants SRC-DST@US, got {val:?}"))?;
+                    let src: u32 = s.parse().map_err(|_| format!("bad kill src {s:?}"))?;
+                    let dst: u32 = d.parse().map_err(|_| format!("bad kill dst {d:?}"))?;
+                    let us: f64 = at.parse().map_err(|_| format!("bad kill time {at:?}"))?;
+                    spec.kill_link = Some(KillLink {
+                        src,
+                        dst,
+                        at: SimDuration::from_micros_f64(us),
+                    });
+                }
+                other => return Err(format!("unknown fault profile key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// What the fault layer decided for one packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketFate {
+    /// The payload is lost after clearing the sender NIC.
+    pub dropped: bool,
+    /// A second copy is injected immediately behind the first.
+    pub duplicated: bool,
+    /// Extra delivery delay (reorder jitter + latency spikes).
+    pub delay: SimDuration,
+    /// Extra time the packet occupies the sender NIC before serializing.
+    pub stall: SimDuration,
+    /// Bandwidth multiplier in effect (brownouts; 1.0 = full speed).
+    pub bandwidth_factor: f64,
+}
+
+impl PacketFate {
+    /// The fate of a packet on a healthy link.
+    pub fn clean() -> Self {
+        PacketFate {
+            dropped: false,
+            duplicated: false,
+            delay: SimDuration::ZERO,
+            stall: SimDuration::ZERO,
+            bandwidth_factor: 1.0,
+        }
+    }
+}
+
+/// Injection counters, folded into `RunReport` by the runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Packets dropped (including traffic on dead links).
+    pub drops: u64,
+    /// Duplicate copies injected.
+    pub dups: u64,
+    /// Latency spikes applied.
+    pub spikes: u64,
+    /// NIC stalls applied.
+    pub stalls: u64,
+    /// Packets that observed a browned-out link.
+    pub brownouts: u64,
+    /// Packets routed around a demoted link via a relay node.
+    pub reroutes: u64,
+    /// Link demotions (path-ladder steps taken).
+    pub demotions: u64,
+}
+
+/// Per-directed-link mutable state.
+struct LinkState {
+    rng: SplitMix64,
+    timeouts: u32,
+    level: u8,
+}
+
+/// The fault-injection engine owned by a [`Network`](crate::network::Network).
+pub struct FaultLayer {
+    spec: FaultSpec,
+    nodes: usize,
+    links: Vec<LinkState>,
+    /// Running injection counters.
+    pub stats: FaultStats,
+}
+
+/// Maximum demotion level: 0 = policy default, 1 = forced host staging,
+/// 2 = rerouted staging through a relay node.
+pub const MAX_DEMOTION_LEVEL: u8 = 2;
+
+impl FaultLayer {
+    /// Build the layer for an `nodes`-node fabric. Each directed link gets
+    /// its own [`SplitMix64`] stream forked from `spec.seed` in a fixed
+    /// order, so fates replay exactly for a given seed.
+    pub fn new(spec: FaultSpec, nodes: usize) -> Self {
+        let mut root = SplitMix64::new(spec.seed);
+        let links = (0..nodes * nodes)
+            .map(|_| LinkState {
+                rng: root.fork(),
+                timeouts: 0,
+                level: 0,
+            })
+            .collect();
+        FaultLayer {
+            spec,
+            nodes,
+            links,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The profile this layer was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    fn link_index(&self, src: NodeId, dst: NodeId) -> usize {
+        src.index() * self.nodes + dst.index()
+    }
+
+    fn link_dead(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        self.spec
+            .kill_link
+            .is_some_and(|k| k.src == src.0 && k.dst == dst.0 && now.as_ps() >= k.at.as_ps())
+    }
+
+    /// Brownout bandwidth factor for (`now`, link). Decided by hashing the
+    /// (seed, window index, link) triple — stateless, so the answer does not
+    /// depend on how many packets were sent before this one.
+    pub fn brownout_factor(&self, now: SimTime, src: NodeId, dst: NodeId) -> f64 {
+        if self.spec.brownout_p <= 0.0 || self.spec.brownout_period == SimDuration::ZERO {
+            return 1.0;
+        }
+        let window = now.as_ps() / self.spec.brownout_period.as_ps();
+        let link = self.link_index(src, dst) as u64;
+        let mut h = SplitMix64::new(
+            self.spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ window.wrapping_mul(0x85eb_ca6b_c2b2_ae63)
+                ^ link.wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
+        );
+        if h.next_f64() < self.spec.brownout_p {
+            self.spec.brownout_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Roll the fate of one packet on the directed link `src -> dst`.
+    /// Consumes a fixed number of draws from the link's stream so fates are
+    /// a pure function of (seed, link, packet ordinal).
+    pub fn fate(&mut self, now: SimTime, src: NodeId, dst: NodeId) -> PacketFate {
+        let bandwidth_factor = self.brownout_factor(now, src, dst);
+        let dead = self.link_dead(now, src, dst);
+        let spec = self.spec.clone();
+        let idx = self.link_index(src, dst);
+        let link = &mut self.links[idx];
+        let r_drop = link.rng.next_f64();
+        let r_dup = link.rng.next_f64();
+        let r_reorder = link.rng.next_f64();
+        let r_delay = link.rng.next_f64();
+        let r_spike = link.rng.next_f64();
+        let r_stall = link.rng.next_f64();
+        let mut fate = PacketFate {
+            dropped: dead || r_drop < spec.drop_p,
+            duplicated: r_dup < spec.dup_p,
+            delay: SimDuration::ZERO,
+            stall: SimDuration::ZERO,
+            bandwidth_factor,
+        };
+        if r_reorder < spec.reorder_p {
+            fate.delay += SimDuration::from_ps((spec.reorder_max.as_ps() as f64 * r_delay) as u64);
+        }
+        if r_spike < spec.spike_p {
+            fate.delay += spec.spike;
+            self.stats.spikes += 1;
+        }
+        if r_stall < spec.stall_p {
+            fate.stall = spec.stall;
+            self.stats.stalls += 1;
+        }
+        if fate.dropped {
+            self.stats.drops += 1;
+        }
+        if fate.duplicated {
+            self.stats.dups += 1;
+        }
+        if bandwidth_factor < 1.0 {
+            self.stats.brownouts += 1;
+        }
+        fate
+    }
+
+    /// Current demotion level of the directed link (0..=2).
+    pub fn level(&self, src: NodeId, dst: NodeId) -> u8 {
+        self.links[self.link_index(src, dst)].level
+    }
+
+    /// Record an ack timeout on the link. Crossing
+    /// [`RetrySpec::demote_after`] demotes the link one level and resets the
+    /// counter; returns the new level when a demotion happened.
+    pub fn report_timeout(&mut self, src: NodeId, dst: NodeId) -> Option<u8> {
+        let max_level = if self.nodes >= 3 {
+            MAX_DEMOTION_LEVEL
+        } else {
+            1
+        };
+        let demote_after = self.spec.retry.demote_after.max(1);
+        let idx = self.link_index(src, dst);
+        let link = &mut self.links[idx];
+        link.timeouts += 1;
+        if link.timeouts >= demote_after && link.level < max_level {
+            link.timeouts = 0;
+            link.level += 1;
+            self.stats.demotions += 1;
+            Some(link.level)
+        } else {
+            None
+        }
+    }
+
+    /// Deterministic relay node for rerouting around `src -> dst`: the
+    /// lowest-numbered node that is neither endpoint.
+    pub fn relay_for(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        (0..self.nodes as u32)
+            .map(NodeId)
+            .find(|&n| n != src && n != dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fates() {
+        let spec = FaultSpec::lossy(7);
+        let mut a = FaultLayer::new(spec.clone(), 4);
+        let mut b = FaultLayer::new(spec, 4);
+        for i in 0..2_000u64 {
+            let t = SimTime::ZERO + SimDuration::from_nanos(i * 37);
+            let (s, d) = (NodeId((i % 4) as u32), NodeId(((i + 1) % 4) as u32));
+            assert_eq!(a.fate(t, s, d), b.fate(t, s, d));
+        }
+    }
+
+    #[test]
+    fn drop_rate_close_to_requested() {
+        let mut l = FaultLayer::new(
+            FaultSpec {
+                drop_p: 0.10,
+                ..FaultSpec::default()
+            },
+            2,
+        );
+        for _ in 0..20_000 {
+            l.fate(SimTime::ZERO, NodeId(0), NodeId(1));
+        }
+        let rate = l.stats.drops as f64 / 20_000.0;
+        assert!((rate - 0.10).abs() < 0.01, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn brownout_is_order_independent() {
+        let spec = FaultSpec {
+            brownout_p: 0.5,
+            ..FaultSpec::default()
+        };
+        let layer = FaultLayer::new(spec.clone(), 2);
+        let t = SimTime::ZERO + SimDuration::from_micros(450);
+        let first = layer.brownout_factor(t, NodeId(0), NodeId(1));
+        // A second layer that has processed unrelated traffic answers the
+        // same for the same (time, link).
+        let mut busy = FaultLayer::new(spec, 2);
+        for _ in 0..100 {
+            busy.fate(SimTime::ZERO, NodeId(1), NodeId(0));
+        }
+        assert_eq!(first, busy.brownout_factor(t, NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn demotion_ladder_steps_and_saturates() {
+        let mut l = FaultLayer::new(FaultSpec::lossy(1), 4);
+        let (s, d) = (NodeId(0), NodeId(1));
+        let mut levels = vec![];
+        for _ in 0..10 {
+            if let Some(level) = l.report_timeout(s, d) {
+                levels.push(level);
+            }
+        }
+        assert_eq!(levels, vec![1, 2], "one step per demote_after timeouts");
+        assert_eq!(l.level(s, d), 2);
+        assert_eq!(l.stats.demotions, 2);
+        // Two-node fabrics cannot reroute: ladder stops at host staging.
+        let mut two = FaultLayer::new(FaultSpec::lossy(1), 2);
+        for _ in 0..20 {
+            two.report_timeout(s, d);
+        }
+        assert_eq!(two.level(s, d), 1);
+    }
+
+    #[test]
+    fn relay_avoids_endpoints() {
+        let l = FaultLayer::new(FaultSpec::default(), 4);
+        assert_eq!(l.relay_for(NodeId(0), NodeId(1)), Some(NodeId(2)));
+        assert_eq!(l.relay_for(NodeId(2), NodeId(0)), Some(NodeId(1)));
+        let two = FaultLayer::new(FaultSpec::default(), 2);
+        assert_eq!(two.relay_for(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn link_death_kills_one_direction_after_deadline() {
+        let mut l = FaultLayer::new(
+            FaultSpec {
+                kill_link: Some(KillLink {
+                    src: 0,
+                    dst: 1,
+                    at: SimDuration::from_micros(10),
+                }),
+                ..FaultSpec::default()
+            },
+            2,
+        );
+        let before = SimTime::ZERO + SimDuration::from_micros(5);
+        let after = SimTime::ZERO + SimDuration::from_micros(15);
+        assert!(!l.fate(before, NodeId(0), NodeId(1)).dropped);
+        assert!(l.fate(after, NodeId(0), NodeId(1)).dropped);
+        assert!(
+            !l.fate(after, NodeId(1), NodeId(0)).dropped,
+            "reverse lives"
+        );
+    }
+
+    #[test]
+    fn backoff_caps_and_jitters() {
+        let spec = RetrySpec::default();
+        let mut rng = SplitMix64::new(3);
+        let b1 = spec.backoff(1, &mut rng);
+        assert!(b1 >= spec.ack_timeout);
+        assert!(b1.as_ps() <= (spec.ack_timeout.as_ps() as f64 * 1.2001) as u64);
+        let b9 = spec.backoff(9, &mut rng);
+        assert!(b9.as_ps() <= (spec.backoff_cap.as_ps() as f64 * 1.2001) as u64);
+    }
+
+    #[test]
+    fn parse_presets_and_overrides() {
+        let s = FaultSpec::parse("lossy@42,drop=0.02,timeout_us=80").unwrap();
+        assert_eq!(s.seed, 42);
+        assert!((s.drop_p - 0.02).abs() < 1e-12);
+        assert!((s.dup_p - 0.005).abs() < 1e-12);
+        assert_eq!(s.retry.ack_timeout, SimDuration::from_micros(80));
+        let k = FaultSpec::parse("healthy,kill=0-3@25").unwrap();
+        let kl = k.kill_link.unwrap();
+        assert_eq!((kl.src, kl.dst), (0, 3));
+        assert!(FaultSpec::parse("nonsense").is_err());
+        assert!(FaultSpec::parse("drop,bogus=1").is_err());
+    }
+}

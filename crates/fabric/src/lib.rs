@@ -12,16 +12,22 @@
 //!   bandwidth — paper §IV-C).
 //! * [`PcieSpec`] / [`PcieLink`] — the host–device link used for queue
 //!   transactions (single-transaction enqueues, paper §III-C) and DMA copies.
+//! * [`FaultSpec`] / [`FaultLayer`] — deterministic, seed-reproducible fault
+//!   injection (drop/duplicate/reorder, latency spikes, bandwidth brownouts,
+//!   NIC stalls, permanent link death) plus per-link health tracking that
+//!   drives the adaptive path-demotion ladder.
 //!
 //! All models are *time functions*: they mutate internal contention state and
 //! return delivery instants; the caller schedules the corresponding events.
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod network;
 pub mod pcie;
 pub mod spec;
 
-pub use network::{Delivery, MsgRecord, Network, NodeId, TransferPath};
+pub use faults::{FaultLayer, FaultSpec, FaultStats, KillLink, PacketFate, RetrySpec};
+pub use network::{Delivery, FaultedSend, MsgRecord, Network, NodeId, PacketKind, TransferPath};
 pub use pcie::{PcieLink, PcieOp, PcieRecord};
 pub use spec::{NetworkSpec, PcieSpec};

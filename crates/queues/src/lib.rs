@@ -24,12 +24,14 @@
 
 #![warn(missing_docs)]
 
+pub mod dedup;
 pub mod depth;
 pub mod indexed;
 pub mod notify;
 pub mod plat;
 pub mod spsc;
 
+pub use dedup::{DedupWindow, RetryDecision, RetryPolicy, RetryTimer, DEDUP_WINDOW};
 pub use depth::DepthStats;
 pub use indexed::IndexedMatcher;
 pub use notify::{match_in_order, Notification, NotificationMatcher, Query, ANY};

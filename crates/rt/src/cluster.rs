@@ -1,7 +1,7 @@
 //! Cluster assembly: spawn host and rank threads, wire the queues, run.
 
 use crate::ctx::RtCtx;
-use crate::host::{FlushHistoryHandle, Host};
+use crate::host::{FlushHistoryHandle, Host, HostFaults};
 use crate::msg::{Cmd, Delivery, HostMsg};
 use crate::types::RtError;
 use dcuda_queues::{channel, ANY};
@@ -33,6 +33,34 @@ pub struct RtConfig {
     pub windows: Vec<usize>,
     /// Ring capacity for the command/delivery queues (power of two).
     pub ring_capacity: usize,
+    /// Deterministic fault plan for the inter-host plane (`None` = healthy).
+    pub faults: Option<RtFaultPlan>,
+}
+
+/// Seeded fault injection for the threaded runtime's MPI plane: inter-host
+/// `Deliver` messages are dropped (and retransmitted with the same sequence
+/// number) or duplicated at the origin host; receivers dedup per origin so
+/// notification delivery stays exactly-once. Each host derives its own
+/// [`dcuda_des::SplitMix64`] stream from `seed`, so the *injection decisions*
+/// replay exactly even though thread interleaving does not.
+#[derive(Debug, Clone, Copy)]
+pub struct RtFaultPlan {
+    /// Seed for the per-host fault streams.
+    pub seed: u64,
+    /// Per-message probability the first copy is dropped.
+    pub drop_p: f64,
+    /// Per-message probability a duplicate copy is sent.
+    pub dup_p: f64,
+}
+
+impl Default for RtFaultPlan {
+    fn default() -> Self {
+        RtFaultPlan {
+            seed: 1,
+            drop_p: 0.01,
+            dup_p: 0.005,
+        }
+    }
 }
 
 impl Default for RtConfig {
@@ -42,6 +70,7 @@ impl Default for RtConfig {
             ranks_per_device: 4,
             windows: vec![4096],
             ring_capacity: 64,
+            faults: None,
         }
     }
 }
@@ -99,6 +128,13 @@ impl RtConfig {
                 self.ring_capacity
             ));
         }
+        if let Some(f) = &self.faults {
+            for (name, p) in [("drop_p", f.drop_p), ("dup_p", f.dup_p)] {
+                if !(0.0..1.0).contains(&p) {
+                    return fail(format!("fault {name} {p} outside [0, 1)"));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -140,6 +176,12 @@ impl RtConfigBuilder {
         self
     }
 
+    /// Enable seeded fault injection on the inter-host plane.
+    pub fn faults(mut self, plan: RtFaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<RtConfig, RtError> {
         self.cfg.validate()?;
@@ -158,6 +200,10 @@ pub struct RtReport {
     pub matched: u64,
     /// Barrier collectives completed (world-wide rounds).
     pub barriers: u64,
+    /// Inter-host messages retransmitted after an injected drop.
+    pub retries: u64,
+    /// Duplicate inter-host messages suppressed by receiver-side dedup.
+    pub dups_suppressed: u64,
 }
 
 /// A rank program: a blocking closure over the rank's context.
@@ -320,6 +366,9 @@ fn run_inner(
             flush,
             puts_routed: 0,
             notifications_sent: 0,
+            faults: cfg
+                .faults
+                .map(|f| HostFaults::new(f.seed, f.drop_p, f.dup_p, device, cfg.devices)),
             counters: verified.then(Box::default),
         });
     }
@@ -422,9 +471,11 @@ fn run_inner(
         }
         for h in host_handles {
             match h.join() {
-                Ok(Some((puts, notifs, shard))) => {
-                    report.puts += puts;
-                    report.notifications += notifs;
+                Ok(Some((stats, shard))) => {
+                    report.puts += stats.puts;
+                    report.notifications += stats.notifications;
+                    report.retries += stats.retries;
+                    report.dups_suppressed += stats.dups_suppressed;
                     if let Some(shard) = shard {
                         shards.push(*shard);
                     }

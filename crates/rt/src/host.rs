@@ -2,7 +2,8 @@
 //! (paper Figure 4), executed by a single worker as in §III-A.
 
 use crate::msg::{Cmd, Delivery, HostMsg};
-use dcuda_queues::{Notification, Receiver, Sender, TrySendError};
+use dcuda_des::SplitMix64;
+use dcuda_queues::{DedupWindow, Notification, Receiver, Sender, TrySendError, DEDUP_WINDOW};
 use dcuda_verify::ShardCounters;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -28,17 +29,75 @@ impl FlushHistory {
     }
 
     fn complete(&mut self, id: u64) {
+        if id <= self.frontier {
+            // Duplicate ack for an id the frontier already passed; absorbing
+            // it here keeps the heap from wedging below a stale entry.
+            return;
+        }
         self.completed.push(std::cmp::Reverse(id));
-        while self
-            .completed
-            .peek()
-            .is_some_and(|&std::cmp::Reverse(top)| top == self.frontier + 1)
-        {
-            self.completed.pop();
-            self.frontier += 1;
+        while let Some(&std::cmp::Reverse(top)) = self.completed.peek() {
+            if top <= self.frontier {
+                self.completed.pop();
+            } else if top == self.frontier + 1 {
+                self.completed.pop();
+                self.frontier += 1;
+            } else {
+                break;
+            }
         }
         self.publish.store(self.frontier, Ordering::Release);
     }
+}
+
+/// Per-host fault-injection state: a seeded origin-side packet mangler plus
+/// receiver-side dedup windows (one per origin host).
+///
+/// "Dropping" a `Deliver` means the first copy never reaches the wire and the
+/// message parks in [`retransmit`](Self::retransmit); it is resent — with the
+/// *same* sequence number — on a later progress-loop pass, and always before
+/// any local `Finish` is counted, which preserves the quiescence argument in
+/// [`Host::run`]. Duplication sends two copies back-to-back; the receiver's
+/// window suppresses the echo before it can double-deliver or double-ack.
+pub(crate) struct HostFaults {
+    rng: SplitMix64,
+    drop_p: f64,
+    dup_p: f64,
+    /// Next outbound sequence number per destination device.
+    next_seq: Vec<u64>,
+    /// Dropped `Deliver`s awaiting retransmission: (peer, seq, message).
+    retransmit: VecDeque<(u32, u64, HostMsg)>,
+    /// Inbound dedup window per origin device.
+    dedup: Vec<DedupWindow>,
+    /// Retransmissions performed.
+    retries: u64,
+}
+
+impl HostFaults {
+    pub fn new(seed: u64, drop_p: f64, dup_p: f64, device: u32, devices: u32) -> Self {
+        // Distinct deterministic stream per host.
+        let stream = seed ^ 0xA24B_AED4_963E_E407u64.wrapping_mul(u64::from(device) + 1);
+        HostFaults {
+            rng: SplitMix64::new(stream),
+            drop_p,
+            dup_p,
+            next_seq: vec![0; devices as usize],
+            retransmit: VecDeque::new(),
+            dedup: (0..devices).map(|_| DedupWindow::new()).collect(),
+            retries: 0,
+        }
+    }
+
+    fn dups_suppressed(&self) -> u64 {
+        self.dedup.iter().map(DedupWindow::suppressed).sum()
+    }
+}
+
+/// Statistics one host thread hands back after quiescence.
+pub(crate) struct HostStats {
+    pub puts: u64,
+    pub notifications: u64,
+    pub retries: u64,
+    pub dups_suppressed: u64,
 }
 
 /// Everything one host thread owns.
@@ -69,6 +128,8 @@ pub(crate) struct Host {
     /// Statistics.
     pub puts_routed: u64,
     pub notifications_sent: u64,
+    /// Fault-injection state (`None` on a healthy fabric).
+    pub faults: Option<HostFaults>,
     /// Invariant-counter shard (verified runs only). The host accounts the
     /// fabric side of conservation: a notification counts as *delivered*
     /// when it enters the target rank's delivery ring and as *dropped* when
@@ -174,13 +235,52 @@ impl Host {
                     }
                     None => {
                         let peer = self.device_of(dst);
-                        let msg = HostMsg::Deliver {
-                            dst_local: dst % self.ranks_per_device,
-                            delivery,
-                            origin: (self.device, flush_id, local),
-                        };
-                        // A closed peer means its ranks (and ours) are done.
-                        let _ = self.peers[peer as usize].send(msg);
+                        let dst_local = dst % self.ranks_per_device;
+                        let origin = (self.device, flush_id, local);
+                        match self.faults.as_mut() {
+                            None => {
+                                let msg = HostMsg::Deliver {
+                                    dst_local,
+                                    delivery,
+                                    seq: 0,
+                                    origin,
+                                };
+                                // A closed peer means its ranks (and ours)
+                                // are done.
+                                let _ = self.peers[peer as usize].send(msg);
+                            }
+                            Some(f) => {
+                                let seq = f.next_seq[peer as usize];
+                                f.next_seq[peer as usize] += 1;
+                                // A parked retransmit must never age past the
+                                // receiver's replay window, or dedup would
+                                // eat the only surviving copy.
+                                if f.retransmit.iter().any(|&(p, s, _)| {
+                                    p == peer && seq.saturating_sub(s) >= DEDUP_WINDOW / 2
+                                }) {
+                                    while let Some((p, _, msg)) = f.retransmit.pop_front() {
+                                        f.retries += 1;
+                                        let _ = self.peers[p as usize].send(msg);
+                                    }
+                                }
+                                let msg = HostMsg::Deliver {
+                                    dst_local,
+                                    delivery,
+                                    seq,
+                                    origin,
+                                };
+                                if f.rng.next_f64() < f.drop_p {
+                                    // First copy lost in flight: park it for
+                                    // a same-seq retransmission.
+                                    f.retransmit.push_back((peer, seq, msg));
+                                } else {
+                                    if f.rng.next_f64() < f.dup_p {
+                                        let _ = self.peers[peer as usize].send(msg.clone());
+                                    }
+                                    let _ = self.peers[peer as usize].send(msg);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -198,6 +298,11 @@ impl Host {
                 }
             }
             Cmd::Finish => {
+                // Flush parked retransmits *before* the finish is counted:
+                // the quiescence drain in `run` relies on every inter-host
+                // send happening-before the matching `finished_global`
+                // increment.
+                self.flush_retransmits();
                 self.finished_local += 1;
                 self.finished_global.fetch_add(1, Ordering::AcqRel);
             }
@@ -223,8 +328,16 @@ impl Host {
             HostMsg::Deliver {
                 dst_local,
                 delivery,
+                seq,
                 origin: (origin_device, flush_id, origin_local),
             } => {
+                if let Some(f) = self.faults.as_mut() {
+                    if !f.dedup[origin_device as usize].accept(seq) {
+                        // Duplicate copy: no second delivery, no second ack
+                        // (a double-complete would corrupt flush ordering).
+                        return;
+                    }
+                }
                 self.deliver_local(dst_local, delivery);
                 let _ = self.peers[origin_device as usize].send(HostMsg::Ack {
                     origin_local,
@@ -247,9 +360,24 @@ impl Host {
         }
     }
 
-    /// Main progress loop. Returns statistics `(puts, notifications)` and
-    /// the invariant-counter shard (verified runs only).
-    pub fn run(mut self) -> (u64, u64, Option<Box<ShardCounters>>) {
+    /// Resend every parked (dropped) `Deliver` with its original sequence
+    /// number. Returns whether anything was sent.
+    fn flush_retransmits(&mut self) -> bool {
+        let Some(f) = self.faults.as_mut() else {
+            return false;
+        };
+        let mut any = false;
+        while let Some((peer, _, msg)) = f.retransmit.pop_front() {
+            f.retries += 1;
+            let _ = self.peers[peer as usize].send(msg);
+            any = true;
+        }
+        any
+    }
+
+    /// Main progress loop. Returns statistics and the invariant-counter
+    /// shard (verified runs only).
+    pub fn run(mut self) -> (HostStats, Option<Box<ShardCounters>>) {
         let world = self.devices * self.ranks_per_device;
         loop {
             let mut progress = false;
@@ -261,6 +389,7 @@ impl Host {
                 }
                 self.pump_backlog(local);
             }
+            progress |= self.flush_retransmits();
             while let Ok(msg) = self.inbox.try_recv() {
                 progress = true;
                 self.handle_peer(msg);
@@ -294,7 +423,16 @@ impl Host {
                             }
                         }
                     }
-                    return (self.puts_routed, self.notifications_sent, self.counters);
+                    let stats = HostStats {
+                        puts: self.puts_routed,
+                        notifications: self.notifications_sent,
+                        retries: self.faults.as_ref().map_or(0, |f| f.retries),
+                        dups_suppressed: self
+                            .faults
+                            .as_ref()
+                            .map_or(0, HostFaults::dups_suppressed),
+                    };
+                    return (stats, self.counters);
                 }
                 std::thread::yield_now();
             }

@@ -29,7 +29,7 @@ pub mod types;
 
 pub use cluster::{
     run_cluster, run_cluster_traced, try_run_cluster, try_run_cluster_verified, RtConfig,
-    RtConfigBuilder, RtReport, MAX_WINDOW_BYTES, MAX_WORLD,
+    RtConfigBuilder, RtFaultPlan, RtReport, MAX_WINDOW_BYTES, MAX_WORLD,
 };
 pub use ctx::RtCtx;
 pub use dcuda_verify::VerifyReport;

@@ -40,8 +40,9 @@ pub enum Cmd {
 }
 
 /// A delivery from the host to a rank (host → device ring): payload plus the
-/// notification that announces it.
-#[derive(Debug)]
+/// notification that announces it. `Clone` exists for the fault plan's
+/// duplicate injection; the healthy path never copies payloads.
+#[derive(Debug, Clone)]
 pub struct Delivery {
     /// The notification (window, source, tag).
     pub notif: Notification,
@@ -57,7 +58,7 @@ pub struct Delivery {
 }
 
 /// Inter-host messages (the MPI plane).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum HostMsg {
     /// Deliver to a rank local to the receiving host.
     Deliver {
@@ -65,6 +66,10 @@ pub enum HostMsg {
         dst_local: u32,
         /// The delivery.
         delivery: Delivery,
+        /// Per-(origin host, destination host) sequence number. Receivers on
+        /// a faulted fabric dedup on it so retransmits and duplicates keep
+        /// notification delivery exactly-once; 0 on healthy runs.
+        seq: u64,
         /// Origin (device, flush id) to acknowledge once delivered.
         origin: (u32, u64, u32), // (origin device, flush id, origin local)
     },

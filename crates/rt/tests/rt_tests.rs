@@ -13,6 +13,7 @@ fn cfg(devices: u32, ranks: u32) -> RtConfig {
         ranks_per_device: ranks,
         windows: vec![4096],
         ring_capacity: 16,
+        faults: None,
     }
 }
 
@@ -199,6 +200,7 @@ fn wildcard_matrix_all_eight_combos() {
         ranks_per_device: 2,
         windows: vec![256, 256],
         ring_capacity: 16,
+        faults: None,
     };
     let report = run_cluster(
         &two_windows,
@@ -384,6 +386,7 @@ fn ring_stress_small_rings_backpressure() {
         ranks_per_device: 2,
         windows: vec![1024],
         ring_capacity: 4,
+        faults: None,
     };
     let world = 4;
     let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
@@ -487,6 +490,7 @@ fn stencil_like_halo_exchange_on_rt() {
             ranks_per_device: ranks,
             windows: vec![win_len],
             ring_capacity: 16,
+            faults: None,
         },
         programs,
     );
@@ -573,4 +577,93 @@ fn verified_run_accounts_unconsumed_notifications_as_dropped() {
     )
     .unwrap();
     assert!(verify.is_clean(), "monitor flagged violations: {verify}");
+}
+
+#[test]
+fn faulted_run_keeps_exactly_once_delivery_and_conservation() {
+    // Aggressive drop + duplication on the inter-host plane: every
+    // notification must still arrive exactly once (receiver-side dedup), all
+    // flushes must complete (same-seq retransmits), and the conservation
+    // ledger must close.
+    let faulted = RtConfig {
+        devices: 2,
+        ranks_per_device: 2,
+        windows: vec![4096],
+        ring_capacity: 16,
+        faults: Some(dcuda_rt::RtFaultPlan {
+            seed: 9,
+            drop_p: 0.2,
+            dup_p: 0.2,
+        }),
+    };
+    const MSGS: u32 = 64;
+    let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
+    for rank in 0..faulted.world() {
+        // Cross-device partner so every put rides the faulted MPI plane.
+        let partner = rank ^ 2;
+        programs.push(Box::new(move |ctx| {
+            for t in 0..MSGS {
+                ctx.put_notify(W0, Rank(partner), 0, 0, 8, Tag(t));
+            }
+            ctx.flush();
+            ctx.wait_notifications(RtQuery::exact(W0, Rank(partner), Tag::ANY), MSGS as usize);
+            ctx.barrier();
+        }));
+    }
+    let (report, verify) = dcuda_rt::try_run_cluster_verified(&faulted, programs).unwrap();
+    assert!(verify.is_clean(), "monitor flagged violations: {verify}");
+    assert_eq!(report.puts, 4 * u64::from(MSGS));
+    assert_eq!(
+        report.matched,
+        4 * u64::from(MSGS),
+        "dedup must not eat fresh notifications"
+    );
+    assert!(report.retries > 0, "20% drop must trigger retransmits");
+    assert!(report.dups_suppressed > 0, "20% dup must hit the window");
+}
+
+#[test]
+fn healthy_fault_plan_is_inert() {
+    let quiet = RtConfig {
+        devices: 2,
+        ranks_per_device: 1,
+        windows: vec![256],
+        ring_capacity: 16,
+        faults: Some(dcuda_rt::RtFaultPlan {
+            seed: 1,
+            drop_p: 0.0,
+            dup_p: 0.0,
+        }),
+    };
+    let report = run_cluster(
+        &quiet,
+        vec![
+            Box::new(|ctx| {
+                ctx.put_notify(W0, Rank(1), 0, 0, 4, Tag(5));
+                ctx.flush();
+            }),
+            Box::new(|ctx| {
+                ctx.wait_notifications(RtQuery::exact(W0, Rank(0), Tag(5)), 1);
+            }),
+        ],
+    );
+    assert_eq!(report.retries, 0);
+    assert_eq!(report.dups_suppressed, 0);
+    assert_eq!(report.matched, 1);
+}
+
+#[test]
+fn fault_plan_probabilities_are_validated() {
+    let bad = RtConfig {
+        faults: Some(dcuda_rt::RtFaultPlan {
+            seed: 1,
+            drop_p: 1.5,
+            dup_p: 0.0,
+        }),
+        ..RtConfig::default()
+    };
+    assert!(matches!(
+        try_run_cluster(&bad, vec![]),
+        Err(RtError::InvalidConfig(_))
+    ));
 }

@@ -1,0 +1,186 @@
+//! Model-checked retry state machine: the origin-side `RetryTimer` and the
+//! receiver-side `DedupWindow` from `dcuda-queues` composed over the
+//! model-checked SPSC ring, so the scheduler explores every interleaving of
+//! packet delivery, ack delivery, and timeout expiry.
+//!
+//! Three races from the fault-injection issue:
+//! * **timeout vs ack** — the retransmit timer firing concurrently with the
+//!   ack's arrival must never double-complete or lose the transfer,
+//! * **duplicate ack** — a receiver re-acking a deduplicated retransmit must
+//!   be absorbed idempotently at the origin,
+//! * **retry after demotion** — a demoted origin switches paths mid-retry;
+//!   delivery must stay exactly-once across the path change.
+
+use dcuda_queues::{
+    channel_on, DedupWindow, RecvError, RetryDecision, RetryPolicy, RetryTimer, TrySendError,
+};
+use dcuda_verify::sched::ModelThread;
+use dcuda_verify::{vyield, Model, Outcome, VPlatform};
+
+fn policy(demote_after: u32) -> RetryPolicy {
+    RetryPolicy {
+        base_ticks: 1,
+        cap_ticks: 4,
+        demote_after,
+        max_attempts: 8,
+        max_level: 2,
+    }
+}
+
+/// Push until the ring accepts. A disconnected peer is benign — it means
+/// the transfer already completed on the other side (a retransmit racing
+/// the peer's exit) — so the send is simply dropped; the final exactly-once
+/// assertions catch any case where the message actually mattered.
+fn send_blocking<T>(tx: &mut dcuda_queues::Sender<T, VPlatform>, mut v: T) {
+    loop {
+        match tx.try_send(v) {
+            Ok(()) => return,
+            Err(TrySendError::Full(back)) => {
+                v = back;
+                vyield();
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Origin and target for one sequence-numbered transfer. The origin polls
+/// its ack ring `patience` times between timeouts, so scheduler choices
+/// decide whether the ack or the timer wins each round — the checker
+/// explores both sides of the race.
+///
+/// `dup_acks`: the target re-acks suppressed duplicates (lost-ack recovery),
+/// which manufactures duplicate acks at the origin.
+/// `drop_first`: the target ignores the first `drop_first` copies, forcing
+/// the origin through real timeouts (and, with `demote_after = 1`, through
+/// path demotions).
+fn mk_retry_exchange(
+    patience: u32,
+    dup_acks: bool,
+    drop_first: u32,
+) -> impl Fn() -> Vec<ModelThread> {
+    move || {
+        // data plane: (seq, path_level); ack plane: seq.
+        let (mut data_tx, mut data_rx) = channel_on::<(u64, u8), VPlatform>(4);
+        let (mut ack_tx, mut ack_rx) = channel_on::<u64, VPlatform>(4);
+
+        let origin: ModelThread = Box::new(move || {
+            let mut timer = RetryTimer::new(policy(1));
+            send_blocking(&mut data_tx, (1, timer.level()));
+            let mut completions = 0u32;
+            'run: loop {
+                // Poll for the ack with bounded patience, then time out.
+                for _ in 0..patience {
+                    match ack_rx.try_recv() {
+                        Ok(seq) => {
+                            assert_eq!(seq, 1);
+                            if timer.on_ack() {
+                                completions += 1;
+                            }
+                            if !dup_acks {
+                                break 'run;
+                            }
+                            // Keep draining: late duplicate acks must be
+                            // absorbed, not double-complete.
+                            continue;
+                        }
+                        Err(RecvError::Empty) => vyield(),
+                        Err(RecvError::Disconnected) => break 'run,
+                    }
+                }
+                match timer.on_timeout() {
+                    RetryDecision::Resend { demote, .. } => {
+                        if demote {
+                            assert!(timer.level() >= 1, "demotion must raise the level");
+                        }
+                        send_blocking(&mut data_tx, (1, timer.level()));
+                    }
+                    RetryDecision::AlreadyAcked => break 'run,
+                    RetryDecision::GiveUp => {
+                        panic!("gave up on a live link: target never acked")
+                    }
+                }
+            }
+            assert_eq!(completions, 1, "transfer must complete exactly once");
+        });
+
+        let target: ModelThread = Box::new(move || {
+            let mut window = DedupWindow::new();
+            let mut delivered = 0u32;
+            let mut ignored = 0u32;
+            loop {
+                match data_rx.try_recv() {
+                    Ok((seq, _level)) => {
+                        if ignored < drop_first {
+                            // Simulated in-flight loss: never seen by dedup.
+                            ignored += 1;
+                            continue;
+                        }
+                        if window.accept(seq) {
+                            delivered += 1;
+                            send_blocking(&mut ack_tx, seq);
+                        } else if dup_acks {
+                            // Retransmit the ack the origin apparently lost.
+                            send_blocking(&mut ack_tx, seq);
+                        }
+                    }
+                    Err(RecvError::Empty) => {
+                        if delivered > 0 {
+                            // Transfer done; drain stragglers then leave.
+                            while let Ok((seq, _)) = data_rx.try_recv() {
+                                assert!(!window.accept(seq), "late copy must be a dup");
+                            }
+                            break;
+                        }
+                        vyield();
+                    }
+                    Err(RecvError::Disconnected) => break,
+                }
+            }
+            assert_eq!(delivered, 1, "payload must land exactly once");
+        });
+
+        vec![origin, target]
+    }
+}
+
+fn assert_passes(name: &str, mk: impl Fn() -> Vec<ModelThread>) {
+    let m = Model {
+        preemption_bound: 2,
+        max_executions: 60_000,
+        ..Model::default()
+    };
+    match m.check(mk) {
+        Outcome::Pass { .. } => {}
+        Outcome::Fail(f) => panic!("{name}: {f}\nreplay schedule: {}", f.schedule),
+    }
+}
+
+/// The ack racing the retransmit timer: whichever wins each interleaving,
+/// completion is exactly-once and the target never double-delivers.
+#[test]
+fn timeout_vs_ack_race_is_exactly_once() {
+    assert_passes("timeout-vs-ack", mk_retry_exchange(2, false, 0));
+}
+
+/// The target re-acks suppressed duplicates; the origin must absorb the
+/// duplicate acks idempotently.
+#[test]
+fn duplicate_acks_are_absorbed() {
+    assert_passes("duplicate-ack", mk_retry_exchange(1, true, 0));
+}
+
+/// The first copy is lost, the timer demotes on the first timeout
+/// (`demote_after = 1`), and the retransmit on the demoted path must still
+/// deliver exactly once.
+#[test]
+fn retry_after_demotion_stays_exactly_once() {
+    assert_passes("retry-after-demotion", mk_retry_exchange(1, false, 1));
+}
+
+/// Losing two copies forces a second retry round after the demotion — the
+/// state machine keeps backing off rather than resetting.
+#[test]
+fn repeated_loss_after_demotion_converges() {
+    assert_passes("repeated-loss", mk_retry_exchange(1, false, 2));
+}

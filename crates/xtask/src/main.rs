@@ -1,10 +1,17 @@
 //! `cargo run -p xtask -- <task>`: dependency-free repo maintenance.
 //!
-//! Currently one task, `lint`: a line-based source pass enforcing repo
-//! rules that rustc/clippy cannot express (see `LINT RULES` below). It is
-//! deliberately simple — line-oriented with a brace-tracking skip for
-//! `#[cfg(test)]` modules — and wired into the CI `lint` job.
+//! Two tasks:
+//! * `lint` — a line-based source pass enforcing repo rules that
+//!   rustc/clippy cannot express (see `LINT RULES` below). Deliberately
+//!   simple — line-oriented with a brace-tracking skip for `#[cfg(test)]`
+//!   modules — and wired into the CI `lint` job.
+//! * `bench-diff BASELINE CURRENT [--tol FRAC]` — compare two
+//!   `figures --json` outputs (Figures 6–8) row by row, print a delta
+//!   table, and fail when any series drifts beyond the tolerance
+//!   (default ±10%). Wired into the CI `bench-regression` job; see
+//!   EXPERIMENTS.md for the re-baselining recipe.
 
+use dcuda_bench::json::Json;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -30,13 +37,159 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench-diff") => bench_diff(args.collect()),
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n  (got {:?})",
+                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- bench-diff BASELINE CURRENT [--tol FRAC]\n  (got {:?})",
                 other.unwrap_or("<none>")
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// The metrics `bench-diff` tracks per figure: (figure key, row-label keys,
+/// compared value keys). Labels identify a row across re-baselines; values
+/// are the perf series a regression would move.
+const DIFF_PLAN: &[(&str, &[&str], &[&str])] = &[
+    (
+        "fig6",
+        &["placement", "bytes"],
+        &["latency_us", "bandwidth_mbs"],
+    ),
+    (
+        "fig7",
+        &["work_iters"],
+        &["full_ms", "compute_ms", "exchange_ms"],
+    ),
+    (
+        "fig8",
+        &["work_iters"],
+        &["full_ms", "compute_ms", "exchange_ms"],
+    ),
+];
+
+fn bench_diff(args: Vec<String>) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tol = 0.10f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--tol" {
+            tol = match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t > 0.0 => t,
+                _ => {
+                    eprintln!("xtask bench-diff: --tol needs a positive fraction (e.g. 0.10)");
+                    return ExitCode::from(2);
+                }
+            };
+        } else {
+            paths.push(a);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: cargo run -p xtask -- bench-diff BASELINE CURRENT [--tol FRAC]");
+        return ExitCode::from(2);
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A row's identity within its figure: the concatenated label values.
+    let row_label = |row: &Json, keys: &[&str]| -> String {
+        keys.iter()
+            .map(|k| match row.get(k) {
+                Some(Json::Str(s)) => s.clone(),
+                Some(v) => format!("{v}"),
+                None => "?".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+
+    println!(
+        "{:<6} {:<24} {:<16} {:>12} {:>12} {:>8}  verdict",
+        "figure", "row", "metric", "baseline", "current", "delta"
+    );
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for &(fig, label_keys, value_keys) in DIFF_PLAN {
+        let (Some(base_rows), Some(cur_rows)) = (
+            baseline.get(fig).and_then(Json::as_arr),
+            current.get(fig).and_then(Json::as_arr),
+        ) else {
+            eprintln!("xtask bench-diff: figure {fig:?} missing from one side — regenerate both files with `figures --fig 6,7,8 --json`");
+            return ExitCode::FAILURE;
+        };
+        if base_rows.len() != cur_rows.len() {
+            eprintln!(
+                "xtask bench-diff: {fig} row count changed ({} -> {}); re-baseline (see EXPERIMENTS.md)",
+                base_rows.len(),
+                cur_rows.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        for (b, c) in base_rows.iter().zip(cur_rows) {
+            let label = row_label(b, label_keys);
+            if label != row_label(c, label_keys) {
+                eprintln!(
+                    "xtask bench-diff: {fig} rows diverge ({} vs {}); re-baseline (see EXPERIMENTS.md)",
+                    label,
+                    row_label(c, label_keys)
+                );
+                return ExitCode::FAILURE;
+            }
+            for &metric in value_keys {
+                let (Some(bv), Some(cv)) = (
+                    b.get(metric).and_then(Json::as_f64),
+                    c.get(metric).and_then(Json::as_f64),
+                ) else {
+                    eprintln!("xtask bench-diff: {fig}/{label} lacks metric {metric:?}");
+                    return ExitCode::FAILURE;
+                };
+                compared += 1;
+                // Sub-resolution rows (near-zero timings) compare on
+                // absolute drift to dodge division blow-ups.
+                let delta = if bv.abs() < 1e-9 {
+                    cv - bv
+                } else {
+                    (cv - bv) / bv
+                };
+                let ok = delta.abs() <= tol;
+                if !ok {
+                    regressions += 1;
+                }
+                println!(
+                    "{:<6} {:<24} {:<16} {:>12.4} {:>12.4} {:>+7.1}%  {}",
+                    fig,
+                    label,
+                    metric,
+                    bv,
+                    cv,
+                    delta * 100.0,
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+            }
+        }
+    }
+    println!(
+        "\nbench-diff: {compared} metrics compared, {regressions} outside ±{:.0}%",
+        tol * 100.0
+    );
+    if regressions > 0 {
+        eprintln!(
+            "xtask bench-diff: FAILED — if the change is intentional, re-baseline per EXPERIMENTS.md"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
