@@ -1,0 +1,111 @@
+//! Ablation: allocating vs buffer-reusing wire-codec encode, across payload
+//! sizes straddling the eager/rendezvous threshold.
+//!
+//! The socket plane encodes every outbound [`WireMsg`] into a frame before
+//! it hits the stream. The naive path allocates a fresh `Vec` per message
+//! (`encode`); the plane's hot path reuses one scratch buffer per
+//! connection (`encode_into`), which matters exactly where dCUDA lives —
+//! thousands of small eager messages per flush window, where the allocation
+//! dominates the memcpy. Large rendezvous payloads amortize the allocation,
+//! so the gap should shrink past [`EAGER_MAX`]; the table makes that
+//! visible.
+//!
+//! Like `ablation_matcher`, this doubles as a correctness gate: every
+//! encoded message must decode back to itself on both paths before any
+//! timing runs.
+
+use dcuda_bench::harness::bench;
+use dcuda_net::wire::{WireMsg, EAGER_MAX};
+
+const MSGS_PER_ROUND: usize = 64;
+
+/// A representative eager-path message mix: mostly payload-bearing
+/// deliveries with the control messages that ride the same stream.
+fn corpus(payload: usize) -> Vec<WireMsg> {
+    (0..MSGS_PER_ROUND)
+        .map(|i| match i % 8 {
+            5 => WireMsg::Ack {
+                origin_local: (i % 13) as u32,
+                flush_id: i as u64,
+            },
+            6 => WireMsg::BarrierToken {
+                device: (i % 3) as u32,
+            },
+            7 => WireMsg::Finished {
+                device: (i % 3) as u32,
+                ranks: 1,
+            },
+            _ => WireMsg::Deliver {
+                dst_local: (i % 26) as u32,
+                win: 0,
+                dst_off: (i * payload) as u64,
+                source: (i % 208) as u32,
+                tag: (i % 32) as u32,
+                notify: true,
+                seq: i as u64,
+                origin_device: (i % 3) as u32,
+                origin_local: (i % 26) as u32,
+                flush_id: (i / 8) as u64,
+                data: vec![(i % 251) as u8; payload],
+            },
+        })
+        .collect()
+}
+
+/// Encode each message into a fresh allocation (the naive path).
+fn run_alloc(msgs: &[WireMsg]) -> u64 {
+    let mut bytes = 0u64;
+    for m in msgs {
+        let buf = m.encode();
+        bytes += buf.len() as u64;
+    }
+    bytes
+}
+
+/// Encode each message into one reused scratch buffer (the plane's path).
+fn run_reuse(msgs: &[WireMsg], scratch: &mut Vec<u8>) -> u64 {
+    let mut bytes = 0u64;
+    for m in msgs {
+        scratch.clear();
+        m.encode_into(scratch);
+        bytes += scratch.len() as u64;
+    }
+    bytes
+}
+
+fn main() {
+    println!(
+        "Ablation: allocating vs reused-buffer encode ({MSGS_PER_ROUND} messages per round, per payload size)"
+    );
+    // Correctness gate: both paths produce identical decodable bytes.
+    for payload in [0usize, 64, EAGER_MAX, 16 << 10] {
+        let msgs = corpus(payload);
+        let mut scratch = Vec::new();
+        for m in &msgs {
+            let fresh = m.encode();
+            scratch.clear();
+            m.encode_into(&mut scratch);
+            assert_eq!(fresh, scratch, "encode paths diverge at payload {payload}");
+            let back = WireMsg::decode(&fresh).expect("roundtrip decode");
+            assert_eq!(&back, m, "roundtrip diverges at payload {payload}");
+        }
+    }
+
+    for payload in [0usize, 64, 512, EAGER_MAX, 16 << 10] {
+        let msgs = corpus(payload);
+        let alloc = bench(&format!("codec/encode_alloc/payload_{payload}"), || {
+            run_alloc(&msgs)
+        });
+        let mut scratch = Vec::with_capacity(payload + 128);
+        let reuse = bench(&format!("codec/encode_reuse/payload_{payload}"), || {
+            run_reuse(&msgs, &mut scratch)
+        });
+        let speedup = alloc.mean_ns / reuse.mean_ns;
+        let side = if payload <= EAGER_MAX {
+            "eager"
+        } else {
+            "rndz "
+        };
+        println!("  payload {payload:>6} ({side}): reuse speedup {speedup:>5.2}x");
+    }
+}

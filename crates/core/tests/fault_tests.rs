@@ -173,15 +173,19 @@ fn random_drop_dup_schedules_preserve_exactly_once() {
 #[test]
 fn acceptance_208_ranks_lossy_clean_and_reproducible() {
     // Issue acceptance: 1% drop + 0.5% duplication at 208 ranks completes
-    // with clean invariants and replays byte-identically.
+    // with clean invariants and replays byte-identically. The quick tier
+    // shrinks the world to 52 ranks; DCUDA_FULL_TESTS=1 (CI) runs all 208.
+    let full = std::env::var("DCUDA_FULL_TESTS").ok().as_deref() == Some("1");
+    let per_node = if full { 104 } else { 26 };
+    let world = u64::from(2 * per_node);
     let spec = FaultSpec::lossy(11);
     assert!((spec.drop_p - 0.01).abs() < 1e-12);
     assert!((spec.dup_p - 0.005).abs() < 1e-12);
-    let a = faulted_run(2, 104, 3, spec.clone());
+    let a = faulted_run(2, per_node, 3, spec.clone());
     let v = a.verify.as_ref().expect("monitor attached");
     assert!(v.is_clean(), "invariants violated: {}", v.summary());
-    assert_eq!(a.notifications, 208 * 3);
-    let b = faulted_run(2, 104, 3, spec);
+    assert_eq!(a.notifications, world * 3);
+    let b = faulted_run(2, per_node, 3, spec);
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 

@@ -82,6 +82,20 @@ pub struct KillLink {
     pub at: SimDuration,
 }
 
+/// A fault profile projected onto a byte-stream transport: per-frame
+/// first-copy drop and duplicate probabilities, plus the seed the socket
+/// layer derives its deterministic per-connection streams from. Produced by
+/// [`FaultSpec::stream_rates`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRates {
+    /// Seed for the per-connection fault streams.
+    pub seed: u64,
+    /// Per-frame probability the first copy is withheld and retransmitted.
+    pub drop_p: f64,
+    /// Per-frame probability a second copy is written back to back.
+    pub dup_p: f64,
+}
+
 /// Full description of a fault profile. `Default` is a healthy fabric
 /// (all probabilities zero); presets and a `key=val` mini-language are
 /// available through [`FaultSpec::parse`].
@@ -159,6 +173,27 @@ impl FaultSpec {
             dup_p: 0.005,
             ..FaultSpec::default()
         }
+    }
+
+    /// Project this profile onto a byte-stream transport (`dcuda-net`'s
+    /// socket layer), which mangles *frames* rather than simulated packets:
+    /// a dropped frame is parked and retransmitted on a later write pass —
+    /// which also reorders it past younger traffic, so `reorder_p` folds
+    /// into the drop rate — and a duplicated frame is written twice back to
+    /// back. Latency shaping (spikes, stalls, brownouts, link death) has no
+    /// wall-clock socket equivalent and does not translate. Returns `None`
+    /// when nothing translates (a healthy stream).
+    pub fn stream_rates(&self) -> Option<StreamRates> {
+        let drop_p = (self.drop_p + self.reorder_p).min(1.0);
+        let dup_p = self.dup_p.min(1.0);
+        if drop_p == 0.0 && dup_p == 0.0 {
+            return None;
+        }
+        Some(StreamRates {
+            seed: self.seed,
+            drop_p,
+            dup_p,
+        })
     }
 
     /// Return a copy with drop/duplicate probabilities scaled by `factor`
@@ -619,5 +654,33 @@ mod tests {
         assert_eq!((kl.src, kl.dst), (0, 3));
         assert!(FaultSpec::parse("nonsense").is_err());
         assert!(FaultSpec::parse("drop,bogus=1").is_err());
+    }
+
+    #[test]
+    fn stream_rates_project_onto_the_socket_layer() {
+        // Healthy and latency-only profiles have nothing to inject into a
+        // byte stream.
+        assert_eq!(FaultSpec::healthy(9).stream_rates(), None);
+        let spikes = FaultSpec {
+            spike_p: 0.5,
+            stall_p: 0.5,
+            brownout_p: 0.5,
+            ..FaultSpec::default()
+        };
+        assert_eq!(spikes.stream_rates(), None);
+        // The acceptance profile carries its seed and rates through.
+        let r = FaultSpec::lossy(11).stream_rates().expect("lossy projects");
+        assert_eq!(r.seed, 11);
+        assert!((r.drop_p - 0.01).abs() < 1e-12);
+        assert!((r.dup_p - 0.005).abs() < 1e-12);
+        // Reorder folds into drop (a retransmitted frame is a reordered
+        // frame), clamped to 1.
+        let reorder = FaultSpec {
+            drop_p: 0.9,
+            reorder_p: 0.9,
+            ..FaultSpec::default()
+        };
+        let r = reorder.stream_rates().expect("reorder projects");
+        assert!((r.drop_p - 1.0).abs() < 1e-12);
     }
 }

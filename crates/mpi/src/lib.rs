@@ -20,6 +20,17 @@
 //! injected (send side serializes on the NIC immediately). OpenMPI's
 //! rendezvous path for very large messages is not modeled; the evaluation
 //! workloads exchange 1–16 kB messages, all far below rendezvous thresholds.
+//!
+//! # The executable plane
+//!
+//! The simulated [`MessagePlane`] answers *when* a message arrives in
+//! virtual time. Its executable counterpart — the inter-host plane the
+//! threaded runtime actually moves bytes over — lives in `dcuda-net` and is
+//! re-exported here as [`Transport`] with its two backends:
+//! [`InProcessPlane`] (shared-memory channels, one OS process) and
+//! [`SocketPlane`] (a TCP mesh across the worker processes of a
+//! `dcuda-launch` run, with real eager/rendezvous selection and credit
+//! flow control — the mechanisms this crate only models analytically).
 
 #![warn(missing_docs)]
 
@@ -30,4 +41,5 @@ pub use collective::{
     allgather_exit_times, allreduce_exit_times, barrier_exit_times, bcast_exit_times,
     reduce_exit_times, scatter_exit_times, HopCost,
 };
+pub use dcuda_net::{InProcessPlane, NetStats, SocketPlane, Transport};
 pub use plane::{MessagePlane, MpiRank, RecvHandle, RecvOutcome, Tag};

@@ -1,0 +1,444 @@
+//! Multi-process launch: coordinator/worker handshake and process reaping.
+//!
+//! A launch has one *coordinator* (the `dcuda-launch` parent process) and
+//! `procs` *workers* (children running the same binary in worker mode).
+//! The control protocol is length-prefixed UTF-8 blobs over TCP:
+//!
+//! 1. the coordinator binds a control listener and spawns every worker,
+//!    passing the control address and the worker's process index;
+//! 2. each worker binds its own mesh listener, dials the control port and
+//!    sends `hello <index> <mesh_addr>`;
+//! 3. once all hellos are in, the coordinator broadcasts
+//!    `mesh <addr0>,<addr1>,...` — the table
+//!    [`SocketPlane::establish`](crate::socket::SocketPlane::establish)
+//!    needs — to every worker;
+//! 4. each worker runs its cluster part and sends `report <json>` (or
+//!    `error <detail>`), then exits 0.
+//!
+//! Robustness contract (the launcher-orphan satellite): if any worker dies
+//! — crash, kill, nonzero exit, EOF before its report — the coordinator
+//! kills and reaps **all** remaining workers and returns an error, within
+//! the launch timeout. No code path leaks a child process: a drop guard
+//! kills anything still running even if the coordinator itself panics.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+/// Launch-level failures (coordinator side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Control-plane socket failure.
+    Io(String),
+    /// A worker exited abnormally or vanished before reporting.
+    WorkerFailed {
+        /// The worker's process index.
+        index: u32,
+        /// What happened.
+        detail: String,
+    },
+    /// The launch did not complete within the timeout.
+    Timeout {
+        /// Phase that timed out.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Io(e) => write!(f, "launch control error: {e}"),
+            LaunchError::WorkerFailed { index, detail } => {
+                write!(f, "worker {index} failed: {detail}")
+            }
+            LaunchError::Timeout { detail } => write!(f, "launch timed out: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+// --- blob framing --------------------------------------------------------
+
+/// Write one length-prefixed UTF-8 blob.
+pub fn write_blob(stream: &mut TcpStream, s: &str) -> std::io::Result<()> {
+    let bytes = s.as_bytes();
+    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+/// Read one length-prefixed UTF-8 blob from a blocking stream.
+pub fn read_blob(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > 64 << 20 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("control blob of {n} bytes exceeds the 64 MiB cap"),
+        ));
+    }
+    let mut buf = vec![0u8; n];
+    stream.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Incremental blob reader over a nonblocking stream (the coordinator polls
+/// many workers without dedicating a thread to each).
+struct BlobReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    eof: bool,
+}
+
+impl BlobReader {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(BlobReader {
+            stream,
+            buf: Vec::new(),
+            eof: false,
+        })
+    }
+
+    /// Pull available bytes; return a complete blob if one is buffered.
+    /// `Ok(None)` with `self.eof` set means the peer closed the stream.
+    fn poll(&mut self) -> std::io::Result<Option<String>> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let n = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if self.buf.len() < 4 + n {
+            return Ok(None);
+        }
+        let body = self.buf[4..4 + n].to_vec();
+        self.buf.drain(..4 + n);
+        String::from_utf8(body)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+// --- coordinator ---------------------------------------------------------
+
+/// Kills and reaps every child on drop — the orphan-cleanup backstop that
+/// covers error returns and panics alike.
+struct Reaper {
+    children: Vec<(u32, Child)>,
+}
+
+impl Reaper {
+    fn kill_all(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        self.kill_all();
+    }
+}
+
+/// Spawn `procs` workers, run the control handshake, and collect one report
+/// blob per worker (index-ordered).
+///
+/// `spawn` receives `(worker_index, control_addr)` and must start a worker
+/// process that speaks the protocol above. Any worker death before its
+/// report — or a timeout — kills all remaining workers and returns the
+/// corresponding [`LaunchError`].
+pub fn launch(
+    procs: u32,
+    timeout: Duration,
+    spawn: &mut dyn FnMut(u32, &str) -> std::io::Result<Child>,
+) -> Result<Vec<String>, LaunchError> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
+    let control_addr = listener.local_addr().map_err(io_err)?.to_string();
+    listener.set_nonblocking(true).map_err(io_err)?;
+    let deadline = Instant::now() + timeout;
+
+    let mut reaper = Reaper {
+        children: Vec::new(),
+    };
+    for i in 0..procs {
+        match spawn(i, &control_addr) {
+            Ok(child) => reaper.children.push((i, child)),
+            Err(e) => {
+                return Err(LaunchError::WorkerFailed {
+                    index: i,
+                    detail: format!("spawn failed: {e}"),
+                })
+            }
+        }
+    }
+
+    // Phase 1: collect hellos (worker index -> (reader, mesh addr)).
+    let mut conns: Vec<Option<(BlobReader, String)>> = (0..procs).map(|_| None).collect();
+    let mut pending: Vec<BlobReader> = Vec::new();
+    let mut hellos = 0u32;
+    while hellos < procs {
+        match listener.accept() {
+            Ok((stream, _)) => pending.push(BlobReader::new(stream).map_err(io_err)?),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) => return Err(io_err(e)),
+        }
+        let mut still_pending = Vec::new();
+        for mut reader in pending.drain(..) {
+            match reader.poll().map_err(io_err)? {
+                Some(blob) => {
+                    let (index, mesh_addr) = parse_hello(&blob)?;
+                    if index >= procs || conns[index as usize].is_some() {
+                        return Err(LaunchError::Io(format!("bad hello index {index}")));
+                    }
+                    conns[index as usize] = Some((reader, mesh_addr));
+                    hellos += 1;
+                }
+                None if reader.eof => {
+                    // Not yet identified, so no index to blame.
+                    return Err(LaunchError::Io(
+                        "a worker closed its control stream before hello".into(),
+                    ));
+                }
+                None => still_pending.push(reader),
+            }
+        }
+        pending = still_pending;
+        check_children(&mut reaper)?;
+        if Instant::now() >= deadline {
+            return Err(LaunchError::Timeout {
+                detail: format!("{hellos}/{procs} workers checked in"),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Phase 2: broadcast the mesh address table.
+    let table = conns
+        .iter()
+        .filter_map(|c| c.as_ref().map(|(_, a)| a.clone()))
+        .collect::<Vec<_>>()
+        .join(",");
+    for slot in conns.iter_mut() {
+        if let Some((reader, _)) = slot.as_mut() {
+            reader.stream.set_nonblocking(false).map_err(io_err)?;
+            write_blob(&mut reader.stream, &format!("mesh {table}")).map_err(io_err)?;
+            reader.stream.set_nonblocking(true).map_err(io_err)?;
+        }
+    }
+
+    // Phase 3: collect reports, watching for worker deaths.
+    let mut reports: Vec<Option<String>> = (0..procs).map(|_| None).collect();
+    let mut got = 0u32;
+    while got < procs {
+        for (i, slot) in conns.iter_mut().enumerate() {
+            if reports[i].is_some() {
+                continue;
+            }
+            let Some((reader, _)) = slot.as_mut() else {
+                continue;
+            };
+            match reader.poll().map_err(io_err)? {
+                Some(blob) => {
+                    if let Some(json) = blob.strip_prefix("report ") {
+                        reports[i] = Some(json.to_string());
+                        got += 1;
+                    } else {
+                        let detail = blob.strip_prefix("error ").unwrap_or(&blob).to_string();
+                        return Err(LaunchError::WorkerFailed {
+                            index: i as u32,
+                            detail,
+                        });
+                    }
+                }
+                None if reader.eof => {
+                    return Err(LaunchError::WorkerFailed {
+                        index: i as u32,
+                        detail: "worker closed control stream before reporting".into(),
+                    })
+                }
+                None => {}
+            }
+        }
+        check_children(&mut reaper)?;
+        if Instant::now() >= deadline {
+            return Err(LaunchError::Timeout {
+                detail: format!("{got}/{procs} worker reports received"),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Phase 4: reap. Workers exit right after reporting; give them the
+    // remaining budget and fail on nonzero status.
+    for (index, child) in reaper.children.iter_mut() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() {
+                        return Err(LaunchError::WorkerFailed {
+                            index: *index,
+                            detail: format!("exit status {status} after reporting"),
+                        });
+                    }
+                    break;
+                }
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return Err(LaunchError::Timeout {
+                            detail: format!("worker {index} did not exit after reporting"),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+    reaper.children.clear(); // all reaped; disarm the drop guard
+
+    Ok(reports.into_iter().flatten().collect())
+}
+
+fn io_err(e: std::io::Error) -> LaunchError {
+    LaunchError::Io(e.to_string())
+}
+
+fn parse_hello(blob: &str) -> Result<(u32, String), LaunchError> {
+    let mut parts = blob.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("hello"), Some(idx), Some(addr)) => {
+            let index = idx
+                .parse::<u32>()
+                .map_err(|_| LaunchError::Io(format!("bad hello blob: {blob}")))?;
+            Ok((index, addr.to_string()))
+        }
+        _ => Err(LaunchError::Io(format!("bad hello blob: {blob}"))),
+    }
+}
+
+/// Fail fast if any worker already died (it cannot report anymore).
+fn check_children(reaper: &mut Reaper) -> Result<(), LaunchError> {
+    for i in 0..reaper.children.len() {
+        let (index, child) = &mut reaper.children[i];
+        let index = *index;
+        match child.try_wait() {
+            Ok(Some(status)) if !status.success() => {
+                return Err(LaunchError::WorkerFailed {
+                    index,
+                    detail: format!("exit status {status} before reporting"),
+                });
+            }
+            Ok(_) => {}
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(())
+}
+
+// --- worker side ---------------------------------------------------------
+
+/// Dial the coordinator, announce this worker, and receive the mesh table.
+/// Returns the (still-connected) control stream and the index-aligned mesh
+/// listener addresses of all workers.
+pub fn worker_join(
+    control_addr: &str,
+    index: u32,
+    mesh_addr: &str,
+    timeout: Duration,
+) -> std::io::Result<(TcpStream, Vec<String>)> {
+    let mut stream = TcpStream::connect(control_addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    write_blob(&mut stream, &format!("hello {index} {mesh_addr}"))?;
+    let blob = read_blob(&mut stream)?;
+    let table = blob.strip_prefix("mesh ").ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected mesh table, got: {blob}"),
+        )
+    })?;
+    stream.set_read_timeout(None)?;
+    Ok((stream, table.split(',').map(str::to_string).collect()))
+}
+
+/// Send this worker's final report to the coordinator.
+pub fn send_report(control: &mut TcpStream, json: &str) -> std::io::Result<()> {
+    write_blob(control, &format!("report {json}"))
+}
+
+/// Report a worker-side failure before exiting nonzero.
+pub fn send_error(control: &mut TcpStream, detail: &str) -> std::io::Result<()> {
+    write_blob(control, &format!("error {detail}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::Command;
+
+    #[test]
+    fn blob_roundtrip() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = l.accept().unwrap();
+            read_blob(&mut s).unwrap()
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        write_blob(&mut c, "hello 3 127.0.0.1:9999").unwrap();
+        assert_eq!(t.join().unwrap(), "hello 3 127.0.0.1:9999");
+    }
+
+    #[test]
+    fn dead_worker_fails_fast_and_reaps_the_rest() {
+        // Worker 0 would run forever; worker 1 dies immediately without
+        // ever checking in. The coordinator must detect the death, kill
+        // worker 0, and fail well before the launch timeout.
+        let started = Instant::now();
+        let result = launch(2, Duration::from_secs(60), &mut |i, _addr| {
+            if i == 0 {
+                Command::new("sh").args(["-c", "sleep 600"]).spawn()
+            } else {
+                Command::new("sh").args(["-c", "exit 7"]).spawn()
+            }
+        });
+        let err = result.expect_err("a dead worker must fail the launch");
+        match err {
+            LaunchError::WorkerFailed { index, detail } => {
+                assert_eq!(index, 1, "the dead worker should be named: {detail}");
+                assert!(detail.contains("exit status"), "detail: {detail}");
+            }
+            other => panic!("expected WorkerFailed, got {other}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "failure detection took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn hello_parsing_rejects_garbage() {
+        assert!(parse_hello("hello 2 127.0.0.1:1").is_ok());
+        assert!(parse_hello("hello x addr").is_err());
+        assert!(parse_hello("mesh a,b").is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! The transport boundary of the threaded runtime.
+//!
+//! A [`Transport`] is one device's endpoint on the inter-host plane: it can
+//! address any device in the world by id and receive the messages other
+//! devices addressed to it. The runtime's host threads are written against
+//! this trait only, so the plane is swappable:
+//!
+//! * [`InProcessPlane`] — the original shared-memory path: every device
+//!   lives in one OS process and the plane is a set of `std::sync::mpsc`
+//!   channels. Zero configuration, zero copies beyond the channel send.
+//! * [`crate::socket::SocketPlane`] — the multi-process backend: devices
+//!   are partitioned across OS processes connected by a TCP mesh, with the
+//!   length-prefixed [`crate::wire`] codec, credit-based flow control,
+//!   eager/rendezvous payload selection and small-message coalescing.
+
+use crate::wire::{CodecError, WireMsg};
+use dcuda_trace::Tracer;
+use std::sync::mpsc;
+
+/// Transport-layer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// An OS-level socket failure (rendered, since `io::Error` is not
+    /// `Clone`).
+    Io(String),
+    /// A malformed byte stream.
+    Codec(CodecError),
+    /// A peer process disappeared (connection EOF or reset) before the
+    /// cluster reached quiescence.
+    PeerGone {
+        /// Process index of the lost peer.
+        proc: u32,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Codec(e) => write!(f, "wire codec error: {e}"),
+            NetError::PeerGone { proc } => write!(f, "peer process {proc} disappeared"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+/// Per-endpoint transport statistics (all zero on the in-process backend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames written to sockets.
+    pub frames_sent: u64,
+    /// Frames received from sockets (post-dedup).
+    pub frames_recv: u64,
+    /// Bytes written (headers + payloads).
+    pub bytes_sent: u64,
+    /// Messages shipped eagerly (payload inline).
+    pub eager_msgs: u64,
+    /// Messages that took the rendezvous path.
+    pub rndz_msgs: u64,
+    /// Socket writes that flushed more than one coalesced frame.
+    pub coalesced_flushes: u64,
+    /// Frames retransmitted after an injected drop.
+    pub net_retries: u64,
+    /// Duplicate frames suppressed by the sequence window.
+    pub net_dups_suppressed: u64,
+}
+
+impl NetStats {
+    /// Merge another endpoint's statistics into this one.
+    pub fn absorb(&mut self, other: NetStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_recv += other.frames_recv;
+        self.bytes_sent += other.bytes_sent;
+        self.eager_msgs += other.eager_msgs;
+        self.rndz_msgs += other.rndz_msgs;
+        self.coalesced_flushes += other.coalesced_flushes;
+        self.net_retries += other.net_retries;
+        self.net_dups_suppressed += other.net_dups_suppressed;
+    }
+}
+
+/// One device's endpoint on the inter-host plane.
+///
+/// Contract (what the host threads rely on):
+/// * per-peer FIFO: two messages sent to the same destination device are
+///   received there in send order;
+/// * `send` to a device whose process already exited is a silent no-op
+///   (matching the mpsc semantics the runtime shuts down with);
+/// * `try_recv` never blocks; `pump` drives deferred work (coalescing
+///   flushes, credit-stalled and retransmit queues) and must be called
+///   regularly from the owning host's progress loop.
+pub trait Transport: Send {
+    /// Send `msg` to device `peer` (any world device, including local ones).
+    fn send(&mut self, peer: u32, msg: WireMsg) -> Result<(), NetError>;
+
+    /// Receive the next message addressed to this device, if any.
+    fn try_recv(&mut self) -> Result<Option<WireMsg>, NetError>;
+
+    /// Drive deferred sends. Returns `true` if anything was flushed.
+    fn pump(&mut self) -> Result<bool, NetError>;
+
+    /// No deferred work pending (safe to consider this endpoint quiescent).
+    fn idle(&self) -> bool {
+        true
+    }
+
+    /// World devices whose host lives in *another* process (the runtime
+    /// broadcasts rank-finish announcements to exactly these).
+    fn remote_devices(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    /// A peer process that vanished before quiescence, if any (rendered
+    /// for diagnostics).
+    fn peer_gone(&self) -> Option<u32> {
+        None
+    }
+
+    /// Endpoint statistics (zero for in-process planes).
+    fn stats(&self) -> NetStats {
+        NetStats::default()
+    }
+
+    /// Surrender the endpoint's trace recorder (net send/recv/coalesce
+    /// instants; disabled and empty unless the plane was built traced).
+    fn take_tracer(&mut self) -> Tracer {
+        Tracer::disabled()
+    }
+}
+
+/// The shared-memory backend: one mpsc channel per device, all in one
+/// process. This is exactly the plane the runtime used before the
+/// transport boundary existed, now behind the trait.
+pub struct InProcessPlane;
+
+/// One device's endpoint on an [`InProcessPlane`].
+pub struct InProcessEndpoint {
+    peers: Vec<mpsc::Sender<WireMsg>>,
+    inbox: mpsc::Receiver<WireMsg>,
+}
+
+impl InProcessPlane {
+    /// Build endpoints for a world of `devices` devices, index-aligned.
+    pub fn new_world(devices: u32) -> Vec<InProcessEndpoint> {
+        let mut txs = Vec::with_capacity(devices as usize);
+        let mut rxs = Vec::with_capacity(devices as usize);
+        for _ in 0..devices {
+            let (tx, rx) = mpsc::channel::<WireMsg>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .map(|inbox| InProcessEndpoint {
+                peers: txs.clone(),
+                inbox,
+            })
+            .collect()
+    }
+}
+
+impl Transport for InProcessEndpoint {
+    fn send(&mut self, peer: u32, msg: WireMsg) -> Result<(), NetError> {
+        // A closed peer means its host already exited (its ranks are done);
+        // dropping the message mirrors the pre-trait mpsc semantics.
+        if let Some(tx) = self.peers.get(peer as usize) {
+            let _ = tx.send(msg);
+        }
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<WireMsg>, NetError> {
+        match self.inbox.try_recv() {
+            Ok(msg) => Ok(Some(msg)),
+            // Disconnected == all other hosts exited; nothing more will come.
+            Err(mpsc::TryRecvError::Empty) | Err(mpsc::TryRecvError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn pump(&mut self) -> Result<bool, NetError> {
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_plane_routes_by_device() {
+        let mut eps = InProcessPlane::new_world(3);
+        let mut e2 = eps.pop().expect("endpoint 2");
+        let mut e1 = eps.pop().expect("endpoint 1");
+        let mut e0 = eps.pop().expect("endpoint 0");
+        e0.send(1, WireMsg::BarrierToken { device: 0 }).unwrap();
+        e0.send(2, WireMsg::BarrierRelease).unwrap();
+        assert_eq!(
+            e1.try_recv().unwrap(),
+            Some(WireMsg::BarrierToken { device: 0 })
+        );
+        assert_eq!(e1.try_recv().unwrap(), None);
+        assert_eq!(e2.try_recv().unwrap(), Some(WireMsg::BarrierRelease));
+        assert!(e0.idle());
+        assert!(e0.remote_devices().is_empty());
+        assert_eq!(e0.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn send_to_dead_peer_is_silent() {
+        let mut eps = InProcessPlane::new_world(2);
+        drop(eps.pop());
+        let mut e0 = eps.pop().expect("endpoint 0");
+        e0.send(1, WireMsg::BarrierRelease).unwrap();
+        e0.send(7, WireMsg::BarrierRelease).unwrap(); // out of range: ignored
+    }
+}

@@ -1,0 +1,546 @@
+//! Length-prefixed wire codec for the inter-host plane.
+//!
+//! Two layers, both fully self-describing and versioned by a magic word:
+//!
+//! * [`WireMsg`] — the *semantic* messages of the dCUDA host plane
+//!   (put/notify deliveries, flush acks, barrier tokens/releases, rank
+//!   finish announcements). These are exactly the messages the in-process
+//!   backend moves through its channels; the codec makes them portable
+//!   across OS processes.
+//! * [`Frame`] — the *connection* layer: a fixed header (magic, kind,
+//!   destination device, connection sequence number, payload length)
+//!   followed by the payload bytes. Frames carry encoded `WireMsg`s (kind
+//!   [`FrameKind::Data`]), the credit-based flow-control returns, and the
+//!   eager/rendezvous control handshake.
+//!
+//! Every decoder returns a typed [`CodecError`] on malformed input — a
+//! corrupt or truncated byte stream must surface as an error value, never a
+//! panic or an unbounded read.
+
+use std::fmt;
+
+/// Magic word opening every frame (`b"dCN1"` little-endian, versioned).
+pub const FRAME_MAGIC: u32 = 0x314E_4364;
+
+/// Hard cap on a frame payload; a corrupt length field must not convince
+/// the reader to allocate gigabytes or block forever.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Payloads up to this many bytes ship *eagerly* (inline in the data
+/// frame); larger transfers use the rendezvous handshake
+/// (request → ready → data), mirroring MPI's eager/rendezvous split.
+pub const EAGER_MAX: usize = 2048;
+
+/// Initial per-connection send credits (data-class frames in flight).
+pub const INITIAL_CREDITS: u32 = 64;
+
+/// The receiver returns credits in batches of this many fresh frames.
+/// Must divide [`INITIAL_CREDITS`] so a stalled sender always eventually
+/// sees a return.
+pub const CREDIT_BATCH: u32 = 16;
+
+/// A semantic message of the inter-host plane.
+///
+/// `Deliver.seq` is the *host-protocol* sequence number used by the
+/// runtime's fault plan for exactly-once delivery (dedup at the receiving
+/// host); it is independent of the connection-level [`Frame::seq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Deliver a put (payload + optional notification) to a rank local to
+    /// the receiving device.
+    Deliver {
+        /// Local rank index on the receiving device.
+        dst_local: u32,
+        /// Target window.
+        win: u32,
+        /// Byte offset in the target rank's window.
+        dst_off: u64,
+        /// Origin world rank (the notification source).
+        source: u32,
+        /// Notification tag.
+        tag: u32,
+        /// Enqueue a notification at the target (false: silent put).
+        notify: bool,
+        /// Host-protocol sequence number (fault-plan dedup; 0 when healthy).
+        seq: u64,
+        /// Origin device (acks return here).
+        origin_device: u32,
+        /// Origin-local rank whose flush counter the ack advances.
+        origin_local: u32,
+        /// Origin's flush id for this operation.
+        flush_id: u64,
+        /// Payload bytes (may be empty for pure notifications).
+        data: Vec<u8>,
+    },
+    /// Acknowledge a remote delivery (advances the origin's flush counter).
+    Ack {
+        /// Origin-local rank whose operation completed.
+        origin_local: u32,
+        /// The flush id that completed.
+        flush_id: u64,
+    },
+    /// A device's ranks have all entered the barrier (sent to device 0).
+    BarrierToken {
+        /// Reporting device.
+        device: u32,
+    },
+    /// Device 0 releases the barrier.
+    BarrierRelease,
+    /// A rank on `device` finished its program (world quiescence counting
+    /// across processes; the in-process backend uses a shared counter and
+    /// never sends these).
+    Finished {
+        /// Reporting device.
+        device: u32,
+        /// Ranks that finished (currently always 1).
+        ranks: u32,
+    },
+}
+
+/// Typed decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame header's magic word is wrong (stream corrupt or desynced).
+    BadMagic {
+        /// The word found where the magic belonged.
+        found: u32,
+    },
+    /// An unknown message or frame kind byte.
+    BadKind {
+        /// The offending kind byte.
+        kind: u8,
+    },
+    /// A declared length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize {
+        /// The declared length.
+        len: u64,
+    },
+    /// The buffer ended before the declared content did.
+    Truncated {
+        /// Bytes needed beyond what was available.
+        needed: usize,
+    },
+    /// Content decoded but bytes were left over (framing bug upstream).
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad frame magic {found:#010x} (stream corrupt or desynced)"
+                )
+            }
+            CodecError::BadKind { kind } => write!(f, "unknown message kind {kind}"),
+            CodecError::Oversize { len } => {
+                write!(
+                    f,
+                    "declared length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+                )
+            }
+            CodecError::Truncated { needed } => {
+                write!(f, "truncated: {needed} more bytes expected")
+            }
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// --- primitive readers/writers ------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a byte slice with typed truncation errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CodecError::Oversize { len: n as u64 })?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated {
+                needed: end - self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn rest(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+const MSG_DELIVER: u8 = 1;
+const MSG_ACK: u8 = 2;
+const MSG_BARRIER_TOKEN: u8 = 3;
+const MSG_BARRIER_RELEASE: u8 = 4;
+const MSG_FINISHED: u8 = 5;
+
+impl WireMsg {
+    /// Append the encoded message to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            WireMsg::Deliver {
+                dst_local,
+                win,
+                dst_off,
+                source,
+                tag,
+                notify,
+                seq,
+                origin_device,
+                origin_local,
+                flush_id,
+                data,
+            } => {
+                buf.push(MSG_DELIVER);
+                put_u32(buf, *dst_local);
+                put_u32(buf, *win);
+                put_u64(buf, *dst_off);
+                put_u32(buf, *source);
+                put_u32(buf, *tag);
+                buf.push(u8::from(*notify));
+                put_u64(buf, *seq);
+                put_u32(buf, *origin_device);
+                put_u32(buf, *origin_local);
+                put_u64(buf, *flush_id);
+                put_u32(buf, data.len() as u32);
+                buf.extend_from_slice(data);
+            }
+            WireMsg::Ack {
+                origin_local,
+                flush_id,
+            } => {
+                buf.push(MSG_ACK);
+                put_u32(buf, *origin_local);
+                put_u64(buf, *flush_id);
+            }
+            WireMsg::BarrierToken { device } => {
+                buf.push(MSG_BARRIER_TOKEN);
+                put_u32(buf, *device);
+            }
+            WireMsg::BarrierRelease => buf.push(MSG_BARRIER_RELEASE),
+            WireMsg::Finished { device, ranks } => {
+                buf.push(MSG_FINISHED);
+                put_u32(buf, *device);
+                put_u32(buf, *ranks);
+            }
+        }
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(48 + self.payload_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decode a message that must span the whole buffer.
+    pub fn decode(buf: &[u8]) -> Result<WireMsg, CodecError> {
+        let mut c = Cursor::new(buf);
+        let msg = Self::decode_from(&mut c)?;
+        if c.rest() != 0 {
+            return Err(CodecError::TrailingBytes { extra: c.rest() });
+        }
+        Ok(msg)
+    }
+
+    fn decode_from(c: &mut Cursor<'_>) -> Result<WireMsg, CodecError> {
+        match c.u8()? {
+            MSG_DELIVER => {
+                let dst_local = c.u32()?;
+                let win = c.u32()?;
+                let dst_off = c.u64()?;
+                let source = c.u32()?;
+                let tag = c.u32()?;
+                let notify = c.u8()? != 0;
+                let seq = c.u64()?;
+                let origin_device = c.u32()?;
+                let origin_local = c.u32()?;
+                let flush_id = c.u64()?;
+                let len = c.u32()? as usize;
+                if len > MAX_FRAME_PAYLOAD {
+                    return Err(CodecError::Oversize { len: len as u64 });
+                }
+                let data = c.take(len)?.to_vec();
+                Ok(WireMsg::Deliver {
+                    dst_local,
+                    win,
+                    dst_off,
+                    source,
+                    tag,
+                    notify,
+                    seq,
+                    origin_device,
+                    origin_local,
+                    flush_id,
+                    data,
+                })
+            }
+            MSG_ACK => Ok(WireMsg::Ack {
+                origin_local: c.u32()?,
+                flush_id: c.u64()?,
+            }),
+            MSG_BARRIER_TOKEN => Ok(WireMsg::BarrierToken { device: c.u32()? }),
+            MSG_BARRIER_RELEASE => Ok(WireMsg::BarrierRelease),
+            MSG_FINISHED => Ok(WireMsg::Finished {
+                device: c.u32()?,
+                ranks: c.u32()?,
+            }),
+            kind => Err(CodecError::BadKind { kind }),
+        }
+    }
+
+    /// Bytes of user payload this message carries.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            WireMsg::Deliver { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Connection-level frame kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Connection handshake: payload = origin process index (u32).
+    Hello,
+    /// An eagerly shipped [`WireMsg`] (payload = encoded message).
+    Data,
+    /// Flow-control credit return: payload = credit count (u32).
+    Credit,
+    /// Rendezvous request: a large message is ready at `seq`; payload =
+    /// declared payload length (u32). The receiver reserves the slot and
+    /// answers [`FrameKind::RndzReady`].
+    RndzRequest,
+    /// Rendezvous grant: send the payload for `seq` now.
+    RndzReady,
+    /// Rendezvous payload: the full encoded [`WireMsg`] for `seq`.
+    RndzData,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 0,
+            FrameKind::Data => 1,
+            FrameKind::Credit => 2,
+            FrameKind::RndzRequest => 3,
+            FrameKind::RndzReady => 4,
+            FrameKind::RndzData => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => FrameKind::Hello,
+            1 => FrameKind::Data,
+            2 => FrameKind::Credit,
+            3 => FrameKind::RndzRequest,
+            4 => FrameKind::RndzReady,
+            5 => FrameKind::RndzData,
+            kind => return Err(CodecError::BadKind { kind }),
+        })
+    }
+
+    /// Does this frame consume a flow-control credit? Exactly the frames
+    /// that open a new connection sequence number: retransmissions,
+    /// rendezvous grants and payloads ride on the credit their sequence
+    /// number already paid.
+    pub fn consumes_credit(self) -> bool {
+        matches!(self, FrameKind::Data | FrameKind::RndzRequest)
+    }
+}
+
+/// Number of bytes in an encoded frame header.
+pub const FRAME_HEADER_BYTES: usize = 4 + 1 + 4 + 8 + 4;
+
+/// A connection-level frame.
+///
+/// `seq` is the per-connection sequence number: data-class frames
+/// ([`FrameKind::Data`] / [`FrameKind::RndzRequest`]) are numbered densely
+/// from 0 per (sender process → receiver process) connection, and the
+/// receiver releases messages to the host layer strictly in `seq` order.
+/// That single mechanism provides FIFO delivery (a rendezvous transfer
+/// cannot be overtaken by later eager sends), duplicate suppression (a
+/// `seq` below the release frontier is dropped) and loss recovery (the
+/// stream stalls until the sender's retransmission fills the gap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Destination device (world device id; routing key on arrival).
+    pub dst_device: u32,
+    /// Connection sequence number (data-class frames) or the referenced
+    /// sequence number (rendezvous control); 0 for Hello/Credit.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Append the encoded frame (header + payload) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, FRAME_MAGIC);
+        buf.push(self.kind.to_u8());
+        put_u32(buf, self.dst_device);
+        put_u64(buf, self.seq);
+        put_u32(buf, self.payload.len() as u32);
+        buf.extend_from_slice(&self.payload);
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + self.payload.len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decode one frame from the front of `buf`; returns the frame and the
+    /// number of bytes consumed. [`CodecError::Truncated`] means "read more
+    /// bytes and retry" — the streaming reader relies on it.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+        let mut c = Cursor::new(buf);
+        let magic = c.u32()?;
+        if magic != FRAME_MAGIC {
+            return Err(CodecError::BadMagic { found: magic });
+        }
+        let kind = FrameKind::from_u8(c.u8()?)?;
+        let dst_device = c.u32()?;
+        let seq = c.u64()?;
+        let len = c.u32()? as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(CodecError::Oversize { len: len as u64 });
+        }
+        let payload = c.take(len)?.to_vec();
+        Ok((
+            Frame {
+                kind,
+                dst_device,
+                seq,
+                payload,
+            },
+            c.pos,
+        ))
+    }
+
+    /// Read exactly one frame from a blocking reader. `Err(Truncated)` here
+    /// means the stream ended mid-frame (peer died); clean EOF *between*
+    /// frames is reported as `Ok(None)`.
+    pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Option<Frame>> {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        let mut got = 0;
+        while got < header.len() {
+            match r.read(&mut header[got..])? {
+                0 if got == 0 => return Ok(None),
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        CodecError::Truncated {
+                            needed: header.len() - got,
+                        },
+                    ))
+                }
+                n => got += n,
+            }
+        }
+        let mut c = Cursor::new(&header);
+        let magic = c.u32().map_err(codec_io)?;
+        if magic != FRAME_MAGIC {
+            return Err(codec_io(CodecError::BadMagic { found: magic }));
+        }
+        let kind = FrameKind::from_u8(c.u8().map_err(codec_io)?).map_err(codec_io)?;
+        let dst_device = c.u32().map_err(codec_io)?;
+        let seq = c.u64().map_err(codec_io)?;
+        let len = c.u32().map_err(codec_io)? as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(codec_io(CodecError::Oversize { len: len as u64 }));
+        }
+        let mut payload = vec![0u8; len];
+        let mut got = 0;
+        while got < len {
+            match r.read(&mut payload[got..])? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        CodecError::Truncated { needed: len - got },
+                    ))
+                }
+                n => got += n,
+            }
+        }
+        Ok(Some(Frame {
+            kind,
+            dst_device,
+            seq,
+            payload,
+        }))
+    }
+}
+
+fn codec_io(e: CodecError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+/// Encode a `u32` payload (credit counts, hello indices, declared lengths).
+pub fn u32_payload(v: u32) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+/// Decode a `u32` payload.
+pub fn parse_u32_payload(buf: &[u8]) -> Result<u32, CodecError> {
+    if buf.len() != 4 {
+        return Err(if buf.len() < 4 {
+            CodecError::Truncated {
+                needed: 4 - buf.len(),
+            }
+        } else {
+            CodecError::TrailingBytes {
+                extra: buf.len() - 4,
+            }
+        });
+    }
+    Ok(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]))
+}

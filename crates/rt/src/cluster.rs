@@ -1,9 +1,17 @@
 //! Cluster assembly: spawn host and rank threads, wire the queues, run.
+//!
+//! Two entry shapes exist. The classic [`try_run_cluster`] family runs the
+//! whole world in one process over an [`InProcessPlane`]. The
+//! [`try_run_cluster_part`] form runs a *contiguous slice of devices* with
+//! caller-supplied [`Transport`] endpoints — this is what each worker
+//! process of a `dcuda-launch` multi-process run executes, with the other
+//! devices reachable over the `dcuda-net` socket mesh.
 
 use crate::ctx::RtCtx;
 use crate::host::{FlushHistoryHandle, Host, HostFaults};
-use crate::msg::{Cmd, Delivery, HostMsg};
+use crate::msg::{Cmd, Delivery};
 use crate::types::RtError;
+use dcuda_net::{InProcessPlane, NetStats, Transport};
 use dcuda_queues::{channel, ANY};
 use dcuda_trace::Tracer;
 use dcuda_verify::{reconcile_shards, ShardCounters, VerifyReport};
@@ -204,6 +212,10 @@ pub struct RtReport {
     pub retries: u64,
     /// Duplicate inter-host messages suppressed by receiver-side dedup.
     pub dups_suppressed: u64,
+    /// Transport-plane counters (all zero on the in-process backend). These
+    /// describe the plumbing, not the protocol: backends must agree on every
+    /// field above while this one legitimately differs.
+    pub net: NetStats,
 }
 
 /// A rank program: a blocking closure over the rank's context.
@@ -271,6 +283,53 @@ fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The slice of a cluster one worker process runs: world devices
+/// `first_device .. first_device + local_devices` out of `cfg.devices`.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterPart {
+    /// First world device hosted by this process.
+    pub first_device: u32,
+    /// Number of consecutive world devices hosted by this process.
+    pub local_devices: u32,
+}
+
+/// Run one process's slice of a multi-process cluster.
+///
+/// `cfg` describes the *whole* world (every process passes the identical
+/// configuration — rank numbering, barrier rounds and fault streams depend
+/// on it). `programs` covers only the local ranks, in device-major order,
+/// and `planes` supplies one [`Transport`] endpoint per local device,
+/// index-aligned with `part.first_device`. Returns this process's share of
+/// the statistics plus its merged tracer (empty unless `traced`).
+pub fn try_run_cluster_part(
+    cfg: &RtConfig,
+    part: ClusterPart,
+    programs: Vec<RankProgram>,
+    planes: Vec<Box<dyn Transport>>,
+    traced: bool,
+) -> Result<(RtReport, Tracer), RtError> {
+    cfg.validate()?;
+    if part.local_devices == 0 || part.first_device.saturating_add(part.local_devices) > cfg.devices
+    {
+        return Err(RtError::InvalidConfig(format!(
+            "part devices {}..{} outside the {}-device world",
+            part.first_device,
+            u64::from(part.first_device) + u64::from(part.local_devices),
+            cfg.devices
+        )));
+    }
+    run_part_inner(
+        cfg,
+        part.first_device,
+        part.local_devices,
+        programs,
+        planes,
+        traced,
+        false,
+    )
+    .map(|(report, trace, _)| (report, trace))
+}
+
 fn run_inner(
     cfg: &RtConfig,
     programs: Vec<RankProgram>,
@@ -278,21 +337,40 @@ fn run_inner(
     verified: bool,
 ) -> Result<(RtReport, Tracer, Option<VerifyReport>), RtError> {
     cfg.validate()?;
+    let planes: Vec<Box<dyn Transport>> = InProcessPlane::new_world(cfg.devices)
+        .into_iter()
+        .map(|ep| Box::new(ep) as Box<dyn Transport>)
+        .collect();
+    run_part_inner(cfg, 0, cfg.devices, programs, planes, traced, verified)
+}
+
+fn run_part_inner(
+    cfg: &RtConfig,
+    first_device: u32,
+    local_devices: u32,
+    programs: Vec<RankProgram>,
+    planes: Vec<Box<dyn Transport>>,
+    traced: bool,
+    verified: bool,
+) -> Result<(RtReport, Tracer, Option<VerifyReport>), RtError> {
     let world = cfg.world();
-    if programs.len() != world as usize {
+    let local_ranks = local_devices * cfg.ranks_per_device;
+    if programs.len() != local_ranks as usize {
         return Err(RtError::InvalidConfig(format!(
-            "{} programs for a world of {world} ranks",
+            "{} programs for {local_ranks} local ranks (world of {world})",
             programs.len()
         )));
     }
-
-    // Inter-host channels.
-    let mut peer_txs = Vec::with_capacity(cfg.devices as usize);
-    let mut peer_rxs = VecDeque::with_capacity(cfg.devices as usize);
-    for _ in 0..cfg.devices {
-        let (tx, rx) = std::sync::mpsc::channel::<HostMsg>();
-        peer_txs.push(tx);
-        peer_rxs.push_back(rx);
+    if planes.len() != local_devices as usize {
+        return Err(RtError::InvalidConfig(format!(
+            "{} transport endpoints for {local_devices} local devices",
+            planes.len()
+        )));
+    }
+    if verified && local_devices != cfg.devices {
+        return Err(RtError::InvalidConfig(
+            "invariant verification requires the whole world in one process".into(),
+        ));
     }
     let finished_global = Arc::new(AtomicU32::new(0));
     let abort = Arc::new(AtomicBool::new(false));
@@ -301,8 +379,9 @@ fn run_inner(
     let mut hosts = Vec::new();
     let mut rank_parts: Vec<(RtCtx, RankProgram)> = Vec::new();
     let mut programs = programs.into_iter();
+    let mut planes = planes.into_iter();
 
-    for device in 0..cfg.devices {
+    for device in first_device..first_device + local_devices {
         let barrier_epoch = Arc::new(AtomicU64::new(0));
         let mut cmd_rx = Vec::new();
         let mut delivery_tx = Vec::new();
@@ -354,15 +433,16 @@ fn run_inner(
             cmd_rx,
             delivery_tx,
             delivery_backlog: (0..cfg.ranks_per_device).map(|_| VecDeque::new()).collect(),
-            peers: peer_txs.clone(),
-            inbox: peer_rxs
-                .pop_front()
-                .ok_or_else(|| RtError::InvalidConfig("fewer inboxes than devices".into()))?,
+            plane: planes
+                .next()
+                .ok_or_else(|| RtError::InvalidConfig("fewer endpoints than devices".into()))?,
             barrier_epoch,
             barrier_arrived: 0,
             barrier_tokens: 0,
             finished_global: finished_global.clone(),
             finished_local: 0,
+            finished_remote: 0,
+            abort: abort.clone(),
             flush,
             puts_routed: 0,
             notifications_sent: 0,
@@ -389,7 +469,17 @@ fn run_inner(
             host_handles.push(s.spawn(move || {
                 let device = host.device;
                 match std::panic::catch_unwind(AssertUnwindSafe(move || host.run())) {
-                    Ok(out) => Some(out),
+                    Ok(Ok(out)) => Some(out),
+                    Ok(Err(e)) => {
+                        // Transport failure (or the host observing an abort
+                        // raised elsewhere): record the root cause once and
+                        // raise the flag so every blocked thread unwinds.
+                        if !matches!(e, RtError::Aborted) {
+                            record_first(&first_error, e);
+                        }
+                        abort.store(true, Ordering::Release);
+                        None
+                    }
                     Err(p) => {
                         // First-wins abort: ranks spinning on deliveries or
                         // flush acks observe the flag and bail with
@@ -471,12 +561,14 @@ fn run_inner(
         }
         for h in host_handles {
             match h.join() {
-                Ok(Some((stats, shard))) => {
-                    report.puts += stats.puts;
-                    report.notifications += stats.notifications;
-                    report.retries += stats.retries;
-                    report.dups_suppressed += stats.dups_suppressed;
-                    if let Some(shard) = shard {
+                Ok(Some(out)) => {
+                    report.puts += out.stats.puts;
+                    report.notifications += out.stats.notifications;
+                    report.retries += out.stats.retries;
+                    report.dups_suppressed += out.stats.dups_suppressed;
+                    report.net.absorb(out.net);
+                    trace.absorb(out.net_trace);
+                    if let Some(shard) = out.counters {
                         shards.push(*shard);
                     }
                 }

@@ -1,12 +1,23 @@
 //! The per-device host thread: event handler plus block managers
 //! (paper Figure 4), executed by a single worker as in §III-A.
+//!
+//! The host is written against the [`Transport`] trait only: the same
+//! progress loop runs over the in-process shared-memory plane and over
+//! `dcuda-net`'s multi-process socket mesh. World quiescence combines the
+//! process-local `finished_global` counter with `Finished` announcements
+//! received from remote processes; the final-drain argument relies on every
+//! transport delivering per-connection FIFO, so a host's `Deliver`s always
+//! precede its `Finished` broadcasts at the receiver.
 
-use crate::msg::{Cmd, Delivery, HostMsg};
+use crate::msg::{Cmd, Delivery};
+use crate::types::RtError;
 use dcuda_des::SplitMix64;
+use dcuda_net::{NetError, NetStats, Transport, WireMsg};
 use dcuda_queues::{DedupWindow, Notification, Receiver, Sender, TrySendError, DEDUP_WINDOW};
+use dcuda_trace::Tracer;
 use dcuda_verify::ShardCounters;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-local-rank flush bookkeeping: completed ids become visible to the
@@ -65,7 +76,7 @@ pub(crate) struct HostFaults {
     /// Next outbound sequence number per destination device.
     next_seq: Vec<u64>,
     /// Dropped `Deliver`s awaiting retransmission: (peer, seq, message).
-    retransmit: VecDeque<(u32, u64, HostMsg)>,
+    retransmit: VecDeque<(u32, u64, WireMsg)>,
     /// Inbound dedup window per origin device.
     dedup: Vec<DedupWindow>,
     /// Retransmissions performed.
@@ -100,6 +111,14 @@ pub(crate) struct HostStats {
     pub dups_suppressed: u64,
 }
 
+/// Everything a host thread returns on clean shutdown.
+pub(crate) struct HostOutcome {
+    pub stats: HostStats,
+    pub net: NetStats,
+    pub net_trace: Tracer,
+    pub counters: Option<Box<ShardCounters>>,
+}
+
 /// Everything one host thread owns.
 pub(crate) struct Host {
     pub device: u32,
@@ -111,18 +130,20 @@ pub(crate) struct Host {
     pub delivery_tx: Vec<Sender<Delivery>>,
     /// Overflow buffers when a delivery ring is momentarily full.
     pub delivery_backlog: Vec<VecDeque<Delivery>>,
-    /// Channels to every host (index = device; own entry unused).
-    pub peers: Vec<std::sync::mpsc::Sender<HostMsg>>,
-    /// Inbound channel.
-    pub inbox: std::sync::mpsc::Receiver<HostMsg>,
+    /// This device's endpoint on the inter-host plane.
+    pub plane: Box<dyn Transport>,
     /// Barrier state.
     pub barrier_epoch: Arc<AtomicU64>,
     pub barrier_arrived: u32,
     /// Device 0 only: tokens received for the current barrier round.
     pub barrier_tokens: u32,
-    /// Global count of finished ranks.
+    /// Count of finished ranks in *this process*.
     pub finished_global: Arc<AtomicU32>,
     pub finished_local: u32,
+    /// Ranks on remote processes announced finished via the plane.
+    pub finished_remote: u32,
+    /// Cluster-wide first-failure flag; the host bails out when set.
+    pub abort: Arc<AtomicBool>,
     /// Flush bookkeeping per local rank.
     pub flush: Vec<FlushHistoryHandle>,
     /// Statistics.
@@ -145,6 +166,12 @@ pub(crate) struct FlushHistoryHandle(FlushHistory);
 impl FlushHistoryHandle {
     pub fn new(publish: Arc<AtomicU64>) -> Self {
         FlushHistoryHandle(FlushHistory::new(publish))
+    }
+}
+
+fn net_err(e: NetError) -> RtError {
+    RtError::Transport {
+        detail: e.to_string(),
     }
 }
 
@@ -202,7 +229,7 @@ impl Host {
         }
     }
 
-    fn handle_cmd(&mut self, local: u32, cmd: Cmd) {
+    fn handle_cmd(&mut self, local: u32, cmd: Cmd) -> Result<(), RtError> {
         match cmd {
             Cmd::Put {
                 dst,
@@ -215,39 +242,44 @@ impl Host {
             } => {
                 self.puts_routed += 1;
                 let rank = self.device * self.ranks_per_device + local;
-                let delivery = Delivery {
-                    notif: Notification {
-                        win,
-                        source: rank,
-                        tag,
-                    },
-                    win,
-                    dst_off,
-                    data,
-                    notify,
-                };
                 match self.local_of(dst) {
                     Some(dst_local) => {
                         // Device-local: deliver directly, flush completes
                         // immediately.
+                        let delivery = Delivery {
+                            notif: Notification {
+                                win,
+                                source: rank,
+                                tag,
+                            },
+                            win,
+                            dst_off,
+                            data,
+                            notify,
+                        };
                         self.deliver_local(dst_local, delivery);
                         self.flush[local as usize].0.complete(flush_id);
                     }
                     None => {
                         let peer = self.device_of(dst);
                         let dst_local = dst % self.ranks_per_device;
-                        let origin = (self.device, flush_id, local);
+                        let origin_device = self.device;
+                        let make_msg = move |seq: u64| WireMsg::Deliver {
+                            dst_local,
+                            win,
+                            dst_off: dst_off as u64,
+                            source: rank,
+                            tag,
+                            notify,
+                            seq,
+                            origin_device,
+                            origin_local: local,
+                            flush_id,
+                            data,
+                        };
                         match self.faults.as_mut() {
                             None => {
-                                let msg = HostMsg::Deliver {
-                                    dst_local,
-                                    delivery,
-                                    seq: 0,
-                                    origin,
-                                };
-                                // A closed peer means its ranks (and ours)
-                                // are done.
-                                let _ = self.peers[peer as usize].send(msg);
+                                self.plane.send(peer, make_msg(0)).map_err(net_err)?;
                             }
                             Some(f) => {
                                 let seq = f.next_seq[peer as usize];
@@ -255,19 +287,16 @@ impl Host {
                                 // A parked retransmit must never age past the
                                 // receiver's replay window, or dedup would
                                 // eat the only surviving copy.
-                                if f.retransmit.iter().any(|&(p, s, _)| {
+                                let must_drain = f.retransmit.iter().any(|&(p, s, _)| {
                                     p == peer && seq.saturating_sub(s) >= DEDUP_WINDOW / 2
-                                }) {
-                                    while let Some((p, _, msg)) = f.retransmit.pop_front() {
-                                        f.retries += 1;
-                                        let _ = self.peers[p as usize].send(msg);
-                                    }
+                                });
+                                if must_drain {
+                                    self.flush_retransmits()?;
                                 }
-                                let msg = HostMsg::Deliver {
-                                    dst_local,
-                                    delivery,
-                                    seq,
-                                    origin,
+                                let msg = make_msg(seq);
+                                let f = match self.faults.as_mut() {
+                                    Some(f) => f,
+                                    None => return Ok(()),
                                 };
                                 if f.rng.next_f64() < f.drop_p {
                                     // First copy lost in flight: park it for
@@ -275,9 +304,9 @@ impl Host {
                                     f.retransmit.push_back((peer, seq, msg));
                                 } else {
                                     if f.rng.next_f64() < f.dup_p {
-                                        let _ = self.peers[peer as usize].send(msg.clone());
+                                        self.plane.send(peer, msg.clone()).map_err(net_err)?;
                                     }
-                                    let _ = self.peers[peer as usize].send(msg);
+                                    self.plane.send(peer, msg).map_err(net_err)?;
                                 }
                             }
                         }
@@ -289,27 +318,45 @@ impl Host {
                 if self.barrier_arrived == self.ranks_per_device {
                     self.barrier_arrived = 0;
                     if self.device == 0 {
-                        self.barrier_token_received();
+                        self.barrier_token_received()?;
                     } else {
-                        let _ = self.peers[0].send(HostMsg::BarrierToken {
-                            device: self.device,
-                        });
+                        self.plane
+                            .send(
+                                0,
+                                WireMsg::BarrierToken {
+                                    device: self.device,
+                                },
+                            )
+                            .map_err(net_err)?;
                     }
                 }
             }
             Cmd::Finish => {
-                // Flush parked retransmits *before* the finish is counted:
-                // the quiescence drain in `run` relies on every inter-host
-                // send happening-before the matching `finished_global`
-                // increment.
-                self.flush_retransmits();
+                // Flush parked retransmits *before* the finish is counted or
+                // announced: the quiescence drain in `run` relies on every
+                // inter-host `Deliver` happening-before the matching finish
+                // becomes observable (counter increment locally, `Finished`
+                // message remotely — FIFO per connection).
+                self.flush_retransmits()?;
                 self.finished_local += 1;
                 self.finished_global.fetch_add(1, Ordering::AcqRel);
+                for d in self.plane.remote_devices() {
+                    self.plane
+                        .send(
+                            d,
+                            WireMsg::Finished {
+                                device: self.device,
+                                ranks: 1,
+                            },
+                        )
+                        .map_err(net_err)?;
+                }
             }
         }
+        Ok(())
     }
 
-    fn barrier_token_received(&mut self) {
+    fn barrier_token_received(&mut self) -> Result<(), RtError> {
         self.barrier_tokens += 1;
         if self.barrier_tokens == self.devices {
             self.barrier_tokens = 0;
@@ -317,94 +364,144 @@ impl Host {
                 if d == self.device {
                     self.barrier_epoch.fetch_add(1, Ordering::AcqRel);
                 } else {
-                    let _ = self.peers[d as usize].send(HostMsg::BarrierRelease);
+                    self.plane
+                        .send(d, WireMsg::BarrierRelease)
+                        .map_err(net_err)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn handle_peer(&mut self, msg: HostMsg) {
+    fn handle_peer(&mut self, msg: WireMsg) -> Result<(), RtError> {
         match msg {
-            HostMsg::Deliver {
+            WireMsg::Deliver {
                 dst_local,
-                delivery,
+                win,
+                dst_off,
+                source,
+                tag,
+                notify,
                 seq,
-                origin: (origin_device, flush_id, origin_local),
+                origin_device,
+                origin_local,
+                flush_id,
+                data,
             } => {
                 if let Some(f) = self.faults.as_mut() {
                     if !f.dedup[origin_device as usize].accept(seq) {
                         // Duplicate copy: no second delivery, no second ack
                         // (a double-complete would corrupt flush ordering).
-                        return;
+                        return Ok(());
                     }
                 }
+                let delivery = Delivery {
+                    notif: Notification { win, source, tag },
+                    win,
+                    dst_off: dst_off as usize,
+                    data,
+                    notify,
+                };
                 self.deliver_local(dst_local, delivery);
-                let _ = self.peers[origin_device as usize].send(HostMsg::Ack {
-                    origin_local,
-                    flush_id,
-                });
+                self.plane
+                    .send(
+                        origin_device,
+                        WireMsg::Ack {
+                            origin_local,
+                            flush_id,
+                        },
+                    )
+                    .map_err(net_err)?;
             }
-            HostMsg::Ack {
+            WireMsg::Ack {
                 origin_local,
                 flush_id,
             } => {
                 self.flush[origin_local as usize].0.complete(flush_id);
             }
-            HostMsg::BarrierToken { device: _ } => {
+            WireMsg::BarrierToken { device: _ } => {
                 debug_assert_eq!(self.device, 0, "tokens go to host 0");
-                self.barrier_token_received();
+                self.barrier_token_received()?;
             }
-            HostMsg::BarrierRelease => {
+            WireMsg::BarrierRelease => {
                 self.barrier_epoch.fetch_add(1, Ordering::AcqRel);
             }
+            WireMsg::Finished { device: _, ranks } => {
+                self.finished_remote += ranks;
+            }
         }
+        Ok(())
     }
 
     /// Resend every parked (dropped) `Deliver` with its original sequence
     /// number. Returns whether anything was sent.
-    fn flush_retransmits(&mut self) -> bool {
-        let Some(f) = self.faults.as_mut() else {
-            return false;
-        };
+    fn flush_retransmits(&mut self) -> Result<bool, RtError> {
         let mut any = false;
-        while let Some((peer, _, msg)) = f.retransmit.pop_front() {
-            f.retries += 1;
-            let _ = self.peers[peer as usize].send(msg);
+        loop {
+            let item = match self.faults.as_mut() {
+                Some(f) => f.retransmit.pop_front(),
+                None => None,
+            };
+            let Some((peer, _, msg)) = item else { break };
+            if let Some(f) = self.faults.as_mut() {
+                f.retries += 1;
+            }
+            self.plane.send(peer, msg).map_err(net_err)?;
             any = true;
         }
-        any
+        Ok(any)
     }
 
-    /// Main progress loop. Returns statistics and the invariant-counter
-    /// shard (verified runs only).
-    pub fn run(mut self) -> (HostStats, Option<Box<ShardCounters>>) {
+    /// Main progress loop. Returns statistics, plane-level counters and the
+    /// invariant-counter shard (verified runs only) after world quiescence,
+    /// or the first transport/abort failure.
+    pub fn run(mut self) -> Result<HostOutcome, RtError> {
         let world = self.devices * self.ranks_per_device;
         loop {
+            if self.abort.load(Ordering::Acquire) {
+                // Another thread failed first; unwind so the scope joins.
+                return Err(RtError::Aborted);
+            }
             let mut progress = false;
             for local in 0..self.ranks_per_device {
                 // Drain this rank's command ring.
                 while let Ok(cmd) = self.cmd_rx[local as usize].try_recv() {
                     progress = true;
-                    self.handle_cmd(local, cmd);
+                    self.handle_cmd(local, cmd)?;
                 }
                 self.pump_backlog(local);
             }
-            progress |= self.flush_retransmits();
-            while let Ok(msg) = self.inbox.try_recv() {
+            progress |= self.flush_retransmits()?;
+            while let Some(msg) = self.plane.try_recv().map_err(net_err)? {
                 progress = true;
-                self.handle_peer(msg);
+                self.handle_peer(msg)?;
             }
+            // Drive deferred transport work (coalesced flushes, credit- and
+            // rendezvous-stalled sends, socket-level retransmits).
+            progress |= self.plane.pump().map_err(net_err)?;
             if !progress {
-                if self.finished_global.load(Ordering::Acquire) == world {
-                    // All ranks everywhere are done and nothing is pending.
-                    // Every inbound `Deliver` was enqueued before its origin
-                    // rank's `Finish` was counted (channel send happens-
-                    // before the finished_global increment), so one final
-                    // drain sees the complete stream; whatever the exited
-                    // ranks never picked up is accounted as dropped.
-                    while let Ok(msg) = self.inbox.try_recv() {
-                        self.handle_peer(msg);
+                let done = self.finished_global.load(Ordering::Acquire) + self.finished_remote;
+                if done == world {
+                    if !self.plane.idle() {
+                        // Quiescent protocol but bytes still queued (e.g. a
+                        // rendezvous payload awaiting its grant): keep
+                        // pumping, never exit with undelivered sends.
+                        continue;
                     }
+                    // All ranks everywhere are done and nothing is pending.
+                    // Every inbound `Deliver` became visible before its
+                    // origin's finish did (channel send happens-before the
+                    // counter increment in-process; per-connection FIFO
+                    // orders `Deliver` before `Finished` across processes),
+                    // so one final drain sees the complete stream; whatever
+                    // the exited ranks never picked up is accounted as
+                    // dropped.
+                    while let Some(msg) = self.plane.try_recv().map_err(net_err)? {
+                        self.handle_peer(msg)?;
+                    }
+                    // Best-effort flush of the acks the drain just queued;
+                    // peers that already exited are gone, not errors.
+                    let _ = self.plane.pump();
                     for local in 0..self.ranks_per_device {
                         self.pump_backlog(local);
                     }
@@ -432,7 +529,20 @@ impl Host {
                             .as_ref()
                             .map_or(0, HostFaults::dups_suppressed),
                     };
-                    return (stats, self.counters);
+                    return Ok(HostOutcome {
+                        stats,
+                        net: self.plane.stats(),
+                        net_trace: self.plane.take_tracer(),
+                        counters: self.counters,
+                    });
+                }
+                if let Some(proc) = self.plane.peer_gone() {
+                    // A worker process died before the world finished: fail
+                    // loudly instead of spinning on messages that will never
+                    // arrive.
+                    return Err(RtError::Transport {
+                        detail: format!("peer process {proc} died before quiescence"),
+                    });
                 }
                 std::thread::yield_now();
             }

@@ -28,10 +28,12 @@ pub mod msg;
 pub mod types;
 
 pub use cluster::{
-    run_cluster, run_cluster_traced, try_run_cluster, try_run_cluster_verified, RtConfig,
-    RtConfigBuilder, RtFaultPlan, RtReport, MAX_WINDOW_BYTES, MAX_WORLD,
+    run_cluster, run_cluster_traced, try_run_cluster, try_run_cluster_part,
+    try_run_cluster_verified, ClusterPart, RtConfig, RtConfigBuilder, RtFaultPlan, RtReport,
+    MAX_WINDOW_BYTES, MAX_WORLD,
 };
 pub use ctx::RtCtx;
+pub use dcuda_net::{NetStats, Transport};
 pub use dcuda_verify::VerifyReport;
 pub use types::{Rank, RtError, RtQuery, Tag, WindowId};
 

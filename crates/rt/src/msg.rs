@@ -57,34 +57,6 @@ pub struct Delivery {
     pub notify: bool,
 }
 
-/// Inter-host messages (the MPI plane).
-#[derive(Debug, Clone)]
-pub enum HostMsg {
-    /// Deliver to a rank local to the receiving host.
-    Deliver {
-        /// Local rank index on the receiving device.
-        dst_local: u32,
-        /// The delivery.
-        delivery: Delivery,
-        /// Per-(origin host, destination host) sequence number. Receivers on
-        /// a faulted fabric dedup on it so retransmits and duplicates keep
-        /// notification delivery exactly-once; 0 on healthy runs.
-        seq: u64,
-        /// Origin (device, flush id) to acknowledge once delivered.
-        origin: (u32, u64, u32), // (origin device, flush id, origin local)
-    },
-    /// Acknowledge a remote delivery (advances the origin's flush counter).
-    Ack {
-        /// Origin-local rank whose operation completed.
-        origin_local: u32,
-        /// The flush id that completed.
-        flush_id: u64,
-    },
-    /// A device's ranks have all entered the barrier (sent to host 0).
-    BarrierToken {
-        /// Reporting device.
-        device: u32,
-    },
-    /// Host 0 releases the barrier.
-    BarrierRelease,
-}
+// Inter-host messages live in `dcuda_net::wire::WireMsg` since the plane
+// became a swappable `Transport`; the host flattens `Delivery` into
+// `WireMsg::Deliver` fields at the boundary.

@@ -206,6 +206,12 @@ pub enum RtError {
     /// The cluster aborted because another thread failed first; this rank's
     /// blocking call was interrupted so the join could complete.
     Aborted,
+    /// The inter-host transport failed (socket error, corrupt stream, or a
+    /// peer process that died before the world quiesced).
+    Transport {
+        /// Rendered transport-level error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RtError {
@@ -239,6 +245,7 @@ impl fmt::Display for RtError {
                 write!(f, "host thread of device {device} panicked: {message}")
             }
             RtError::Aborted => write!(f, "execution aborted (another thread failed first)"),
+            RtError::Transport { detail } => write!(f, "inter-host transport failed: {detail}"),
         }
     }
 }

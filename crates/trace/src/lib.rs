@@ -46,6 +46,9 @@ pub enum Track {
     /// The host-device PCIe link of one node (DMA and queue-transaction
     /// traffic).
     Pcie(u32),
+    /// The socket transport endpoint of one device in the multi-process
+    /// runtime (`dcuda-net` send/recv/coalesce instants).
+    Net(u32),
 }
 
 impl Track {
@@ -56,13 +59,18 @@ impl Track {
             Track::Host(_) => 1,
             Track::NetLink(_) => 2,
             Track::Pcie(_) => 3,
+            Track::Net(_) => 4,
         }
     }
 
     /// Chrome-trace thread id within the process group.
     pub fn tid(self) -> u32 {
         match self {
-            Track::Rank(i) | Track::Host(i) | Track::NetLink(i) | Track::Pcie(i) => i,
+            Track::Rank(i)
+            | Track::Host(i)
+            | Track::NetLink(i)
+            | Track::Pcie(i)
+            | Track::Net(i) => i,
         }
     }
 
@@ -73,6 +81,7 @@ impl Track {
             Track::Host(_) => "device event handlers",
             Track::NetLink(_) => "network links",
             Track::Pcie(_) => "pcie links",
+            Track::Net(_) => "socket transport",
         }
     }
 
@@ -83,6 +92,7 @@ impl Track {
             Track::Host(i) => format!("host {i}"),
             Track::NetLink(i) => format!("nic {i}"),
             Track::Pcie(i) => format!("pcie {i}"),
+            Track::Net(i) => format!("net dev {i}"),
         }
     }
 }
@@ -289,5 +299,7 @@ mod tests {
         assert_eq!(Track::Host(2).pid(), 1);
         assert_eq!(Track::NetLink(2).tid(), 2);
         assert_eq!(Track::Pcie(1).track_name(), "pcie 1");
+        assert_eq!(Track::Net(3).pid(), 4);
+        assert_eq!(Track::Net(3).track_name(), "net dev 3");
     }
 }

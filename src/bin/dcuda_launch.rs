@@ -1,0 +1,424 @@
+//! `dcuda-launch` — run the threaded runtime across OS processes.
+//!
+//! One binary, two roles. As the *coordinator* (default) it spawns `--procs`
+//! copies of itself in worker mode, brokers the mesh handshake
+//! ([`dcuda_net::launch`]), aggregates the per-process reports and prints a
+//! single JSON record. As a *worker* (`--worker-index`, spawned internally)
+//! it binds a mesh listener, establishes the socket plane and runs its slice
+//! of the world via [`dcuda_rt::try_run_cluster_part`].
+//!
+//! With `--backend inprocess` the same world runs on the shared-memory
+//! plane in this process and reports in the identical JSON shape — the two
+//! outputs must agree on every protocol counter and on the checksum, which
+//! is exactly what `tests/net_conformance.rs` asserts.
+//!
+//! ```text
+//! dcuda-launch --procs 2 --devices-per-proc 1 --ranks-per-device 52 \
+//!     --workload overlap --iters 40 --payload 1024 [--faults lossy@11] \
+//!     [--trace out/launch.trace] [--report-json out/launch.json]
+//! ```
+
+use dcuda::workloads::{Workload, WorkloadSpec};
+use dcuda_bench::json::Json;
+use dcuda_fabric::FaultSpec;
+use dcuda_net::{launch, MeshOpts, NetConfig, NetFaults, SocketPlane, Transport};
+use dcuda_rt::{ClusterPart, RtConfig, RtReport};
+use std::net::TcpListener;
+use std::process::Command;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+#[derive(Clone)]
+struct Args {
+    backend: String,
+    procs: u32,
+    devices_per_proc: u32,
+    ranks_per_device: u32,
+    workload: Workload,
+    iters: u32,
+    payload: usize,
+    faults: Option<String>,
+    trace: Option<String>,
+    report_json: Option<String>,
+    die_proc: Option<u32>,
+    timeout_secs: u64,
+    worker_index: Option<u32>,
+    control: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            backend: "multiprocess".into(),
+            procs: 2,
+            devices_per_proc: 1,
+            ranks_per_device: 4,
+            workload: Workload::Overlap,
+            iters: 20,
+            payload: 1024,
+            faults: None,
+            trace: None,
+            report_json: None,
+            die_proc: None,
+            timeout_secs: 120,
+            worker_index: None,
+            control: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: dcuda-launch [--backend multiprocess|inprocess] [--procs M]
+    [--devices-per-proc D] [--ranks-per-device R] [--workload pingpong|overlap|stencil]
+    [--iters N] [--payload BYTES] [--faults PROFILE] [--trace PATH]
+    [--report-json PATH] [--die-proc K] [--timeout-secs S]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--backend" => args.backend = val("--backend")?.clone(),
+            "--procs" => args.procs = parse_num(val("--procs")?, "--procs")?,
+            "--devices-per-proc" => {
+                args.devices_per_proc = parse_num(val("--devices-per-proc")?, "--devices-per-proc")?
+            }
+            "--ranks-per-device" => {
+                args.ranks_per_device = parse_num(val("--ranks-per-device")?, "--ranks-per-device")?
+            }
+            "--workload" => args.workload = Workload::parse(val("--workload")?)?,
+            "--iters" => args.iters = parse_num(val("--iters")?, "--iters")?,
+            "--payload" => args.payload = parse_num(val("--payload")?, "--payload")?,
+            "--faults" => args.faults = Some(val("--faults")?.clone()),
+            "--trace" => args.trace = Some(val("--trace")?.clone()),
+            "--report-json" => args.report_json = Some(val("--report-json")?.clone()),
+            "--die-proc" => args.die_proc = Some(parse_num(val("--die-proc")?, "--die-proc")?),
+            "--timeout-secs" => {
+                args.timeout_secs = parse_num(val("--timeout-secs")?, "--timeout-secs")?
+            }
+            "--worker-index" => {
+                args.worker_index = Some(parse_num(val("--worker-index")?, "--worker-index")?)
+            }
+            "--control" => args.control = Some(val("--control")?.clone()),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.backend != "multiprocess" && args.backend != "inprocess" {
+        return Err(format!("unknown backend {:?}", args.backend));
+    }
+    if args.procs == 0 || args.devices_per_proc == 0 || args.ranks_per_device == 0 {
+        return Err("procs, devices-per-proc and ranks-per-device must be nonzero".into());
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value for {name}: {s}"))
+}
+
+fn spec_of(args: &Args) -> WorkloadSpec {
+    WorkloadSpec {
+        workload: args.workload,
+        iters: args.iters,
+        payload: args.payload,
+    }
+}
+
+fn cluster_config(args: &Args, spec: &WorkloadSpec) -> Result<RtConfig, String> {
+    RtConfig::builder()
+        .devices(args.procs * args.devices_per_proc)
+        .ranks_per_device(args.ranks_per_device)
+        .windows(spec.windows())
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn net_faults(args: &Args) -> Result<Option<NetFaults>, String> {
+    let Some(profile) = &args.faults else {
+        return Ok(None);
+    };
+    let spec = FaultSpec::parse(profile)?;
+    Ok(spec.stream_rates().map(|r| NetFaults {
+        seed: r.seed,
+        drop_p: r.drop_p,
+        dup_p: r.dup_p,
+    }))
+}
+
+/// The aggregate report both backends emit: protocol counters plus the
+/// world checksum, with transport-plane counters nested under `net`.
+fn report_json(args: &Args, world: u32, report: &RtReport, checksum: u64) -> Json {
+    Json::obj()
+        .field("backend", Json::str(args.backend.clone()))
+        .field("workload", Json::str(args.workload.name()))
+        .field("procs", Json::from(args.procs))
+        .field("devices", Json::from(args.procs * args.devices_per_proc))
+        .field("ranks_per_device", Json::from(args.ranks_per_device))
+        .field("world", Json::from(world))
+        .field("iters", Json::from(args.iters))
+        .field("payload", Json::from(args.payload))
+        .field("puts", Json::from(report.puts))
+        .field("notifications", Json::from(report.notifications))
+        .field("matched", Json::from(report.matched))
+        .field("barriers", Json::from(report.barriers))
+        .field("retries", Json::from(report.retries))
+        .field("dups_suppressed", Json::from(report.dups_suppressed))
+        .field("checksum", Json::str(format!("{checksum:#018x}")))
+        .field(
+            "net",
+            Json::obj()
+                .field("frames_sent", Json::from(report.net.frames_sent))
+                .field("frames_recv", Json::from(report.net.frames_recv))
+                .field("bytes_sent", Json::from(report.net.bytes_sent))
+                .field("eager_msgs", Json::from(report.net.eager_msgs))
+                .field("rndz_msgs", Json::from(report.net.rndz_msgs))
+                .field(
+                    "coalesced_flushes",
+                    Json::from(report.net.coalesced_flushes),
+                )
+                .field("net_retries", Json::from(report.net.net_retries))
+                .field(
+                    "net_dups_suppressed",
+                    Json::from(report.net.net_dups_suppressed),
+                ),
+        )
+}
+
+fn write_outputs(args: &Args, rendered: &str) -> Result<(), String> {
+    println!("{rendered}");
+    if let Some(path) = &args.report_json {
+        std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+// --- in-process backend ---------------------------------------------------
+
+fn run_inprocess(args: &Args) -> Result<(), String> {
+    if args.faults.is_some() {
+        return Err("--faults injects at the socket layer; use --backend multiprocess".into());
+    }
+    let spec = spec_of(args);
+    let cfg = cluster_config(args, &spec)?;
+    let world = cfg.world();
+    let (programs, cells): (Vec<_>, Vec<_>) =
+        spec.programs_for(world, 0, world).into_iter().unzip();
+    let (report, tracer) = if args.trace.is_some() {
+        dcuda_rt::run_cluster_traced(&cfg, programs).map_err(|e| e.to_string())?
+    } else {
+        let r = dcuda_rt::try_run_cluster(&cfg, programs).map_err(|e| e.to_string())?;
+        (r, dcuda_trace::Tracer::disabled())
+    };
+    if let Some(path) = &args.trace {
+        std::fs::write(path, dcuda_trace::chrome::to_chrome_json(&tracer))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let checksum = WorkloadSpec::fold_checksums(
+        cells
+            .iter()
+            .enumerate()
+            .map(|(r, c)| (r as u32, c.load(Ordering::Acquire))),
+    );
+    write_outputs(
+        args,
+        &report_json(args, world, &report, checksum).to_string(),
+    )
+}
+
+// --- multi-process coordinator -------------------------------------------
+
+fn run_coordinator(args: &Args) -> Result<(), String> {
+    let spec = spec_of(args);
+    let cfg = cluster_config(args, &spec)?; // validate before spawning anything
+    let world = cfg.world();
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let reports = launch::launch(
+        args.procs,
+        Duration::from_secs(args.timeout_secs),
+        &mut |index, control_addr| {
+            Command::new(&exe)
+                .args(&argv)
+                .args(["--worker-index", &index.to_string()])
+                .args(["--control", control_addr])
+                .spawn()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Aggregate: counters sum, barriers agree world-wide (take the max),
+    // checksum partials combine by wrapping addition.
+    let mut total = RtReport::default();
+    let mut checksum = 0u64;
+    for (i, blob) in reports.iter().enumerate() {
+        let j = Json::parse(blob).map_err(|e| format!("worker {i} report: {e}"))?;
+        let get = |k: &str| -> Result<u64, String> {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("worker {i} report missing {k}"))
+        };
+        total.puts += get("puts")?;
+        total.notifications += get("notifications")?;
+        total.matched += get("matched")?;
+        total.barriers = total.barriers.max(get("barriers")?);
+        total.retries += get("retries")?;
+        total.dups_suppressed += get("dups_suppressed")?;
+        checksum = checksum.wrapping_add(get("checksum_partial")?);
+        if let Some(net) = j.get("net") {
+            let n = |k: &str| net.get(k).and_then(Json::as_u64).unwrap_or(0);
+            total.net.frames_sent += n("frames_sent");
+            total.net.frames_recv += n("frames_recv");
+            total.net.bytes_sent += n("bytes_sent");
+            total.net.eager_msgs += n("eager_msgs");
+            total.net.rndz_msgs += n("rndz_msgs");
+            total.net.coalesced_flushes += n("coalesced_flushes");
+            total.net.net_retries += n("net_retries");
+            total.net.net_dups_suppressed += n("net_dups_suppressed");
+        }
+    }
+    write_outputs(
+        args,
+        &report_json(args, world, &total, checksum).to_string(),
+    )
+}
+
+// --- worker ---------------------------------------------------------------
+
+fn run_worker(args: &Args, index: u32, control_addr: &str) -> Result<(), String> {
+    if args.die_proc == Some(index) {
+        // Test hook for the orphan-cleanup regression: this process dies
+        // mid-run, as if it crashed or was OOM-killed.
+        std::thread::spawn(|| {
+            std::thread::sleep(Duration::from_millis(150));
+            std::process::exit(3);
+        });
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("mesh bind: {e}"))?;
+    let mesh_addr = listener
+        .local_addr()
+        .map_err(|e| format!("mesh addr: {e}"))?
+        .to_string();
+    let (mut control, peer_addrs) = launch::worker_join(
+        control_addr,
+        index,
+        &mesh_addr,
+        Duration::from_secs(args.timeout_secs),
+    )
+    .map_err(|e| format!("control handshake: {e}"))?;
+
+    match worker_run(args, index, listener, peer_addrs) {
+        Ok(json) => {
+            launch::send_report(&mut control, &json.to_string())
+                .map_err(|e| format!("sending report: {e}"))?;
+            Ok(())
+        }
+        Err(detail) => {
+            let _ = launch::send_error(&mut control, &detail);
+            Err(detail)
+        }
+    }
+}
+
+fn worker_run(
+    args: &Args,
+    index: u32,
+    listener: TcpListener,
+    peer_addrs: Vec<String>,
+) -> Result<Json, String> {
+    let spec = spec_of(args);
+    let cfg = cluster_config(args, &spec)?;
+    let traced = args.trace.is_some();
+    let config = NetConfig {
+        faults: net_faults(args)?,
+        traced,
+        ..NetConfig::default()
+    };
+    let endpoints = SocketPlane::establish(MeshOpts {
+        my_proc: index,
+        procs: args.procs,
+        devices_per_proc: args.devices_per_proc,
+        peer_addrs,
+        listener,
+        config,
+    })
+    .map_err(|e| format!("socket mesh: {e}"))?;
+    let planes: Vec<Box<dyn Transport>> = endpoints
+        .into_iter()
+        .map(|ep| Box::new(ep) as Box<dyn Transport>)
+        .collect();
+
+    let part = ClusterPart {
+        first_device: index * args.devices_per_proc,
+        local_devices: args.devices_per_proc,
+    };
+    let first_rank = part.first_device * args.ranks_per_device;
+    let local_ranks = part.local_devices * args.ranks_per_device;
+    let (programs, cells): (Vec<_>, Vec<_>) = spec
+        .programs_for(cfg.world(), first_rank, local_ranks)
+        .into_iter()
+        .unzip();
+    let (report, tracer) = dcuda_rt::try_run_cluster_part(&cfg, part, programs, planes, traced)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = &args.trace {
+        let per_proc = format!("{path}.p{index}.json");
+        std::fs::write(&per_proc, dcuda_trace::chrome::to_chrome_json(&tracer))
+            .map_err(|e| format!("writing {per_proc}: {e}"))?;
+    }
+    let partial = WorkloadSpec::fold_checksums(
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (first_rank + i as u32, c.load(Ordering::Acquire))),
+    );
+    Ok(Json::obj()
+        .field("index", Json::from(index))
+        .field("puts", Json::from(report.puts))
+        .field("notifications", Json::from(report.notifications))
+        .field("matched", Json::from(report.matched))
+        .field("barriers", Json::from(report.barriers))
+        .field("retries", Json::from(report.retries))
+        .field("dups_suppressed", Json::from(report.dups_suppressed))
+        .field("checksum_partial", Json::from(partial))
+        .field(
+            "net",
+            Json::obj()
+                .field("frames_sent", Json::from(report.net.frames_sent))
+                .field("frames_recv", Json::from(report.net.frames_recv))
+                .field("bytes_sent", Json::from(report.net.bytes_sent))
+                .field("eager_msgs", Json::from(report.net.eager_msgs))
+                .field("rndz_msgs", Json::from(report.net.rndz_msgs))
+                .field(
+                    "coalesced_flushes",
+                    Json::from(report.net.coalesced_flushes),
+                )
+                .field("net_retries", Json::from(report.net.net_retries))
+                .field(
+                    "net_dups_suppressed",
+                    Json::from(report.net.net_dups_suppressed),
+                ),
+        ))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let result = match (args.worker_index, args.control.as_deref()) {
+        (Some(index), Some(control)) => run_worker(&args, index, control),
+        (None, None) if args.backend == "inprocess" => run_inprocess(&args),
+        (None, None) => run_coordinator(&args),
+        _ => Err("--worker-index and --control must be passed together".into()),
+    };
+    if let Err(msg) = result {
+        eprintln!("dcuda-launch: {msg}");
+        std::process::exit(1);
+    }
+}

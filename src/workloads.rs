@@ -1,0 +1,294 @@
+//! Backend-conformance workloads for the threaded runtime.
+//!
+//! These are the reference programs `dcuda-launch` and the conformance
+//! suite run on *both* transport backends: the same world, seeded the same
+//! way, must produce byte-identical protocol counters and window checksums
+//! whether the cluster shares one OS process ([`dcuda_rt::try_run_cluster`])
+//! or is split across a socket mesh ([`dcuda_rt::try_run_cluster_part`]).
+//! Programs are built per world rank, so a worker process materializes only
+//! its slice; each rank folds everything it received into an order-
+//! independent checksum published through an `AtomicU64`.
+
+use dcuda_rt::cluster::RankProgram;
+use dcuda_rt::{Rank, RtCtx, RtQuery, Tag, WindowId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The conformance workload set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Even/odd rank pairs exchange a payload `iters` times (paper Figure 6
+    /// shape): even ranks serve, odd ranks return.
+    PingPong,
+    /// Ring halo exchange with a compute phase between puts — the overlap
+    /// microbenchmark shape (paper Figures 7/8): every rank sends to its
+    /// right neighbor and consumes from its left, flushing periodically.
+    Overlap,
+    /// Non-periodic 1-D stencil: halo to both existing neighbors, a world
+    /// barrier every iteration (paper Figure 10 shape).
+    Stencil,
+}
+
+impl Workload {
+    /// Parse a workload name (`pingpong`, `overlap`, `stencil`).
+    pub fn parse(name: &str) -> Result<Workload, String> {
+        match name {
+            "pingpong" => Ok(Workload::PingPong),
+            "overlap" => Ok(Workload::Overlap),
+            "stencil" => Ok(Workload::Stencil),
+            other => Err(format!(
+                "unknown workload {other:?} (expected pingpong, overlap or stencil)"
+            )),
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::PingPong => "pingpong",
+            Workload::Overlap => "overlap",
+            Workload::Stencil => "stencil",
+        }
+    }
+}
+
+/// A fully specified conformance run: workload shape, iteration count and
+/// per-message payload size.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Which program every rank executes.
+    pub workload: Workload,
+    /// Iterations (communication rounds).
+    pub iters: u32,
+    /// Payload bytes per put.
+    pub payload: usize,
+}
+
+/// Window region layout: `[0, payload)` is the staging buffer puts copy out
+/// of, `[payload, 2*payload)` receives from the left/partner rank,
+/// `[2*payload, 3*payload)` receives from the right neighbor.
+const REGIONS: usize = 3;
+
+impl WorkloadSpec {
+    /// The window layout every rank of this run registers.
+    pub fn windows(&self) -> Vec<usize> {
+        vec![self.payload.max(1) * REGIONS]
+    }
+
+    /// Build programs for world ranks `first_rank .. first_rank + count`,
+    /// returning each rank's program paired with the cell its checksum is
+    /// published into when the program completes.
+    pub fn programs_for(
+        &self,
+        world: u32,
+        first_rank: u32,
+        count: u32,
+    ) -> Vec<(RankProgram, Arc<AtomicU64>)> {
+        (first_rank..first_rank + count)
+            .map(|_rank| {
+                let spec = *self;
+                let cell = Arc::new(AtomicU64::new(0));
+                let out = cell.clone();
+                let program: RankProgram = Box::new(move |ctx: &mut RtCtx| {
+                    let sum = match spec.workload {
+                        Workload::PingPong => run_pingpong(ctx, spec, world),
+                        Workload::Overlap => run_overlap(ctx, spec, world),
+                        Workload::Stencil => run_stencil(ctx, spec, world),
+                    };
+                    out.store(sum, Ordering::Release);
+                });
+                (program, cell)
+            })
+            .collect()
+    }
+
+    /// Fold per-rank checksums into the world checksum: an order-independent
+    /// wrapping sum of rank-salted values, so process partials combine the
+    /// same way no matter how the world is partitioned.
+    pub fn fold_checksums<I: IntoIterator<Item = (u32, u64)>>(ranks: I) -> u64 {
+        ranks
+            .into_iter()
+            .fold(0u64, |acc, (rank, sum)| acc.wrapping_add(salt(rank, sum)))
+    }
+}
+
+/// FNV-1a offset/prime.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv_bytes(h, &v.to_le_bytes())
+}
+
+fn salt(rank: u32, sum: u64) -> u64 {
+    fnv_u64(fnv_u64(FNV_OFFSET, u64::from(rank)), sum)
+}
+
+/// Fill the staging region with bytes derived from (rank, iter, position),
+/// then run the "compute" phase: a deterministic FNV mix pass over the
+/// buffer standing in for the kernel work communication overlaps with.
+fn compute_into_staging(ctx: &mut RtCtx, iter: u32, payload: usize) {
+    let rank = ctx.rank().0;
+    let w = ctx.win_mut(WindowId(0));
+    let mut h = fnv_u64(fnv_u64(FNV_OFFSET, u64::from(rank)), u64::from(iter));
+    for (i, slot) in w[..payload].iter_mut().enumerate() {
+        h = fnv_u64(h, i as u64);
+        *slot = (h >> 24) as u8;
+    }
+}
+
+fn run_pingpong(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
+    let rank = ctx.rank().0;
+    let payload = spec.payload;
+    let partner = if rank.is_multiple_of(2) { rank + 1 } else { rank - 1 };
+    let mut sum = FNV_OFFSET;
+    if partner >= world {
+        // Odd world: the unpaired last rank sits the game out.
+        return sum;
+    }
+    for iter in 0..spec.iters {
+        compute_into_staging(ctx, iter, payload);
+        let q = RtQuery::exact(WindowId(0), Rank(partner), Tag(iter));
+        if rank.is_multiple_of(2) {
+            ctx.put_notify(WindowId(0), Rank(partner), payload, 0, payload, Tag(iter));
+            ctx.wait_notifications(q, 1);
+        } else {
+            ctx.wait_notifications(q, 1);
+            ctx.put_notify(WindowId(0), Rank(partner), payload, 0, payload, Tag(iter));
+        }
+        let w = ctx.win(WindowId(0));
+        sum = fnv_bytes(sum, &w[payload..2 * payload]);
+    }
+    ctx.flush();
+    sum
+}
+
+fn run_overlap(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
+    let rank = ctx.rank().0;
+    let payload = spec.payload;
+    let right = (rank + 1) % world;
+    let left = (rank + world - 1) % world;
+    let mut sum = FNV_OFFSET;
+    // Tags: even = halo data (ring, rightward), odd = consume-ack (ring,
+    // leftward). The ack gates the sender's next round: without it the left
+    // neighbor could race an iteration ahead and overwrite the inbox region
+    // between our wait and our checksum, making the checksum racy.
+    for iter in 0..spec.iters {
+        compute_into_staging(ctx, iter, payload);
+        ctx.put_notify(WindowId(0), Rank(right), payload, 0, payload, Tag(2 * iter));
+        ctx.wait_notifications(RtQuery::exact(WindowId(0), Rank(left), Tag(2 * iter)), 1);
+        let w = ctx.win(WindowId(0));
+        sum = fnv_bytes(sum, &w[payload..2 * payload]);
+        ctx.put_notify(WindowId(0), Rank(left), 0, 0, 0, Tag(2 * iter + 1));
+        ctx.wait_notifications(
+            RtQuery::exact(WindowId(0), Rank(right), Tag(2 * iter + 1)),
+            1,
+        );
+        if iter % 8 == 7 {
+            ctx.flush();
+        }
+    }
+    ctx.flush();
+    ctx.barrier();
+    sum
+}
+
+fn run_stencil(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
+    let rank = ctx.rank().0;
+    let payload = spec.payload;
+    let left = rank.checked_sub(1);
+    let right = (rank + 1 < world).then_some(rank + 1);
+    let mut sum = FNV_OFFSET;
+    for iter in 0..spec.iters {
+        compute_into_staging(ctx, iter, payload);
+        // Halo out: my staging lands in the left neighbor's "right" region
+        // and the right neighbor's "left" region.
+        if let Some(l) = left {
+            ctx.put_notify(WindowId(0), Rank(l), 2 * payload, 0, payload, Tag(iter));
+        }
+        if let Some(r) = right {
+            ctx.put_notify(WindowId(0), Rank(r), payload, 0, payload, Tag(iter));
+        }
+        if let Some(l) = left {
+            ctx.wait_notifications(RtQuery::exact(WindowId(0), Rank(l), Tag(iter)), 1);
+        }
+        if let Some(r) = right {
+            ctx.wait_notifications(RtQuery::exact(WindowId(0), Rank(r), Tag(iter)), 1);
+        }
+        let w = ctx.win(WindowId(0));
+        sum = fnv_bytes(sum, &w[payload..REGIONS * payload]);
+        ctx.barrier();
+    }
+    ctx.flush();
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcuda_rt::{try_run_cluster, RtConfig};
+
+    fn run_full(spec: WorkloadSpec, devices: u32, rpd: u32) -> (u64, dcuda_rt::RtReport) {
+        let cfg = RtConfig::builder()
+            .devices(devices)
+            .ranks_per_device(rpd)
+            .windows(spec.windows())
+            .build()
+            .expect("valid config");
+        let world = cfg.world();
+        let pairs = spec.programs_for(world, 0, world);
+        let (programs, cells): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let report = try_run_cluster(&cfg, programs).expect("run");
+        let sum = WorkloadSpec::fold_checksums(
+            cells
+                .iter()
+                .enumerate()
+                .map(|(r, c)| (r as u32, c.load(Ordering::Acquire))),
+        );
+        (sum, report)
+    }
+
+    #[test]
+    fn workloads_are_deterministic_across_runs() {
+        for workload in [Workload::PingPong, Workload::Overlap, Workload::Stencil] {
+            let spec = WorkloadSpec {
+                workload,
+                iters: 6,
+                payload: 256,
+            };
+            let (a, ra) = run_full(spec, 2, 2);
+            let (b, rb) = run_full(spec, 2, 2);
+            assert_eq!(a, b, "{} checksum must replay", workload.name());
+            assert_eq!(ra.puts, rb.puts);
+            assert_eq!(ra.notifications, rb.notifications);
+            assert_eq!(ra.matched, rb.matched);
+            assert_eq!(ra.barriers, rb.barriers);
+        }
+    }
+
+    #[test]
+    fn checksum_fold_is_partition_independent() {
+        let parts = [(0u32, 7u64), (1, 11), (2, 13), (3, 17)];
+        let whole = WorkloadSpec::fold_checksums(parts);
+        let a = WorkloadSpec::fold_checksums(parts[..2].iter().copied());
+        let b = WorkloadSpec::fold_checksums(parts[2..].iter().copied());
+        assert_eq!(whole, a.wrapping_add(b));
+        let swapped = WorkloadSpec::fold_checksums([parts[2], parts[0], parts[3], parts[1]]);
+        assert_eq!(whole, swapped);
+    }
+
+    #[test]
+    fn workload_names_roundtrip() {
+        for w in [Workload::PingPong, Workload::Overlap, Workload::Stencil] {
+            assert_eq!(Workload::parse(w.name()), Ok(w));
+        }
+        assert!(Workload::parse("bogus").is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Backend-conformance suite for `dcuda-launch`: the same world, workload
+//! and seed must produce byte-identical protocol counters and window
+//! checksums whether the cluster runs in one OS process (`--backend
+//! inprocess`) or is split across a socket mesh (`--backend multiprocess`).
+//!
+//! The quick tier keeps `cargo test` fast; `DCUDA_FULL_TESTS=1` (set in CI)
+//! grows the worlds and pushes payloads past the eager/rendezvous threshold
+//! so the large-message path is covered too.
+
+use dcuda::bench::json::Json;
+use std::process::Command;
+use std::time::Instant;
+
+/// Protocol counters that must agree exactly across backends. Transport
+/// counters (`net.*`) legitimately differ — sockets move frames, the
+/// in-process plane does not — so they are deliberately not in this list.
+const COUNTERS: &[&str] = &[
+    "puts",
+    "notifications",
+    "matched",
+    "barriers",
+    "retries",
+    "dups_suppressed",
+];
+
+fn full_tier() -> bool {
+    std::env::var("DCUDA_FULL_TESTS").ok().as_deref() == Some("1")
+}
+
+/// Run `dcuda-launch` with the given arguments and parse the report it
+/// prints to stdout.
+fn run_report(argv: &[&str]) -> Json {
+    let out = Command::new(env!("CARGO_BIN_EXE_dcuda-launch"))
+        .args(argv)
+        .output()
+        .expect("spawn dcuda-launch");
+    assert!(
+        out.status.success(),
+        "dcuda-launch {argv:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 report");
+    Json::parse(text.trim()).expect("report JSON")
+}
+
+fn counter(report: &Json, key: &str) -> u64 {
+    report
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("report missing counter {key:?}"))
+}
+
+/// Run one workload shape on both backends and assert the RunReports agree.
+fn assert_backends_agree(workload: &str, iters: u32, payload: usize, ranks_per_device: u32) {
+    let iters = iters.to_string();
+    let payload = payload.to_string();
+    let rpd = ranks_per_device.to_string();
+    let base = [
+        "--procs",
+        "2",
+        "--devices-per-proc",
+        "1",
+        "--ranks-per-device",
+        rpd.as_str(),
+        "--workload",
+        workload,
+        "--iters",
+        iters.as_str(),
+        "--payload",
+        payload.as_str(),
+    ];
+    let mut inproc_args = vec!["--backend", "inprocess"];
+    inproc_args.extend_from_slice(&base);
+    let mut multi_args = vec!["--backend", "multiprocess"];
+    multi_args.extend_from_slice(&base);
+
+    let inproc = run_report(&inproc_args);
+    let multi = run_report(&multi_args);
+
+    for &key in COUNTERS {
+        assert_eq!(
+            counter(&inproc, key),
+            counter(&multi, key),
+            "{workload}: counter {key:?} diverges between backends"
+        );
+    }
+    let sum_in = inproc.get("checksum").and_then(Json::as_str);
+    let sum_mp = multi.get("checksum").and_then(Json::as_str);
+    assert!(
+        sum_in.is_some(),
+        "{workload}: inprocess report lacks checksum"
+    );
+    assert_eq!(sum_in, sum_mp, "{workload}: window checksum diverges");
+
+    // Guard against a vacuous pass: the workload must actually communicate,
+    // and the multi-process run must actually have crossed sockets.
+    assert!(
+        counter(&inproc, "notifications") > 0,
+        "{workload} is vacuous"
+    );
+    let frames = multi
+        .get("net")
+        .and_then(|n| n.get("frames_sent"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(frames > 0, "{workload}: no frames crossed the socket mesh");
+}
+
+/// Golden conformance: the pingpong microbenchmark (paper Figure 6 shape).
+/// Full tier pushes the payload past EAGER_MAX so rendezvous is exercised.
+#[test]
+fn conformance_pingpong_backends_agree() {
+    if full_tier() {
+        assert_backends_agree("pingpong", 20, 4096, 8);
+    } else {
+        assert_backends_agree("pingpong", 5, 512, 4);
+    }
+}
+
+/// Golden conformance: one stencil configuration with per-iteration world
+/// barriers, so barrier tokens cross the mesh every round.
+#[test]
+fn conformance_stencil_backends_agree() {
+    if full_tier() {
+        assert_backends_agree("stencil", 10, 4096, 8);
+    } else {
+        assert_backends_agree("stencil", 4, 384, 3);
+    }
+}
+
+/// The overlap microbenchmark — the headline workload `xtask launch` runs.
+#[test]
+fn conformance_overlap_backends_agree() {
+    if full_tier() {
+        assert_backends_agree("overlap", 20, 4096, 8);
+    } else {
+        assert_backends_agree("overlap", 6, 1024, 4);
+    }
+}
+
+/// Orphan-cleanup regression: when a worker dies mid-run the coordinator
+/// must fail fast (nonzero exit, bounded time) and reap the surviving
+/// worker rather than hanging on a half-dead mesh.
+#[test]
+fn killed_worker_fails_fast_without_orphans() {
+    let start = Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_dcuda-launch"))
+        .args([
+            "--backend",
+            "multiprocess",
+            "--procs",
+            "2",
+            "--ranks-per-device",
+            "4",
+            "--workload",
+            "overlap",
+            "--iters",
+            "5000",
+            "--payload",
+            "1024",
+            "--die-proc",
+            "1",
+            "--timeout-secs",
+            "30",
+        ])
+        .output()
+        .expect("spawn dcuda-launch");
+    let elapsed = start.elapsed();
+    assert!(
+        !out.status.success(),
+        "a run with a dead worker must not report success: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        elapsed.as_secs() < 60,
+        "coordinator took {elapsed:?} to notice the dead worker"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("worker"),
+        "failure should name the dead worker, got: {stderr}"
+    );
+}
