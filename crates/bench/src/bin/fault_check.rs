@@ -10,13 +10,23 @@
 //! Each (profile, seed) cell runs twice: both runs must finish with clean
 //! invariants (conservation, exactly-once delivery — a violation panics)
 //! and produce byte-identical `RunReport`s. A 208-rank run of the issue's
-//! acceptance profile (1% drop + 0.5% duplication) rides along. Exits
+//! acceptance profile (1% drop + 0.5% duplication) rides along, and a
+//! transport soak streams sequence-tagged messages over real tcp and shm
+//! endpoint pairs under the same `FaultSpec::stream_rates()` profile —
+//! both planes must absorb injected drops/dups below the protocol (FIFO,
+//! exactly-once) while proving the injection actually fired. Exits
 //! nonzero if any cell fails.
 
 use dcuda_apps::micro::overlap::{run_faulted, OverlapConfig, Workload};
 use dcuda_bench::par_map;
 use dcuda_core::SystemSpec;
 use dcuda_fabric::FaultSpec;
+use dcuda_net::wire::WireMsg;
+use dcuda_net::{
+    shm_supported, MeshOpts, NetConfig, NetEndpoint, NetFaults, SocketPlane, Transport,
+};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
 
 const DEFAULT_PROFILES: &str = "drop,dup,reorder,brownout,stall,lossy";
 
@@ -37,6 +47,166 @@ struct Cell {
     label: String,
     spec: FaultSpec,
     ranks_per_node: u32,
+}
+
+/// Establish a two-process-shaped mesh in this process (partner on a
+/// helper thread); `shm_dir` switches the pair onto the shared-memory
+/// plane via equal host fingerprints.
+fn mesh_pair(
+    faults: Option<NetFaults>,
+    shm_dir: Option<&std::path::Path>,
+) -> (NetEndpoint, NetEndpoint) {
+    let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addrs = vec![
+        l0.local_addr().expect("addr").to_string(),
+        l1.local_addr().expect("addr").to_string(),
+    ];
+    let hosts = if shm_dir.is_some() {
+        vec!["soak-host".to_string(), "soak-host".to_string()]
+    } else {
+        Vec::new()
+    };
+    let dir = shm_dir.map(std::path::Path::to_path_buf);
+    let config = NetConfig {
+        faults,
+        ..NetConfig::default()
+    };
+    let opts = |my_proc, listener| MeshOpts {
+        my_proc,
+        procs: 2,
+        devices_per_proc: 1,
+        peer_addrs: addrs.clone(),
+        peer_hosts: hosts.clone(),
+        shm_dir: dir.clone(),
+        listener,
+        config: config.clone(),
+    };
+    let o1 = opts(1, l1);
+    let t = std::thread::spawn(move || SocketPlane::establish(o1).expect("establish proc 1"));
+    let mut a = SocketPlane::establish(opts(0, l0)).expect("establish proc 0");
+    let mut b = t.join().expect("partner thread");
+    (a.pop().expect("endpoint 0"), b.pop().expect("endpoint 1"))
+}
+
+/// Stream `msgs` sequence-tagged messages (alternating eager/rendezvous
+/// sizes) over a lossy endpoint pair and return
+/// `(injected_events, error)` — FIFO exactly-once is asserted inline.
+fn lossy_stream(a: &mut NetEndpoint, b: &mut NetEndpoint, msgs: u64) -> Result<u64, String> {
+    fn drain(b: &mut NetEndpoint, expect: &mut u64) -> Result<(), String> {
+        while let Some(m) = b.try_recv().map_err(|e| e.to_string())? {
+            let WireMsg::Deliver { data, .. } = m else {
+                return Err("unexpected control message".into());
+            };
+            let mut tag = [0u8; 8];
+            tag.copy_from_slice(&data[..8]);
+            let got = u64::from_le_bytes(tag);
+            if got != *expect {
+                return Err(format!("FIFO broken: expected {expect}, got {got}"));
+            }
+            *expect += 1;
+        }
+        Ok(())
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut expect = 0u64;
+    for i in 0..msgs {
+        // Odd messages ride the rendezvous/jumbo path, even ones eager.
+        let len = if i % 2 == 0 { 256 } else { 8 << 10 };
+        let mut data = vec![(i % 251) as u8; len];
+        data[..8].copy_from_slice(&i.to_le_bytes());
+        a.send(
+            1,
+            WireMsg::Deliver {
+                dst_local: 0,
+                win: 0,
+                dst_off: 0,
+                source: 1,
+                tag: 3,
+                notify: true,
+                seq: 0,
+                origin_device: 0,
+                origin_local: 0,
+                flush_id: 1,
+                data,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        a.pump().map_err(|e| e.to_string())?;
+        drain(b, &mut expect)?;
+    }
+    while expect < msgs {
+        a.pump().map_err(|e| e.to_string())?;
+        b.pump().map_err(|e| e.to_string())?;
+        drain(b, &mut expect)?;
+        if Instant::now() > deadline {
+            return Err(format!("stalled at {expect}/{msgs} messages"));
+        }
+    }
+    // Drops surface as retries on the sender; duplicates as suppressions
+    // on the receiver — evidence of injection lives on both endpoints.
+    let (sa, sb) = (a.stats(), b.stats());
+    Ok(sa.net_retries + sb.net_dups_suppressed)
+}
+
+/// Soak both transport planes under the stream-level lossy profile: the
+/// injection must fire (nonzero retries+dups) and must stay invisible to
+/// the message layer (FIFO, exactly-once, nothing lost).
+fn transport_soak(seeds: u64) -> u32 {
+    const MSGS: u64 = 200;
+    let mut failures = 0u32;
+    println!(
+        "\n{:<22} {:>9} {:>9}  verdict",
+        "transport soak", "msgs", "injected"
+    );
+    for seed in 1..=seeds {
+        let spec = match FaultSpec::parse(&format!("lossy@{seed}")) {
+            Ok(s) => s.scaled(SOAK_INTENSITY),
+            Err(e) => {
+                eprintln!("fault_check: lossy profile: {e}");
+                std::process::exit(2);
+            }
+        };
+        let Some(r) = spec.stream_rates() else {
+            eprintln!("fault_check: lossy profile lacks stream rates");
+            std::process::exit(2);
+        };
+        let faults = Some(NetFaults {
+            seed: r.seed,
+            drop_p: r.drop_p,
+            dup_p: r.dup_p,
+        });
+        let shm_dir =
+            std::env::temp_dir().join(format!("dcuda-fault-shm-{}-{seed}", std::process::id()));
+        let planes: Vec<(&str, Option<std::path::PathBuf>)> = if shm_supported() {
+            std::fs::create_dir_all(&shm_dir).expect("shm dir");
+            vec![("tcp", None), ("shm", Some(shm_dir.clone()))]
+        } else {
+            vec![("tcp", None)]
+        };
+        for (plane, dir) in &planes {
+            let (mut a, mut b) = mesh_pair(faults, dir.as_deref());
+            let label = format!("lossy@{seed} {plane}");
+            match lossy_stream(&mut a, &mut b, MSGS) {
+                Ok(injected) => {
+                    let ok = injected > 0;
+                    if !ok {
+                        failures += 1;
+                    }
+                    println!(
+                        "{label:<22} {MSGS:>9} {injected:>9}  {}",
+                        if ok { "ok" } else { "FAIL (no injection)" }
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("{label:<22} {MSGS:>9} {:>9}  FAIL ({e})", "-");
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&shm_dir);
+    }
+    failures
 }
 
 fn main() {
@@ -132,6 +302,7 @@ fn main() {
             if ok { "ok" } else { "FAIL" }
         );
     }
+    failures += transport_soak(seeds);
     eprintln!(
         "fault_check: {:.2} s wall clock, {} failure(s)",
         started.elapsed().as_secs_f64(),

@@ -99,6 +99,14 @@ impl Json {
         }
     }
 
+    /// Object entries in insertion order, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Array items, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

@@ -7,11 +7,12 @@
 //! 1. the coordinator binds a control listener and spawns every worker,
 //!    passing the control address and the worker's process index;
 //! 2. each worker binds its own mesh listener, dials the control port and
-//!    sends `hello <index> <mesh_addr>`;
+//!    sends `hello <index> <mesh_addr> <host_fingerprint>`;
 //! 3. once all hellos are in, the coordinator broadcasts
-//!    `mesh <addr0>,<addr1>,...` — the table
-//!    [`SocketPlane::establish`](crate::socket::SocketPlane::establish)
-//!    needs — to every worker;
+//!    `mesh <addr0>,<addr1>,... <host0>,<host1>,... <shm_dir|->` — the
+//!    tables [`SocketPlane::establish`](crate::socket::SocketPlane::establish)
+//!    needs to pick a plane (TCP or same-host shared memory) per peer —
+//!    to every worker;
 //! 4. each worker runs its cluster part and sends `report <json>` (or
 //!    `error <detail>`), then exits 0.
 //!
@@ -23,8 +24,44 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::process::Child;
 use std::time::{Duration, Instant};
+
+/// A whitespace/comma-free fingerprint identifying this machine, used by
+/// the mesh step to detect same-host worker pairs. Workers on one host see
+/// identical fingerprints; the boot id disambiguates hosts that share a
+/// hostname (containers, cloned images).
+pub fn host_fingerprint() -> String {
+    let read_trim = |p: &str| {
+        std::fs::read_to_string(p)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_default()
+    };
+    let hostname = {
+        let h = read_trim("/proc/sys/kernel/hostname");
+        if h.is_empty() {
+            std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".into())
+        } else {
+            h
+        }
+    };
+    let boot = read_trim("/proc/sys/kernel/random/boot_id");
+    let raw = if boot.is_empty() {
+        hostname
+    } else {
+        format!("{hostname}.{boot}")
+    };
+    raw.chars()
+        .map(|c| {
+            if c.is_whitespace() || c == ',' {
+                '-'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
 
 /// Launch-level failures (coordinator side).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,6 +206,7 @@ impl Drop for Reaper {
 pub fn launch(
     procs: u32,
     timeout: Duration,
+    shm_dir: Option<&Path>,
     spawn: &mut dyn FnMut(u32, &str) -> std::io::Result<Child>,
 ) -> Result<Vec<String>, LaunchError> {
     let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
@@ -191,8 +229,8 @@ pub fn launch(
         }
     }
 
-    // Phase 1: collect hellos (worker index -> (reader, mesh addr)).
-    let mut conns: Vec<Option<(BlobReader, String)>> = (0..procs).map(|_| None).collect();
+    // Phase 1: collect hellos (worker index -> (reader, mesh addr, host)).
+    let mut conns: Vec<Option<(BlobReader, String, String)>> = (0..procs).map(|_| None).collect();
     let mut pending: Vec<BlobReader> = Vec::new();
     let mut hellos = 0u32;
     while hellos < procs {
@@ -205,11 +243,11 @@ pub fn launch(
         for mut reader in pending.drain(..) {
             match reader.poll().map_err(io_err)? {
                 Some(blob) => {
-                    let (index, mesh_addr) = parse_hello(&blob)?;
+                    let (index, mesh_addr, host) = parse_hello(&blob)?;
                     if index >= procs || conns[index as usize].is_some() {
                         return Err(LaunchError::Io(format!("bad hello index {index}")));
                     }
-                    conns[index as usize] = Some((reader, mesh_addr));
+                    conns[index as usize] = Some((reader, mesh_addr, host));
                     hellos += 1;
                 }
                 None if reader.eof => {
@@ -231,16 +269,26 @@ pub fn launch(
         std::thread::sleep(Duration::from_millis(2));
     }
 
-    // Phase 2: broadcast the mesh address table.
+    // Phase 2: broadcast the mesh tables (addresses, host fingerprints,
+    // shm directory — `-` when the shared-memory plane is disabled).
     let table = conns
         .iter()
-        .filter_map(|c| c.as_ref().map(|(_, a)| a.clone()))
+        .filter_map(|c| c.as_ref().map(|(_, a, _)| a.clone()))
         .collect::<Vec<_>>()
         .join(",");
+    let hosts = conns
+        .iter()
+        .filter_map(|c| c.as_ref().map(|(_, _, h)| h.clone()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let dir = shm_dir
+        .map(|d| d.display().to_string())
+        .unwrap_or_else(|| "-".into());
     for slot in conns.iter_mut() {
-        if let Some((reader, _)) = slot.as_mut() {
+        if let Some((reader, _, _)) = slot.as_mut() {
             reader.stream.set_nonblocking(false).map_err(io_err)?;
-            write_blob(&mut reader.stream, &format!("mesh {table}")).map_err(io_err)?;
+            write_blob(&mut reader.stream, &format!("mesh {table} {hosts} {dir}"))
+                .map_err(io_err)?;
             reader.stream.set_nonblocking(true).map_err(io_err)?;
         }
     }
@@ -253,7 +301,7 @@ pub fn launch(
             if reports[i].is_some() {
                 continue;
             }
-            let Some((reader, _)) = slot.as_mut() else {
+            let Some((reader, _, _)) = slot.as_mut() else {
                 continue;
             };
             match reader.poll().map_err(io_err)? {
@@ -322,14 +370,17 @@ fn io_err(e: std::io::Error) -> LaunchError {
     LaunchError::Io(e.to_string())
 }
 
-fn parse_hello(blob: &str) -> Result<(u32, String), LaunchError> {
+fn parse_hello(blob: &str) -> Result<(u32, String, String), LaunchError> {
     let mut parts = blob.split_whitespace();
     match (parts.next(), parts.next(), parts.next()) {
         (Some("hello"), Some(idx), Some(addr)) => {
             let index = idx
                 .parse::<u32>()
                 .map_err(|_| LaunchError::Io(format!("bad hello blob: {blob}")))?;
-            Ok((index, addr.to_string()))
+            // The host fingerprint is absent from pre-shm workers; an empty
+            // fingerprint never matches another, forcing TCP for that peer.
+            let host = parts.next().unwrap_or_default().to_string();
+            Ok((index, addr.to_string(), host))
         }
         _ => Err(LaunchError::Io(format!("bad hello blob: {blob}"))),
     }
@@ -356,27 +407,69 @@ fn check_children(reaper: &mut Reaper) -> Result<(), LaunchError> {
 
 // --- worker side ---------------------------------------------------------
 
-/// Dial the coordinator, announce this worker, and receive the mesh table.
-/// Returns the (still-connected) control stream and the index-aligned mesh
-/// listener addresses of all workers.
+/// Everything a worker learns from the coordinator's mesh broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshInfo {
+    /// Mesh listener address of every worker, index-aligned.
+    pub peer_addrs: Vec<String>,
+    /// Host fingerprint of every worker, index-aligned (empty when the
+    /// coordinator predates the shared-memory plane).
+    pub peer_hosts: Vec<String>,
+    /// Directory for shared-memory pair files, when the launch enables the
+    /// same-host plane.
+    pub shm_dir: Option<PathBuf>,
+}
+
+/// Dial the coordinator, announce this worker (index, mesh address, host
+/// fingerprint), and receive the mesh tables.
+/// Returns the (still-connected) control stream and the [`MeshInfo`] that
+/// [`SocketPlane::establish`](crate::socket::SocketPlane::establish) needs.
 pub fn worker_join(
     control_addr: &str,
     index: u32,
     mesh_addr: &str,
     timeout: Duration,
-) -> std::io::Result<(TcpStream, Vec<String>)> {
+) -> std::io::Result<(TcpStream, MeshInfo)> {
     let mut stream = TcpStream::connect(control_addr)?;
     stream.set_read_timeout(Some(timeout))?;
-    write_blob(&mut stream, &format!("hello {index} {mesh_addr}"))?;
+    let host = host_fingerprint();
+    write_blob(&mut stream, &format!("hello {index} {mesh_addr} {host}"))?;
     let blob = read_blob(&mut stream)?;
-    let table = blob.strip_prefix("mesh ").ok_or_else(|| {
+    let rest = blob.strip_prefix("mesh ").ok_or_else(|| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("expected mesh table, got: {blob}"),
         )
     })?;
     stream.set_read_timeout(None)?;
-    Ok((stream, table.split(',').map(str::to_string).collect()))
+    // `mesh <addrs> [<hosts> <shm_dir|->]` — the directory is last and may
+    // contain spaces, so split off exactly two leading fields.
+    let mut fields = rest.splitn(3, ' ');
+    let addrs = fields.next().unwrap_or_default();
+    let hosts = fields.next();
+    let dir = fields.next();
+    let peer_addrs: Vec<String> = addrs.split(',').map(str::to_string).collect();
+    let peer_hosts: Vec<String> = match hosts {
+        Some(h) if !h.is_empty() => h.split(',').map(str::to_string).collect(),
+        _ => Vec::new(),
+    };
+    let peer_hosts = if peer_hosts.len() == peer_addrs.len() {
+        peer_hosts
+    } else {
+        Vec::new() // malformed or legacy table: fall back to TCP everywhere
+    };
+    let shm_dir = match dir {
+        Some("-") | None => None,
+        Some(d) => Some(PathBuf::from(d)),
+    };
+    Ok((
+        stream,
+        MeshInfo {
+            peer_addrs,
+            peer_hosts,
+            shm_dir,
+        },
+    ))
 }
 
 /// Send this worker's final report to the coordinator.
@@ -413,9 +506,11 @@ mod tests {
         // ever checking in. The coordinator must detect the death, kill
         // worker 0, and fail well before the launch timeout.
         let started = Instant::now();
-        let result = launch(2, Duration::from_secs(60), &mut |i, _addr| {
+        let result = launch(2, Duration::from_secs(60), None, &mut |i, _addr| {
             if i == 0 {
-                Command::new("sh").args(["-c", "sleep 600"]).spawn()
+                // exec so the reaper's kill reaches the sleep itself, not
+                // just the wrapping shell.
+                Command::new("sh").args(["-c", "exec sleep 600"]).spawn()
             } else {
                 Command::new("sh").args(["-c", "exit 7"]).spawn()
             }
@@ -437,8 +532,25 @@ mod tests {
 
     #[test]
     fn hello_parsing_rejects_garbage() {
-        assert!(parse_hello("hello 2 127.0.0.1:1").is_ok());
+        assert_eq!(
+            parse_hello("hello 2 127.0.0.1:1 hostA.boot1").unwrap(),
+            (2, "127.0.0.1:1".into(), "hostA.boot1".into())
+        );
+        // Legacy hello without a fingerprint still parses (empty host).
+        assert_eq!(
+            parse_hello("hello 2 127.0.0.1:1").unwrap(),
+            (2, "127.0.0.1:1".into(), String::new())
+        );
         assert!(parse_hello("hello x addr").is_err());
         assert!(parse_hello("mesh a,b").is_err());
+    }
+
+    #[test]
+    fn host_fingerprint_is_stable_and_clean() {
+        let a = host_fingerprint();
+        let b = host_fingerprint();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(!a.contains(char::is_whitespace) && !a.contains(','));
     }
 }

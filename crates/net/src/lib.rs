@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod launch;
+pub mod shm;
 pub mod socket;
 pub mod transport;
 pub mod wire;
 
 pub use launch::LaunchError;
+pub use shm::shm_supported;
 pub use socket::{MeshOpts, NetConfig, NetEndpoint, NetFaults, SocketPlane};
-pub use transport::{InProcessEndpoint, InProcessPlane, NetError, NetStats, Transport};
+pub use transport::{InProcessEndpoint, InProcessPlane, NetError, NetStats, PlaneKind, Transport};
 pub use wire::{CodecError, Frame, FrameKind, WireMsg, EAGER_MAX};

@@ -38,16 +38,18 @@
 //! that is benign (the whole world already finished) or fatal, via
 //! [`Transport::peer_gone`].
 
-use crate::transport::{NetError, NetStats, Transport};
+use crate::shm::{shm_supported, ShmConn, ShmOpts, DEFAULT_RING_BYTES};
+use crate::transport::{NetError, NetStats, PlaneKind, Transport};
 use crate::wire::{
-    parse_u32_payload, u32_payload, CodecError, Frame, FrameKind, WireMsg, CREDIT_BATCH, EAGER_MAX,
-    INITIAL_CREDITS,
+    parse_u32_payload, read_fully, u32_payload, CodecError, Frame, FrameHeader, FrameKind, WireMsg,
+    CREDIT_BATCH, EAGER_MAX, FRAME_HEADER_BYTES, INITIAL_CREDITS,
 };
 use dcuda_des::SplitMix64;
 use dcuda_trace::{Tracer, Track};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::Write;
+use std::io::{IoSlice, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -71,8 +73,13 @@ pub struct NetConfig {
     pub eager_max: usize,
     /// Flush the per-connection write buffer when it crosses this size.
     pub coalesce_limit: usize,
+    /// Payloads at least this large skip the coalescing buffer and ship as
+    /// their own iovec in a vectored write (single payload copy).
+    pub vectored_min: usize,
     /// Initial per-connection send credits.
     pub initial_credits: u32,
+    /// Per-direction shared-memory ring capacity for same-host peers.
+    pub shm_ring_bytes: usize,
     /// Optional byte-stream fault injection.
     pub faults: Option<NetFaults>,
     /// Record net send/recv/flush instants on [`Track::Net`].
@@ -84,7 +91,9 @@ impl Default for NetConfig {
         NetConfig {
             eager_max: EAGER_MAX,
             coalesce_limit: 8192,
+            vectored_min: 1024,
             initial_credits: INITIAL_CREDITS,
+            shm_ring_bytes: DEFAULT_RING_BYTES,
             faults: None,
             traced: false,
         }
@@ -102,6 +111,15 @@ pub struct MeshOpts {
     pub devices_per_proc: u32,
     /// Mesh listener address of every process, index-aligned.
     pub peer_addrs: Vec<String>,
+    /// Host fingerprint of every process, index-aligned. Two processes
+    /// with equal fingerprints share a host and negotiate the
+    /// shared-memory plane (when `shm_dir` is set). An empty table forces
+    /// TCP for every peer.
+    pub peer_hosts: Vec<String>,
+    /// Directory for the shared-memory pair files (must be on a
+    /// filesystem visible to every same-host process). `None` disables
+    /// the shm plane.
+    pub shm_dir: Option<PathBuf>,
     /// This process's already-bound mesh listener.
     pub listener: TcpListener,
     /// Transport tuning.
@@ -112,20 +130,26 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
 
 // --- plane-wide shared state --------------------------------------------
 
+/// Plane-wide counters, shared with the shm links (`crate::shm`).
 #[derive(Default)]
-struct AtomicStats {
-    frames_sent: AtomicU64,
-    frames_recv: AtomicU64,
-    bytes_sent: AtomicU64,
-    eager_msgs: AtomicU64,
-    rndz_msgs: AtomicU64,
-    coalesced_flushes: AtomicU64,
-    net_retries: AtomicU64,
-    net_dups_suppressed: AtomicU64,
+pub(crate) struct AtomicStats {
+    pub(crate) frames_sent: AtomicU64,
+    pub(crate) frames_recv: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) eager_msgs: AtomicU64,
+    pub(crate) rndz_msgs: AtomicU64,
+    pub(crate) coalesced_flushes: AtomicU64,
+    pub(crate) net_retries: AtomicU64,
+    pub(crate) net_dups_suppressed: AtomicU64,
+    pub(crate) shm_msgs: AtomicU64,
+    pub(crate) shm_bytes_sent: AtomicU64,
+    pub(crate) copies_tx: AtomicU64,
+    pub(crate) copies_rx: AtomicU64,
+    pub(crate) vectored_writes: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self) -> NetStats {
+    pub(crate) fn snapshot(&self) -> NetStats {
         NetStats {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             frames_recv: self.frames_recv.load(Ordering::Relaxed),
@@ -135,28 +159,80 @@ impl AtomicStats {
             coalesced_flushes: self.coalesced_flushes.load(Ordering::Relaxed),
             net_retries: self.net_retries.load(Ordering::Relaxed),
             net_dups_suppressed: self.net_dups_suppressed.load(Ordering::Relaxed),
+            shm_msgs: self.shm_msgs.load(Ordering::Relaxed),
+            shm_bytes_sent: self.shm_bytes_sent.load(Ordering::Relaxed),
+            copies_tx: self.copies_tx.load(Ordering::Relaxed),
+            copies_rx: self.copies_rx.load(Ordering::Relaxed),
+            vectored_writes: self.vectored_writes.load(Ordering::Relaxed),
         }
     }
 }
+
+/// An outbound frame kept in parts — frame header fields, encoded message
+/// header, payload — until the bytes hit the socket, so the payload is
+/// never re-staged on the way out.
+struct OutFrame {
+    kind: FrameKind,
+    dst_device: u32,
+    seq: u64,
+    /// Frame payload prefix: the encoded message header, or the entire
+    /// payload for control frames.
+    head: Vec<u8>,
+    /// Payload bytes appended after `head`. Shared so fault duplication
+    /// and rendezvous parking never copy the payload.
+    data: Arc<[u8]>,
+}
+
+impl OutFrame {
+    fn ctl(kind: FrameKind, dst_device: u32, seq: u64, head: Vec<u8>) -> OutFrame {
+        OutFrame {
+            kind,
+            dst_device,
+            seq,
+            head,
+            data: Arc::from([]),
+        }
+    }
+
+    fn payload_len(&self) -> usize {
+        self.head.len() + self.data.len()
+    }
+}
+
+/// A large frame staged for a vectored write: its header bytes (frame
+/// header + message header, one small Vec) and the shared payload, plus
+/// the `wbuf` watermark that keeps the stream in emit order.
+struct BigOut {
+    wmark: usize,
+    head: Vec<u8>,
+    data: Arc<[u8]>,
+}
+
+/// A parked rendezvous transfer: `(dst_device, encoded header, payload)`.
+type ParkedRndz = (u32, Vec<u8>, Arc<[u8]>);
 
 /// Send half of one process-pair connection. Shared (behind a mutex)
 /// between the local host threads and the connection's reader thread,
 /// which writes credit returns and rendezvous grants back on it.
 struct ConnTx {
     stream: TcpStream,
-    /// Coalescing write buffer (encoded frames).
+    /// Coalescing write buffer for short frames (encoded bytes).
     wbuf: Vec<u8>,
-    /// Frames in `wbuf` (to count coalesced flushes).
+    /// Frames staged (wbuf + big) since the last flush.
     wbuf_frames: u64,
+    /// Large frames staged for the next vectored write, in emit order
+    /// relative to `wbuf` via their watermark.
+    big: Vec<BigOut>,
     /// First transmissions waiting for credits, in send order.
-    pending: VecDeque<Frame>,
+    pending: VecDeque<OutFrame>,
     /// Fault-dropped frames awaiting retransmission (credit already paid).
-    parked: VecDeque<Frame>,
+    parked: VecDeque<OutFrame>,
     credits: u32,
     next_seq: u64,
-    /// Rendezvous payloads parked until the receiver grants the transfer:
-    /// seq -> (dst_device, encoded message).
-    rndz_parked: HashMap<u64, (u32, Vec<u8>)>,
+    /// Rendezvous payloads parked until the receiver grants the transfer.
+    rndz_parked: HashMap<u64, ParkedRndz>,
+    /// Payloads at least this large ship as their own iovec.
+    vectored_min: usize,
     /// Fault decision stream (first transmissions of data-class frames).
     rng: Option<SplitMix64>,
     drop_p: f64,
@@ -168,36 +244,42 @@ struct ConnTx {
 
 impl ConnTx {
     /// Queue a message for this connection (eager or rendezvous by size).
-    fn enqueue(&mut self, dst_device: u32, msg: &WireMsg, eager_max: usize, stats: &AtomicStats) {
+    fn enqueue(&mut self, dst_device: u32, msg: WireMsg, eager_max: usize, stats: &AtomicStats) {
         if self.closed {
             return;
         }
-        let encoded = msg.encode();
+        let (head, data) = msg.into_parts();
+        let encoded_len = head.len() + data.len();
+        let data: Arc<[u8]> = data.into();
         let seq = self.next_seq;
         self.next_seq += 1;
-        if encoded.len() <= eager_max {
+        if encoded_len <= eager_max {
             stats.eager_msgs.fetch_add(1, Ordering::Relaxed);
-            self.pending.push_back(Frame {
+            self.pending.push_back(OutFrame {
                 kind: FrameKind::Data,
                 dst_device,
                 seq,
-                payload: encoded,
+                head,
+                data,
             });
         } else {
             stats.rndz_msgs.fetch_add(1, Ordering::Relaxed);
-            let declared = encoded.len() as u32;
-            self.rndz_parked.insert(seq, (dst_device, encoded));
-            self.pending.push_back(Frame {
-                kind: FrameKind::RndzRequest,
+            let declared = encoded_len as u32;
+            self.rndz_parked.insert(seq, (dst_device, head, data));
+            self.pending.push_back(OutFrame::ctl(
+                FrameKind::RndzRequest,
                 dst_device,
                 seq,
-                payload: u32_payload(declared),
-            });
+                u32_payload(declared),
+            ));
         }
     }
 
-    /// Buffer one frame, applying fault rolls on first transmissions.
-    fn emit(&mut self, frame: Frame, fresh: bool, stats: &AtomicStats) {
+    /// Stage one frame for the wire, applying fault rolls on first
+    /// transmissions. Short frames coalesce into `wbuf`; payloads of at
+    /// least `vectored_min` bytes become their own iovec so the kernel
+    /// write is the only payload copy.
+    fn emit(&mut self, frame: OutFrame, fresh: bool, stats: &AtomicStats) {
         let mut copies = 1u64;
         if fresh && frame.kind.consumes_credit() {
             if let Some(rng) = self.rng.as_mut() {
@@ -213,20 +295,47 @@ impl ConnTx {
                 }
             }
         }
-        let mut bytes = 0u64;
+        let fh = FrameHeader {
+            kind: frame.kind,
+            dst_device: frame.dst_device,
+            seq: frame.seq,
+            payload_len: frame.payload_len(),
+        };
         for _ in 0..copies {
-            let before = self.wbuf.len();
-            frame.encode_into(&mut self.wbuf);
-            bytes += (self.wbuf.len() - before) as u64;
+            if frame.data.len() < self.vectored_min {
+                // Short-frame fallback: coalesce (payload staged once here,
+                // then written: two copy events when it carries data).
+                fh.encode_into(&mut self.wbuf);
+                self.wbuf.extend_from_slice(&frame.head);
+                self.wbuf.extend_from_slice(&frame.data);
+                if !frame.data.is_empty() {
+                    stats.copies_tx.fetch_add(2, Ordering::Relaxed);
+                }
+            } else {
+                let mut hb = Vec::with_capacity(FRAME_HEADER_BYTES + frame.head.len());
+                fh.encode_into(&mut hb);
+                hb.extend_from_slice(&frame.head);
+                self.big.push(BigOut {
+                    wmark: self.wbuf.len(),
+                    head: hb,
+                    data: Arc::clone(&frame.data),
+                });
+                // The vectored kernel write is the single payload copy.
+                stats.copies_tx.fetch_add(1, Ordering::Relaxed);
+            }
             self.wbuf_frames += 1;
         }
         stats.frames_sent.fetch_add(copies, Ordering::Relaxed);
-        stats.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        stats.bytes_sent.fetch_add(
+            copies * (FRAME_HEADER_BYTES + fh.payload_len) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Drain retransmissions and credit-eligible pending frames into the
-    /// write buffer, then flush it if forced or over the coalescing limit.
-    /// Returns true if any bytes moved toward the socket.
+    /// write stage, then flush if forced, over the coalescing limit, or
+    /// holding any vectored payload. Returns true if any bytes moved
+    /// toward the socket.
     fn service(
         &mut self,
         force_flush: bool,
@@ -255,7 +364,8 @@ impl ConnTx {
                 moved = true;
             }
         }
-        if !self.wbuf.is_empty() && (force_flush || self.wbuf.len() >= coalesce_limit) {
+        let staged = !self.wbuf.is_empty() || !self.big.is_empty();
+        if staged && (force_flush || self.wbuf.len() >= coalesce_limit || !self.big.is_empty()) {
             if let Err(e) = self.flush(stats) {
                 return (moved, Some(e));
             }
@@ -265,11 +375,20 @@ impl ConnTx {
     }
 
     fn flush(&mut self, stats: &AtomicStats) -> Result<(), NetError> {
+        if self.wbuf.is_empty() && self.big.is_empty() {
+            return Ok(());
+        }
         if self.wbuf_frames > 1 {
             stats.coalesced_flushes.fetch_add(1, Ordering::Relaxed);
         }
-        let r = self.stream.write_all(&self.wbuf);
+        let r = if self.big.is_empty() {
+            self.stream.write_all(&self.wbuf)
+        } else {
+            stats.vectored_writes.fetch_add(1, Ordering::Relaxed);
+            write_vectored_all(&mut self.stream, &self.wbuf, &self.big)
+        };
         self.wbuf.clear();
+        self.big.clear();
         self.wbuf_frames = 0;
         if let Err(e) = r {
             self.closed = true;
@@ -281,10 +400,44 @@ impl ConnTx {
     fn idle(&self) -> bool {
         self.closed
             || (self.wbuf.is_empty()
+                && self.big.is_empty()
                 && self.pending.is_empty()
                 && self.parked.is_empty()
                 && self.rndz_parked.is_empty())
     }
+}
+
+/// One `writev` pass over the interleaving of the coalescing buffer and
+/// the staged large payloads, preserving emit order, with a continuation
+/// loop for partial writes.
+fn write_vectored_all(stream: &mut TcpStream, wbuf: &[u8], big: &[BigOut]) -> std::io::Result<()> {
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(big.len() * 2 + 1);
+    let mut pos = 0usize;
+    for b in big {
+        if b.wmark > pos {
+            slices.push(IoSlice::new(&wbuf[pos..b.wmark]));
+            pos = b.wmark;
+        }
+        slices.push(IoSlice::new(&b.head));
+        if !b.data.is_empty() {
+            slices.push(IoSlice::new(&b.data));
+        }
+    }
+    if pos < wbuf.len() {
+        slices.push(IoSlice::new(&wbuf[pos..]));
+    }
+    let mut bufs = &mut slices[..];
+    while !bufs.is_empty() {
+        let n = stream.write_vectored(bufs)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "vectored write made no progress",
+            ));
+        }
+        IoSlice::advance_slices(&mut bufs, n);
+    }
+    Ok(())
 }
 
 struct ConnShared {
@@ -292,12 +445,28 @@ struct ConnShared {
     tx: Mutex<ConnTx>,
 }
 
+/// A peer-pair link: TCP mesh connection or same-host shared-memory rings.
+/// One world can mix both (plane selection is per peer pair).
+enum PeerLink {
+    Tcp(Arc<ConnShared>),
+    Shm(Arc<ShmConn>),
+}
+
+impl PeerLink {
+    fn kind(&self) -> PlaneKind {
+        match self {
+            PeerLink::Tcp(_) => PlaneKind::Tcp,
+            PeerLink::Shm(_) => PlaneKind::Shm,
+        }
+    }
+}
+
 struct PlaneShared {
     my_proc: u32,
     procs: u32,
     devices_per_proc: u32,
-    /// Connections indexed by peer process (None at `my_proc`).
-    conns: Vec<Option<Arc<ConnShared>>>,
+    /// Peer links indexed by peer process (None at `my_proc`).
+    conns: Vec<Option<PeerLink>>,
     /// Inbox senders for local devices (loopback + reader routing).
     local_tx: Vec<mpsc::Sender<WireMsg>>,
     stats: AtomicStats,
@@ -337,6 +506,13 @@ impl PlaneShared {
         }
     }
 
+    fn tcp_conn(&self, proc: u32) -> Option<&Arc<ConnShared>> {
+        match self.conns.get(proc as usize) {
+            Some(Some(PeerLink::Tcp(c))) => Some(c),
+            _ => None,
+        }
+    }
+
     /// Service one connection's send side; record failures.
     fn service_conn(&self, conn: &ConnShared, force: bool) -> bool {
         let mut tx = self.lock_tx(conn);
@@ -348,6 +524,39 @@ impl PlaneShared {
             self.set_peer_gone(conn.peer_proc);
         }
         moved
+    }
+
+    /// Route one inbound message to its local device inbox.
+    fn route_local(&self, dst_device: u32, msg: WireMsg) {
+        let base = self.first_local_device();
+        let idx = dst_device.wrapping_sub(base) as usize;
+        match self.local_tx.get(idx) {
+            // A closed inbox means that host already exited (its ranks
+            // finished); late messages are moot.
+            Some(tx) => {
+                let _ = tx.send(msg);
+            }
+            None => {
+                self.set_error(NetError::Io(format!(
+                    "frame routed to device {dst_device}, not local to process {}",
+                    self.my_proc
+                )));
+            }
+        }
+    }
+
+    /// Drain every shm link's inbound ring into the local inboxes.
+    fn drain_shm(&self) -> bool {
+        let mut consumed = false;
+        for link in self.conns.iter().flatten() {
+            if let PeerLink::Shm(conn) = link {
+                match conn.drain(&self.stats, |dst, msg| self.route_local(dst, msg)) {
+                    Ok(c) => consumed |= c,
+                    Err(e) => self.set_error(e),
+                }
+            }
+        }
+        consumed
     }
 }
 
@@ -362,12 +571,20 @@ impl SocketPlane {
     /// `j > i`; each side opens with a [`FrameKind::Hello`] frame carrying
     /// its process index. The caller (launcher) must have distributed
     /// `peer_addrs` beforehand.
+    ///
+    /// Peers whose entry in `peer_hosts` matches this process's (and with
+    /// `shm_dir` set, on a platform with mmap) skip the TCP mesh and
+    /// negotiate the shared-memory plane instead — both sides compute the
+    /// same predicate from the same tables, so the dial/accept counts stay
+    /// consistent without extra handshaking.
     pub fn establish(opts: MeshOpts) -> Result<Vec<NetEndpoint>, NetError> {
         let MeshOpts {
             my_proc,
             procs,
             devices_per_proc,
             peer_addrs,
+            peer_hosts,
+            shm_dir,
             listener,
             config,
         } = opts;
@@ -377,9 +594,27 @@ impl SocketPlane {
                 peer_addrs.len()
             )));
         }
+        if !peer_hosts.is_empty() && peer_hosts.len() != procs as usize {
+            return Err(NetError::Io(format!(
+                "peer host table has {} entries for {procs} processes",
+                peer_hosts.len()
+            )));
+        }
+        let shm_ok = shm_dir.is_some() && shm_supported() && !peer_hosts.is_empty();
+        let use_shm = |j: u32| -> bool {
+            // An empty fingerprint means "host unknown" (legacy worker):
+            // never treat two unknowns as the same machine.
+            shm_ok
+                && j != my_proc
+                && !peer_hosts[my_proc as usize].is_empty()
+                && peer_hosts[j as usize] == peer_hosts[my_proc as usize]
+        };
         let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
         let mut streams: Vec<Option<TcpStream>> = (0..procs).map(|_| None).collect();
         for (j, addr) in peer_addrs.iter().enumerate().take(my_proc as usize) {
+            if use_shm(j as u32) {
+                continue;
+            }
             let stream = dial(addr, deadline)?;
             stream.set_nodelay(true)?;
             let hello = Frame {
@@ -392,8 +627,9 @@ impl SocketPlane {
             streams[j] = Some(stream);
         }
         listener.set_nonblocking(true)?;
+        let expect_accepts = (my_proc + 1..procs).filter(|&j| !use_shm(j)).count();
         let mut accepted = 0;
-        while accepted < procs - 1 - my_proc {
+        while accepted < expect_accepts {
             match listener.accept() {
                 Ok((stream, _)) => {
                     stream.set_nodelay(true)?;
@@ -411,9 +647,7 @@ impl SocketPlane {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if Instant::now() >= deadline {
                         return Err(NetError::Io(format!(
-                            "mesh handshake timed out with {} of {} peers accepted",
-                            accepted,
-                            procs - 1 - my_proc
+                            "mesh handshake timed out with {accepted} of {expect_accepts} peers accepted"
                         )));
                     }
                     std::thread::sleep(Duration::from_millis(2));
@@ -426,7 +660,7 @@ impl SocketPlane {
             .map(|_| mpsc::channel::<WireMsg>())
             .unzip();
 
-        let mut conns: Vec<Option<Arc<ConnShared>>> = (0..procs).map(|_| None).collect();
+        let mut conns: Vec<Option<PeerLink>> = (0..procs).map(|_| None).collect();
         for (j, slot) in streams.iter_mut().enumerate() {
             let Some(stream) = slot.take() else { continue };
             let write_half = stream.try_clone()?;
@@ -443,24 +677,43 @@ impl SocketPlane {
                 }
                 None => (None, 0.0, 0.0),
             };
-            conns[j] = Some(Arc::new(ConnShared {
+            conns[j] = Some(PeerLink::Tcp(Arc::new(ConnShared {
                 peer_proc: j as u32,
                 tx: Mutex::new(ConnTx {
                     stream: write_half,
                     wbuf: Vec::new(),
                     wbuf_frames: 0,
+                    big: Vec::new(),
                     pending: VecDeque::new(),
                     parked: VecDeque::new(),
                     credits: config.initial_credits,
                     next_seq: 0,
                     rndz_parked: HashMap::new(),
+                    vectored_min: config.vectored_min,
                     rng,
                     drop_p,
                     dup_p,
                     closed: false,
                 }),
-            }));
+            })));
             *slot = Some(stream);
+        }
+        if let Some(dir) = shm_dir.as_deref() {
+            for j in 0..procs {
+                if !use_shm(j) {
+                    continue;
+                }
+                let conn = ShmConn::connect(ShmOpts {
+                    dir,
+                    my_proc,
+                    peer_proc: j,
+                    ring_bytes: config.shm_ring_bytes,
+                    eager_max: config.eager_max,
+                    faults: config.faults,
+                    deadline,
+                })?;
+                conns[j as usize] = Some(PeerLink::Shm(Arc::new(conn)));
+            }
         }
 
         let shared = Arc::new(PlaneShared {
@@ -485,7 +738,7 @@ impl SocketPlane {
                 .map_err(|e| NetError::Io(e.to_string()))?;
         }
 
-        Ok(inboxes
+        let mut endpoints: Vec<NetEndpoint> = inboxes
             .into_iter()
             .enumerate()
             .map(|(i, inbox)| NetEndpoint {
@@ -500,7 +753,32 @@ impl SocketPlane {
                 primary: i == 0,
                 clock: 0,
             })
-            .collect())
+            .collect();
+        if config.traced {
+            // Record the negotiated plane per peer as trace metadata (the
+            // launcher also reports it in the world JSON).
+            let planes: Vec<(u32, PlaneKind)> = shared
+                .conns
+                .iter()
+                .enumerate()
+                .filter_map(|(j, l)| l.as_ref().map(|l| (j as u32, l.kind())))
+                .collect();
+            if let Some(ep0) = endpoints.first_mut() {
+                let device = ep0.device;
+                for (k, (proc, kind)) in planes.into_iter().enumerate() {
+                    ep0.tracer.instant(
+                        Track::Net(device),
+                        "plane",
+                        k as u64,
+                        vec![
+                            ("peer_proc", u64::from(proc).into()),
+                            ("plane", kind.as_str().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        Ok(endpoints)
     }
 }
 
@@ -543,44 +821,99 @@ enum Slot {
     AwaitData,
 }
 
+/// Read one message payload off the stream **straight into its final
+/// delivery buffer**: a ≤[`WireMsg::HEADER_MAX`]-byte prefix is read onto
+/// the stack to decode the message header, then the remaining payload
+/// bytes land directly in the delivery `Vec` — one receive-side copy.
+fn read_msg(
+    stream: &mut TcpStream,
+    payload_len: usize,
+    stats: &AtomicStats,
+) -> std::io::Result<WireMsg> {
+    let bad = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let mut prefix = [0u8; WireMsg::HEADER_MAX];
+    let take = payload_len.min(WireMsg::HEADER_MAX);
+    read_fully(stream, &mut prefix[..take])?;
+    let head = WireMsg::decode_header(&prefix[..take]).map_err(bad)?;
+    if head.total_len() != payload_len {
+        return Err(bad(CodecError::TrailingBytes {
+            extra: payload_len.abs_diff(head.total_len()),
+        }));
+    }
+    let mut data = vec![0u8; head.data_len];
+    let spill = take - head.consumed;
+    data[..spill].copy_from_slice(&prefix[head.consumed..take]);
+    read_fully(stream, &mut data[spill..])?;
+    if head.data_len > 0 {
+        stats.copies_rx.fetch_add(1, Ordering::Relaxed);
+    }
+    head.into_msg(data).map_err(bad)
+}
+
+/// Discard `n` payload bytes (duplicate frame already suppressed).
+fn skip_bytes(stream: &mut TcpStream, mut n: usize) -> std::io::Result<()> {
+    let mut scratch = [0u8; 4096];
+    while n > 0 {
+        let take = n.min(scratch.len());
+        read_fully(stream, &mut scratch[..take])?;
+        n -= take;
+    }
+    Ok(())
+}
+
+/// Classify a reader-side io failure: corrupt streams are fatal, anything
+/// else means the peer process died.
+fn reader_fail(shared: &PlaneShared, peer: u32, e: std::io::Error) {
+    if e.kind() == std::io::ErrorKind::InvalidData {
+        let err = e
+            .get_ref()
+            .and_then(|inner| inner.downcast_ref::<CodecError>())
+            .map(|c| NetError::Codec(c.clone()))
+            .unwrap_or_else(|| NetError::Io(e.to_string()));
+        shared.set_error(err);
+    } else {
+        shared.set_peer_gone(peer);
+    }
+}
+
 fn reader_loop(shared: Arc<PlaneShared>, peer: u32, mut stream: TcpStream) {
-    let conn = match shared.conns.get(peer as usize).and_then(|c| c.clone()) {
-        Some(c) => c,
+    let conn = match shared.tcp_conn(peer) {
+        Some(c) => Arc::clone(c),
         None => return,
     };
     let mut expected: u64 = 0;
     let mut reorder: BTreeMap<u64, Slot> = BTreeMap::new();
     let mut fresh_since_credit: u32 = 0;
     loop {
-        let frame = match Frame::read_from(&mut stream) {
-            Ok(Some(f)) => f,
+        let head = match FrameHeader::read_from(&mut stream) {
+            Ok(Some(h)) => h,
             Ok(None) => {
                 // Clean EOF: the peer process exited. Benign iff the world
                 // already finished — the host decides.
                 shared.set_peer_gone(peer);
                 return;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                // Corrupt stream: always fatal.
-                let err = e
-                    .get_ref()
-                    .and_then(|inner| inner.downcast_ref::<CodecError>())
-                    .map(|c| NetError::Codec(c.clone()))
-                    .unwrap_or_else(|| NetError::Io(e.to_string()));
-                shared.set_error(err);
-                return;
-            }
-            Err(_) => {
-                // Mid-frame EOF / reset: the peer process died.
-                shared.set_peer_gone(peer);
+            Err(e) => {
+                reader_fail(&shared, peer, e);
                 return;
             }
         };
         let mut fresh = 0u32;
-        match frame.kind {
-            FrameKind::Hello => {} // late hello: tolerated, carries nothing
+        match head.kind {
+            FrameKind::Hello => {
+                // Late hello: tolerated, carries nothing of interest.
+                if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
+                    reader_fail(&shared, peer, e);
+                    return;
+                }
+            }
             FrameKind::Credit => {
-                let n = match parse_u32_payload(&frame.payload) {
+                let mut payload = vec![0u8; head.payload_len];
+                if let Err(e) = read_fully(&mut stream, &mut payload) {
+                    reader_fail(&shared, peer, e);
+                    return;
+                }
+                let n = match parse_u32_payload(&payload) {
                     Ok(n) => n,
                     Err(e) => {
                         shared.set_error(e.into());
@@ -595,14 +928,22 @@ fn reader_loop(shared: Arc<PlaneShared>, peer: u32, mut stream: TcpStream) {
                 shared.service_conn(&conn, true);
             }
             FrameKind::RndzReady => {
+                if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
+                    reader_fail(&shared, peer, e);
+                    return;
+                }
                 let mut tx = shared.lock_tx(&conn);
-                if let Some((dst_device, encoded)) = tx.rndz_parked.remove(&frame.seq) {
+                if let Some((dst_device, mhead, data)) = tx.rndz_parked.remove(&head.seq) {
+                    // The granted transfer flows through the vectored path
+                    // (rendezvous payloads exceed `vectored_min`), so the
+                    // kernel write is its only send-side copy.
                     tx.emit(
-                        Frame {
+                        OutFrame {
                             kind: FrameKind::RndzData,
                             dst_device,
-                            seq: frame.seq,
-                            payload: encoded,
+                            seq: head.seq,
+                            head: mhead,
+                            data,
                         },
                         false,
                         &shared.stats,
@@ -615,48 +956,56 @@ fn reader_loop(shared: Arc<PlaneShared>, peer: u32, mut stream: TcpStream) {
                 }
             }
             FrameKind::Data => {
-                if frame.seq < expected || reorder.contains_key(&frame.seq) {
+                if head.seq < expected || reorder.contains_key(&head.seq) {
                     shared
                         .stats
                         .net_dups_suppressed
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
+                        reader_fail(&shared, peer, e);
+                        return;
+                    }
                 } else {
-                    let msg = match WireMsg::decode(&frame.payload) {
+                    let msg = match read_msg(&mut stream, head.payload_len, &shared.stats) {
                         Ok(m) => m,
                         Err(e) => {
-                            shared.set_error(e.into());
+                            reader_fail(&shared, peer, e);
                             return;
                         }
                     };
-                    reorder.insert(frame.seq, Slot::Ready(frame.dst_device, msg));
+                    reorder.insert(head.seq, Slot::Ready(head.dst_device, msg));
                     shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
                     fresh = 1;
                 }
             }
             FrameKind::RndzRequest => {
-                if frame.seq < expected || reorder.contains_key(&frame.seq) {
+                if head.seq < expected || reorder.contains_key(&head.seq) {
                     shared
                         .stats
                         .net_dups_suppressed
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
+                        reader_fail(&shared, peer, e);
+                        return;
+                    }
                 } else {
-                    if let Err(e) = parse_u32_payload(&frame.payload) {
+                    let mut payload = vec![0u8; head.payload_len];
+                    if let Err(e) = read_fully(&mut stream, &mut payload) {
+                        reader_fail(&shared, peer, e);
+                        return;
+                    }
+                    if let Err(e) = parse_u32_payload(&payload) {
                         shared.set_error(e.into());
                         return;
                     }
-                    reorder.insert(frame.seq, Slot::AwaitData);
+                    reorder.insert(head.seq, Slot::AwaitData);
                     shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
                     fresh = 1;
                     // Grant the transfer immediately (control frames bypass
                     // credits and coalescing: the sender is waiting).
                     let mut tx = shared.lock_tx(&conn);
                     tx.emit(
-                        Frame {
-                            kind: FrameKind::RndzReady,
-                            dst_device: 0,
-                            seq: frame.seq,
-                            payload: Vec::new(),
-                        },
+                        OutFrame::ctl(FrameKind::RndzReady, 0, head.seq, Vec::new()),
                         false,
                         &shared.stats,
                     );
@@ -666,44 +1015,35 @@ fn reader_loop(shared: Arc<PlaneShared>, peer: u32, mut stream: TcpStream) {
                     }
                 }
             }
-            FrameKind::RndzData => match reorder.get(&frame.seq) {
+            FrameKind::RndzData => match reorder.get(&head.seq) {
                 Some(Slot::AwaitData) => {
-                    let msg = match WireMsg::decode(&frame.payload) {
+                    // The payload streams off the socket directly into the
+                    // delivery buffer — the one receive-side copy.
+                    let msg = match read_msg(&mut stream, head.payload_len, &shared.stats) {
                         Ok(m) => m,
                         Err(e) => {
-                            shared.set_error(e.into());
+                            reader_fail(&shared, peer, e);
                             return;
                         }
                     };
-                    reorder.insert(frame.seq, Slot::Ready(frame.dst_device, msg));
+                    reorder.insert(head.seq, Slot::Ready(head.dst_device, msg));
                 }
                 _ => {
                     shared
                         .stats
                         .net_dups_suppressed
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
+                        reader_fail(&shared, peer, e);
+                        return;
+                    }
                 }
             },
         }
         // Release in strict sequence order.
         while let Some(Slot::Ready(_, _)) = reorder.get(&expected) {
             if let Some(Slot::Ready(dst_device, msg)) = reorder.remove(&expected) {
-                let base = shared.first_local_device();
-                let idx = dst_device.wrapping_sub(base) as usize;
-                match shared.local_tx.get(idx) {
-                    // A closed inbox means that host already exited (its
-                    // ranks finished); late messages are moot.
-                    Some(tx) => {
-                        let _ = tx.send(msg);
-                    }
-                    None => {
-                        shared.set_error(NetError::Io(format!(
-                            "frame routed to device {dst_device}, not local to process {}",
-                            shared.my_proc
-                        )));
-                        return;
-                    }
-                }
+                shared.route_local(dst_device, msg);
             }
             expected += 1;
         }
@@ -714,12 +1054,7 @@ fn reader_loop(shared: Arc<PlaneShared>, peer: u32, mut stream: TcpStream) {
             fresh_since_credit = 0;
             let mut tx = shared.lock_tx(&conn);
             tx.emit(
-                Frame {
-                    kind: FrameKind::Credit,
-                    dst_device: 0,
-                    seq: 0,
-                    payload: u32_payload(n),
-                },
+                OutFrame::ctl(FrameKind::Credit, 0, 0, u32_payload(n)),
                 false,
                 &shared.stats,
             );
@@ -777,19 +1112,17 @@ impl Transport for NetEndpoint {
             }
             return Ok(());
         }
-        let conn = match self
+        if self
             .shared
             .conns
             .get(peer_proc as usize)
             .and_then(|c| c.as_ref())
+            .is_none()
         {
-            Some(c) => Arc::clone(c),
-            None => {
-                return Err(NetError::Io(format!(
-                    "no connection to process {peer_proc} (device {peer})"
-                )))
-            }
-        };
+            return Err(NetError::Io(format!(
+                "no connection to process {peer_proc} (device {peer})"
+            )));
+        }
         if self.tracer.is_enabled() {
             let ts = self.tick();
             let (path, bytes) = match &msg {
@@ -813,15 +1146,27 @@ impl Transport for NetEndpoint {
                 ],
             );
         }
-        {
-            let mut tx = self.shared.lock_tx(&conn);
-            tx.enqueue(peer, &msg, self.shared.eager_max, &self.shared.stats);
+        match &self.shared.conns[peer_proc as usize] {
+            Some(PeerLink::Tcp(conn)) => {
+                let conn = Arc::clone(conn);
+                {
+                    let mut tx = self.shared.lock_tx(&conn);
+                    tx.enqueue(peer, msg, self.shared.eager_max, &self.shared.stats);
+                }
+                self.shared.service_conn(&conn, false);
+            }
+            Some(PeerLink::Shm(conn)) => {
+                conn.send(peer, msg, &self.shared.stats);
+            }
+            None => unreachable!("checked above"),
         }
-        self.shared.service_conn(&conn, false);
         Ok(())
     }
 
     fn try_recv(&mut self) -> Result<Option<WireMsg>, NetError> {
+        // Shm links have no reader thread; drain their rings inline (any
+        // endpoint may do it — routing goes through the shared inboxes).
+        self.shared.drain_shm();
         match self.inbox.try_recv() {
             Ok(msg) => {
                 if self.tracer.is_enabled() {
@@ -850,9 +1195,13 @@ impl Transport for NetEndpoint {
 
     fn pump(&mut self) -> Result<bool, NetError> {
         let mut moved = false;
-        for conn in self.shared.conns.iter().flatten() {
-            moved |= self.shared.service_conn(conn, true);
+        for link in self.shared.conns.iter().flatten() {
+            match link {
+                PeerLink::Tcp(conn) => moved |= self.shared.service_conn(conn, true),
+                PeerLink::Shm(conn) => moved |= conn.service(&self.shared.stats),
+            }
         }
+        moved |= self.shared.drain_shm();
         if moved && self.tracer.is_enabled() {
             let ts = self.tick();
             self.tracer
@@ -862,11 +1211,10 @@ impl Transport for NetEndpoint {
     }
 
     fn idle(&self) -> bool {
-        self.shared
-            .conns
-            .iter()
-            .flatten()
-            .all(|c| self.shared.lock_tx(c).idle())
+        self.shared.conns.iter().flatten().all(|link| match link {
+            PeerLink::Tcp(c) => self.shared.lock_tx(c).idle(),
+            PeerLink::Shm(c) => c.tx_idle(),
+        })
     }
 
     fn remote_devices(&self) -> Vec<u32> {
@@ -878,10 +1226,23 @@ impl Transport for NetEndpoint {
     }
 
     fn peer_gone(&self) -> Option<u32> {
-        match self.shared.peer_gone.lock() {
+        let recorded = match self.shared.peer_gone.lock() {
             Ok(g) => *g,
             Err(p) => *p.into_inner(),
+        };
+        if recorded.is_some() {
+            return recorded;
         }
+        // Shm links have no socket to EOF; probe peer liveness instead.
+        for link in self.shared.conns.iter().flatten() {
+            if let PeerLink::Shm(conn) = link {
+                if !conn.peer_alive() {
+                    self.shared.set_peer_gone(conn.peer_proc());
+                    return Some(conn.peer_proc());
+                }
+            }
+        }
+        None
     }
 
     fn stats(&self) -> NetStats {
@@ -890,6 +1251,15 @@ impl Transport for NetEndpoint {
         } else {
             NetStats::default()
         }
+    }
+
+    fn peer_planes(&self) -> Vec<(u32, PlaneKind)> {
+        self.shared
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(j, l)| l.as_ref().map(|l| (j as u32, l.kind())))
+            .collect()
     }
 
     fn take_tracer(&mut self) -> Tracer {
@@ -920,6 +1290,8 @@ mod tests {
                 procs: 2,
                 devices_per_proc: 1,
                 peer_addrs: addrs2,
+                peer_hosts: vec![],
+                shm_dir: None,
                 listener: l1,
                 config: cfg2,
             })
@@ -930,6 +1302,8 @@ mod tests {
             procs: 2,
             devices_per_proc: 1,
             peer_addrs: addrs,
+            peer_hosts: vec![],
+            shm_dir: None,
             listener: l0,
             config: cfg,
         })
@@ -1075,6 +1449,8 @@ mod tests {
             procs: 2,
             devices_per_proc: 1,
             peer_addrs: vec!["unused".into(), "unused".into()],
+            peer_hosts: vec![],
+            shm_dir: None,
             listener: l0,
             config: NetConfig::default(),
         })
@@ -1095,5 +1471,86 @@ mod tests {
             a0.send(1, deliver(0, vec![0; 32])).unwrap();
             a0.pump().unwrap();
         }
+    }
+
+    #[test]
+    fn tcp_rendezvous_is_single_copy_each_direction() {
+        let (mut a, mut b) = mesh_pair(None);
+        let mut a0 = a.pop().unwrap();
+        let mut b0 = b.pop().unwrap();
+        let n = 8u32;
+        for i in 0..n {
+            a0.send(1, deliver(0, vec![i as u8; EAGER_MAX * 4]))
+                .unwrap();
+        }
+        for i in 0..n {
+            match recv_blocking(&mut b0, &mut a0) {
+                WireMsg::Deliver { data, .. } => assert_eq!(data[0], i as u8),
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !a0.idle() {
+            a0.pump().unwrap();
+            assert!(Instant::now() < deadline, "sender never drained");
+        }
+        let sent = a0.stats();
+        let recvd = b0.stats();
+        assert_eq!(sent.rndz_msgs, u64::from(n));
+        // The acceptance criterion: at most one payload copy per direction
+        // for every rendezvous transfer, proven by the counters.
+        assert_eq!(sent.copies_tx, u64::from(n), "tx copies per rndz payload");
+        assert_eq!(recvd.copies_rx, u64::from(n), "rx copies per rndz payload");
+        assert!(sent.vectored_writes >= u64::from(n));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn same_host_mesh_negotiates_shm_plane() {
+        let dir = std::env::temp_dir().join(format!("dcuda-shm-mesh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let hosts = vec!["hostA".to_string(), "hostA".to_string()];
+        let mk = |my_proc, listener, addrs, hosts, dir: PathBuf| MeshOpts {
+            my_proc,
+            procs: 2,
+            devices_per_proc: 1,
+            peer_addrs: addrs,
+            peer_hosts: hosts,
+            shm_dir: Some(dir),
+            listener,
+            config: NetConfig::default(),
+        };
+        let (addrs2, hosts2, dir2) = (addrs.clone(), hosts.clone(), dir.clone());
+        let t = std::thread::spawn(move || {
+            SocketPlane::establish(mk(1, l1, addrs2, hosts2, dir2)).unwrap()
+        });
+        let mut a = SocketPlane::establish(mk(0, l0, addrs, hosts, dir.clone())).unwrap();
+        let mut b = t.join().unwrap();
+        let mut a0 = a.pop().unwrap();
+        let mut b0 = b.pop().unwrap();
+        assert_eq!(a0.peer_planes(), vec![(1, PlaneKind::Shm)]);
+        assert_eq!(b0.peer_planes(), vec![(0, PlaneKind::Shm)]);
+        // Same contract as the socket mesh: FIFO across the eager/rndz
+        // boundary, single payload copy per direction.
+        let small = deliver(0, vec![1, 2, 3]);
+        let large = deliver(0, vec![9u8; EAGER_MAX * 4]);
+        a0.send(1, small.clone()).unwrap();
+        a0.send(1, large.clone()).unwrap();
+        assert_eq!(recv_blocking(&mut b0, &mut a0), small);
+        assert_eq!(recv_blocking(&mut b0, &mut a0), large);
+        b0.send(0, WireMsg::BarrierRelease).unwrap();
+        assert_eq!(recv_blocking(&mut a0, &mut b0), WireMsg::BarrierRelease);
+        let sent = a0.stats();
+        assert_eq!(sent.shm_msgs, 2);
+        assert!(sent.shm_bytes_sent > 0);
+        assert_eq!(sent.copies_tx, 2); // one per payload-bearing message
+        assert!(a0.peer_gone().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

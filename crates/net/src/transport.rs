@@ -76,6 +76,20 @@ pub struct NetStats {
     pub net_retries: u64,
     /// Duplicate frames suppressed by the sequence window.
     pub net_dups_suppressed: u64,
+    /// Messages that moved over shared-memory rings (same-host plane).
+    pub shm_msgs: u64,
+    /// Bytes written into shared-memory rings.
+    pub shm_bytes_sent: u64,
+    /// Send-side payload copy events: each time the bytes of a
+    /// payload-bearing message are traversed on their way out (staging
+    /// into a buffer, the socket write, or the ring memcpy each count
+    /// one). A zero-copy fast path shows exactly one per message.
+    pub copies_tx: u64,
+    /// Receive-side payload copy events (kernel read or ring memcpy into
+    /// the final delivery buffer, plus any re-staging).
+    pub copies_rx: u64,
+    /// Socket flushes that used a vectored (header+payload iovec) write.
+    pub vectored_writes: u64,
 }
 
 impl NetStats {
@@ -89,6 +103,33 @@ impl NetStats {
         self.coalesced_flushes += other.coalesced_flushes;
         self.net_retries += other.net_retries;
         self.net_dups_suppressed += other.net_dups_suppressed;
+        self.shm_msgs += other.shm_msgs;
+        self.shm_bytes_sent += other.shm_bytes_sent;
+        self.copies_tx += other.copies_tx;
+        self.copies_rx += other.copies_rx;
+        self.vectored_writes += other.vectored_writes;
+    }
+}
+
+/// Which plane a peer-pair connection negotiated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneKind {
+    /// Same-process mpsc channels.
+    InProcess,
+    /// TCP socket mesh.
+    Tcp,
+    /// Same-host shared-memory rings.
+    Shm,
+}
+
+impl PlaneKind {
+    /// Stable lowercase name (report JSON, trace metadata).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlaneKind::InProcess => "inprocess",
+            PlaneKind::Tcp => "tcp",
+            PlaneKind::Shm => "shm",
+        }
     }
 }
 
@@ -132,6 +173,12 @@ pub trait Transport: Send {
     /// Endpoint statistics (zero for in-process planes).
     fn stats(&self) -> NetStats {
         NetStats::default()
+    }
+
+    /// The plane each remote peer *process* negotiated, as
+    /// `(peer_proc, kind)` pairs (empty for single-process planes).
+    fn peer_planes(&self) -> Vec<(u32, PlaneKind)> {
+        Vec::new()
     }
 
     /// Surrender the endpoint's trace recorder (net send/recv/coalesce

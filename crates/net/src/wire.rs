@@ -206,10 +206,6 @@ impl<'a> Cursor<'a> {
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
-
-    fn rest(&self) -> usize {
-        self.buf.len() - self.pos
-    }
 }
 
 const MSG_DELIVER: u8 = 1;
@@ -219,8 +215,18 @@ const MSG_BARRIER_RELEASE: u8 = 4;
 const MSG_FINISHED: u8 = 5;
 
 impl WireMsg {
-    /// Append the encoded message to `buf`.
-    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+    /// Upper bound on an encoded message *header* (everything except the
+    /// trailing payload bytes). `Deliver` is the largest at 54 bytes; the
+    /// streaming reader sizes its stack buffer with this.
+    pub const HEADER_MAX: usize = 64;
+
+    /// Append the encoded message **header** to `buf`: every field except
+    /// the trailing payload bytes. The payload is deliberately the *final*
+    /// field of the encoding, so `encode_header_into(buf); buf.extend(data)`
+    /// produces exactly [`WireMsg::encode`] — the property the vectored
+    /// send path and the shm ring rely on to ship header and payload as
+    /// separate slices without re-staging.
+    pub fn encode_header_into(&self, buf: &mut Vec<u8>) {
         match self {
             WireMsg::Deliver {
                 dst_local,
@@ -247,7 +253,6 @@ impl WireMsg {
                 put_u32(buf, *origin_local);
                 put_u64(buf, *flush_id);
                 put_u32(buf, data.len() as u32);
-                buf.extend_from_slice(data);
             }
             WireMsg::Ack {
                 origin_local,
@@ -270,6 +275,27 @@ impl WireMsg {
         }
     }
 
+    /// Append the encoded message to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.encode_header_into(buf);
+        if let WireMsg::Deliver { data, .. } = self {
+            buf.extend_from_slice(data);
+        }
+    }
+
+    /// Split the message into `(encoded header, payload bytes)` without
+    /// copying the payload. Concatenating the parts reproduces
+    /// [`WireMsg::encode`] exactly.
+    pub fn into_parts(self) -> (Vec<u8>, Vec<u8>) {
+        let mut header = Vec::with_capacity(Self::HEADER_MAX);
+        self.encode_header_into(&mut header);
+        let data = match self {
+            WireMsg::Deliver { data, .. } => data,
+            _ => Vec::new(),
+        };
+        (header, data)
+    }
+
     /// Encode into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(48 + self.payload_len());
@@ -279,16 +305,30 @@ impl WireMsg {
 
     /// Decode a message that must span the whole buffer.
     pub fn decode(buf: &[u8]) -> Result<WireMsg, CodecError> {
-        let mut c = Cursor::new(buf);
-        let msg = Self::decode_from(&mut c)?;
-        if c.rest() != 0 {
-            return Err(CodecError::TrailingBytes { extra: c.rest() });
+        let head = Self::decode_header(buf)?;
+        let total = head.consumed + head.data_len;
+        if buf.len() < total {
+            return Err(CodecError::Truncated {
+                needed: total - buf.len(),
+            });
         }
-        Ok(msg)
+        if buf.len() > total {
+            return Err(CodecError::TrailingBytes {
+                extra: buf.len() - total,
+            });
+        }
+        let data = buf[head.consumed..total].to_vec();
+        head.into_msg(data)
     }
 
-    fn decode_from(c: &mut Cursor<'_>) -> Result<WireMsg, CodecError> {
-        match c.u8()? {
+    /// Decode only the message header from the front of `buf`, leaving the
+    /// payload bytes unread. `buf` need not contain the payload — the first
+    /// `min(len, HEADER_MAX)` bytes of the encoding always suffice. The
+    /// streaming receive path uses this to learn the payload length, then
+    /// reads the payload straight into its final buffer (single copy).
+    pub fn decode_header(buf: &[u8]) -> Result<MsgHeader, CodecError> {
+        let mut c = Cursor::new(buf);
+        let (msg, data_len) = match c.u8()? {
             MSG_DELIVER => {
                 let dst_local = c.u32()?;
                 let win = c.u32()?;
@@ -304,33 +344,46 @@ impl WireMsg {
                 if len > MAX_FRAME_PAYLOAD {
                     return Err(CodecError::Oversize { len: len as u64 });
                 }
-                let data = c.take(len)?.to_vec();
-                Ok(WireMsg::Deliver {
-                    dst_local,
-                    win,
-                    dst_off,
-                    source,
-                    tag,
-                    notify,
-                    seq,
-                    origin_device,
-                    origin_local,
-                    flush_id,
-                    data,
-                })
+                (
+                    WireMsg::Deliver {
+                        dst_local,
+                        win,
+                        dst_off,
+                        source,
+                        tag,
+                        notify,
+                        seq,
+                        origin_device,
+                        origin_local,
+                        flush_id,
+                        data: Vec::new(),
+                    },
+                    len,
+                )
             }
-            MSG_ACK => Ok(WireMsg::Ack {
-                origin_local: c.u32()?,
-                flush_id: c.u64()?,
-            }),
-            MSG_BARRIER_TOKEN => Ok(WireMsg::BarrierToken { device: c.u32()? }),
-            MSG_BARRIER_RELEASE => Ok(WireMsg::BarrierRelease),
-            MSG_FINISHED => Ok(WireMsg::Finished {
-                device: c.u32()?,
-                ranks: c.u32()?,
-            }),
-            kind => Err(CodecError::BadKind { kind }),
-        }
+            MSG_ACK => (
+                WireMsg::Ack {
+                    origin_local: c.u32()?,
+                    flush_id: c.u64()?,
+                },
+                0,
+            ),
+            MSG_BARRIER_TOKEN => (WireMsg::BarrierToken { device: c.u32()? }, 0),
+            MSG_BARRIER_RELEASE => (WireMsg::BarrierRelease, 0),
+            MSG_FINISHED => (
+                WireMsg::Finished {
+                    device: c.u32()?,
+                    ranks: c.u32()?,
+                },
+                0,
+            ),
+            kind => return Err(CodecError::BadKind { kind }),
+        };
+        Ok(MsgHeader {
+            msg,
+            data_len,
+            consumed: c.pos,
+        })
     }
 
     /// Bytes of user payload this message carries.
@@ -339,6 +392,68 @@ impl WireMsg {
             WireMsg::Deliver { data, .. } => data.len(),
             _ => 0,
         }
+    }
+}
+
+/// A decoded message header whose payload bytes have not been read yet
+/// (see [`WireMsg::decode_header`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgHeader {
+    msg: WireMsg,
+    /// Payload bytes that follow the header in the encoded stream.
+    pub data_len: usize,
+    /// Encoded header length (bytes consumed from the front of the buffer).
+    pub consumed: usize,
+}
+
+impl MsgHeader {
+    /// Total encoded length of the message (header + payload).
+    pub fn total_len(&self) -> usize {
+        self.consumed + self.data_len
+    }
+
+    /// Attach the payload bytes and yield the complete message. `data` must
+    /// be exactly the `data_len` bytes that followed the header.
+    pub fn into_msg(self, data: Vec<u8>) -> Result<WireMsg, CodecError> {
+        if data.len() != self.data_len {
+            return Err(if data.len() < self.data_len {
+                CodecError::Truncated {
+                    needed: self.data_len - data.len(),
+                }
+            } else {
+                CodecError::TrailingBytes {
+                    extra: data.len() - self.data_len,
+                }
+            });
+        }
+        Ok(match self.msg {
+            WireMsg::Deliver {
+                dst_local,
+                win,
+                dst_off,
+                source,
+                tag,
+                notify,
+                seq,
+                origin_device,
+                origin_local,
+                flush_id,
+                ..
+            } => WireMsg::Deliver {
+                dst_local,
+                win,
+                dst_off,
+                source,
+                tag,
+                notify,
+                seq,
+                origin_device,
+                origin_local,
+                flush_id,
+                data,
+            },
+            other => other,
+        })
     }
 }
 
@@ -470,6 +585,51 @@ impl Frame {
     /// means the stream ended mid-frame (peer died); clean EOF *between*
     /// frames is reported as `Ok(None)`.
     pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Option<Frame>> {
+        let Some(head) = FrameHeader::read_from(r)? else {
+            return Ok(None);
+        };
+        let mut payload = vec![0u8; head.payload_len];
+        read_fully(r, &mut payload)?;
+        Ok(Some(Frame {
+            kind: head.kind,
+            dst_device: head.dst_device,
+            seq: head.seq,
+            payload,
+        }))
+    }
+}
+
+/// A decoded frame header whose payload has not been read off the stream
+/// yet. The streaming receive path reads this first, then dispatches on
+/// `kind` to read the payload into its final destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Destination device.
+    pub dst_device: u32,
+    /// Connection sequence number.
+    pub seq: u64,
+    /// Declared payload length (already validated ≤ [`MAX_FRAME_PAYLOAD`]).
+    pub payload_len: usize,
+}
+
+impl FrameHeader {
+    /// Append the encoded header (no payload bytes) to `buf`. Appending
+    /// `payload_len` payload bytes afterwards reproduces
+    /// [`Frame::encode`] exactly — the vectored send path writes the two
+    /// parts as separate iovecs.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, FRAME_MAGIC);
+        buf.push(self.kind.to_u8());
+        put_u32(buf, self.dst_device);
+        put_u64(buf, self.seq);
+        put_u32(buf, self.payload_len as u32);
+    }
+
+    /// Read and validate one frame header from a blocking reader; clean EOF
+    /// before the first byte is `Ok(None)`.
+    pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Option<FrameHeader>> {
         let mut header = [0u8; FRAME_HEADER_BYTES];
         let mut got = 0;
         while got < header.len() {
@@ -498,26 +658,33 @@ impl Frame {
         if len > MAX_FRAME_PAYLOAD {
             return Err(codec_io(CodecError::Oversize { len: len as u64 }));
         }
-        let mut payload = vec![0u8; len];
-        let mut got = 0;
-        while got < len {
-            match r.read(&mut payload[got..])? {
-                0 => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        CodecError::Truncated { needed: len - got },
-                    ))
-                }
-                n => got += n,
-            }
-        }
-        Ok(Some(Frame {
+        Ok(Some(FrameHeader {
             kind,
             dst_device,
             seq,
-            payload,
+            payload_len: len,
         }))
     }
+}
+
+/// Fill `buf` from a blocking reader; EOF mid-buffer is an error (the
+/// stream died inside a frame).
+pub fn read_fully(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..])? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    CodecError::Truncated {
+                        needed: buf.len() - got,
+                    },
+                ))
+            }
+            n => got += n,
+        }
+    }
+    Ok(())
 }
 
 fn codec_io(e: CodecError) -> std::io::Error {

@@ -1,0 +1,347 @@
+//! SPSC *byte* ring: variable-length records over a contiguous region.
+//!
+//! This is the ring design behind the shared-memory transport plane
+//! (`dcuda-net`'s `ShmPlane` instantiates it over an `mmap`ed file shared
+//! by two processes). Like the slot ring in `spsc.rs` it is written
+//! against the [`Platform`](crate::plat::Platform) abstraction, so
+//! `dcuda-verify` model-checks the *same protocol* — the index math, the
+//! pad/wrap discipline and the Release/Acquire publication pairing — that
+//! the mapped plane ships.
+//!
+//! # Protocol
+//!
+//! `head` counts bytes ever published by the producer, `tail` bytes ever
+//! consumed; both increase monotonically and are mapped into the region
+//! modulo its capacity. A record is a 4-byte little-endian length word
+//! followed by the body, stored **contiguously** (records never wrap).
+//! All positions stay 4-aligned: the capacity is a multiple of 4 and every
+//! record advance is rounded up to a multiple of 4. When a record would
+//! not fit before the end of the region, the producer writes the
+//! [`PAD_MARKER`] length word and skips to offset 0; the consumer mirrors
+//! the skip.
+//!
+//! Publication order is the whole correctness story, exactly as in the
+//! paper's device/host queues: the producer writes the record bytes
+//! *first* and only then stores the advanced `head` with `Release`; the
+//! consumer `Acquire`-loads `head` before touching the bytes, and
+//! `Release`-stores the advanced `tail` only after it has finished reading
+//! (licensing the producer to overwrite). The verify suite proves the
+//! checker would catch a demotion of either `Release` store.
+
+use crate::plat::{PlatAtomicU64, PlatCell, Platform};
+use std::sync::atomic::Ordering::{Acquire, Release};
+use std::sync::Arc;
+
+/// Length-word value marking "skip to the start of the region".
+pub const PAD_MARKER: u32 = u32::MAX;
+
+/// Bytes of record header (the length word).
+pub const REC_LEN_BYTES: usize = 4;
+
+/// Round a byte count up to the 4-byte record alignment.
+pub const fn round_up4(n: usize) -> usize {
+    (n + 3) & !3
+}
+
+/// Total ring bytes a record with `body_len` content occupies.
+pub const fn record_bytes(body_len: usize) -> usize {
+    REC_LEN_BYTES + round_up4(body_len)
+}
+
+/// Can a record with `body_len` content always fit in an (empty) ring of
+/// `cap` bytes? The bound is `cap / 2`, not `cap`: a record larger than
+/// half the region could need an edge pad bigger than the space it leaves,
+/// making the head/tail occupancy invariant (`head - tail <= cap`)
+/// unsatisfiable at some positions. The shm plane chunks larger transfers
+/// so every chunk satisfies this.
+pub const fn fits(cap: usize, body_len: usize) -> bool {
+    record_bytes(body_len) <= cap / 2
+}
+
+/// Placement decision for one record: where its length word goes and how
+/// far `head` advances once it is published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Bytes skipped at the end of the region (0 = no pad). When nonzero
+    /// the producer writes [`PAD_MARKER`] at the old `head % cap` first.
+    pub pad: usize,
+    /// Region offset of the record's length word.
+    pub offset: usize,
+    /// Total head advance (pad + length word + aligned body).
+    pub advance: u64,
+}
+
+/// Plan the placement of a `record_bytes`-byte record (see
+/// [`record_bytes`]) given the producer frontier `head`, the consumer
+/// frontier `tail` and the region capacity `cap` (a multiple of 4).
+/// Returns `None` when the ring lacks space — the caller retries after
+/// refreshing `tail`. This pure function is shared verbatim by the
+/// model-checked in-memory ring below and the mapped shm ring, so the
+/// trickiest part of the protocol — the wrap/pad offset math — has a
+/// single implementation.
+pub fn plan_record(head: u64, tail: u64, cap: usize, record_bytes: usize) -> Option<Grant> {
+    debug_assert_eq!(cap % 4, 0, "ring capacity must be 4-aligned");
+    debug_assert_eq!(record_bytes % 4, 0, "record sizes are 4-aligned");
+    debug_assert!(
+        record_bytes <= cap / 2,
+        "record exceeds the cap/2 placement bound"
+    );
+    let used = (head - tail) as usize;
+    let at = (head % cap as u64) as usize;
+    let to_edge = cap - at;
+    // Positions are 4-aligned, so when a pad is needed the remaining edge
+    // space always holds the 4-byte marker.
+    let (pad, offset) = if record_bytes <= to_edge {
+        (0, at)
+    } else {
+        (to_edge, 0)
+    };
+    if used + pad + record_bytes > cap {
+        return None;
+    }
+    Some(Grant {
+        pad,
+        offset,
+        advance: (pad + record_bytes) as u64,
+    })
+}
+
+struct Shared<P: Platform> {
+    head: P::AtomicU64,
+    tail: P::AtomicU64,
+    cells: Box<[P::Cell<u8>]>,
+}
+
+// Safety: the SPSC protocol gives each byte cell exactly one writer (the
+// producer, before the Release-publish of `head`) and one reader (the
+// consumer, after the Acquire-load of `head` and before the
+// Release-publish of `tail`), so sharing the region across the two
+// endpoint threads is sound. See the plat.rs safety contract.
+unsafe impl<P: Platform> Sync for Shared<P> {}
+unsafe impl<P: Platform> Send for Shared<P> {}
+
+/// Producer endpoint of [`byte_ring_on`].
+pub struct ByteRingProducer<P: Platform> {
+    shared: Arc<Shared<P>>,
+    head: u64,
+    tail_cache: u64,
+}
+
+/// Consumer endpoint of [`byte_ring_on`].
+pub struct ByteRingConsumer<P: Platform> {
+    shared: Arc<Shared<P>>,
+    tail: u64,
+    head_cache: u64,
+}
+
+/// Create a byte ring of `cap` bytes (rounded up to a multiple of 4) on
+/// platform `P`. Production code uses real atomics; the verify suite
+/// instantiates the identical code on its model-checking platform.
+pub fn byte_ring_on<P: Platform>(cap: usize) -> (ByteRingProducer<P>, ByteRingConsumer<P>) {
+    let cap = round_up4(cap.max(REC_LEN_BYTES + 4));
+    let cells = (0..cap).map(|_| P::Cell::<u8>::empty()).collect();
+    let shared = Arc::new(Shared::<P> {
+        head: P::AtomicU64::new(0),
+        tail: P::AtomicU64::new(0),
+        cells,
+    });
+    (
+        ByteRingProducer {
+            shared: Arc::clone(&shared),
+            head: 0,
+            tail_cache: 0,
+        },
+        ByteRingConsumer {
+            shared,
+            tail: 0,
+            head_cache: 0,
+        },
+    )
+}
+
+impl<P: Platform> ByteRingProducer<P> {
+    /// Ring capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.shared.cells.len()
+    }
+
+    /// Try to push one record; `false` means the ring is full (retry after
+    /// the consumer drains). `body` must satisfy [`fits`] for this ring.
+    pub fn try_push(&mut self, body: &[u8]) -> bool {
+        let cap = self.shared.cells.len();
+        let need = record_bytes(body.len());
+        if need > cap / 2 {
+            return false;
+        }
+        let grant = match plan_record(self.head, self.tail_cache, cap, need) {
+            Some(g) => g,
+            None => {
+                // Stale view of the consumer: refresh and retry once. The
+                // Acquire pairs with the consumer's Release tail store and
+                // licenses us to overwrite the bytes it has consumed.
+                self.tail_cache = self.shared.tail.load(Acquire);
+                match plan_record(self.head, self.tail_cache, cap, need) {
+                    Some(g) => g,
+                    None => return false,
+                }
+            }
+        };
+        if grant.pad > 0 {
+            let at = (self.head % cap as u64) as usize;
+            self.write_bytes(at, &PAD_MARKER.to_le_bytes());
+        }
+        self.write_bytes(grant.offset, &(body.len() as u32).to_le_bytes());
+        self.write_bytes(grant.offset + REC_LEN_BYTES, body);
+        self.head += grant.advance;
+        // Publish: every byte of the record happens-before the consumer's
+        // Acquire load of the new head.
+        self.shared.head.store(self.head, Release);
+        true
+    }
+
+    fn write_bytes(&self, offset: usize, src: &[u8]) {
+        for (i, &b) in src.iter().enumerate() {
+            // Safety: `plan_record` granted us exclusive ownership of this
+            // range (it lies between the consumer frontier and the edge of
+            // the region), and the value a cell held was moved out by the
+            // consumer before it Release-published the tail we read.
+            unsafe { self.shared.cells[offset + i].write(b) };
+        }
+    }
+}
+
+impl<P: Platform> ByteRingConsumer<P> {
+    /// Pop the next record body, or `None` if the ring is empty.
+    pub fn try_pop(&mut self) -> Option<Vec<u8>> {
+        let cap = self.shared.cells.len();
+        loop {
+            if self.head_cache == self.tail {
+                // Pairs with the producer's Release head store: once we
+                // observe the new head, the record bytes are visible.
+                self.head_cache = self.shared.head.load(Acquire);
+                if self.head_cache == self.tail {
+                    return None;
+                }
+            }
+            let at = (self.tail % cap as u64) as usize;
+            let mut lw = [0u8; REC_LEN_BYTES];
+            self.read_bytes(at, &mut lw);
+            let len_word = u32::from_le_bytes(lw);
+            if len_word == PAD_MARKER {
+                // Skip the unused edge; a record is guaranteed to follow
+                // at offset 0 (the producer publishes pad + record as one
+                // head advance).
+                self.tail += (cap - at) as u64;
+                self.shared.tail.store(self.tail, Release);
+                continue;
+            }
+            let len = len_word as usize;
+            let mut body = vec![0u8; len];
+            self.read_bytes(at + REC_LEN_BYTES, &mut body);
+            self.tail += record_bytes(len) as u64;
+            // License the producer to overwrite the consumed bytes.
+            self.shared.tail.store(self.tail, Release);
+            return Some(body);
+        }
+    }
+
+    fn read_bytes(&self, offset: usize, dst: &mut [u8]) {
+        for (i, b) in dst.iter_mut().enumerate() {
+            // Safety: the range lies below the Acquire-observed head, so a
+            // matching write happened-before this read, and each byte of a
+            // record is read exactly once (the tail frontier only moves
+            // past a record after it is fully read).
+            *b = unsafe { self.shared.cells[offset + i].read() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plat::StdPlatform;
+
+    fn ring(cap: usize) -> (ByteRingProducer<StdPlatform>, ByteRingConsumer<StdPlatform>) {
+        byte_ring_on::<StdPlatform>(cap)
+    }
+
+    #[test]
+    fn roundtrip_with_wrap_and_pad() {
+        let (mut tx, mut rx) = ring(32);
+        let mut next = 0u8;
+        for round in 0..64 {
+            // Varying sizes force both the aligned and pad paths.
+            let len = [1usize, 5, 11, 12][round % 4];
+            let body: Vec<u8> = (0..len)
+                .map(|_| {
+                    next = next.wrapping_add(1);
+                    next
+                })
+                .collect();
+            assert!(tx.try_push(&body), "push {round} must fit");
+            assert_eq!(rx.try_pop().as_deref(), Some(&body[..]), "round {round}");
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn full_ring_refuses_then_recovers() {
+        let (mut tx, mut rx) = ring(32);
+        let body = [7u8; 8];
+        let mut pushed = 0;
+        while tx.try_push(&body) {
+            pushed += 1;
+            assert!(pushed < 100, "ring never filled");
+        }
+        assert!(pushed >= 2);
+        assert!(!tx.try_push(&body));
+        assert_eq!(rx.try_pop().as_deref(), Some(&body[..]));
+        assert!(tx.try_push(&body), "space freed by the pop");
+        for _ in 0..pushed {
+            assert_eq!(rx.try_pop().as_deref(), Some(&body[..]));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn oversized_record_is_refused() {
+        let (mut tx, _rx) = ring(16);
+        assert!(!tx.try_push(&[0u8; 64]));
+    }
+
+    #[test]
+    fn cross_thread_stream_preserves_order() {
+        let (mut tx, mut rx) = ring(256);
+        let total = 10_000u32;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..total {
+                    let body = i.to_le_bytes();
+                    while !tx.try_push(&body) {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut expect = 0u32;
+            while expect < total {
+                if let Some(body) = rx.try_pop() {
+                    assert_eq!(body, expect.to_le_bytes());
+                    expect += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn plan_record_pads_at_edge() {
+        // head at 28 of a 32-byte ring: a 12-byte record needs a pad.
+        let g = plan_record(28, 20, 32, 12).expect("fits");
+        assert_eq!(g.pad, 4);
+        assert_eq!(g.offset, 0);
+        assert_eq!(g.advance, 16);
+        // Same record with the ring too full must be refused.
+        assert_eq!(plan_record(28, 8, 32, 12), None);
+    }
+}

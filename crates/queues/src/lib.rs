@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytering;
 pub mod dedup;
 pub mod depth;
 pub mod indexed;
@@ -31,6 +32,7 @@ pub mod notify;
 pub mod plat;
 pub mod spsc;
 
+pub use bytering::{byte_ring_on, ByteRingConsumer, ByteRingProducer};
 pub use dedup::{DedupWindow, RetryDecision, RetryPolicy, RetryTimer, DEDUP_WINDOW};
 pub use depth::DepthStats;
 pub use indexed::IndexedMatcher;

@@ -5,11 +5,14 @@
 //!   rustc/clippy cannot express (see `LINT RULES` below). Deliberately
 //!   simple — line-oriented with a brace-tracking skip for `#[cfg(test)]`
 //!   modules — and wired into the CI `lint` job.
-//! * `bench-diff BASELINE CURRENT [--tol FRAC]` — compare two
-//!   `figures --json` outputs (Figures 6–8) row by row, print a delta
-//!   table, and fail when any series drifts beyond the tolerance
-//!   (default ±10%). Wired into the CI `bench-regression` job; see
-//!   EXPERIMENTS.md for the re-baselining recipe.
+//! * `bench-diff BASELINE CURRENT... [--tol FRAC]` — compare a baseline
+//!   against one or more current JSON files (their figures are unioned):
+//!   Figures 6–8 from `figures --json` diff row by row within a drift
+//!   tolerance (default ±10%), and the `transport` figure from
+//!   `ablation_transport --json` gates against absolute
+//!   `min_value`/`max_value` bounds declared in the baseline (speed-ratio
+//!   floors, copies-per-message ceilings). Wired into the CI
+//!   `bench-regression` job; see EXPERIMENTS.md for re-baselining.
 //! * `launch [ARGS...]` — build and run the `dcuda-launch` binary in
 //!   release mode, forwarding all arguments (see `dcuda-launch --help`
 //!   and EXPERIMENTS.md for recipes). `cargo run -p xtask -- launch
@@ -92,21 +95,39 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
             paths.push(a);
         }
     }
-    let [baseline_path, current_path] = paths.as_slice() else {
-        eprintln!("usage: cargo run -p xtask -- bench-diff BASELINE CURRENT [--tol FRAC]");
+    let [baseline_path, current_paths @ ..] = paths.as_slice() else {
+        eprintln!("usage: cargo run -p xtask -- bench-diff BASELINE CURRENT... [--tol FRAC]");
         return ExitCode::from(2);
     };
+    if current_paths.is_empty() {
+        eprintln!("usage: cargo run -p xtask -- bench-diff BASELINE CURRENT... [--tol FRAC]");
+        return ExitCode::from(2);
+    }
     let load = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         Json::parse(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let (baseline, current) = match (load(baseline_path), load(current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (Err(e), _) | (_, Err(e)) => {
+    let baseline = match load(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
             eprintln!("xtask bench-diff: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Union the current files: each figure is looked up in the first file
+    // that carries it, so `figures --json` and `ablation_transport --json`
+    // outputs can be diffed against one baseline in a single invocation.
+    let mut currents = Vec::new();
+    for path in current_paths {
+        match load(path) {
+            Ok(c) => currents.push(c),
+            Err(e) => {
+                eprintln!("xtask bench-diff: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let current_fig = |fig: &str| -> Option<&Json> { currents.iter().find_map(|c| c.get(fig)) };
 
     // A row's identity within its figure: the concatenated label values.
     let row_label = |row: &Json, keys: &[&str]| -> String {
@@ -129,7 +150,7 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
     for &(fig, label_keys, value_keys) in DIFF_PLAN {
         let (Some(base_rows), Some(cur_rows)) = (
             baseline.get(fig).and_then(Json::as_arr),
-            current.get(fig).and_then(Json::as_arr),
+            current_fig(fig).and_then(Json::as_arr),
         ) else {
             eprintln!("xtask bench-diff: figure {fig:?} missing from one side — regenerate both files with `figures --fig 6,7,8 --json`");
             return ExitCode::FAILURE;
@@ -185,8 +206,64 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
             }
         }
     }
+    // The transport figure gates on absolute bounds, not drift: the
+    // baseline declares floors (`min_value` — e.g. shm must beat tcp 3x on
+    // same-host eager traffic) and ceilings (`max_value` — e.g. at most
+    // one payload copy per rendezvous message per direction). Current rows
+    // without a baseline bound are informational and pass silently.
+    if let Some(bounds) = baseline.get("transport").and_then(Json::as_arr) {
+        let Some(cur_rows) = current_fig("transport").and_then(Json::as_arr) else {
+            eprintln!(
+                "xtask bench-diff: baseline has transport bounds but no current file carries the figure — run `cargo bench -p dcuda-bench --bench ablation_transport -- --json PATH`"
+            );
+            return ExitCode::FAILURE;
+        };
+        for bound in bounds {
+            let Some(row) = bound.get("row").and_then(Json::as_str) else {
+                eprintln!("xtask bench-diff: transport bound lacks a row label");
+                return ExitCode::FAILURE;
+            };
+            let value = cur_rows
+                .iter()
+                .find(|r| r.get("row").and_then(Json::as_str) == Some(row))
+                .and_then(|r| r.get("value"))
+                .and_then(Json::as_f64);
+            let Some(value) = value else {
+                eprintln!("xtask bench-diff: transport row {row:?} missing from current output");
+                return ExitCode::FAILURE;
+            };
+            let min = bound.get("min_value").and_then(Json::as_f64);
+            let max = bound.get("max_value").and_then(Json::as_f64);
+            if min.is_none() && max.is_none() {
+                eprintln!(
+                    "xtask bench-diff: transport bound {row:?} declares no min_value/max_value"
+                );
+                return ExitCode::FAILURE;
+            }
+            let ok = min.is_none_or(|m| value >= m) && max.is_none_or(|m| value <= m);
+            compared += 1;
+            if !ok {
+                regressions += 1;
+            }
+            let bound_str = match (min, max) {
+                (Some(m), None) => format!(">= {m:.4}"),
+                (None, Some(m)) => format!("<= {m:.4}"),
+                (Some(lo), Some(hi)) => format!("{lo:.4}..{hi:.4}"),
+                (None, None) => unreachable!(),
+            };
+            println!(
+                "{:<6} {:<34} {:>14} {:>12.4}  {}",
+                "transp",
+                row,
+                bound_str,
+                value,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+        }
+    }
+
     println!(
-        "\nbench-diff: {compared} metrics compared, {regressions} outside ±{:.0}%",
+        "\nbench-diff: {compared} metrics compared, {regressions} outside bounds (drift tol ±{:.0}%)",
         tol * 100.0
     );
     if regressions > 0 {

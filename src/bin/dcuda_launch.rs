@@ -12,18 +12,26 @@
 //! outputs must agree on every protocol counter and on the checksum, which
 //! is exactly what `tests/net_conformance.rs` asserts.
 //!
+//! Workers on the same host (matching boot-id fingerprints) negotiate the
+//! shared-memory ring plane automatically; `--plane tcp` forces sockets
+//! everywhere, `--plane shm` fails the launch unless every pair got shm.
+//! The report records the outcome per pair under `plane_pairs`.
+//!
 //! ```text
 //! dcuda-launch --procs 2 --devices-per-proc 1 --ranks-per-device 52 \
-//!     --workload overlap --iters 40 --payload 1024 [--faults lossy@11] \
-//!     [--trace out/launch.trace] [--report-json out/launch.json]
+//!     --workload overlap --iters 40 --payload 1024 [--plane auto|tcp|shm] \
+//!     [--faults lossy@11] [--trace out/launch.trace] [--report-json out/launch.json]
 //! ```
 
 use dcuda::workloads::{Workload, WorkloadSpec};
 use dcuda_bench::json::Json;
 use dcuda_fabric::FaultSpec;
-use dcuda_net::{launch, MeshOpts, NetConfig, NetFaults, SocketPlane, Transport};
+use dcuda_net::{
+    launch, MeshOpts, NetConfig, NetFaults, NetStats, PlaneKind, SocketPlane, Transport,
+};
 use dcuda_rt::{ClusterPart, RtConfig, RtReport};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::Command;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -31,6 +39,7 @@ use std::time::Duration;
 #[derive(Clone)]
 struct Args {
     backend: String,
+    plane: String,
     procs: u32,
     devices_per_proc: u32,
     ranks_per_device: u32,
@@ -50,6 +59,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             backend: "multiprocess".into(),
+            plane: "auto".into(),
             procs: 2,
             devices_per_proc: 1,
             ranks_per_device: 4,
@@ -68,9 +78,10 @@ impl Default for Args {
 }
 
 const USAGE: &str = "usage: dcuda-launch [--backend multiprocess|inprocess] [--procs M]
-    [--devices-per-proc D] [--ranks-per-device R] [--workload pingpong|overlap|stencil]
-    [--iters N] [--payload BYTES] [--faults PROFILE] [--trace PATH]
-    [--report-json PATH] [--die-proc K] [--timeout-secs S]";
+    [--plane auto|tcp|shm] [--devices-per-proc D] [--ranks-per-device R]
+    [--workload pingpong|overlap|stencil] [--iters N] [--payload BYTES]
+    [--faults PROFILE] [--trace PATH] [--report-json PATH] [--die-proc K]
+    [--timeout-secs S]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
@@ -81,6 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match flag.as_str() {
             "--backend" => args.backend = val("--backend")?.clone(),
+            "--plane" => args.plane = val("--plane")?.clone(),
             "--procs" => args.procs = parse_num(val("--procs")?, "--procs")?,
             "--devices-per-proc" => {
                 args.devices_per_proc = parse_num(val("--devices-per-proc")?, "--devices-per-proc")?
@@ -108,6 +120,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.backend != "multiprocess" && args.backend != "inprocess" {
         return Err(format!("unknown backend {:?}", args.backend));
+    }
+    if !matches!(args.plane.as_str(), "auto" | "tcp" | "shm") {
+        return Err(format!("unknown plane {:?} (auto|tcp|shm)", args.plane));
     }
     if args.procs == 0 || args.devices_per_proc == 0 || args.ranks_per_device == 0 {
         return Err("procs, devices-per-proc and ranks-per-device must be nonzero".into());
@@ -148,9 +163,35 @@ fn net_faults(args: &Args) -> Result<Option<NetFaults>, String> {
     }))
 }
 
+/// The transport-plane counters nested under `net` in every report shape.
+fn net_json(net: &NetStats) -> Json {
+    Json::obj()
+        .field("frames_sent", Json::from(net.frames_sent))
+        .field("frames_recv", Json::from(net.frames_recv))
+        .field("bytes_sent", Json::from(net.bytes_sent))
+        .field("eager_msgs", Json::from(net.eager_msgs))
+        .field("rndz_msgs", Json::from(net.rndz_msgs))
+        .field("coalesced_flushes", Json::from(net.coalesced_flushes))
+        .field("net_retries", Json::from(net.net_retries))
+        .field("net_dups_suppressed", Json::from(net.net_dups_suppressed))
+        .field("shm_msgs", Json::from(net.shm_msgs))
+        .field("shm_bytes_sent", Json::from(net.shm_bytes_sent))
+        .field("copies_tx", Json::from(net.copies_tx))
+        .field("copies_rx", Json::from(net.copies_rx))
+        .field("vectored_writes", Json::from(net.vectored_writes))
+}
+
 /// The aggregate report both backends emit: protocol counters plus the
-/// world checksum, with transport-plane counters nested under `net`.
-fn report_json(args: &Args, world: u32, report: &RtReport, checksum: u64) -> Json {
+/// world checksum, with transport-plane counters nested under `net` and
+/// the negotiated plane of every peer pair under `plane_pairs`
+/// (`"lo-hi": "shm"|"tcp"`, empty for single-process runs).
+fn report_json(
+    args: &Args,
+    world: u32,
+    report: &RtReport,
+    checksum: u64,
+    plane_pairs: Json,
+) -> Json {
     Json::obj()
         .field("backend", Json::str(args.backend.clone()))
         .field("workload", Json::str(args.workload.name()))
@@ -167,24 +208,8 @@ fn report_json(args: &Args, world: u32, report: &RtReport, checksum: u64) -> Jso
         .field("retries", Json::from(report.retries))
         .field("dups_suppressed", Json::from(report.dups_suppressed))
         .field("checksum", Json::str(format!("{checksum:#018x}")))
-        .field(
-            "net",
-            Json::obj()
-                .field("frames_sent", Json::from(report.net.frames_sent))
-                .field("frames_recv", Json::from(report.net.frames_recv))
-                .field("bytes_sent", Json::from(report.net.bytes_sent))
-                .field("eager_msgs", Json::from(report.net.eager_msgs))
-                .field("rndz_msgs", Json::from(report.net.rndz_msgs))
-                .field(
-                    "coalesced_flushes",
-                    Json::from(report.net.coalesced_flushes),
-                )
-                .field("net_retries", Json::from(report.net.net_retries))
-                .field(
-                    "net_dups_suppressed",
-                    Json::from(report.net.net_dups_suppressed),
-                ),
-        )
+        .field("plane_pairs", plane_pairs)
+        .field("net", net_json(&report.net))
 }
 
 fn write_outputs(args: &Args, rendered: &str) -> Result<(), String> {
@@ -224,11 +249,28 @@ fn run_inprocess(args: &Args) -> Result<(), String> {
     );
     write_outputs(
         args,
-        &report_json(args, world, &report, checksum).to_string(),
+        &report_json(args, world, &report, checksum, Json::obj()).to_string(),
     )
 }
 
 // --- multi-process coordinator -------------------------------------------
+
+/// Temp directory for the launch's shared-memory pair files; removed
+/// (best-effort) when the coordinator exits, so a crashed run leaves at
+/// most one pid-stamped directory behind.
+struct ShmDirGuard(PathBuf);
+
+impl Drop for ShmDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn make_shm_dir() -> Result<ShmDirGuard, String> {
+    let dir = std::env::temp_dir().join(format!("dcuda-launch-shm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    Ok(ShmDirGuard(dir))
+}
 
 fn run_coordinator(args: &Args) -> Result<(), String> {
     let spec = spec_of(args);
@@ -236,9 +278,20 @@ fn run_coordinator(args: &Args) -> Result<(), String> {
     let world = cfg.world();
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Plane policy: `tcp` disables the shm directory outright; `auto` and
+    // `shm` provision one when the platform supports mmap-backed rings
+    // (workers still only negotiate shm with peers sharing their host
+    // fingerprint — `shm` merely asserts afterwards that every pair got it).
+    let shm_guard = match args.plane.as_str() {
+        "tcp" => None,
+        _ if dcuda_net::shm_supported() => Some(make_shm_dir()?),
+        "shm" => return Err("--plane shm: platform lacks shared-memory ring support".into()),
+        _ => None,
+    };
     let reports = launch::launch(
         args.procs,
         Duration::from_secs(args.timeout_secs),
+        shm_guard.as_ref().map(|g| g.0.as_path()),
         &mut |index, control_addr| {
             Command::new(&exe)
                 .args(&argv)
@@ -253,6 +306,7 @@ fn run_coordinator(args: &Args) -> Result<(), String> {
     // checksum partials combine by wrapping addition.
     let mut total = RtReport::default();
     let mut checksum = 0u64;
+    let mut pairs: Vec<(String, String)> = Vec::new();
     for (i, blob) in reports.iter().enumerate() {
         let j = Json::parse(blob).map_err(|e| format!("worker {i} report: {e}"))?;
         let get = |k: &str| -> Result<u64, String> {
@@ -277,11 +331,41 @@ fn run_coordinator(args: &Args) -> Result<(), String> {
             total.net.coalesced_flushes += n("coalesced_flushes");
             total.net.net_retries += n("net_retries");
             total.net.net_dups_suppressed += n("net_dups_suppressed");
+            total.net.shm_msgs += n("shm_msgs");
+            total.net.shm_bytes_sent += n("shm_bytes_sent");
+            total.net.copies_tx += n("copies_tx");
+            total.net.copies_rx += n("copies_rx");
+            total.net.vectored_writes += n("vectored_writes");
+        }
+        // Fold this worker's per-peer plane map into the pair table. Both
+        // ends report every pair; keep the first sighting but flag a
+        // disagreement — it would mean the two sides negotiated
+        // different planes, which the symmetric predicate forbids.
+        let index = get("index")?;
+        if let Some(planes) = j.get("planes").and_then(Json::entries) {
+            for (peer, plane) in planes {
+                let plane = plane.as_str().unwrap_or("?").to_string();
+                let peer: u64 = peer.parse().unwrap_or(u64::MAX);
+                let key = format!("{}-{}", index.min(peer), index.max(peer));
+                match pairs.iter().find(|(k, _)| *k == key) {
+                    None => pairs.push((key, plane)),
+                    Some((_, seen)) if *seen != plane => {
+                        return Err(format!(
+                            "plane disagreement on pair {key}: {seen} vs {plane}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
         }
     }
+    pairs.sort();
+    let plane_pairs = pairs
+        .into_iter()
+        .fold(Json::obj(), |o, (k, v)| o.field(&k, Json::str(v)));
     write_outputs(
         args,
-        &report_json(args, world, &total, checksum).to_string(),
+        &report_json(args, world, &total, checksum, plane_pairs).to_string(),
     )
 }
 
@@ -301,7 +385,7 @@ fn run_worker(args: &Args, index: u32, control_addr: &str) -> Result<(), String>
         .local_addr()
         .map_err(|e| format!("mesh addr: {e}"))?
         .to_string();
-    let (mut control, peer_addrs) = launch::worker_join(
+    let (mut control, mesh) = launch::worker_join(
         control_addr,
         index,
         &mesh_addr,
@@ -309,7 +393,7 @@ fn run_worker(args: &Args, index: u32, control_addr: &str) -> Result<(), String>
     )
     .map_err(|e| format!("control handshake: {e}"))?;
 
-    match worker_run(args, index, listener, peer_addrs) {
+    match worker_run(args, index, listener, mesh) {
         Ok(json) => {
             launch::send_report(&mut control, &json.to_string())
                 .map_err(|e| format!("sending report: {e}"))?;
@@ -326,7 +410,7 @@ fn worker_run(
     args: &Args,
     index: u32,
     listener: TcpListener,
-    peer_addrs: Vec<String>,
+    mesh: launch::MeshInfo,
 ) -> Result<Json, String> {
     let spec = spec_of(args);
     let cfg = cluster_config(args, &spec)?;
@@ -340,11 +424,29 @@ fn worker_run(
         my_proc: index,
         procs: args.procs,
         devices_per_proc: args.devices_per_proc,
-        peer_addrs,
+        peer_addrs: mesh.peer_addrs,
+        peer_hosts: mesh.peer_hosts,
+        shm_dir: if args.plane == "tcp" {
+            None
+        } else {
+            mesh.shm_dir
+        },
         listener,
         config,
     })
     .map_err(|e| format!("socket mesh: {e}"))?;
+    let peer_planes = endpoints
+        .first()
+        .map(|ep| ep.peer_planes())
+        .unwrap_or_default();
+    if args.plane == "shm" {
+        if let Some((peer, kind)) = peer_planes.iter().find(|(_, k)| *k != PlaneKind::Shm) {
+            return Err(format!(
+                "--plane shm: peer {peer} negotiated {} (host fingerprints differ?)",
+                kind.as_str()
+            ));
+        }
+    }
     let planes: Vec<Box<dyn Transport>> = endpoints
         .into_iter()
         .map(|ep| Box::new(ep) as Box<dyn Transport>)
@@ -373,6 +475,9 @@ fn worker_run(
             .enumerate()
             .map(|(i, c)| (first_rank + i as u32, c.load(Ordering::Acquire))),
     );
+    let planes_json = peer_planes.iter().fold(Json::obj(), |o, (peer, kind)| {
+        o.field(&peer.to_string(), Json::str(kind.as_str()))
+    });
     Ok(Json::obj()
         .field("index", Json::from(index))
         .field("puts", Json::from(report.puts))
@@ -382,24 +487,8 @@ fn worker_run(
         .field("retries", Json::from(report.retries))
         .field("dups_suppressed", Json::from(report.dups_suppressed))
         .field("checksum_partial", Json::from(partial))
-        .field(
-            "net",
-            Json::obj()
-                .field("frames_sent", Json::from(report.net.frames_sent))
-                .field("frames_recv", Json::from(report.net.frames_recv))
-                .field("bytes_sent", Json::from(report.net.bytes_sent))
-                .field("eager_msgs", Json::from(report.net.eager_msgs))
-                .field("rndz_msgs", Json::from(report.net.rndz_msgs))
-                .field(
-                    "coalesced_flushes",
-                    Json::from(report.net.coalesced_flushes),
-                )
-                .field("net_retries", Json::from(report.net.net_retries))
-                .field(
-                    "net_dups_suppressed",
-                    Json::from(report.net.net_dups_suppressed),
-                ),
-        ))
+        .field("planes", planes_json)
+        .field("net", net_json(&report.net)))
 }
 
 fn main() {

@@ -147,7 +147,11 @@ fn compute_into_staging(ctx: &mut RtCtx, iter: u32, payload: usize) {
 fn run_pingpong(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
     let rank = ctx.rank().0;
     let payload = spec.payload;
-    let partner = if rank.is_multiple_of(2) { rank + 1 } else { rank - 1 };
+    let partner = if rank.is_multiple_of(2) {
+        rank + 1
+    } else {
+        rank - 1
+    };
     let mut sum = FNV_OFFSET;
     if partner >= world {
         // Odd world: the unpaired last rank sits the game out.

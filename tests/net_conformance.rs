@@ -1,11 +1,15 @@
 //! Backend-conformance suite for `dcuda-launch`: the same world, workload
 //! and seed must produce byte-identical protocol counters and window
 //! checksums whether the cluster runs in one OS process (`--backend
-//! inprocess`) or is split across a socket mesh (`--backend multiprocess`).
+//! inprocess`) or is split across a mesh of workers — and, for the
+//! multi-process runs, whether the peer pairs negotiated the TCP socket
+//! plane (`--plane tcp`) or the same-host shared-memory ring plane
+//! (`--plane shm`).
 //!
-//! The quick tier keeps `cargo test` fast; `DCUDA_FULL_TESTS=1` (set in CI)
-//! grows the worlds and pushes payloads past the eager/rendezvous threshold
-//! so the large-message path is covered too.
+//! The quick tier keeps `cargo test` fast (inprocess vs tcp);
+//! `DCUDA_FULL_TESTS=1` (set in CI) grows the worlds, pushes payloads past
+//! the eager/rendezvous threshold, and adds the shm-plane column of the
+//! matrix plus the plane-parametrized orphan-cleanup run.
 
 use dcuda::bench::json::Json;
 use std::process::Command;
@@ -50,8 +54,40 @@ fn counter(report: &Json, key: &str) -> u64 {
         .unwrap_or_else(|| panic!("report missing counter {key:?}"))
 }
 
-/// Run one workload shape on both backends and assert the RunReports agree.
-fn assert_backends_agree(workload: &str, iters: u32, payload: usize, ranks_per_device: u32) {
+fn net_counter(report: &Json, key: &str) -> u64 {
+    report
+        .get("net")
+        .and_then(|n| n.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Assert every negotiated pair in the report used `plane`.
+fn assert_plane_pairs(report: &Json, plane: &str) {
+    let pairs = report
+        .get("plane_pairs")
+        .and_then(Json::entries)
+        .expect("report lacks plane_pairs");
+    assert!(!pairs.is_empty(), "multiprocess report has no plane pairs");
+    for (pair, kind) in pairs {
+        assert_eq!(
+            kind.as_str(),
+            Some(plane),
+            "pair {pair} negotiated the wrong plane"
+        );
+    }
+}
+
+/// Run one workload shape on the in-process backend plus one multi-process
+/// plane per entry of `planes`, and assert every report agrees with the
+/// in-process golden on protocol counters and checksum.
+fn assert_backends_agree(
+    workload: &str,
+    iters: u32,
+    payload: usize,
+    ranks_per_device: u32,
+    planes: &[&str],
+) {
     let iters = iters.to_string();
     let payload = payload.to_string();
     let rpd = ranks_per_device.to_string();
@@ -71,39 +107,60 @@ fn assert_backends_agree(workload: &str, iters: u32, payload: usize, ranks_per_d
     ];
     let mut inproc_args = vec!["--backend", "inprocess"];
     inproc_args.extend_from_slice(&base);
-    let mut multi_args = vec!["--backend", "multiprocess"];
-    multi_args.extend_from_slice(&base);
-
     let inproc = run_report(&inproc_args);
-    let multi = run_report(&multi_args);
-
-    for &key in COUNTERS {
-        assert_eq!(
-            counter(&inproc, key),
-            counter(&multi, key),
-            "{workload}: counter {key:?} diverges between backends"
-        );
-    }
-    let sum_in = inproc.get("checksum").and_then(Json::as_str);
-    let sum_mp = multi.get("checksum").and_then(Json::as_str);
-    assert!(
-        sum_in.is_some(),
-        "{workload}: inprocess report lacks checksum"
-    );
-    assert_eq!(sum_in, sum_mp, "{workload}: window checksum diverges");
-
-    // Guard against a vacuous pass: the workload must actually communicate,
-    // and the multi-process run must actually have crossed sockets.
     assert!(
         counter(&inproc, "notifications") > 0,
         "{workload} is vacuous"
     );
-    let frames = multi
-        .get("net")
-        .and_then(|n| n.get("frames_sent"))
-        .and_then(Json::as_u64)
-        .unwrap_or(0);
-    assert!(frames > 0, "{workload}: no frames crossed the socket mesh");
+    let sum_in = inproc
+        .get("checksum")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("{workload}: inprocess report lacks checksum"));
+
+    for &plane in planes {
+        let mut multi_args = vec!["--backend", "multiprocess", "--plane", plane];
+        multi_args.extend_from_slice(&base);
+        let multi = run_report(&multi_args);
+
+        for &key in COUNTERS {
+            assert_eq!(
+                counter(&inproc, key),
+                counter(&multi, key),
+                "{workload}/{plane}: counter {key:?} diverges between backends"
+            );
+        }
+        let sum_mp = multi.get("checksum").and_then(Json::as_str);
+        assert_eq!(
+            Some(sum_in),
+            sum_mp,
+            "{workload}/{plane}: window checksum diverges"
+        );
+        assert_plane_pairs(&multi, plane);
+
+        // Guard against a vacuous pass: the multi-process run must have
+        // actually moved bytes over the plane it claims it negotiated.
+        match plane {
+            "shm" => assert!(
+                net_counter(&multi, "shm_msgs") > 0,
+                "{workload}/shm: no messages crossed the shared-memory rings"
+            ),
+            _ => assert!(
+                net_counter(&multi, "frames_sent") > 0,
+                "{workload}/{plane}: no frames crossed the socket mesh"
+            ),
+        }
+    }
+}
+
+/// Which multi-process planes this tier compares against the in-process
+/// golden. The shm cells only run in the full tier (and require a host
+/// where `memfd`/`mmap`-backed rings work, which CI's Linux runners are).
+fn tier_planes() -> &'static [&'static str] {
+    if full_tier() {
+        &["tcp", "shm"]
+    } else {
+        &["tcp"]
+    }
 }
 
 /// Golden conformance: the pingpong microbenchmark (paper Figure 6 shape).
@@ -111,9 +168,9 @@ fn assert_backends_agree(workload: &str, iters: u32, payload: usize, ranks_per_d
 #[test]
 fn conformance_pingpong_backends_agree() {
     if full_tier() {
-        assert_backends_agree("pingpong", 20, 4096, 8);
+        assert_backends_agree("pingpong", 20, 4096, 8, tier_planes());
     } else {
-        assert_backends_agree("pingpong", 5, 512, 4);
+        assert_backends_agree("pingpong", 5, 512, 4, tier_planes());
     }
 }
 
@@ -122,9 +179,9 @@ fn conformance_pingpong_backends_agree() {
 #[test]
 fn conformance_stencil_backends_agree() {
     if full_tier() {
-        assert_backends_agree("stencil", 10, 4096, 8);
+        assert_backends_agree("stencil", 10, 4096, 8, tier_planes());
     } else {
-        assert_backends_agree("stencil", 4, 384, 3);
+        assert_backends_agree("stencil", 4, 384, 3, tier_planes());
     }
 }
 
@@ -132,22 +189,23 @@ fn conformance_stencil_backends_agree() {
 #[test]
 fn conformance_overlap_backends_agree() {
     if full_tier() {
-        assert_backends_agree("overlap", 20, 4096, 8);
+        assert_backends_agree("overlap", 20, 4096, 8, tier_planes());
     } else {
-        assert_backends_agree("overlap", 6, 1024, 4);
+        assert_backends_agree("overlap", 6, 1024, 4, tier_planes());
     }
 }
 
 /// Orphan-cleanup regression: when a worker dies mid-run the coordinator
 /// must fail fast (nonzero exit, bounded time) and reap the surviving
 /// worker rather than hanging on a half-dead mesh.
-#[test]
-fn killed_worker_fails_fast_without_orphans() {
+fn killed_worker_on_plane(plane: &str) {
     let start = Instant::now();
     let out = Command::new(env!("CARGO_BIN_EXE_dcuda-launch"))
         .args([
             "--backend",
             "multiprocess",
+            "--plane",
+            plane,
             "--procs",
             "2",
             "--ranks-per-device",
@@ -168,16 +226,32 @@ fn killed_worker_fails_fast_without_orphans() {
     let elapsed = start.elapsed();
     assert!(
         !out.status.success(),
-        "a run with a dead worker must not report success: {}",
+        "a run with a dead worker must not report success ({plane}): {}",
         String::from_utf8_lossy(&out.stdout)
     );
     assert!(
         elapsed.as_secs() < 60,
-        "coordinator took {elapsed:?} to notice the dead worker"
+        "coordinator took {elapsed:?} to notice the dead worker ({plane})"
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("worker"),
-        "failure should name the dead worker, got: {stderr}"
+        "failure should name the dead worker ({plane}), got: {stderr}"
     );
+}
+
+#[test]
+fn killed_worker_fails_fast_without_orphans() {
+    killed_worker_on_plane("tcp");
+}
+
+/// Same orphan-cleanup guarantee when the dead peer was reached over the
+/// shared-memory plane — liveness there comes from `kill(pid, 0)` probing
+/// rather than a socket EOF, so it is a genuinely different code path.
+#[test]
+fn killed_worker_fails_fast_on_shm_plane() {
+    if !full_tier() {
+        return;
+    }
+    killed_worker_on_plane("shm");
 }
