@@ -1,0 +1,161 @@
+//! Ablation: chunked vs unchunked collective overlap.
+//!
+//! The collective engine pipelines every algorithm in chunks: within each
+//! ring step it posts all outgoing chunk puts first, then reduces incoming
+//! chunks as their notifications land, so chunk `k`'s wire time hides
+//! behind chunk `k+1`'s local reduction. This bench isolates that design
+//! choice on one ring allreduce shape — world 4 on one device, a 64 KiB
+//! u64 buffer (16 KiB ring segments) — by running the identical schedule
+//! with 2 KiB chunks (8 in flight per step) and with the chunk size set to
+//! the whole buffer (one transfer per step, nothing to pipeline behind).
+//!
+//! Each variant is timed through the harness, then one traced run feeds
+//! [`dcuda_trace::coll_overlap_summary`]: its hidden/blocked split of the
+//! `coll_wait` spans is the overlap-efficiency measurement the bench
+//! gates. Chunking must measurably raise the hidden fraction — asserted
+//! here, and bounded in `BENCH_baseline.json` via `xtask bench-diff`.
+//!
+//! `--json PATH` writes a `{"coll": [{"row", "value"}...]}` document;
+//! `xtask bench-diff` checks the rows named in `BENCH_baseline.json`
+//! against `min_value`/`max_value` bounds.
+
+use dcuda_bench::harness::bench;
+use dcuda_bench::json::Json;
+use dcuda_rt::cluster::RankProgram;
+use dcuda_rt::{
+    allreduce_scratch_bytes, run_cluster_traced, try_run_cluster, CollAlgo, CollCtx, CollPlan,
+    Dtype, ReduceOp, RtConfig, WindowId,
+};
+use dcuda_trace::coll_overlap_summary;
+
+/// Reduction buffer (u64 sums): 4 ring segments of 16 KiB.
+const WIN: usize = 64 * 1024;
+/// Pipelined chunk size: 8 chunks in flight per ring step.
+const CHUNK: usize = 2 * 1024;
+/// World size (ranks on one device).
+const RANKS: u32 = 4;
+/// Allreduce rounds per run.
+const ITERS: u32 = 8;
+
+fn config() -> RtConfig {
+    RtConfig::builder()
+        .devices(1)
+        .ranks_per_device(RANKS)
+        .windows(vec![WIN])
+        .coll_scratch(allreduce_scratch_bytes(CollAlgo::Ring, WIN, 8, RANKS))
+        .build()
+        .expect("valid ablation config")
+}
+
+fn programs(chunk_bytes: usize) -> Vec<RankProgram> {
+    (0..RANKS)
+        .map(|r| {
+            let program: RankProgram = Box::new(move |ctx| {
+                let plan = CollPlan::builder()
+                    .algo(CollAlgo::Ring)
+                    .chunk_bytes(chunk_bytes)
+                    .op(ReduceOp::Sum)
+                    .dtype(Dtype::U64)
+                    .build()
+                    .expect("valid coll plan");
+                for iter in 0..ITERS {
+                    let w = ctx.win_mut(WindowId(0));
+                    for (i, cell) in w.chunks_exact_mut(8).enumerate() {
+                        let v = (u64::from(r) << 32) ^ (u64::from(iter) << 16) ^ i as u64;
+                        cell.copy_from_slice(&v.to_le_bytes());
+                    }
+                    ctx.allreduce(WindowId(0), 0, WIN, &plan);
+                }
+            });
+            program
+        })
+        .collect()
+}
+
+struct Variant {
+    name: &'static str,
+    mean_ms: f64,
+    hidden_frac: f64,
+    chunk_waits: u64,
+}
+
+fn run_variant(name: &'static str, chunk_bytes: usize) -> Variant {
+    let cfg = config();
+    let r = bench(&format!("coll/allreduce_{name}"), || {
+        try_run_cluster(&cfg, programs(chunk_bytes)).expect("allreduce run")
+    });
+    // One traced run: the hidden/blocked split of the per-chunk wait spans
+    // is the overlap measurement (CollStats agrees — the spans are just
+    // the per-wait record behind the same counters).
+    let (report, tracer) =
+        run_cluster_traced(&cfg, programs(chunk_bytes)).expect("traced allreduce run");
+    let s = coll_overlap_summary(tracer.spans());
+    let hidden_frac = s
+        .hidden_fraction()
+        .or_else(|| report.coll.hidden_fraction())
+        .expect("run recorded no chunk waits");
+    println!(
+        "  {name}: hidden fraction {hidden_frac:.2} over {} chunk waits ({} reduces, {} bytes reduced)",
+        s.chunk_waits, s.reduces, s.reduce_bytes
+    );
+    Variant {
+        name,
+        mean_ms: r.mean_ms(),
+        hidden_frac,
+        chunk_waits: s.chunk_waits,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = argv
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+
+    println!(
+        "Ablation: chunked vs unchunked ring allreduce, {RANKS} ranks x {WIN} B x {ITERS} rounds"
+    );
+    let chunked = run_variant("chunked", CHUNK);
+    let unchunked = run_variant("unchunked", WIN);
+
+    // The pipeline must have had something to pipeline: 8 chunks per step
+    // chunked, 1 unchunked, same schedule otherwise.
+    assert!(
+        chunked.chunk_waits >= 8 * unchunked.chunk_waits,
+        "chunked run waited {} chunks vs {} unchunked — chunking did not subdivide",
+        chunked.chunk_waits,
+        unchunked.chunk_waits
+    );
+    // The acceptance gate: chunking measurably raises overlap. The traced
+    // hidden fraction is timing-dependent, so the margin here is loose;
+    // BENCH_baseline.json carries the calibrated bounds.
+    assert!(
+        chunked.hidden_frac > unchunked.hidden_frac,
+        "chunked allreduce hid {:.2} of its waits, unchunked {:.2} — pipelining bought nothing",
+        chunked.hidden_frac,
+        unchunked.hidden_frac
+    );
+    let gain = chunked.hidden_frac - unchunked.hidden_frac;
+    println!("  chunk overlap gain: +{gain:.2} hidden fraction");
+
+    if let Some(path) = json_path {
+        let mut rows: Vec<Json> = Vec::new();
+        let mut push = |row: &str, value: f64| {
+            rows.push(
+                Json::obj()
+                    .field("row", Json::str(row))
+                    .field("value", Json::Num(value)),
+            );
+        };
+        for v in [&chunked, &unchunked] {
+            push(&format!("allreduce_{}_hidden_frac", v.name), v.hidden_frac);
+            push(&format!("allreduce_{}_ms", v.name), v.mean_ms);
+        }
+        push("allreduce_chunk_overlap_gain", gain);
+        let doc = Json::obj().field("coll", Json::Arr(rows));
+        std::fs::write(&path, doc.to_string()).expect("write --json output");
+        println!("  wrote {path}");
+    }
+}

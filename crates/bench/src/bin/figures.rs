@@ -1,7 +1,7 @@
 //! Regenerate the dCUDA paper's evaluation figures as printed series.
 //!
 //! ```text
-//! figures [--fig 6|7|8|9|10|11|ablations|faults|all[,..]] [--full]
+//! figures [--fig 6|7|8|9|10|11|ablations|faults|coll|all[,..]] [--full]
 //!         [--serial] [--json [PATH]] [--trace PATH] [--verify]
 //!         [--faults PROFILE]
 //! ```
@@ -29,8 +29,8 @@ use dcuda_apps::micro::overlap::{OverlapPoint, Workload};
 use dcuda_bench::json::Json;
 use dcuda_bench::{
     ablation_bcast_put, ablation_match_cost, ablation_occupancy, ablation_staging,
-    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, fig_faults, set_serial, Effort,
-    ScalingRow,
+    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, fig_coll, fig_faults, set_serial,
+    Effort, ScalingRow,
 };
 use dcuda_core::SystemSpec;
 use dcuda_fabric::FaultSpec;
@@ -79,7 +79,7 @@ fn overlap_json(points: &[OverlapPoint]) -> Json {
     )
 }
 
-const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify] [--faults PROFILE]";
+const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|coll|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify] [--faults PROFILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,7 +128,18 @@ fn main() {
         }
         None => "all".to_string(),
     };
-    const FIGS: [&str; 9] = ["6", "7", "8", "9", "10", "11", "ablations", "faults", "all"];
+    const FIGS: [&str; 10] = [
+        "6",
+        "7",
+        "8",
+        "9",
+        "10",
+        "11",
+        "ablations",
+        "faults",
+        "coll",
+        "all",
+    ];
     let selected: Vec<&str> = which.split(',').map(str::trim).collect();
     for part in &selected {
         if !FIGS.contains(part) {
@@ -440,6 +451,39 @@ fn main() {
                             .collect(),
                     ),
                 ),
+        );
+    }
+
+    if all || selected.contains(&"coll") {
+        println!(
+            "\n== Collectives: chunked ring allreduce on the threaded runtime (hidden fraction = chunk waits already satisfied when first polled) =="
+        );
+        println!(
+            "{:>10} {:>7} {:>12} {:>8} {:>12} {:>14}",
+            "backend", "ranks", "wall [ms]", "hidden", "coll puts", "coll bytes"
+        );
+        let rows = fig_coll(effort);
+        for r in &rows {
+            println!(
+                "{:>10} {:>7} {:>12.1} {:>8.2} {:>12} {:>14}",
+                r.backend, r.ranks, r.wall_ms, r.hidden_frac, r.coll_puts, r.coll_bytes
+            );
+        }
+        out = out.field(
+            "coll",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("backend", Json::str(r.backend))
+                            .field("ranks", Json::from(r.ranks))
+                            .field("wall_ms", Json::from(r.wall_ms))
+                            .field("hidden_frac", Json::from(r.hidden_frac))
+                            .field("coll_puts", Json::from(r.coll_puts))
+                            .field("coll_bytes", Json::from(r.coll_bytes))
+                    })
+                    .collect(),
+            ),
         );
     }
 

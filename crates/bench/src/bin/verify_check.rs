@@ -126,7 +126,7 @@ fn main() {
         ranks_per_device: 2,
         windows: vec![4096],
         ring_capacity: 16,
-        faults: None,
+        ..RtConfig::default()
     };
     let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
     for rank in 0..cfg.world() {

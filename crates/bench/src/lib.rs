@@ -412,6 +412,177 @@ pub fn ablation_match_cost(spec: &SystemSpec) -> Vec<(f64, f64)> {
     })
 }
 
+/// One row of the collective-overlap figure: a chunked ring allreduce on
+/// the *threaded* runtime (real OS threads, not the simulator), measured on
+/// one backend at one world size.
+pub struct CollRow {
+    /// `"inprocess"` (channel plane) or `"socket"` (loopback TCP mesh).
+    pub backend: &'static str,
+    /// World size (ranks).
+    pub ranks: u32,
+    /// Wall-clock for the whole run (ms). Real time — informational, not
+    /// regression-gated.
+    pub wall_ms: f64,
+    /// Fraction of chunk waits whose notification had already arrived when
+    /// first polled (the chunk pipeline hid the transfer behind the
+    /// previous chunk's reduction).
+    pub hidden_frac: f64,
+    /// Internal collective puts routed.
+    pub coll_puts: u64,
+    /// Internal collective payload bytes.
+    pub coll_bytes: u64,
+}
+
+/// Per-rank reduction buffer of the coll figure (u64 sums).
+const COLL_WIN: usize = 64 * 1024;
+/// Chunk size of the pipelined allreduce.
+const COLL_CHUNK: usize = 2 * 1024;
+
+fn coll_programs(first: u32, count: u32, iters: u32) -> Vec<dcuda_rt::cluster::RankProgram> {
+    use dcuda_rt::{CollAlgo, CollCtx, CollPlan, Dtype, ReduceOp, WindowId};
+    (first..first + count)
+        .map(|r| {
+            let program: dcuda_rt::cluster::RankProgram = Box::new(move |ctx| {
+                let plan = CollPlan::builder()
+                    .algo(CollAlgo::Ring)
+                    .chunk_bytes(COLL_CHUNK)
+                    .op(ReduceOp::Sum)
+                    .dtype(Dtype::U64)
+                    .build()
+                    .expect("valid coll plan");
+                for iter in 0..iters {
+                    let w = ctx.win_mut(WindowId(0));
+                    for (i, cell) in w.chunks_exact_mut(8).enumerate() {
+                        let v = (u64::from(r) << 32) ^ (u64::from(iter) << 16) ^ i as u64;
+                        cell.copy_from_slice(&v.to_le_bytes());
+                    }
+                    ctx.allreduce(WindowId(0), 0, COLL_WIN, &plan);
+                }
+            });
+            program
+        })
+        .collect()
+}
+
+fn coll_config(devices: u32, rpd: u32) -> dcuda_rt::RtConfig {
+    use dcuda_rt::{allreduce_scratch_bytes, CollAlgo};
+    dcuda_rt::RtConfig::builder()
+        .devices(devices)
+        .ranks_per_device(rpd)
+        .windows(vec![COLL_WIN])
+        .coll_scratch(allreduce_scratch_bytes(
+            CollAlgo::Ring,
+            COLL_WIN,
+            8,
+            devices * rpd,
+        ))
+        .build()
+        .expect("valid coll config")
+}
+
+/// The collective-overlap figure: chunked ring allreduce at the paper's
+/// rank scales (52/104/208 = 4/8/16 devices x 13 ranks) on the in-process
+/// channel plane and on a loopback socket mesh (two process-shaped halves
+/// living on threads of this process). Reports the hidden-wait fraction —
+/// how much of the notified-RMA chunk traffic the pipeline overlapped with
+/// local reductions.
+pub fn fig_coll(effort: Effort) -> Vec<CollRow> {
+    use dcuda_net::{MeshOpts, NetConfig, SocketPlane, Transport};
+    use std::net::TcpListener;
+    let iters = match effort {
+        Effort::Quick => 4,
+        Effort::Full => 16,
+    };
+    let mut rows = Vec::new();
+    for devices in [4u32, 8, 16] {
+        let rpd = 13;
+        let world = devices * rpd;
+        let cfg = coll_config(devices, rpd);
+
+        let start = std::time::Instant::now();
+        let report =
+            dcuda_rt::try_run_cluster(&cfg, coll_programs(0, world, iters)).expect("inprocess run");
+        rows.push(CollRow {
+            backend: "inprocess",
+            ranks: world,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            hidden_frac: report.coll.hidden_fraction().unwrap_or(0.0),
+            coll_puts: report.coll.puts,
+            coll_bytes: report.coll.bytes,
+        });
+
+        // Socket backend: a two-process-shaped loopback mesh, each half
+        // running its device slice on a helper thread of this process.
+        let half = devices / 2;
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![
+            l0.local_addr().expect("addr").to_string(),
+            l1.local_addr().expect("addr").to_string(),
+        ];
+        let opts = |my_proc, listener| MeshOpts {
+            my_proc,
+            procs: 2,
+            devices_per_proc: half,
+            peer_addrs: addrs.clone(),
+            peer_hosts: Vec::new(),
+            shm_dir: None,
+            listener,
+            config: NetConfig::default(),
+        };
+        let o1 = opts(1, l1);
+        let t = std::thread::spawn(move || SocketPlane::establish(o1).expect("establish proc 1"));
+        let e0 = SocketPlane::establish(opts(0, l0)).expect("establish proc 0");
+        let e1 = t.join().expect("partner establish");
+        let boxed = |eps: Vec<dcuda_net::NetEndpoint>| -> Vec<Box<dyn Transport>> {
+            eps.into_iter()
+                .map(|ep| Box::new(ep) as Box<dyn Transport>)
+                .collect()
+        };
+        let part = move |first| dcuda_rt::ClusterPart {
+            first_device: first,
+            local_devices: half,
+        };
+        let start = std::time::Instant::now();
+        let cfg1 = cfg.clone();
+        let planes1 = boxed(e1);
+        let t = std::thread::spawn(move || {
+            dcuda_rt::try_run_cluster_part(
+                &cfg1,
+                part(half),
+                coll_programs(half * 13, half * 13, iters),
+                planes1,
+                false,
+            )
+            .expect("socket part 1")
+        });
+        let (r0, _) = dcuda_rt::try_run_cluster_part(
+            &cfg,
+            part(0),
+            coll_programs(0, half * 13, iters),
+            boxed(e0),
+            false,
+        )
+        .expect("socket part 0");
+        let (r1, _) = t.join().expect("socket part thread");
+        let hidden = r0.coll.hidden_waits + r1.coll.hidden_waits;
+        let blocked = r0.coll.blocked_waits + r1.coll.blocked_waits;
+        rows.push(CollRow {
+            backend: "socket",
+            ranks: world,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            hidden_frac: if hidden + blocked > 0 {
+                hidden as f64 / (hidden + blocked) as f64
+            } else {
+                0.0
+            },
+            coll_puts: r0.coll.puts + r1.coll.puts,
+            coll_bytes: r0.coll.bytes + r1.coll.bytes,
+        });
+    }
+    rows
+}
+
 /// Run the representative traced simulation behind `figures --trace`: a
 /// reduced Figure 7/8-style overlap workload with cluster-wide tracing
 /// enabled. With `faults` set, the fabric injects that profile so the

@@ -7,6 +7,7 @@
 //! process of a `dcuda-launch` multi-process run executes, with the other
 //! devices reachable over the `dcuda-net` socket mesh.
 
+use crate::coll::CollStats;
 use crate::ctx::RtCtx;
 use crate::host::{FlushHistoryHandle, Host, HostFaults};
 use crate::msg::{Cmd, Delivery};
@@ -27,6 +28,9 @@ pub const MAX_WINDOW_BYTES: usize = 1 << 30;
 /// Upper bound on the world size (every rank is an OS thread).
 pub const MAX_WORLD: u32 = 4096;
 
+/// Default size of the hidden per-rank collective scratch window.
+pub const DEFAULT_COLL_SCRATCH: usize = 64 * 1024;
+
 /// Cluster shape and window layout.
 ///
 /// Construct via [`RtConfig::builder`] for validated assembly, or fill the
@@ -43,6 +47,11 @@ pub struct RtConfig {
     pub ring_capacity: usize,
     /// Deterministic fault plan for the inter-host plane (`None` = healthy).
     pub faults: Option<RtFaultPlan>,
+    /// Bytes of hidden per-rank scratch reserved for the collective engine
+    /// (staging for in-flight reduction chunks). Collectives whose schedule
+    /// needs more fail with `CollError::ScratchTooSmall`; size via
+    /// [`dcuda_coll::allreduce_scratch_bytes`].
+    pub coll_scratch: usize,
 }
 
 /// Seeded fault injection for the threaded runtime's MPI plane: inter-host
@@ -79,6 +88,7 @@ impl Default for RtConfig {
             windows: vec![4096],
             ring_capacity: 64,
             faults: None,
+            coll_scratch: DEFAULT_COLL_SCRATCH,
         }
     }
 }
@@ -114,10 +124,18 @@ impl RtConfig {
         if self.windows.is_empty() {
             return fail("no windows registered".into());
         }
-        if self.windows.len() >= ANY as usize {
+        // +1: the hidden collective-scratch window is appended after the
+        // user layout and must itself stay clear of the wildcard index.
+        if self.windows.len() + 1 >= ANY as usize {
             return fail(format!(
                 "{} windows collide with the wildcard",
                 self.windows.len()
+            ));
+        }
+        if self.coll_scratch > MAX_WINDOW_BYTES {
+            return fail(format!(
+                "collective scratch of {} bytes exceeds the {MAX_WINDOW_BYTES}-byte cap",
+                self.coll_scratch
             ));
         }
         if let Some((i, &bytes)) = self
@@ -190,6 +208,12 @@ impl RtConfigBuilder {
         self
     }
 
+    /// Size of the hidden per-rank collective scratch window.
+    pub fn coll_scratch(mut self, bytes: usize) -> Self {
+        self.cfg.coll_scratch = bytes;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<RtConfig, RtError> {
         self.cfg.validate()?;
@@ -212,6 +236,11 @@ pub struct RtReport {
     pub retries: u64,
     /// Duplicate inter-host messages suppressed by receiver-side dedup.
     pub dups_suppressed: u64,
+    /// Collective-engine statistics, aggregated over all ranks. The
+    /// schedule-determined fields (`puts`, `bytes`, `chunks`) must agree
+    /// across backends like the counters above; the hidden/blocked wait
+    /// split is timing-dependent and exempt from conformance.
+    pub coll: CollStats,
     /// Transport-plane counters (all zero on the in-process backend). These
     /// describe the plumbing, not the protocol: backends must agree on every
     /// field above while this one legitimately differs.
@@ -382,7 +411,6 @@ fn run_part_inner(
     let mut planes = planes.into_iter();
 
     for device in first_device..first_device + local_devices {
-        let barrier_epoch = Arc::new(AtomicU64::new(0));
         let mut cmd_rx = Vec::new();
         let mut delivery_tx = Vec::new();
         let mut flush = Vec::new();
@@ -399,13 +427,25 @@ fn run_part_inner(
                 device,
                 local,
                 ranks_per_device: cfg.ranks_per_device,
-                windows: cfg.windows.iter().map(|&b| vec![0u8; b]).collect(),
+                // User windows in layout order, then the hidden collective
+                // scratch window at index `user_windows`.
+                windows: cfg
+                    .windows
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(cfg.coll_scratch))
+                    .map(|b| vec![0u8; b])
+                    .collect(),
+                user_windows: cfg.windows.len(),
                 cmd: ctx_cmd_tx,
                 delivery: ctx_del_rx,
                 pending: VecDeque::new(),
+                pending_internal: VecDeque::new(),
+                coll_tx: Default::default(),
+                coll_rx: Default::default(),
+                coll: CollStats::default(),
                 flush_sent: 0,
                 flush_done,
-                barrier_epoch: barrier_epoch.clone(),
                 barriers_entered: 0,
                 matched: 0,
                 tracer: if traced {
@@ -417,7 +457,6 @@ fn run_part_inner(
                 abort: abort.clone(),
                 counters: verified.then(Box::default),
                 last_flush_seen: 0,
-                last_epoch_seen: 0,
             };
             // Count already validated against the topology above; treat a
             // mismatch as the config error it would have to be.
@@ -436,9 +475,6 @@ fn run_part_inner(
             plane: planes
                 .next()
                 .ok_or_else(|| RtError::InvalidConfig("fewer endpoints than devices".into()))?,
-            barrier_epoch,
-            barrier_arrived: 0,
-            barrier_tokens: 0,
             finished_global: finished_global.clone(),
             finished_local: 0,
             finished_remote: 0,
@@ -531,6 +567,7 @@ fn run_part_inner(
                 (
                     ctx.matched,
                     ctx.barriers_entered,
+                    ctx.coll,
                     std::mem::take(&mut ctx.tracer),
                     ctx.counters.take(),
                 )
@@ -538,9 +575,10 @@ fn run_part_inner(
         }
         for h in rank_handles {
             match h.join() {
-                Ok((matched, barriers, tracer, shard)) => {
+                Ok((matched, barriers, coll, tracer, shard)) => {
                     report.matched += matched;
                     barrier_rounds = barrier_rounds.max(barriers);
+                    report.coll.absorb(coll);
                     trace.absorb(tracer);
                     if let Some(shard) = shard {
                         shards.push(*shard);

@@ -1,5 +1,6 @@
 //! The per-rank blocking API.
 
+use crate::coll::{CollStats, COLL_TAG_BIT};
 use crate::msg::{Cmd, Delivery};
 use crate::types::{Rank, RtError, RtQuery, Tag, WindowId};
 use dcuda_queues::{
@@ -7,7 +8,7 @@ use dcuda_queues::{
 };
 use dcuda_trace::{Tracer, Track};
 use dcuda_verify::ShardCounters;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,20 +25,31 @@ pub struct RtCtx {
     pub(crate) device: u32,
     pub(crate) local: u32,
     pub(crate) ranks_per_device: u32,
-    /// Rank-private window memory.
+    /// Rank-private window memory: the user-registered windows followed by
+    /// one hidden collective-scratch window at index `user_windows`.
     pub(crate) windows: Vec<Vec<u8>>,
+    /// Number of user-visible windows (`windows.len() - 1`); indices at or
+    /// beyond this are runtime-internal and hidden from the window API.
+    pub(crate) user_windows: usize,
     /// Command ring to the block manager.
     pub(crate) cmd: Sender<Cmd>,
     /// Delivery ring from the block manager.
     pub(crate) delivery: Receiver<Delivery>,
     /// Buffered notifications not yet matched.
     pub(crate) pending: VecDeque<Notification>,
+    /// Collective-engine notifications (tag bit 31 set), buffered apart so
+    /// user queries — wildcards included — can never observe them.
+    pub(crate) pending_internal: VecDeque<Notification>,
+    /// Per-destination send sequence numbers for collective tags.
+    pub(crate) coll_tx: HashMap<u32, u32>,
+    /// Per-source expected receive sequence numbers for collective tags.
+    pub(crate) coll_rx: HashMap<u32, u32>,
+    /// Deterministic collective-engine statistics (reported per cluster).
+    pub(crate) coll: CollStats,
     /// Operations issued (flush ids are sequential from 1).
     pub(crate) flush_sent: u64,
     /// Highest prefix-complete flush id, published by the host.
     pub(crate) flush_done: Arc<AtomicU64>,
-    /// Barrier epoch of this device, bumped by the host on release.
-    pub(crate) barrier_epoch: Arc<AtomicU64>,
     /// Barriers this rank has entered.
     pub(crate) barriers_entered: u64,
     /// Notifications matched (stat).
@@ -58,8 +70,6 @@ pub struct RtCtx {
     pub(crate) counters: Option<Box<ShardCounters>>,
     /// Last observed flush frontier (sequence-monotonicity check).
     pub(crate) last_flush_seen: u64,
-    /// Last observed barrier epoch (sequence-monotonicity check).
-    pub(crate) last_epoch_seen: u64,
 }
 
 impl RtCtx {
@@ -95,6 +105,12 @@ impl RtCtx {
         self.clock
     }
 
+    /// Clock access for the collective engine's trace spans.
+    #[inline]
+    pub(crate) fn trace_tick(&mut self) -> u64 {
+        self.tick()
+    }
+
     /// This rank's window memory.
     ///
     /// # Panics
@@ -116,24 +132,28 @@ impl RtCtx {
             .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
     }
 
-    /// This rank's window memory, or [`RtError::NoSuchWindow`].
+    /// This rank's window memory, or [`RtError::NoSuchWindow`]. The hidden
+    /// collective-scratch window does not exist as far as this API is
+    /// concerned.
     pub fn try_win(&self, win: WindowId) -> Result<&[u8], RtError> {
-        self.windows
-            .get(win.index())
-            .map(Vec::as_slice)
-            .ok_or(RtError::NoSuchWindow {
+        if win.index() >= self.user_windows {
+            return Err(RtError::NoSuchWindow {
                 win,
-                count: self.windows.len(),
-            })
+                count: self.user_windows,
+            });
+        }
+        Ok(self.windows[win.index()].as_slice())
     }
 
     /// This rank's window memory, mutable, or [`RtError::NoSuchWindow`].
     pub fn try_win_mut(&mut self, win: WindowId) -> Result<&mut [u8], RtError> {
-        let count = self.windows.len();
-        self.windows
-            .get_mut(win.index())
-            .map(Vec::as_mut_slice)
-            .ok_or(RtError::NoSuchWindow { win, count })
+        if win.index() >= self.user_windows {
+            return Err(RtError::NoSuchWindow {
+                win,
+                count: self.user_windows,
+            });
+        }
+        Ok(self.windows[win.index()].as_mut_slice())
     }
 
     /// Has the cluster aborted (another thread failed first)?
@@ -248,6 +268,9 @@ impl RtCtx {
                 world: self.world,
             });
         }
+        if notify && tag.0 & COLL_TAG_BIT != 0 {
+            return Err(RtError::ReservedTag { tag });
+        }
         let window = self.try_win(win)?;
         if src_off + len > window.len() {
             return Err(RtError::RangeOutOfBounds {
@@ -319,7 +342,11 @@ impl RtCtx {
                     }
                     w[d.dst_off..d.dst_off + d.data.len()].copy_from_slice(&d.data);
                     if d.notify {
-                        self.pending.push_back(d.notif);
+                        if d.notif.tag & COLL_TAG_BIT != 0 {
+                            self.pending_internal.push_back(d.notif);
+                        } else {
+                            self.pending.push_back(d.notif);
+                        }
                     }
                 }
                 Err(RecvError::Empty) => return Ok(()),
@@ -460,31 +487,13 @@ impl RtCtx {
             .unwrap_or_else(|e| panic!("rank {rank}: barrier: {e}"));
     }
 
-    /// Fallible [`barrier`](Self::barrier).
+    /// Fallible [`barrier`](Self::barrier). Implemented as a dissemination
+    /// barrier on the collective engine (`ceil(log2(world))` rounds of
+    /// zero-length notified puts) — no host-side barrier state exists.
     pub fn try_barrier(&mut self) -> Result<(), RtError> {
         let start = self.tick();
         self.barriers_entered += 1;
-        let want = self.barriers_entered;
-        self.send_cmd(Cmd::Barrier)?;
-        loop {
-            let epoch = self.barrier_epoch.load(Ordering::Acquire);
-            if self.counters.is_some() {
-                let prev = self.last_epoch_seen;
-                if let Some(c) = self.counters.as_mut() {
-                    c.note_consumed(prev, epoch);
-                }
-                self.last_epoch_seen = self.last_epoch_seen.max(epoch);
-            }
-            if epoch >= want {
-                break;
-            }
-            if self.aborted() {
-                return Err(RtError::Aborted);
-            }
-            self.drain_deliveries()?;
-            self.tick();
-            std::thread::yield_now();
-        }
+        crate::coll::barrier_impl(self)?;
         let end = self.tick();
         self.tracer
             .span(Track::Rank(self.rank), "barrier", start, end, vec![]);
@@ -495,48 +504,107 @@ impl RtCtx {
         self.send_cmd(Cmd::Finish)
     }
 
-    // --- Deprecated untyped shims (one release) -------------------------
+    // --- Collective-engine plumbing (crate-internal) --------------------
 
-    /// Untyped [`put_notify`](Self::put_notify).
-    #[deprecated(since = "0.2.0", note = "use `put_notify(WindowId, Rank, …, Tag)`")]
+    /// Index of the hidden scratch window in `windows`.
+    #[inline]
+    pub(crate) fn scratch_index(&self) -> usize {
+        self.user_windows
+    }
+
+    /// Byte length of the hidden scratch window.
+    #[inline]
+    pub(crate) fn scratch_len(&self) -> usize {
+        self.windows[self.user_windows].len()
+    }
+
+    /// Allocate the next collective tag for traffic towards `peer`.
+    /// Per-(sender, receiver) FIFO delivery plus the deterministic SPMD
+    /// collective call order make a per-peer sequence number sufficient to
+    /// pair every collective put with exactly one expected wait.
+    pub(crate) fn next_coll_tag(&mut self, peer: u32) -> u32 {
+        let c = self.coll_tx.entry(peer).or_insert(0);
+        let tag = COLL_TAG_BIT | *c;
+        *c = (*c + 1) & !COLL_TAG_BIT;
+        tag
+    }
+
+    /// The collective tag the next message from `peer` must carry.
+    pub(crate) fn expect_coll_tag(&mut self, peer: u32) -> u32 {
+        let c = self.coll_rx.entry(peer).or_insert(0);
+        let tag = COLL_TAG_BIT | *c;
+        *c = (*c + 1) & !COLL_TAG_BIT;
+        tag
+    }
+
+    /// Collective-engine put: window-to-window by raw index (so it can
+    /// address the hidden scratch window on either side), always notified,
+    /// tagged in the reserved space. Participates in flush completion but
+    /// is invisible to the user-facing put/notification counters, the
+    /// invariant ledger and the trace instant stream; accounted in
+    /// [`CollStats`] instead.
     #[allow(clippy::too_many_arguments)]
-    pub fn put_notify_raw(
+    pub(crate) fn put_internal(
         &mut self,
-        win: u32,
-        dst: u32,
-        dst_off: usize,
+        src_win: usize,
         src_off: usize,
         len: usize,
+        dst: u32,
+        dst_win: usize,
+        dst_off: usize,
         tag: u32,
-    ) {
-        self.put_notify(WindowId(win), Rank(dst), dst_off, src_off, len, Tag(tag));
+    ) -> Result<(), RtError> {
+        debug_assert!(tag & COLL_TAG_BIT != 0);
+        let data = self.windows[src_win][src_off..src_off + len].to_vec();
+        self.flush_sent += 1;
+        let flush_id = self.flush_sent;
+        self.coll.puts += 1;
+        self.coll.bytes += len as u64;
+        self.send_cmd(Cmd::Put {
+            dst,
+            win: dst_win as u32,
+            dst_off,
+            data,
+            tag,
+            notify: true,
+            flush_id,
+        })
     }
 
-    /// Untyped [`put`](Self::put).
-    #[deprecated(since = "0.2.0", note = "use `put(WindowId, Rank, …)`")]
-    pub fn put_raw(&mut self, win: u32, dst: u32, dst_off: usize, src_off: usize, len: usize) {
-        self.put(WindowId(win), Rank(dst), dst_off, src_off, len);
-    }
-
-    /// Untyped [`wait_notifications`](Self::wait_notifications) over a raw
-    /// matcher query.
-    #[deprecated(since = "0.2.0", note = "use `wait_notifications(RtQuery, …)`")]
-    pub fn wait_notifications_raw(&mut self, query: Query, count: usize) {
-        self.wait_notifications(
-            RtQuery::exact(WindowId(query.win), Rank(query.source), Tag(query.tag)),
-            count,
-        );
-    }
-
-    /// Untyped [`win`](Self::win).
-    #[deprecated(since = "0.2.0", note = "use `win(WindowId)`")]
-    pub fn win_raw(&self, win: u32) -> &[u8] {
-        self.win(WindowId(win))
-    }
-
-    /// Untyped [`win_mut`](Self::win_mut).
-    #[deprecated(since = "0.2.0", note = "use `win_mut(WindowId)`")]
-    pub fn win_mut_raw(&mut self, win: u32) -> &mut [u8] {
-        self.win_mut(WindowId(win))
+    /// Block until the collective notification (`source`, `tag`) arrives.
+    /// Returns `true` if it had already arrived at the first poll (the
+    /// transfer was hidden behind preceding local work); `metered` selects
+    /// whether that split is accounted in [`CollStats`] (data chunks yes,
+    /// pure synchronization no).
+    pub(crate) fn wait_internal(
+        &mut self,
+        source: u32,
+        tag: u32,
+        metered: bool,
+    ) -> Result<bool, RtError> {
+        let query = Query {
+            win: u32::MAX,
+            source,
+            tag,
+        };
+        self.drain_deliveries()?;
+        let mut hidden = true;
+        while match_in_order(&mut self.pending_internal, query, 1).is_none() {
+            hidden = false;
+            if self.aborted() {
+                return Err(RtError::Aborted);
+            }
+            self.tick();
+            std::thread::yield_now();
+            self.drain_deliveries()?;
+        }
+        if metered {
+            if hidden {
+                self.coll.hidden_waits += 1;
+            } else {
+                self.coll.blocked_waits += 1;
+            }
+        }
+        Ok(hidden)
     }
 }

@@ -9,6 +9,7 @@
 //! transport delivering per-connection FIFO, so a host's `Deliver`s always
 //! precede its `Finished` broadcasts at the receiver.
 
+use crate::coll::COLL_TAG_BIT;
 use crate::msg::{Cmd, Delivery};
 use crate::types::RtError;
 use dcuda_des::SplitMix64;
@@ -132,11 +133,6 @@ pub(crate) struct Host {
     pub delivery_backlog: Vec<VecDeque<Delivery>>,
     /// This device's endpoint on the inter-host plane.
     pub plane: Box<dyn Transport>,
-    /// Barrier state.
-    pub barrier_epoch: Arc<AtomicU64>,
-    pub barrier_arrived: u32,
-    /// Device 0 only: tokens received for the current barrier round.
-    pub barrier_tokens: u32,
     /// Count of finished ranks in *this process*.
     pub finished_global: Arc<AtomicU32>,
     pub finished_local: u32,
@@ -185,9 +181,12 @@ impl Host {
         rank / self.ranks_per_device
     }
 
-    /// Try to push backlog + a new delivery into a rank's ring.
+    /// Try to push backlog + a new delivery into a rank's ring. Collective
+    /// traffic (tag bit 31) is carried like any other delivery but is
+    /// invisible to the user-facing notification counter.
     fn deliver_local(&mut self, local: u32, delivery: Delivery) {
-        self.notifications_sent += u64::from(delivery.notify);
+        self.notifications_sent +=
+            u64::from(delivery.notify && delivery.notif.tag & COLL_TAG_BIT == 0);
         self.delivery_backlog[local as usize].push_back(delivery);
         self.pump_backlog(local);
     }
@@ -199,7 +198,9 @@ impl Host {
             let notif = d.notif;
             match self.delivery_tx[local as usize].try_send(d) {
                 Ok(()) => {
-                    if notify {
+                    // Collective traffic stays out of the conservation
+                    // ledger on both sides (its sends skip `note_sent` too).
+                    if notify && notif.tag & COLL_TAG_BIT == 0 {
                         if let Some(c) = self.counters.as_mut() {
                             c.note_delivered(target, notif);
                         }
@@ -213,11 +214,11 @@ impl Host {
                     // Rank exited; residual deliveries are moot — but the
                     // conservation ledger must still account for them.
                     if let Some(c) = self.counters.as_mut() {
-                        if d.notify {
+                        if d.notify && d.notif.tag & COLL_TAG_BIT == 0 {
                             c.note_dropped(target, d.notif);
                         }
                         for d in self.delivery_backlog[local as usize].drain(..) {
-                            if d.notify {
+                            if d.notify && d.notif.tag & COLL_TAG_BIT == 0 {
                                 c.note_dropped(target, d.notif);
                             }
                         }
@@ -240,7 +241,9 @@ impl Host {
                 notify,
                 flush_id,
             } => {
-                self.puts_routed += 1;
+                // Collective-engine puts (tag bit 31) route like user puts
+                // but are accounted in `CollStats`, not here.
+                self.puts_routed += u64::from(tag & COLL_TAG_BIT == 0);
                 let rank = self.device * self.ranks_per_device + local;
                 match self.local_of(dst) {
                     Some(dst_local) => {
@@ -313,24 +316,6 @@ impl Host {
                     }
                 }
             }
-            Cmd::Barrier => {
-                self.barrier_arrived += 1;
-                if self.barrier_arrived == self.ranks_per_device {
-                    self.barrier_arrived = 0;
-                    if self.device == 0 {
-                        self.barrier_token_received()?;
-                    } else {
-                        self.plane
-                            .send(
-                                0,
-                                WireMsg::BarrierToken {
-                                    device: self.device,
-                                },
-                            )
-                            .map_err(net_err)?;
-                    }
-                }
-            }
             Cmd::Finish => {
                 // Flush parked retransmits *before* the finish is counted or
                 // announced: the quiescence drain in `run` relies on every
@@ -349,23 +334,6 @@ impl Host {
                                 ranks: 1,
                             },
                         )
-                        .map_err(net_err)?;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn barrier_token_received(&mut self) -> Result<(), RtError> {
-        self.barrier_tokens += 1;
-        if self.barrier_tokens == self.devices {
-            self.barrier_tokens = 0;
-            for d in 0..self.devices {
-                if d == self.device {
-                    self.barrier_epoch.fetch_add(1, Ordering::AcqRel);
-                } else {
-                    self.plane
-                        .send(d, WireMsg::BarrierRelease)
                         .map_err(net_err)?;
                 }
             }
@@ -419,12 +387,12 @@ impl Host {
             } => {
                 self.flush[origin_local as usize].0.complete(flush_id);
             }
-            WireMsg::BarrierToken { device: _ } => {
-                debug_assert_eq!(self.device, 0, "tokens go to host 0");
-                self.barrier_token_received()?;
-            }
-            WireMsg::BarrierRelease => {
-                self.barrier_epoch.fetch_add(1, Ordering::AcqRel);
+            WireMsg::BarrierToken { .. } | WireMsg::BarrierRelease => {
+                // Legacy wire variants (kept for codec stability): the world
+                // barrier now runs entirely as collective-engine puts, so no
+                // conforming peer emits these. Ignore rather than fail so a
+                // mixed-version mesh degrades to the peer hanging, not this
+                // host crashing.
             }
             WireMsg::Finished { device: _, ranks } => {
                 self.finished_remote += ranks;
@@ -510,7 +478,7 @@ impl Host {
                             let target = self.device * self.ranks_per_device + local;
                             let residue: Vec<Notification> = self.delivery_backlog[local as usize]
                                 .drain(..)
-                                .filter(|d| d.notify)
+                                .filter(|d| d.notify && d.notif.tag & COLL_TAG_BIT == 0)
                                 .map(|d| d.notif)
                                 .collect();
                             if let Some(c) = self.counters.as_mut() {

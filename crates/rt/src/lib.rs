@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod coll;
 pub mod ctx;
 pub mod host;
 pub mod msg;
@@ -30,16 +31,27 @@ pub mod types;
 pub use cluster::{
     run_cluster, run_cluster_traced, try_run_cluster, try_run_cluster_part,
     try_run_cluster_verified, ClusterPart, RtConfig, RtConfigBuilder, RtFaultPlan, RtReport,
-    MAX_WINDOW_BYTES, MAX_WORLD,
+    DEFAULT_COLL_SCRATCH, MAX_WINDOW_BYTES, MAX_WORLD,
 };
+pub use coll::{CollCtx, CollStats, COLL_TAG_BIT};
 pub use ctx::RtCtx;
+pub use dcuda_coll::{
+    allreduce_scratch_bytes, reduce_scatter_scratch_bytes, CollAlgo, CollError, CollPlan,
+    CollPlanBuilder, Dtype, ReduceOp,
+};
 pub use dcuda_net::{NetStats, Transport};
 pub use dcuda_verify::VerifyReport;
 pub use types::{Rank, RtError, RtQuery, Tag, WindowId};
 
-#[allow(deprecated)]
-pub use msg::{ANY_RANK, ANY_TAG, ANY_WIN};
-
-/// Raw untyped matcher query, superseded by the typed [`RtQuery`].
-#[deprecated(since = "0.2.0", note = "use `RtQuery`")]
-pub use dcuda_queues::Query as RawQuery;
+/// One-stop imports for writing rank programs: the context, the typed
+/// identifiers, the collective extension trait and the plan vocabulary.
+pub mod prelude {
+    pub use crate::cluster::{RtConfig, RtConfigBuilder, RtFaultPlan, RtReport};
+    pub use crate::coll::{CollCtx, CollStats};
+    pub use crate::ctx::RtCtx;
+    pub use crate::types::{Rank, RtError, RtQuery, Tag, WindowId};
+    pub use dcuda_coll::{
+        allreduce_scratch_bytes, reduce_scatter_scratch_bytes, CollAlgo, CollError, CollPlan,
+        CollPlanBuilder, Dtype, ReduceOp,
+    };
+}

@@ -1,16 +1,6 @@
 //! Message types flowing through the runtime's queues and channels.
 
-use dcuda_queues::{Notification, ANY};
-
-/// Wildcard for the window position of a query (`DCUDA_ANY_WIN`).
-#[deprecated(since = "0.2.0", note = "use `WindowId::ANY`")]
-pub const ANY_WIN: u32 = ANY;
-/// Wildcard for the source position of a query (`DCUDA_ANY_SOURCE`).
-#[deprecated(since = "0.2.0", note = "use `Rank::ANY`")]
-pub const ANY_RANK: u32 = ANY;
-/// Wildcard for the tag position of a query (`DCUDA_ANY_TAG`).
-#[deprecated(since = "0.2.0", note = "use `Tag::ANY`")]
-pub const ANY_TAG: u32 = ANY;
+use dcuda_queues::Notification;
 
 /// A command from a rank to its block manager (device → host ring).
 #[derive(Debug)]
@@ -33,8 +23,6 @@ pub enum Cmd {
         /// Origin's flush sequence number for this operation.
         flush_id: u64,
     },
-    /// The rank entered the barrier collective.
-    Barrier,
     /// The rank's program finished.
     Finish,
 }

@@ -182,6 +182,15 @@ pub enum RtError {
         /// Which argument position held the wildcard.
         position: &'static str,
     },
+    /// A notified put carried a tag with bit 31 set — that tag space is
+    /// reserved for the collective engine.
+    ReservedTag {
+        /// The offending tag.
+        tag: Tag,
+    },
+    /// A collective-layer validation failure (bad plan, misaligned buffer,
+    /// undersized scratch window, root outside the world).
+    Coll(dcuda_coll::CollError),
     /// Cluster configuration rejected by validation.
     InvalidConfig(String),
     /// A runtime channel disconnected because the peer thread exited.
@@ -236,6 +245,10 @@ impl fmt::Display for RtError {
             RtError::WildcardNotAllowed { position } => {
                 write!(f, "wildcard not allowed as {position}")
             }
+            RtError::ReservedTag { tag } => {
+                write!(f, "{tag} has bit 31 set (reserved for collectives)")
+            }
+            RtError::Coll(e) => write!(f, "collective: {e}"),
             RtError::InvalidConfig(msg) => write!(f, "invalid cluster config: {msg}"),
             RtError::Disconnected { link } => write!(f, "{link} disconnected"),
             RtError::RankPanicked { rank, message } => {
@@ -251,6 +264,12 @@ impl fmt::Display for RtError {
 }
 
 impl std::error::Error for RtError {}
+
+impl From<dcuda_coll::CollError> for RtError {
+    fn from(e: dcuda_coll::CollError) -> Self {
+        RtError::Coll(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,7 @@ fn cfg(devices: u32, ranks: u32) -> RtConfig {
         ranks_per_device: ranks,
         windows: vec![4096],
         ring_capacity: 16,
-        faults: None,
+        ..RtConfig::default()
     }
 }
 
@@ -200,7 +200,7 @@ fn wildcard_matrix_all_eight_combos() {
         ranks_per_device: 2,
         windows: vec![256, 256],
         ring_capacity: 16,
-        faults: None,
+        ..RtConfig::default()
     };
     let report = run_cluster(
         &two_windows,
@@ -351,34 +351,6 @@ fn traced_run_records_rank_timelines() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_raw_shims_still_work() {
-    use dcuda_rt::ANY_TAG;
-    run_cluster(
-        &cfg(1, 2),
-        vec![
-            Box::new(|ctx| {
-                ctx.win_mut_raw(0)[0] = 5;
-                ctx.put_notify_raw(0, 1, 0, 0, 1, 3);
-                ctx.put_raw(0, 1, 1, 0, 1);
-                ctx.flush();
-            }),
-            Box::new(|ctx| {
-                ctx.wait_notifications_raw(
-                    dcuda_rt::RawQuery {
-                        win: 0,
-                        source: dcuda_rt::ANY_RANK,
-                        tag: ANY_TAG,
-                    },
-                    1,
-                );
-                assert_eq!(ctx.win_raw(0)[0], 5);
-            }),
-        ],
-    );
-}
-
-#[test]
 fn ring_stress_small_rings_backpressure() {
     // Tiny rings force the credit system and host backlog into action.
     let cfg = RtConfig {
@@ -386,7 +358,7 @@ fn ring_stress_small_rings_backpressure() {
         ranks_per_device: 2,
         windows: vec![1024],
         ring_capacity: 4,
-        faults: None,
+        ..RtConfig::default()
     };
     let world = 4;
     let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
@@ -490,7 +462,7 @@ fn stencil_like_halo_exchange_on_rt() {
             ranks_per_device: ranks,
             windows: vec![win_len],
             ring_capacity: 16,
-            faults: None,
+            ..RtConfig::default()
         },
         programs,
     );
@@ -595,6 +567,7 @@ fn faulted_run_keeps_exactly_once_delivery_and_conservation() {
             drop_p: 0.2,
             dup_p: 0.2,
         }),
+        ..RtConfig::default()
     };
     const MSGS: u32 = 64;
     let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
@@ -634,6 +607,7 @@ fn healthy_fault_plan_is_inert() {
             drop_p: 0.0,
             dup_p: 0.0,
         }),
+        ..RtConfig::default()
     };
     let report = run_cluster(
         &quiet,

@@ -8,11 +8,12 @@
 //! * `bench-diff BASELINE CURRENT... [--tol FRAC]` — compare a baseline
 //!   against one or more current JSON files (their figures are unioned):
 //!   Figures 6–8 from `figures --json` diff row by row within a drift
-//!   tolerance (default ±10%), and the `transport` figure from
-//!   `ablation_transport --json` gates against absolute
-//!   `min_value`/`max_value` bounds declared in the baseline (speed-ratio
-//!   floors, copies-per-message ceilings). Wired into the CI
-//!   `bench-regression` job; see EXPERIMENTS.md for re-baselining.
+//!   tolerance (default ±10%), and the bounded figures (`transport` from
+//!   `ablation_transport --json`, `coll` from `ablation_coll --json`)
+//!   gate against absolute `min_value`/`max_value` bounds declared in the
+//!   baseline (speed-ratio floors, copies-per-message ceilings,
+//!   hidden-fraction floors). Wired into the CI `bench-regression` job;
+//!   see EXPERIMENTS.md for re-baselining.
 //! * `launch [ARGS...]` — build and run the `dcuda-launch` binary in
 //!   release mode, forwarding all arguments (see `dcuda-launch --help`
 //!   and EXPERIMENTS.md for recipes). `cargo run -p xtask -- launch
@@ -30,9 +31,10 @@ use std::process::ExitCode;
 ///    on rank/host threads where a panic poisons the whole cluster join;
 ///    errors must flow as typed `RtError`s (or be documented
 ///    `debug_assert` + infallible conversions).
-/// R2 `no-raw-shims`: no internal *use* of the `#[deprecated] *_raw`
-///    compatibility shims outside their definition site and `tests/`
-///    directories (the shims exist for downstream callers only).
+/// R2 `no-raw-shims`: the 0.2.0 `*_raw` compatibility shims are gone —
+///    no *use* of them anywhere under `crates/*/src`, and no
+///    reintroduction of a `pub fn <name>_raw` method in `crates/rt/src`
+///    (the typed `RtQuery`/`CollCtx` surface is the only public API).
 /// R3 `no-relaxed-spsc`: no `Ordering::Relaxed` in `crates/queues/src`
 ///    non-test code — every counter in the SPSC protocol (seq, tail,
 ///    disconnected) carries release/acquire semantics; a relaxed access is
@@ -206,21 +208,40 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
             }
         }
     }
-    // The transport figure gates on absolute bounds, not drift: the
+    // The ablation figures gate on absolute bounds, not drift: the
     // baseline declares floors (`min_value` — e.g. shm must beat tcp 3x on
-    // same-host eager traffic) and ceilings (`max_value` — e.g. at most
-    // one payload copy per rendezvous message per direction). Current rows
-    // without a baseline bound are informational and pass silently.
-    if let Some(bounds) = baseline.get("transport").and_then(Json::as_arr) {
-        let Some(cur_rows) = current_fig("transport").and_then(Json::as_arr) else {
+    // same-host eager traffic, chunked allreduce must hide half its chunk
+    // waits) and ceilings (`max_value` — e.g. at most one payload copy per
+    // rendezvous message per direction). Current rows without a baseline
+    // bound are informational and pass silently; a bounds figure absent
+    // from the baseline is skipped entirely.
+    //
+    // `figures --json` may emit a same-named figure table (e.g. "coll"),
+    // so bounds figures are looked up by shape: only an array whose every
+    // entry carries a "row" label is the ablation output.
+    let current_bounds = |fig: &str| -> Option<&[Json]> {
+        currents.iter().find_map(|c| {
+            c.get(fig)
+                .and_then(Json::as_arr)
+                .filter(|rows| rows.iter().all(|r| r.get("row").is_some()))
+        })
+    };
+    for (fig, bench_name) in [
+        ("transport", "ablation_transport"),
+        ("coll", "ablation_coll"),
+    ] {
+        let Some(bounds) = baseline.get(fig).and_then(Json::as_arr) else {
+            continue;
+        };
+        let Some(cur_rows) = current_bounds(fig) else {
             eprintln!(
-                "xtask bench-diff: baseline has transport bounds but no current file carries the figure — run `cargo bench -p dcuda-bench --bench ablation_transport -- --json PATH`"
+                "xtask bench-diff: baseline has {fig} bounds but no current file carries the figure — run `cargo bench -p dcuda-bench --bench {bench_name} -- --json PATH`"
             );
             return ExitCode::FAILURE;
         };
         for bound in bounds {
             let Some(row) = bound.get("row").and_then(Json::as_str) else {
-                eprintln!("xtask bench-diff: transport bound lacks a row label");
+                eprintln!("xtask bench-diff: {fig} bound lacks a row label");
                 return ExitCode::FAILURE;
             };
             let value = cur_rows
@@ -229,15 +250,13 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
                 .and_then(|r| r.get("value"))
                 .and_then(Json::as_f64);
             let Some(value) = value else {
-                eprintln!("xtask bench-diff: transport row {row:?} missing from current output");
+                eprintln!("xtask bench-diff: {fig} row {row:?} missing from current output");
                 return ExitCode::FAILURE;
             };
             let min = bound.get("min_value").and_then(Json::as_f64);
             let max = bound.get("max_value").and_then(Json::as_f64);
             if min.is_none() && max.is_none() {
-                eprintln!(
-                    "xtask bench-diff: transport bound {row:?} declares no min_value/max_value"
-                );
+                eprintln!("xtask bench-diff: {fig} bound {row:?} declares no min_value/max_value");
                 return ExitCode::FAILURE;
             }
             let ok = min.is_none_or(|m| value >= m) && max.is_none_or(|m| value <= m);
@@ -253,7 +272,7 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
             };
             println!(
                 "{:<6} {:<34} {:>14} {:>12.4}  {}",
-                "transp",
+                &fig[..fig.len().min(6)],
                 row,
                 bound_str,
                 value,
@@ -334,6 +353,12 @@ fn lint() -> ExitCode {
                 }
                 if line.contains("Ordering::Relaxed") && dir.contains("queues") {
                     findings.push(finding(&file, lineno, "no-relaxed-spsc", line));
+                }
+                // A reintroduced raw escape hatch (`pub fn <name>_raw`)
+                // would bypass the typed query/collective API the 0.3
+                // redesign committed to.
+                if dir.contains("rt") && line.contains("pub fn ") && line.contains("_raw(") {
+                    findings.push(finding(&file, lineno, "no-raw-shims", line));
                 }
             }
         }

@@ -73,7 +73,7 @@ fn main() {
             ranks_per_device,
             windows: vec![win_bytes],
             ring_capacity: 32,
-            faults: None,
+            ..RtConfig::default()
         },
         programs,
     );

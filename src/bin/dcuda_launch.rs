@@ -79,7 +79,7 @@ impl Default for Args {
 
 const USAGE: &str = "usage: dcuda-launch [--backend multiprocess|inprocess] [--procs M]
     [--plane auto|tcp|shm] [--devices-per-proc D] [--ranks-per-device R]
-    [--workload pingpong|overlap|stencil] [--iters N] [--payload BYTES]
+    [--workload pingpong|overlap|stencil|coll] [--iters N] [--payload BYTES]
     [--faults PROFILE] [--trace PATH] [--report-json PATH] [--die-proc K]
     [--timeout-secs S]";
 
@@ -143,10 +143,12 @@ fn spec_of(args: &Args) -> WorkloadSpec {
 }
 
 fn cluster_config(args: &Args, spec: &WorkloadSpec) -> Result<RtConfig, String> {
+    let world = args.procs * args.devices_per_proc * args.ranks_per_device;
     RtConfig::builder()
         .devices(args.procs * args.devices_per_proc)
         .ranks_per_device(args.ranks_per_device)
         .windows(spec.windows())
+        .coll_scratch(spec.coll_scratch(world))
         .build()
         .map_err(|e| e.to_string())
 }
@@ -207,6 +209,9 @@ fn report_json(
         .field("barriers", Json::from(report.barriers))
         .field("retries", Json::from(report.retries))
         .field("dups_suppressed", Json::from(report.dups_suppressed))
+        .field("coll_puts", Json::from(report.coll.puts))
+        .field("coll_bytes", Json::from(report.coll.bytes))
+        .field("coll_chunks", Json::from(report.coll.chunks))
         .field("checksum", Json::str(format!("{checksum:#018x}")))
         .field("plane_pairs", plane_pairs)
         .field("net", net_json(&report.net))
@@ -320,6 +325,9 @@ fn run_coordinator(args: &Args) -> Result<(), String> {
         total.barriers = total.barriers.max(get("barriers")?);
         total.retries += get("retries")?;
         total.dups_suppressed += get("dups_suppressed")?;
+        total.coll.puts += get("coll_puts")?;
+        total.coll.bytes += get("coll_bytes")?;
+        total.coll.chunks += get("coll_chunks")?;
         checksum = checksum.wrapping_add(get("checksum_partial")?);
         if let Some(net) = j.get("net") {
             let n = |k: &str| net.get(k).and_then(Json::as_u64).unwrap_or(0);
@@ -486,6 +494,9 @@ fn worker_run(
         .field("barriers", Json::from(report.barriers))
         .field("retries", Json::from(report.retries))
         .field("dups_suppressed", Json::from(report.dups_suppressed))
+        .field("coll_puts", Json::from(report.coll.puts))
+        .field("coll_bytes", Json::from(report.coll.bytes))
+        .field("coll_chunks", Json::from(report.coll.chunks))
         .field("checksum_partial", Json::from(partial))
         .field("planes", planes_json)
         .field("net", net_json(&report.net)))

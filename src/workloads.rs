@@ -9,8 +9,12 @@
 //! its slice; each rank folds everything it received into an order-
 //! independent checksum published through an `AtomicU64`.
 
+use dcuda_coll::segment_range;
 use dcuda_rt::cluster::RankProgram;
-use dcuda_rt::{Rank, RtCtx, RtQuery, Tag, WindowId};
+use dcuda_rt::{
+    allreduce_scratch_bytes, reduce_scatter_scratch_bytes, CollAlgo, CollCtx, CollPlan, Dtype,
+    Rank, ReduceOp, RtCtx, RtQuery, Tag, WindowId, DEFAULT_COLL_SCRATCH,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,17 +31,23 @@ pub enum Workload {
     /// Non-periodic 1-D stencil: halo to both existing neighbors, a world
     /// barrier every iteration (paper Figure 10 shape).
     Stencil,
+    /// The collective engine end to end: chunked allreduce cycling through
+    /// every algorithm, reduce-scatter, all-gather and a binomial broadcast
+    /// each iteration, all expressed as notified RMA on the hidden scratch
+    /// window.
+    Coll,
 }
 
 impl Workload {
-    /// Parse a workload name (`pingpong`, `overlap`, `stencil`).
+    /// Parse a workload name (`pingpong`, `overlap`, `stencil`, `coll`).
     pub fn parse(name: &str) -> Result<Workload, String> {
         match name {
             "pingpong" => Ok(Workload::PingPong),
             "overlap" => Ok(Workload::Overlap),
             "stencil" => Ok(Workload::Stencil),
+            "coll" => Ok(Workload::Coll),
             other => Err(format!(
-                "unknown workload {other:?} (expected pingpong, overlap or stencil)"
+                "unknown workload {other:?} (expected pingpong, overlap, stencil or coll)"
             )),
         }
     }
@@ -48,6 +58,7 @@ impl Workload {
             Workload::PingPong => "pingpong",
             Workload::Overlap => "overlap",
             Workload::Stencil => "stencil",
+            Workload::Coll => "coll",
         }
     }
 }
@@ -70,9 +81,40 @@ pub struct WorkloadSpec {
 const REGIONS: usize = 3;
 
 impl WorkloadSpec {
-    /// The window layout every rank of this run registers.
+    /// The window layout every rank of this run registers. The collective
+    /// workload reduces `u64` vectors in place, so its single region is the
+    /// payload rounded up to element granularity.
     pub fn windows(&self) -> Vec<usize> {
-        vec![self.payload.max(1) * REGIONS]
+        match self.workload {
+            Workload::Coll => vec![self.coll_len()],
+            _ => vec![self.payload.max(1) * REGIONS],
+        }
+    }
+
+    /// Reduction buffer length for [`Workload::Coll`]: the payload, at least
+    /// one element, aligned up to `u64` granularity.
+    fn coll_len(&self) -> usize {
+        self.payload.max(8).div_ceil(8) * 8
+    }
+
+    /// Scratch-window bytes the run's collectives need: the worst case over
+    /// every algorithm the coll workload cycles through, floored at the
+    /// runtime default so the other workloads' `ring_shift`/barrier traffic
+    /// is always covered.
+    pub fn coll_scratch(&self, world: u32) -> usize {
+        let need = match self.workload {
+            Workload::Coll => {
+                let len = self.coll_len();
+                [CollAlgo::Ring, CollAlgo::Tree, CollAlgo::RecursiveDoubling]
+                    .into_iter()
+                    .map(|algo| allreduce_scratch_bytes(algo, len, 8, world))
+                    .chain(std::iter::once(reduce_scatter_scratch_bytes(len, 8, world)))
+                    .max()
+                    .unwrap_or(0)
+            }
+            _ => 0,
+        };
+        need.max(DEFAULT_COLL_SCRATCH)
     }
 
     /// Build programs for world ranks `first_rank .. first_rank + count`,
@@ -94,6 +136,7 @@ impl WorkloadSpec {
                         Workload::PingPong => run_pingpong(ctx, spec, world),
                         Workload::Overlap => run_overlap(ctx, spec, world),
                         Workload::Stencil => run_stencil(ctx, spec, world),
+                        Workload::Coll => run_coll(ctx, spec, world),
                     };
                     out.store(sum, Ordering::Release);
                 });
@@ -174,33 +217,86 @@ fn run_pingpong(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
     sum
 }
 
-fn run_overlap(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
-    let rank = ctx.rank().0;
+fn run_overlap(ctx: &mut RtCtx, spec: WorkloadSpec, _world: u32) -> u64 {
     let payload = spec.payload;
-    let right = (rank + 1) % world;
-    let left = (rank + world - 1) % world;
     let mut sum = FNV_OFFSET;
-    // Tags: even = halo data (ring, rightward), odd = consume-ack (ring,
-    // leftward). The ack gates the sender's next round: without it the left
-    // neighbor could race an iteration ahead and overwrite the inbox region
-    // between our wait and our checksum, making the checksum racy.
+    // Each iteration is one ring halo shift: staging `[0, payload)` moves to
+    // the right neighbor's inbox `[payload, 2*payload)` while this rank
+    // consumes from its left. `ring_release` replaces the hand-rolled
+    // consume-ack of earlier revisions: it gates the left neighbor's next
+    // round so nobody overwrites the inbox between our wait and our
+    // checksum. The byte flow into the user window is unchanged, so the
+    // conformance checksums replay exactly.
     for iter in 0..spec.iters {
         compute_into_staging(ctx, iter, payload);
-        ctx.put_notify(WindowId(0), Rank(right), payload, 0, payload, Tag(2 * iter));
-        ctx.wait_notifications(RtQuery::exact(WindowId(0), Rank(left), Tag(2 * iter)), 1);
+        ctx.ring_shift(WindowId(0), payload, 0, payload);
         let w = ctx.win(WindowId(0));
         sum = fnv_bytes(sum, &w[payload..2 * payload]);
-        ctx.put_notify(WindowId(0), Rank(left), 0, 0, 0, Tag(2 * iter + 1));
-        ctx.wait_notifications(
-            RtQuery::exact(WindowId(0), Rank(right), Tag(2 * iter + 1)),
-            1,
-        );
+        ctx.ring_release();
         if iter % 8 == 7 {
             ctx.flush();
         }
     }
     ctx.flush();
     ctx.barrier();
+    sum
+}
+
+/// Deterministic `u64` fill of `[0, len)` derived from (rank, iter, salt).
+fn fill_coll_window(ctx: &mut RtCtx, len: usize, iter: u32, salt: u64) {
+    let rank = ctx.rank().0;
+    let w = ctx.win_mut(WindowId(0));
+    let mut h = fnv_u64(
+        fnv_u64(fnv_u64(FNV_OFFSET, salt), u64::from(rank)),
+        u64::from(iter),
+    );
+    for (i, cell) in w[..len].chunks_exact_mut(8).enumerate() {
+        h = fnv_u64(h, i as u64);
+        cell.copy_from_slice(&h.to_le_bytes());
+    }
+}
+
+fn run_coll(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
+    let len = spec.coll_len();
+    let rank = ctx.rank().0;
+    let win = WindowId(0);
+    let algos = [CollAlgo::Ring, CollAlgo::Tree, CollAlgo::RecursiveDoubling];
+    let mut sum = FNV_OFFSET;
+    for iter in 0..spec.iters {
+        // Chunked allreduce, cycling through every algorithm so all three
+        // schedules cross whichever transport plane is under test.
+        let plan = CollPlan::builder()
+            .algo(algos[iter as usize % algos.len()])
+            .chunk_bytes(64)
+            .op(ReduceOp::Sum)
+            .dtype(Dtype::U64)
+            .build()
+            .expect("valid coll plan");
+        fill_coll_window(ctx, len, iter, 0x41);
+        ctx.allreduce(win, 0, len, &plan);
+        sum = fnv_bytes(sum, &ctx.win(win)[..len]);
+
+        // Reduce-scatter: only this rank's own segment holds the full
+        // reduction afterwards, so only it enters the checksum.
+        fill_coll_window(ctx, len, iter, 0x52);
+        ctx.reduce_scatter(win, 0, len, &plan);
+        let own = segment_range(len, 8, world, rank);
+        sum = fnv_bytes(sum, &ctx.win(win)[own.clone()]);
+
+        // All-gather redistributes freshly filled own segments.
+        fill_coll_window(ctx, len, iter, 0x61);
+        ctx.all_gather(win, 0, len, &plan);
+        sum = fnv_bytes(sum, &ctx.win(win)[..len]);
+
+        // Broadcast from a deterministic, iteration-varying root.
+        let root = iter % world;
+        fill_coll_window(ctx, len, iter, 0x72);
+        ctx.broadcast(win, 0, len, Rank(root), &plan);
+        sum = fnv_bytes(sum, &ctx.win(win)[..len]);
+
+        ctx.barrier();
+    }
+    ctx.flush();
     sum
 }
 
@@ -244,6 +340,7 @@ mod tests {
             .devices(devices)
             .ranks_per_device(rpd)
             .windows(spec.windows())
+            .coll_scratch(spec.coll_scratch(devices * rpd))
             .build()
             .expect("valid config");
         let world = cfg.world();
@@ -261,7 +358,12 @@ mod tests {
 
     #[test]
     fn workloads_are_deterministic_across_runs() {
-        for workload in [Workload::PingPong, Workload::Overlap, Workload::Stencil] {
+        for workload in [
+            Workload::PingPong,
+            Workload::Overlap,
+            Workload::Stencil,
+            Workload::Coll,
+        ] {
             let spec = WorkloadSpec {
                 workload,
                 iters: 6,
@@ -274,7 +376,26 @@ mod tests {
             assert_eq!(ra.notifications, rb.notifications);
             assert_eq!(ra.matched, rb.matched);
             assert_eq!(ra.barriers, rb.barriers);
+            assert_eq!(ra.coll.puts, rb.coll.puts);
+            assert_eq!(ra.coll.bytes, rb.coll.bytes);
+            assert_eq!(ra.coll.chunks, rb.coll.chunks);
         }
+    }
+
+    #[test]
+    fn coll_workload_moves_traffic_through_the_engine_only() {
+        let spec = WorkloadSpec {
+            workload: Workload::Coll,
+            iters: 3,
+            payload: 200, // non-multiple of 8: exercises the align-up
+        };
+        let (sum, report) = run_full(spec, 2, 3);
+        assert_ne!(sum, FNV_OFFSET);
+        assert_eq!(report.puts, 0, "no user-level puts");
+        assert_eq!(report.notifications, 0, "no user-level notifications");
+        assert!(report.coll.puts > 0);
+        assert!(report.coll.chunks > 0);
+        assert_eq!(report.barriers, 3);
     }
 
     #[test]
@@ -290,7 +411,12 @@ mod tests {
 
     #[test]
     fn workload_names_roundtrip() {
-        for w in [Workload::PingPong, Workload::Overlap, Workload::Stencil] {
+        for w in [
+            Workload::PingPong,
+            Workload::Overlap,
+            Workload::Stencil,
+            Workload::Coll,
+        ] {
             assert_eq!(Workload::parse(w.name()), Ok(w));
         }
         assert!(Workload::parse("bogus").is_err());

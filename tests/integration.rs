@@ -153,7 +153,7 @@ fn simulated_and_threaded_backends_agree() {
             ranks_per_device: 2,
             windows: vec![16],
             ring_capacity: 8,
-            faults: None,
+            ..RtConfig::default()
         },
         programs,
     );

@@ -25,6 +25,9 @@ const COUNTERS: &[&str] = &[
     "barriers",
     "retries",
     "dups_suppressed",
+    "coll_puts",
+    "coll_bytes",
+    "coll_chunks",
 ];
 
 fn full_tier() -> bool {
@@ -109,7 +112,7 @@ fn assert_backends_agree(
     inproc_args.extend_from_slice(&base);
     let inproc = run_report(&inproc_args);
     assert!(
-        counter(&inproc, "notifications") > 0,
+        counter(&inproc, "notifications") > 0 || counter(&inproc, "coll_puts") > 0,
         "{workload} is vacuous"
     );
     let sum_in = inproc
@@ -193,6 +196,68 @@ fn conformance_overlap_backends_agree() {
     } else {
         assert_backends_agree("overlap", 6, 1024, 4, tier_planes());
     }
+}
+
+/// The collective engine across planes: chunked allreduce (all three
+/// algorithms), reduce-scatter, all-gather and broadcast must produce
+/// byte-identical checksums and schedule counters on every backend. The
+/// world is deliberately non-power-of-two (2 procs x 3 or 7 ranks), so the
+/// recursive-doubling fold/unfold and uneven ring segments cross the mesh.
+#[test]
+fn conformance_coll_backends_agree() {
+    if full_tier() {
+        assert_backends_agree("coll", 6, 4096, 7, tier_planes());
+    } else {
+        assert_backends_agree("coll", 3, 512, 3, tier_planes());
+    }
+}
+
+/// Collectives under a lossy fault profile: the socket plane's retry layer
+/// must deliver the exact same reduction bytes and schedule counters as the
+/// clean in-process golden — packet loss may cost retries, never bits.
+#[test]
+fn conformance_coll_survives_lossy_plane() {
+    let base = [
+        "--procs",
+        "2",
+        "--devices-per-proc",
+        "1",
+        "--ranks-per-device",
+        "3",
+        "--workload",
+        "coll",
+        "--iters",
+        "3",
+        "--payload",
+        "512",
+    ];
+    let mut inproc_args = vec!["--backend", "inprocess"];
+    inproc_args.extend_from_slice(&base);
+    let inproc = run_report(&inproc_args);
+
+    let mut lossy_args = vec![
+        "--backend",
+        "multiprocess",
+        "--plane",
+        "tcp",
+        "--faults",
+        "lossy@11",
+    ];
+    lossy_args.extend_from_slice(&base);
+    let lossy = run_report(&lossy_args);
+
+    for &key in COUNTERS {
+        assert_eq!(
+            counter(&inproc, key),
+            counter(&lossy, key),
+            "coll/lossy: counter {key:?} diverges from the clean golden"
+        );
+    }
+    assert_eq!(
+        inproc.get("checksum").and_then(Json::as_str),
+        lossy.get("checksum").and_then(Json::as_str),
+        "coll/lossy: reduction bytes diverge under packet loss"
+    );
 }
 
 /// Orphan-cleanup regression: when a worker dies mid-run the coordinator
