@@ -79,7 +79,7 @@ fn overlap_json(points: &[OverlapPoint]) -> Json {
     )
 }
 
-const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|coll|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify] [--faults PROFILE]";
+const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|coll|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify [race]] [--faults PROFILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,11 +93,32 @@ fn main() {
     if args.iter().any(|a| a == "--serial") || std::env::var_os("DCUDA_FIGURES_SERIAL").is_some() {
         set_serial(true);
     }
-    let verify = args.iter().any(|a| a == "--verify");
+    let verify_pos = args.iter().position(|a| a == "--verify");
+    let verify = verify_pos.is_some();
+    let verify_race = match verify_pos {
+        Some(i) => match args.get(i + 1).filter(|p| !p.starts_with("--")) {
+            Some(v) if v == "race" => {
+                value_slots.push(i + 1);
+                true
+            }
+            Some(v) => {
+                eprintln!("figures: unknown --verify value {v:?} (expected race)");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            None => false,
+        },
+        None => false,
+    };
     if verify {
         // Every ClusterSim built from here on carries the invariant
         // monitor; a violation panics the run. Stdout stays byte-identical.
         dcuda_core::verify_mode::enable();
+    }
+    if verify_race {
+        // ... and the happens-before race detector; races are tallied
+        // process-wide and reported (as a failing exit) after the runs.
+        dcuda_core::verify_mode::enable_races();
     }
     let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
         match args.get(i + 1).filter(|p| !p.starts_with("--")) {
@@ -147,6 +168,12 @@ fn main() {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
+    }
+    if verify_race && (selected.contains(&"faults") || selected.contains(&"all")) {
+        // The detector's channel edges assume FIFO delivery; retries break
+        // that, so the faulted figure cannot run under race detection.
+        eprintln!("figures: --verify race is incompatible with the faults figure; pick --fig without faults/all");
+        std::process::exit(2);
     }
     let fault_profile: String = match args.iter().position(|a| a == "--faults") {
         Some(i) => match args.get(i + 1).filter(|p| !p.starts_with("--")) {
@@ -521,6 +548,14 @@ fn main() {
     if verify {
         // Reaching here means no simulation panicked on a violation.
         eprintln!("figures: invariant monitor clean on every simulation");
+    }
+    if verify_race {
+        let n = dcuda_core::verify_mode::races_found();
+        if n > 0 {
+            eprintln!("figures: race detector found {n} race(s) — see RunReport.races");
+            std::process::exit(1);
+        }
+        eprintln!("figures: race detector clean on every simulation");
     }
     if let Some(path) = json_path {
         out = out.field("wall_seconds", Json::from(wall));

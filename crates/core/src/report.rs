@@ -2,7 +2,7 @@
 
 use dcuda_des::{SimDuration, SimTime};
 use dcuda_trace::TraceSummary;
-use dcuda_verify::VerifyReport;
+use dcuda_verify::{RaceReport, VerifyReport};
 
 /// Statistics and timing of one simulated kernel run.
 #[derive(Debug, Clone)]
@@ -65,6 +65,10 @@ pub struct RunReport {
     /// delivery, matched ≤ delivered). `None` unless verify mode was on
     /// when the simulation was built (see [`crate::verify_mode`]).
     pub verify: Option<VerifyReport>,
+    /// Happens-before races the detector found on window memory. Always
+    /// empty unless race detection was on when the simulation was built
+    /// (see [`crate::verify_mode::enable_races`]).
+    pub races: Vec<RaceReport>,
 }
 
 impl RunReport {

@@ -37,7 +37,7 @@ use dcuda_mpi::collective::barrier_exit_times;
 use dcuda_queues::{DepthStats, IndexedMatcher, Notification, Query, ANY};
 use dcuda_trace::metrics::{overlap_efficiency, IntervalSet};
 use dcuda_trace::{TraceSummary, Tracer, Track};
-use dcuda_verify::{InvariantMonitor, WaitForGraph, WaitReason};
+use dcuda_verify::{InvariantMonitor, RaceDetector, RaceReport, WaitForGraph, WaitReason};
 use std::collections::VecDeque;
 
 /// One executable step element derived from a kernel's recorded segments.
@@ -291,6 +291,12 @@ pub struct ClusterSim {
     /// [`enable_verification`](Self::enable_verification) ran). Strictly
     /// observational: it never schedules events or changes timing.
     monitor: Option<InvariantMonitor>,
+    /// Happens-before race detector over window byte ranges (attached when
+    /// [`verify_mode::races_enabled`](crate::verify_mode::races_enabled)
+    /// was on at construction or
+    /// [`enable_race_detection`](Self::enable_race_detection) ran).
+    /// Observational like the monitor; races land in `RunReport::races`.
+    races: Option<RaceDetector>,
     /// Reliable-delivery protocol state (attached together with the fault
     /// layer by [`enable_faults`](Self::enable_faults); `None` on healthy
     /// runs, which then execute the exact pre-fault code paths).
@@ -380,6 +386,8 @@ impl ClusterSim {
             tracer: Tracer::disabled(),
             monitor: crate::verify_mode::is_enabled()
                 .then(|| InvariantMonitor::new(topo.world_size())),
+            races: crate::verify_mode::races_enabled()
+                .then(|| RaceDetector::new(topo.world_size())),
             resil: None,
             status_since: vec![SimTime::ZERO; topo.world_size() as usize],
             completed_buf: Vec::new(),
@@ -416,12 +424,33 @@ impl ClusterSim {
         }
     }
 
+    /// Attach the happens-before race detector regardless of the global
+    /// [`verify_mode::races_enabled`](crate::verify_mode::races_enabled)
+    /// flag. Call before [`run`](Self::run); the detector observes RMA
+    /// issues, notification matches, flushes and barriers — never kernel
+    /// timing — and every racy pair it finds lands in `RunReport::races`.
+    pub fn enable_race_detection(&mut self) {
+        assert!(
+            self.resil.is_none(),
+            "race detection requires a healthy network (its channel edges \
+             rest on FIFO delivery, which retries break)"
+        );
+        if self.races.is_none() {
+            self.races = Some(RaceDetector::new(self.topo.world_size()));
+        }
+    }
+
     /// Attach a fault-injection profile and arm the reliable-delivery
     /// protocol. Call before [`run`](Self::run). Distributed transfers then
     /// become sequence-tracked with ack timeouts, capped-exponential
     /// jittered retries, receiver-side duplicate suppression and adaptive
     /// path demotion; the same `spec.seed` replays the run byte-for-byte.
     pub fn enable_faults(&mut self, spec: FaultSpec) {
+        assert!(
+            self.races.is_none(),
+            "fault injection and race detection are mutually exclusive \
+             (the detector's channel edges assume FIFO delivery)"
+        );
         let retry = spec.retry.clone();
         let rng = SplitMix64::new(spec.seed ^ 0xD15E_A5ED_5EED_5EED);
         self.net.enable_faults(spec);
@@ -631,6 +660,12 @@ impl ClusterSim {
         if let Some(v) = &verify {
             assert!(v.is_clean(), "invariant monitor: {}", v.summary());
         }
+        let races = self
+            .races
+            .take()
+            .map(|d| d.reports().to_vec())
+            .unwrap_or_default();
+        crate::verify_mode::note_races(races.len() as u64);
         let fstats = self.net.fault_stats();
         RunReport {
             end_time,
@@ -661,6 +696,7 @@ impl ClusterSim {
             reroutes: fstats.reroutes,
             trace,
             verify,
+            races,
         }
     }
 
@@ -1099,6 +1135,86 @@ impl ClusterSim {
         self.set_status(rank, Status::Ready, _now);
     }
 
+    /// Mirror an RMA issue into the race detector. Puts map directly: a
+    /// source-range read at the origin plus an asynchronous channel-epoch
+    /// write at the target, with the notification (when any) carrying the
+    /// join snapshot the target's matching wait consumes. Gets are
+    /// approximated as a notified put flowing the other way (partner →
+    /// origin): the remote read is credited to the partner's clock as of
+    /// issue time and the local landing is the channel effect — the
+    /// closest expressible shape (the sim already mints get notifications
+    /// with `source = partner`, so the join keys line up).
+    fn race_rma(&mut self, rank: u32, op: &RmaOp, now: SimTime) {
+        if self.races.is_none() {
+            return;
+        }
+        let notify = (op.notify != NotifyMode::None).then_some(op.tag);
+        // A device-broadcast notification also reaches the partner's
+        // siblings; collect them first so each wait gets a join snapshot.
+        let siblings: Vec<u32> =
+            if op.kind == RmaKind::Put && op.notify == NotifyMode::AllOnTargetDevice {
+                let node = self.topo.node_of(op.partner);
+                (0..self.topo.ranks_per_node)
+                    .map(|local| self.topo.rank_of(node, local).0)
+                    .filter(|&r| r != op.partner.0)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        let d = self.races.as_mut().expect("checked above");
+        let report = match op.kind {
+            RmaKind::Put => d.put(
+                rank,
+                op.partner.0,
+                op.win.0,
+                (op.local_offset, op.local_offset + op.len),
+                op.win.0,
+                (op.remote_offset, op.remote_offset + op.len),
+                notify,
+                if notify.is_some() {
+                    "put_notify"
+                } else {
+                    "put"
+                },
+            ),
+            RmaKind::Get => d.put(
+                op.partner.0,
+                rank,
+                op.win.0,
+                (op.remote_offset, op.remote_offset + op.len),
+                op.win.0,
+                (op.local_offset, op.local_offset + op.len),
+                notify,
+                "get",
+            ),
+        };
+        for sibling in siblings {
+            let d = self.races.as_mut().expect("checked above");
+            d.stash_snapshot(sibling, rank, op.win.0, op.tag);
+        }
+        if let Some(r) = report {
+            self.race_found(&r, now);
+        }
+    }
+
+    /// A race was just completed: emit its trace instant (the report itself
+    /// already sits in the detector's accumulated list).
+    fn race_found(&mut self, report: &RaceReport, now: SimTime) {
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                Track::Rank(report.owner),
+                "race",
+                now.as_ps(),
+                vec![
+                    ("win", u64::from(report.win).into()),
+                    ("owner", u64::from(report.owner).into()),
+                    ("start", (report.start as u64).into()),
+                    ("end", (report.end as u64).into()),
+                ],
+            );
+        }
+    }
+
     /// Absolute byte span of the *local* side of an op in its node arena.
     fn local_span(&self, rank: Rank, op: &RmaOp) -> std::ops::Range<usize> {
         let base = self.ranges[rank.index()][op.win.index()].start;
@@ -1132,6 +1248,7 @@ impl ClusterSim {
             );
         }
         self.rma_ops += 1;
+        self.race_rma(rank, &op, now);
         if self.tracer.is_enabled() {
             let name = match (op.kind, op.notify) {
                 (RmaKind::Put, NotifyMode::None) => "put",
@@ -1589,6 +1706,18 @@ impl ClusterSim {
     /// ack every rank.
     fn finish_barrier(&mut self, _now: SimTime) {
         self.barriers += 1;
+        if let Some(d) = self.races.as_mut() {
+            // Blocking entrants join the all-entries clock now; nonblocking
+            // entrants get it stashed as their pending completion
+            // notification on the IBARRIER window and join when they match.
+            let completions: Vec<(u32, Option<u32>)> = self
+                .barrier_nb
+                .iter()
+                .enumerate()
+                .map(|(r, nb)| (r as u32, *nb))
+                .collect();
+            d.barrier_entries(&completions, crate::kernel::IBARRIER_WIN);
+        }
         let entries: Vec<SimTime> = self
             .barrier_entry
             .iter()
@@ -1850,6 +1979,11 @@ impl ClusterSim {
                 if let Some(m) = self.monitor.as_mut() {
                     for n in &matched {
                         m.matched(rank, *n, 1);
+                    }
+                }
+                if let Some(d) = self.races.as_mut() {
+                    for n in &matched {
+                        d.matched(rank, n.source, n.win, n.tag);
                     }
                 }
                 self.set_status(rank, Status::Ready, now);

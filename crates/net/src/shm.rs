@@ -890,7 +890,11 @@ mod tests {
         let large = deliver(vec![7u8; 300 << 10]); // several jumbo chunks
         a.send(1, small.clone(), &stats_a);
         a.send(1, large.clone(), &stats_a);
-        a.send(1, WireMsg::BarrierRelease, &stats_a);
+        let fin = WireMsg::Finished {
+            device: 0,
+            ranks: 1,
+        };
+        a.send(1, fin.clone(), &stats_a);
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut got = Vec::new();
         while got.len() < 3 {
@@ -898,12 +902,12 @@ mod tests {
             b.drain(&stats_b, |_dst, msg| got.push(msg)).unwrap();
             assert!(Instant::now() < deadline, "timed out");
         }
-        assert_eq!(got, vec![small, large, WireMsg::BarrierRelease]);
+        assert_eq!(got, vec![small, large, fin]);
         // Copy accounting: exactly one payload copy per direction per
         // payload-bearing message.
         assert_eq!(stats_a.copies_tx.load(Ordering::Relaxed), 2);
         assert_eq!(stats_b.copies_rx.load(Ordering::Relaxed), 2);
-        assert_eq!(stats_a.eager_msgs.load(Ordering::Relaxed), 2); // small + barrier
+        assert_eq!(stats_a.eager_msgs.load(Ordering::Relaxed), 2); // small + finished
         assert_eq!(stats_a.rndz_msgs.load(Ordering::Relaxed), 1);
         assert!(a.tx_idle());
         std::fs::remove_dir_all(&dir).ok();

@@ -1353,10 +1353,14 @@ mod tests {
         let large = deliver(0, vec![7u8; EAGER_MAX * 4]);
         a0.send(1, small.clone()).unwrap();
         a0.send(1, large.clone()).unwrap();
-        a0.send(1, WireMsg::BarrierRelease).unwrap();
+        let fin = WireMsg::Finished {
+            device: 0,
+            ranks: 1,
+        };
+        a0.send(1, fin.clone()).unwrap();
         assert_eq!(recv_blocking(&mut b0, &mut a0), small);
         assert_eq!(recv_blocking(&mut b0, &mut a0), large);
-        assert_eq!(recv_blocking(&mut b0, &mut a0), WireMsg::BarrierRelease);
+        assert_eq!(recv_blocking(&mut b0, &mut a0), fin);
         b0.send(
             0,
             WireMsg::Ack {
@@ -1544,8 +1548,12 @@ mod tests {
         a0.send(1, large.clone()).unwrap();
         assert_eq!(recv_blocking(&mut b0, &mut a0), small);
         assert_eq!(recv_blocking(&mut b0, &mut a0), large);
-        b0.send(0, WireMsg::BarrierRelease).unwrap();
-        assert_eq!(recv_blocking(&mut a0, &mut b0), WireMsg::BarrierRelease);
+        let fin = WireMsg::Finished {
+            device: 1,
+            ranks: 1,
+        };
+        b0.send(0, fin.clone()).unwrap();
+        assert_eq!(recv_blocking(&mut a0, &mut b0), fin);
         let sent = a0.stats();
         assert_eq!(sent.shm_msgs, 2);
         assert!(sent.shm_bytes_sent > 0);

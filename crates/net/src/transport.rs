@@ -251,14 +251,37 @@ mod tests {
         let mut e2 = eps.pop().expect("endpoint 2");
         let mut e1 = eps.pop().expect("endpoint 1");
         let mut e0 = eps.pop().expect("endpoint 0");
-        e0.send(1, WireMsg::BarrierToken { device: 0 }).unwrap();
-        e0.send(2, WireMsg::BarrierRelease).unwrap();
+        e0.send(
+            1,
+            WireMsg::Finished {
+                device: 0,
+                ranks: 1,
+            },
+        )
+        .unwrap();
+        e0.send(
+            2,
+            WireMsg::Finished {
+                device: 0,
+                ranks: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(
             e1.try_recv().unwrap(),
-            Some(WireMsg::BarrierToken { device: 0 })
+            Some(WireMsg::Finished {
+                device: 0,
+                ranks: 1
+            })
         );
         assert_eq!(e1.try_recv().unwrap(), None);
-        assert_eq!(e2.try_recv().unwrap(), Some(WireMsg::BarrierRelease));
+        assert_eq!(
+            e2.try_recv().unwrap(),
+            Some(WireMsg::Finished {
+                device: 0,
+                ranks: 2
+            })
+        );
         assert!(e0.idle());
         assert!(e0.remote_devices().is_empty());
         assert_eq!(e0.stats(), NetStats::default());
@@ -269,7 +292,21 @@ mod tests {
         let mut eps = InProcessPlane::new_world(2);
         drop(eps.pop());
         let mut e0 = eps.pop().expect("endpoint 0");
-        e0.send(1, WireMsg::BarrierRelease).unwrap();
-        e0.send(7, WireMsg::BarrierRelease).unwrap(); // out of range: ignored
+        e0.send(
+            1,
+            WireMsg::Finished {
+                device: 0,
+                ranks: 1,
+            },
+        )
+        .unwrap();
+        e0.send(
+            7,
+            WireMsg::Finished {
+                device: 0,
+                ranks: 1,
+            },
+        )
+        .unwrap(); // out of range: ignored
     }
 }

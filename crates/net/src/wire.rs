@@ -79,13 +79,6 @@ pub enum WireMsg {
         /// The flush id that completed.
         flush_id: u64,
     },
-    /// A device's ranks have all entered the barrier (sent to device 0).
-    BarrierToken {
-        /// Reporting device.
-        device: u32,
-    },
-    /// Device 0 releases the barrier.
-    BarrierRelease,
     /// A rank on `device` finished its program (world quiescence counting
     /// across processes; the in-process backend uses a shared counter and
     /// never sends these).
@@ -210,8 +203,9 @@ impl<'a> Cursor<'a> {
 
 const MSG_DELIVER: u8 = 1;
 const MSG_ACK: u8 = 2;
-const MSG_BARRIER_TOKEN: u8 = 3;
-const MSG_BARRIER_RELEASE: u8 = 4;
+// Kinds 3 and 4 were the pre-0.4 centralized-barrier token/release
+// messages; the dissemination barrier made them dead and they are now
+// decode errors. Keep FINISHED at 5 so the wire format is unchanged.
 const MSG_FINISHED: u8 = 5;
 
 impl WireMsg {
@@ -262,11 +256,6 @@ impl WireMsg {
                 put_u32(buf, *origin_local);
                 put_u64(buf, *flush_id);
             }
-            WireMsg::BarrierToken { device } => {
-                buf.push(MSG_BARRIER_TOKEN);
-                put_u32(buf, *device);
-            }
-            WireMsg::BarrierRelease => buf.push(MSG_BARRIER_RELEASE),
             WireMsg::Finished { device, ranks } => {
                 buf.push(MSG_FINISHED);
                 put_u32(buf, *device);
@@ -368,8 +357,6 @@ impl WireMsg {
                 },
                 0,
             ),
-            MSG_BARRIER_TOKEN => (WireMsg::BarrierToken { device: c.u32()? }, 0),
-            MSG_BARRIER_RELEASE => (WireMsg::BarrierRelease, 0),
             MSG_FINISHED => (
                 WireMsg::Finished {
                     device: c.u32()?,

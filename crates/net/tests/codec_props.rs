@@ -9,7 +9,7 @@ use dcuda_net::wire::{
 };
 
 fn arb_msg(g: &mut Gen) -> WireMsg {
-    match g.u32_below(5) {
+    match g.u32_below(3) {
         0 => WireMsg::Deliver {
             dst_local: g.u32_below(1 << 20),
             win: g.u32_below(64),
@@ -27,10 +27,6 @@ fn arb_msg(g: &mut Gen) -> WireMsg {
             origin_local: g.u32_below(1 << 20),
             flush_id: g.u64(),
         },
-        2 => WireMsg::BarrierToken {
-            device: g.u32_below(1 << 10),
-        },
-        3 => WireMsg::BarrierRelease,
         _ => WireMsg::Finished {
             device: g.u32_below(1 << 10),
             ranks: g.u32_below(1 << 10),

@@ -15,7 +15,9 @@ use crate::types::RtError;
 use dcuda_net::{InProcessPlane, NetStats, Transport};
 use dcuda_queues::{channel, ANY};
 use dcuda_trace::Tracer;
-use dcuda_verify::{reconcile_shards, ShardCounters, VerifyReport};
+use dcuda_verify::{
+    reconcile_shards, RaceHandle, RaceMode, RaceReport, ShardCounters, VerifyReport,
+};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -52,6 +54,14 @@ pub struct RtConfig {
     /// needs more fail with `CollError::ScratchTooSmall`; size via
     /// [`dcuda_coll::allreduce_scratch_bytes`].
     pub coll_scratch: usize,
+    /// Happens-before race detection over window memory (`None` = off; the
+    /// hot path then carries a single pointer-null check, like tracing).
+    /// Build via [`RtConfigBuilder::race_detect`]. The handle must be
+    /// shared by **every** [`ClusterPart`] of the world — per-process
+    /// detectors would miss cross-process synchronization edges and report
+    /// false races, so race detection is only sound when the whole world
+    /// shares one process (in-process loopback meshes included).
+    pub races: Option<RaceHandle>,
 }
 
 /// Seeded fault injection for the threaded runtime's MPI plane: inter-host
@@ -89,6 +99,7 @@ impl Default for RtConfig {
             ring_capacity: 64,
             faults: None,
             coll_scratch: DEFAULT_COLL_SCRATCH,
+            races: None,
         }
     }
 }
@@ -161,6 +172,12 @@ impl RtConfig {
                 }
             }
         }
+        if self.races.is_some() && self.faults.is_some() {
+            // Retransmission reorders deliveries within a channel, breaking
+            // the in-order-per-channel assumption the detector's channel
+            // edges rest on.
+            return fail("race detection requires a healthy plane (no fault injection)".into());
+        }
         Ok(())
     }
 }
@@ -214,6 +231,12 @@ impl RtConfigBuilder {
         self
     }
 
+    /// Enable happens-before race detection over window memory.
+    pub fn race_detect(mut self, mode: RaceMode) -> Self {
+        self.cfg.races = RaceHandle::new(mode);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<RtConfig, RtError> {
         self.cfg.validate()?;
@@ -222,7 +245,7 @@ impl RtConfigBuilder {
 }
 
 /// Execution statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RtReport {
     /// Puts routed by the hosts.
     pub puts: u64,
@@ -245,6 +268,10 @@ pub struct RtReport {
     /// describe the plumbing, not the protocol: backends must agree on every
     /// field above while this one legitimately differs.
     pub net: NetStats,
+    /// Races found by the happens-before detector (observe mode; strict
+    /// mode surfaces the first race as [`RtError::Race`] instead). Always
+    /// empty when `RtConfig::races` is `None`.
+    pub races: Vec<RaceReport>,
 }
 
 /// A rank program: a blocking closure over the rank's context.
@@ -401,6 +428,11 @@ fn run_part_inner(
             "invariant verification requires the whole world in one process".into(),
         ));
     }
+    if let Some(h) = &cfg.races {
+        // Size the shared detector before any rank thread reports through
+        // it. Parts of a loopback mesh all resolve to the same world.
+        h.init(world);
+    }
     let finished_global = Arc::new(AtomicU32::new(0));
     let abort = Arc::new(AtomicBool::new(false));
     let first_error: Arc<Mutex<Option<RtError>>> = Arc::new(Mutex::new(None));
@@ -457,6 +489,7 @@ fn run_part_inner(
                 abort: abort.clone(),
                 counters: verified.then(Box::default),
                 last_flush_seen: 0,
+                races: cfg.races.clone(),
             };
             // Count already validated against the topology above; treat a
             // mismatch as the config error it would have to be.
@@ -631,9 +664,25 @@ fn run_part_inner(
         g.take()
     };
     if let Some(err) = first {
+        // Strict-mode races reach this join as the rank panic or abort they
+        // caused downstream (the panicking accessors stringify the typed
+        // error). Surface the root cause — the first recorded race — as the
+        // typed `RtError::Race` instead of the secondary failure.
+        if let Some(h) = &cfg.races {
+            if h.strict() {
+                if let Some(r) = h.snapshot().into_iter().next() {
+                    return Err(RtError::Race(Box::new(r)));
+                }
+            }
+        }
         return Err(err);
     }
     report.barriers = barrier_rounds;
+    if let Some(h) = &cfg.races {
+        // Every world rank has finished by the time a part's hosts quiesce,
+        // so the snapshot is complete (and identical across mesh parts).
+        report.races = h.snapshot();
+    }
     let verify = verified.then(|| reconcile_shards(cfg.ring_capacity as u64, shards));
     Ok((report, trace, verify))
 }

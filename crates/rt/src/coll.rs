@@ -271,17 +271,10 @@ impl CollCtx for RtCtx {
     ) -> Result<(), RtError> {
         // Window layouts are identical on every rank, so validating both the
         // local source range and the (remote) destination range against the
-        // local window covers the symmetric call on the neighbour.
-        let wlen = self.try_win(win)?.len();
+        // local window covers the symmetric call on the neighbour. Pure
+        // validation — no borrow, so no race-detector event.
         for start in [src_off, dst_off] {
-            if start + len > wlen {
-                return Err(RtError::RangeOutOfBounds {
-                    win,
-                    offset: start,
-                    len,
-                    window_len: wlen,
-                });
-            }
+            self.user_win_range(win, start, len)?;
         }
         let world = self.world_size();
         let rank = self.rank().0;
@@ -352,15 +345,10 @@ fn check_region(
     len: usize,
     elem: usize,
 ) -> Result<(), RtError> {
-    let w = ctx.try_win(win)?;
-    if off + len > w.len() {
-        return Err(RtError::RangeOutOfBounds {
-            win,
-            offset: off,
-            len,
-            window_len: w.len(),
-        });
-    }
+    // Argument validation only — deliberately not a window borrow, so the
+    // race detector sees no access here (a whole-window read would report
+    // the collective's own in-flight chunks as races).
+    ctx.user_win_range(win, off, len)?;
     if !len.is_multiple_of(elem) {
         return Err(RtError::Coll(CollError::BufferMisaligned { len, elem }));
     }
@@ -408,13 +396,9 @@ fn reduce_chunk(
     plan: &CollPlan,
 ) -> Result<(), RtError> {
     let start = ctx.trace_tick();
-    // Scratch sits behind the user windows in the same vector; split at the
-    // user-window boundary so both slices can be borrowed at once.
-    let scratch_idx = ctx.scratch_index();
-    let (user, rest) = ctx.windows.split_at_mut(scratch_idx);
-    let acc = &mut user[win.index()][dst..dst + len];
-    let src = &rest[0][scratch_off..scratch_off + len];
-    reduce_into(acc, src, plan.op(), plan.dtype()).map_err(RtError::Coll)?;
+    ctx.reduce_scratch_into(win, dst, scratch_off, len, |acc, src| {
+        reduce_into(acc, src, plan.op(), plan.dtype()).map_err(RtError::Coll)
+    })?;
     ctx.coll.chunks += 1;
     if ctx.tracer.is_enabled() {
         let end = ctx.trace_tick();

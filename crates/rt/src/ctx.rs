@@ -7,7 +7,7 @@ use dcuda_queues::{
     match_in_order, Notification, Query, Receiver, RecvError, Sender, TrySendError,
 };
 use dcuda_trace::{Tracer, Track};
-use dcuda_verify::ShardCounters;
+use dcuda_verify::{RaceHandle, RaceReport, ShardCounters};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,6 +70,9 @@ pub struct RtCtx {
     pub(crate) counters: Option<Box<ShardCounters>>,
     /// Last observed flush frontier (sequence-monotonicity check).
     pub(crate) last_flush_seen: u64,
+    /// Shared happens-before race detector (`None` keeps every window
+    /// accessor and put free of bookkeeping, like `counters`).
+    pub(crate) races: Option<RaceHandle>,
 }
 
 impl RtCtx {
@@ -111,6 +114,122 @@ impl RtCtx {
         self.tick()
     }
 
+    // --- Race-detector hooks -------------------------------------------
+    //
+    // Every window access flows through this file, so these four helpers
+    // are the entire instrumented seam. All are a single `is_none` test
+    // when detection is off.
+
+    /// Strict-mode verdict for a freshly completed racy pair.
+    fn race_verdict(strict: bool, found: Option<RaceReport>) -> Result<(), RtError> {
+        match found {
+            Some(r) if strict => Err(RtError::Race(Box::new(r))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Record a local window access from a shared-borrow accessor (no trace
+    /// instant: stamping one needs `&mut self`).
+    fn race_local_ref(
+        &self,
+        win: u32,
+        start: usize,
+        end: usize,
+        write: bool,
+        label: &str,
+    ) -> Result<(), RtError> {
+        let Some(h) = &self.races else {
+            return Ok(());
+        };
+        let found = h.with(|d| d.local_access(self.rank, win, start, end, write, label));
+        Self::race_verdict(h.strict(), found)
+    }
+
+    /// Record a local window access and stamp a trace instant on a race.
+    fn race_local_mut(
+        &mut self,
+        win: u32,
+        start: usize,
+        end: usize,
+        write: bool,
+        label: &str,
+    ) -> Result<(), RtError> {
+        let Some(h) = self.races.clone() else {
+            return Ok(());
+        };
+        let found = h.with(|d| d.local_access(self.rank, win, start, end, write, label));
+        if let Some(r) = &found {
+            self.race_instant(r);
+        }
+        Self::race_verdict(h.strict(), found)
+    }
+
+    /// Record a put (source read at the origin, asynchronous write effect
+    /// at the target) and stamp a trace instant on a race. Must run before
+    /// the `Cmd::Put` is sent so the notification's clock snapshot exists
+    /// before the target can match it.
+    #[allow(clippy::too_many_arguments)]
+    fn race_put(
+        &mut self,
+        dst: u32,
+        src_win: u32,
+        src_off: usize,
+        dst_win: u32,
+        dst_off: usize,
+        len: usize,
+        notify_tag: Option<u32>,
+        label: &str,
+    ) -> Result<(), RtError> {
+        let Some(h) = self.races.clone() else {
+            return Ok(());
+        };
+        let found = h.with(|d| {
+            d.put(
+                self.rank,
+                dst,
+                src_win,
+                (src_off, src_off + len),
+                dst_win,
+                (dst_off, dst_off + len),
+                notify_tag,
+                label,
+            )
+        });
+        if let Some(r) = &found {
+            self.race_instant(r);
+        }
+        Self::race_verdict(h.strict(), found)
+    }
+
+    /// Join the origin's notification-borne clock for each matched entry.
+    fn race_matched(&self, matched: &[Notification]) {
+        if let Some(h) = &self.races {
+            h.with(|d| {
+                for n in matched {
+                    d.matched(self.rank, n.source, n.win, n.tag);
+                }
+            });
+        }
+    }
+
+    /// Stamp a Perfetto instant for a freshly detected race.
+    fn race_instant(&mut self, r: &RaceReport) {
+        if self.tracer.is_enabled() {
+            let ts = self.tick();
+            self.tracer.instant(
+                Track::Rank(self.rank),
+                "race",
+                ts,
+                vec![
+                    ("win", u64::from(r.win).into()),
+                    ("owner", u64::from(r.owner).into()),
+                    ("start", (r.start as u64).into()),
+                    ("end", (r.end as u64).into()),
+                ],
+            );
+        }
+    }
+
     /// This rank's window memory.
     ///
     /// # Panics
@@ -132,28 +251,103 @@ impl RtCtx {
             .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
     }
 
+    /// Validate a user window id without touching the race detector.
+    pub(crate) fn user_win_index(&self, win: WindowId) -> Result<usize, RtError> {
+        if win.index() >= self.user_windows {
+            return Err(RtError::NoSuchWindow {
+                win,
+                count: self.user_windows,
+            });
+        }
+        Ok(win.index())
+    }
+
+    /// Validate a byte range of a user window without touching the race
+    /// detector.
+    pub(crate) fn user_win_range(
+        &self,
+        win: WindowId,
+        off: usize,
+        len: usize,
+    ) -> Result<usize, RtError> {
+        let idx = self.user_win_index(win)?;
+        let window_len = self.windows[idx].len();
+        if off + len > window_len {
+            return Err(RtError::RangeOutOfBounds {
+                win,
+                offset: off,
+                len,
+                window_len,
+            });
+        }
+        Ok(idx)
+    }
+
     /// This rank's window memory, or [`RtError::NoSuchWindow`]. The hidden
     /// collective-scratch window does not exist as far as this API is
     /// concerned.
+    ///
+    /// Race detection treats a whole-window borrow as a read of every byte;
+    /// programs sharing one window between concurrently-written regions
+    /// should borrow precise ranges via [`try_win_at`](Self::try_win_at).
     pub fn try_win(&self, win: WindowId) -> Result<&[u8], RtError> {
-        if win.index() >= self.user_windows {
-            return Err(RtError::NoSuchWindow {
-                win,
-                count: self.user_windows,
-            });
-        }
-        Ok(self.windows[win.index()].as_slice())
+        let idx = self.user_win_index(win)?;
+        self.race_local_ref(win.0, 0, self.windows[idx].len(), false, "win")?;
+        Ok(self.windows[idx].as_slice())
     }
 
     /// This rank's window memory, mutable, or [`RtError::NoSuchWindow`].
+    ///
+    /// Race detection treats a whole-window borrow as a write of every
+    /// byte; use [`try_win_mut_at`](Self::try_win_mut_at) to scope the
+    /// access when remote puts land in other regions of the same window.
     pub fn try_win_mut(&mut self, win: WindowId) -> Result<&mut [u8], RtError> {
-        if win.index() >= self.user_windows {
-            return Err(RtError::NoSuchWindow {
-                win,
-                count: self.user_windows,
-            });
-        }
-        Ok(self.windows[win.index()].as_mut_slice())
+        let idx = self.user_win_index(win)?;
+        self.race_local_mut(win.0, 0, self.windows[idx].len(), true, "win_mut")?;
+        Ok(self.windows[idx].as_mut_slice())
+    }
+
+    /// Bytes `off..off + len` of this rank's window `win`.
+    ///
+    /// # Panics
+    /// Panics if the window does not exist or the range exceeds it; use
+    /// [`try_win_at`](Self::try_win_at) to handle those as values.
+    pub fn win_at(&self, win: WindowId, off: usize, len: usize) -> &[u8] {
+        self.try_win_at(win, off, len)
+            .unwrap_or_else(|e| panic!("rank {}: win_at: {e}", self.rank))
+    }
+
+    /// Bytes `off..off + len` of this rank's window `win`, mutable.
+    ///
+    /// # Panics
+    /// Panics if the window does not exist or the range exceeds it; use
+    /// [`try_win_mut_at`](Self::try_win_mut_at) to handle those as values.
+    pub fn win_mut_at(&mut self, win: WindowId, off: usize, len: usize) -> &mut [u8] {
+        let rank = self.rank;
+        self.try_win_mut_at(win, off, len)
+            .unwrap_or_else(|e| panic!("rank {rank}: win_mut_at: {e}"))
+    }
+
+    /// Fallible [`win_at`](Self::win_at): a range-scoped window borrow that
+    /// the race detector records as a read of exactly those bytes.
+    pub fn try_win_at(&self, win: WindowId, off: usize, len: usize) -> Result<&[u8], RtError> {
+        let idx = self.user_win_range(win, off, len)?;
+        self.race_local_ref(win.0, off, off + len, false, "win_at")?;
+        Ok(&self.windows[idx][off..off + len])
+    }
+
+    /// Fallible [`win_mut_at`](Self::win_mut_at): a range-scoped mutable
+    /// borrow that the race detector records as a write of exactly those
+    /// bytes.
+    pub fn try_win_mut_at(
+        &mut self,
+        win: WindowId,
+        off: usize,
+        len: usize,
+    ) -> Result<&mut [u8], RtError> {
+        let idx = self.user_win_range(win, off, len)?;
+        self.race_local_mut(win.0, off, off + len, true, "win_mut_at")?;
+        Ok(&mut self.windows[idx][off..off + len])
     }
 
     /// Has the cluster aborted (another thread failed first)?
@@ -271,16 +465,24 @@ impl RtCtx {
         if notify && tag.0 & COLL_TAG_BIT != 0 {
             return Err(RtError::ReservedTag { tag });
         }
-        let window = self.try_win(win)?;
-        if src_off + len > window.len() {
-            return Err(RtError::RangeOutOfBounds {
-                win,
-                offset: src_off,
-                len,
-                window_len: window.len(),
-            });
-        }
-        let data = window[src_off..src_off + len].to_vec();
+        let idx = self.user_win_range(win, src_off, len)?;
+        let data = self.windows[idx][src_off..src_off + len].to_vec();
+        // The snapshot's clock must be stashed before the command leaves,
+        // or the target could match the notification first.
+        self.race_put(
+            dst.0,
+            win.0,
+            src_off,
+            win.0,
+            dst_off,
+            len,
+            notify.then_some(tag.0),
+            &if notify {
+                format!("put_notify[{tag}]")
+            } else {
+                "put".to_string()
+            },
+        )?;
         self.flush_sent += 1;
         let flush_id = self.flush_sent;
         if notify {
@@ -390,6 +592,7 @@ impl RtCtx {
                         c.note_matched(self.rank, *n, 1);
                     }
                 }
+                self.race_matched(&m);
                 Ok(true)
             }
             None => Ok(false),
@@ -465,6 +668,12 @@ impl RtCtx {
             self.tick();
             std::thread::yield_now();
         }
+        if let Some(h) = &self.races {
+            // Every effect this rank issued has landed: its channel
+            // sequences fold back into its clock ("send buffers reusable"
+            // implies remote completion on this runtime).
+            h.with(|d| d.flushed(self.rank));
+        }
         let end = self.tick();
         self.tracer.span(
             Track::Rank(self.rank),
@@ -518,6 +727,39 @@ impl RtCtx {
         self.windows[self.user_windows].len()
     }
 
+    /// Reduce-accumulate `len` bytes of the hidden scratch window (at
+    /// `scratch_off`) into `win[dst..dst + len]` via `f(acc, src)`. The one
+    /// place the collective engine touches window bytes directly, routed
+    /// through here so window indexing stays confined to this module and
+    /// the race detector sees both sides: the scratch read and the
+    /// user-window write.
+    pub(crate) fn reduce_scratch_into(
+        &mut self,
+        win: WindowId,
+        dst: usize,
+        scratch_off: usize,
+        len: usize,
+        f: impl FnOnce(&mut [u8], &[u8]) -> Result<(), RtError>,
+    ) -> Result<(), RtError> {
+        let idx = self.user_win_range(win, dst, len)?;
+        let scratch_idx = self.scratch_index();
+        debug_assert!(scratch_off + len <= self.scratch_len());
+        self.race_local_ref(
+            scratch_idx as u32,
+            scratch_off,
+            scratch_off + len,
+            false,
+            "reduce (scratch)",
+        )?;
+        self.race_local_mut(win.0, dst, dst + len, true, "reduce")?;
+        // Scratch sits behind the user windows in the same vector; split at
+        // the user-window boundary so both slices can be borrowed at once.
+        let (user, rest) = self.windows.split_at_mut(scratch_idx);
+        let acc = &mut user[idx][dst..dst + len];
+        let src = &rest[0][scratch_off..scratch_off + len];
+        f(acc, src)
+    }
+
     /// Allocate the next collective tag for traffic towards `peer`.
     /// Per-(sender, receiver) FIFO delivery plus the deterministic SPMD
     /// collective call order make a per-peer sequence number sufficient to
@@ -556,6 +798,16 @@ impl RtCtx {
     ) -> Result<(), RtError> {
         debug_assert!(tag & COLL_TAG_BIT != 0);
         let data = self.windows[src_win][src_off..src_off + len].to_vec();
+        self.race_put(
+            dst,
+            src_win as u32,
+            src_off,
+            dst_win as u32,
+            dst_off,
+            len,
+            Some(tag),
+            &format!("coll[step {}]", tag & !COLL_TAG_BIT),
+        )?;
         self.flush_sent += 1;
         let flush_id = self.flush_sent;
         self.coll.puts += 1;
@@ -589,7 +841,11 @@ impl RtCtx {
         };
         self.drain_deliveries()?;
         let mut hidden = true;
-        while match_in_order(&mut self.pending_internal, query, 1).is_none() {
+        loop {
+            if let Some((m, _)) = match_in_order(&mut self.pending_internal, query, 1) {
+                self.race_matched(&m);
+                break;
+            }
             hidden = false;
             if self.aborted() {
                 return Err(RtError::Aborted);

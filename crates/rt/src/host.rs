@@ -387,13 +387,6 @@ impl Host {
             } => {
                 self.flush[origin_local as usize].0.complete(flush_id);
             }
-            WireMsg::BarrierToken { .. } | WireMsg::BarrierRelease => {
-                // Legacy wire variants (kept for codec stability): the world
-                // barrier now runs entirely as collective-engine puts, so no
-                // conforming peer emits these. Ignore rather than fail so a
-                // mixed-version mesh degrades to the peer hanging, not this
-                // host crashing.
-            }
             WireMsg::Finished { device: _, ranks } => {
                 self.finished_remote += ranks;
             }

@@ -40,7 +40,7 @@ pub use dcuda_coll::{
     CollPlanBuilder, Dtype, ReduceOp,
 };
 pub use dcuda_net::{NetStats, Transport};
-pub use dcuda_verify::VerifyReport;
+pub use dcuda_verify::{RaceMode, RaceReport, VerifyReport};
 pub use types::{Rank, RtError, RtQuery, Tag, WindowId};
 
 /// One-stop imports for writing rank programs: the context, the typed
@@ -54,4 +54,5 @@ pub mod prelude {
         allreduce_scratch_bytes, reduce_scatter_scratch_bytes, CollAlgo, CollError, CollPlan,
         CollPlanBuilder, Dtype, ReduceOp,
     };
+    pub use dcuda_verify::{RaceMode, RaceReport};
 }

@@ -221,6 +221,11 @@ pub enum RtError {
         /// Rendered transport-level error.
         detail: String,
     },
+    /// The happens-before race detector found a data race and the run is in
+    /// strict mode: the access completing the racy pair fails with the
+    /// report (observe mode accumulates reports in `RtReport.races`
+    /// instead).
+    Race(Box<dcuda_verify::RaceReport>),
 }
 
 impl fmt::Display for RtError {
@@ -259,6 +264,7 @@ impl fmt::Display for RtError {
             }
             RtError::Aborted => write!(f, "execution aborted (another thread failed first)"),
             RtError::Transport { detail } => write!(f, "inter-host transport failed: {detail}"),
+            RtError::Race(report) => write!(f, "{report}"),
         }
     }
 }

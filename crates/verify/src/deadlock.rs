@@ -21,6 +21,13 @@
 
 use dcuda_queues::{Query, ANY};
 
+/// Bit 31 of a notification tag marks the runtime's reserved collective
+/// tag space (`dcuda_rt::COLL_TAG_BIT`; mirrored here because the analyzer
+/// must not depend on the runtime crate). A wait on such a tag is an
+/// internal step of a collective schedule — e.g. a dissemination-barrier
+/// round — not an application-level wait, and the report labels it so.
+const COLL_TAG_BIT: u32 = 1 << 31;
+
 /// Why a rank is blocked.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WaitReason {
@@ -39,6 +46,41 @@ pub enum WaitReason {
     },
     /// Blocked draining a flush (waits on the host, not on ranks).
     Flush,
+}
+
+impl std::fmt::Display for WaitReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitReason::Notification { query, want } => {
+                let field = |v: u32| -> String {
+                    if v == ANY {
+                        "*".into()
+                    } else {
+                        v.to_string()
+                    }
+                };
+                if query.tag != ANY && query.tag & COLL_TAG_BIT != 0 {
+                    write!(
+                        f,
+                        "internal collective step {} (win {}, source {}, {want} outstanding)",
+                        query.tag & !COLL_TAG_BIT,
+                        field(query.win),
+                        field(query.source),
+                    )
+                } else {
+                    write!(
+                        f,
+                        "wait_notifications(win {}, source {}, tag {}, {want} outstanding)",
+                        field(query.win),
+                        field(query.source),
+                        field(query.tag),
+                    )
+                }
+            }
+            WaitReason::Barrier { missing } => write!(f, "barrier (missing {missing:?})"),
+            WaitReason::Flush => write!(f, "flush drain"),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -70,6 +112,10 @@ pub struct DeadlockReport {
     pub cycles: Vec<Vec<u32>>,
     /// Ranks blocked on a flush at quiescence (diagnostic).
     pub flush_blocked: Vec<u32>,
+    /// Human-readable wait description per blocked rank (collective-tag
+    /// aware: waits in the reserved bit-31 tag space render as
+    /// "internal collective step N").
+    pub waits: Vec<(u32, String)>,
 }
 
 impl DeadlockReport {
@@ -87,6 +133,11 @@ impl std::fmt::Display for DeadlockReport {
         writeln!(f, "deadlock analysis:")?;
         if !self.hopeless.is_empty() {
             writeln!(f, "  hopeless ranks: {:?}", self.hopeless)?;
+        }
+        for (rank, wait) in &self.waits {
+            if self.hopeless.contains(rank) {
+                writeln!(f, "  rank {rank} blocked in {wait}")?;
+            }
         }
         for (rank, gone) in &self.no_sender {
             writeln!(
@@ -147,7 +198,14 @@ impl WaitForGraph {
 
     /// Run the analysis. See the module docs for semantics.
     pub fn analyze(&self) -> DeadlockReport {
-        let mut report = DeadlockReport::default();
+        let mut report = DeadlockReport {
+            waits: self
+                .waiters
+                .iter()
+                .map(|w| (w.rank, w.reason.to_string()))
+                .collect(),
+            ..DeadlockReport::default()
+        };
         let done = |r: u32| self.done.contains(&r);
         let blocked: Vec<(u32, Vec<u32>)> = self
             .waiters
@@ -321,6 +379,57 @@ mod tests {
         // 2 waits on 0 and 1 (wildcard), both of which wait on 2: all hopeless.
         assert!(r.is_deadlock());
         assert_eq!(r.hopeless, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn collective_tag_waits_are_labeled_as_internal_steps() {
+        // A mutual wait where both tags sit in the reserved bit-31 space
+        // (e.g. a stuck dissemination-barrier round): the report must call
+        // them internal collective steps, with the step number decoded.
+        let mut g = WaitForGraph::new(2);
+        let coll_q = |source: u32, step: u32| Query {
+            win: 3,
+            source,
+            tag: COLL_TAG_BIT | step,
+        };
+        g.add_waiter(
+            0,
+            WaitReason::Notification {
+                query: coll_q(1, 2),
+                want: 1,
+            },
+        );
+        g.add_waiter(
+            1,
+            WaitReason::Notification {
+                query: coll_q(0, 2),
+                want: 1,
+            },
+        );
+        let r = g.analyze();
+        assert!(r.is_deadlock());
+        let text = r.to_string();
+        assert!(
+            text.contains("rank 0 blocked in internal collective step 2"),
+            "missing collective label:\n{text}"
+        );
+        assert!(
+            !text.contains("wait_notifications"),
+            "raw tag leaked:\n{text}"
+        );
+        // An application-space tag keeps the plain rendering.
+        let plain = WaitReason::Notification {
+            query: Query {
+                win: 0,
+                source: ANY,
+                tag: 7,
+            },
+            want: 2,
+        };
+        assert_eq!(
+            plain.to_string(),
+            "wait_notifications(win 0, source *, tag 7, 2 outstanding)"
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! 3. [`deadlock`] — a **wait-for graph** over blocked ranks with
 //!    wildcard-aware edges, a hopeless-set fixpoint, cycle extraction and
 //!    a "no matching sender exists" liveness lint.
+//! 4. [`races`] — a **vector-clock happens-before race detector** over
+//!    window byte ranges: notifications, flushes and barriers are the only
+//!    edges, so any concurrent conflicting pair of window accesses without
+//!    one is reported as a typed [`RaceReport`].
 //!
 //! Everything is dependency-free (std + the in-house `dcuda-des`
 //! primitives), like the rest of the workspace.
@@ -28,6 +32,7 @@
 
 pub mod deadlock;
 pub mod invariants;
+pub mod races;
 pub mod sched;
 pub mod shim;
 pub mod suite;
@@ -36,6 +41,7 @@ pub use deadlock::{DeadlockReport, WaitForGraph, WaitReason};
 pub use invariants::{
     reconcile_shards, InvariantMonitor, NotifKey, ShardCounters, VerifyReport, Violation,
 };
+pub use races::{AccessInfo, AccessKind, RaceDetector, RaceHandle, RaceMode, RaceReport};
 pub use sched::{vyield, Failure, FailureKind, Model, Outcome, Schedule};
 pub use shim::VPlatform;
 pub use suite::{mutation_model, run_suite, SuiteEffort, SuiteResult};

@@ -40,6 +40,11 @@ use std::process::ExitCode;
 ///    disconnected) carries release/acquire semantics; a relaxed access is
 ///    a protocol bug (the dcuda-verify model checker proves the demoted
 ///    variant racy).
+/// R4 `no-direct-window-indexing`: no `self.windows[` outside
+///    `crates/rt/src/ctx.rs`. The window accessors in `ctx.rs` are the
+///    single seam the happens-before race detector instruments; indexing
+///    the backing store directly anywhere else opens an unobserved access
+///    path and silently breaks race detection.
 ///
 /// An escape hatch comment `// xtask: allow` on the offending line skips
 /// all rules for that line.
@@ -359,6 +364,14 @@ fn lint() -> ExitCode {
                 // redesign committed to.
                 if dir.contains("rt") && line.contains("pub fn ") && line.contains("_raw(") {
                     findings.push(finding(&file, lineno, "no-raw-shims", line));
+                }
+                // Window memory may only be touched through the ctx.rs
+                // accessors — the seam the race detector instruments.
+                if dir.contains("rt")
+                    && line.contains("self.windows[")
+                    && file.file_name().is_none_or(|n| n != "ctx.rs")
+                {
+                    findings.push(finding(&file, lineno, "no-direct-window-indexing", line));
                 }
             }
         }

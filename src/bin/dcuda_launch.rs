@@ -29,7 +29,7 @@ use dcuda_fabric::FaultSpec;
 use dcuda_net::{
     launch, MeshOpts, NetConfig, NetFaults, NetStats, PlaneKind, SocketPlane, Transport,
 };
-use dcuda_rt::{ClusterPart, RtConfig, RtReport};
+use dcuda_rt::{ClusterPart, RaceMode, RtConfig, RtReport};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::Command;
@@ -47,6 +47,7 @@ struct Args {
     iters: u32,
     payload: usize,
     faults: Option<String>,
+    race: String,
     trace: Option<String>,
     report_json: Option<String>,
     die_proc: Option<u32>,
@@ -67,6 +68,7 @@ impl Default for Args {
             iters: 20,
             payload: 1024,
             faults: None,
+            race: "off".into(),
             trace: None,
             report_json: None,
             die_proc: None,
@@ -79,9 +81,9 @@ impl Default for Args {
 
 const USAGE: &str = "usage: dcuda-launch [--backend multiprocess|inprocess] [--procs M]
     [--plane auto|tcp|shm] [--devices-per-proc D] [--ranks-per-device R]
-    [--workload pingpong|overlap|stencil|coll] [--iters N] [--payload BYTES]
-    [--faults PROFILE] [--trace PATH] [--report-json PATH] [--die-proc K]
-    [--timeout-secs S]";
+    [--workload pingpong|overlap|stencil|coll|racey] [--iters N] [--payload BYTES]
+    [--faults PROFILE] [--race off|observe|strict] [--trace PATH]
+    [--report-json PATH] [--die-proc K] [--timeout-secs S]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
@@ -104,6 +106,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--iters" => args.iters = parse_num(val("--iters")?, "--iters")?,
             "--payload" => args.payload = parse_num(val("--payload")?, "--payload")?,
             "--faults" => args.faults = Some(val("--faults")?.clone()),
+            "--race" => args.race = val("--race")?.clone(),
             "--trace" => args.trace = Some(val("--trace")?.clone()),
             "--report-json" => args.report_json = Some(val("--report-json")?.clone()),
             "--die-proc" => args.die_proc = Some(parse_num(val("--die-proc")?, "--die-proc")?),
@@ -127,6 +130,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.procs == 0 || args.devices_per_proc == 0 || args.ranks_per_device == 0 {
         return Err("procs, devices-per-proc and ranks-per-device must be nonzero".into());
     }
+    if RaceMode::parse(&args.race).is_none() {
+        return Err(format!(
+            "unknown race mode {:?} (off|observe|strict)",
+            args.race
+        ));
+    }
+    if args.race != "off" && args.backend != "inprocess" {
+        // The detector needs the whole world's clocks in one address space;
+        // a per-process detector would miss every cross-process edge.
+        return Err("--race requires --backend inprocess".into());
+    }
     Ok(args)
 }
 
@@ -144,11 +158,13 @@ fn spec_of(args: &Args) -> WorkloadSpec {
 
 fn cluster_config(args: &Args, spec: &WorkloadSpec) -> Result<RtConfig, String> {
     let world = args.procs * args.devices_per_proc * args.ranks_per_device;
+    let race = RaceMode::parse(&args.race).ok_or_else(|| format!("bad race mode {}", args.race))?;
     RtConfig::builder()
         .devices(args.procs * args.devices_per_proc)
         .ranks_per_device(args.ranks_per_device)
         .windows(spec.windows())
         .coll_scratch(spec.coll_scratch(world))
+        .race_detect(race)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -209,6 +225,7 @@ fn report_json(
         .field("barriers", Json::from(report.barriers))
         .field("retries", Json::from(report.retries))
         .field("dups_suppressed", Json::from(report.dups_suppressed))
+        .field("races", Json::from(report.races.len() as u64))
         .field("coll_puts", Json::from(report.coll.puts))
         .field("coll_bytes", Json::from(report.coll.bytes))
         .field("coll_chunks", Json::from(report.coll.chunks))
@@ -252,6 +269,12 @@ fn run_inprocess(args: &Args) -> Result<(), String> {
             .enumerate()
             .map(|(r, c)| (r as u32, c.load(Ordering::Acquire))),
     );
+    // Observe-mode race reports: the JSON carries the count; the full
+    // happens-before stories go to stderr so they never perturb the
+    // machine-readable record.
+    for race in &report.races {
+        eprintln!("dcuda-launch: race: {race}");
+    }
     write_outputs(
         args,
         &report_json(args, world, &report, checksum, Json::obj()).to_string(),

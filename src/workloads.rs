@@ -36,18 +36,25 @@ pub enum Workload {
     /// each iteration, all expressed as notified RMA on the hidden scratch
     /// window.
     Coll,
+    /// Deliberately broken pingpong: rank 1 reads its inbox *before*
+    /// waiting for rank 0's notification, so the run contains exactly one
+    /// racy pair — the negative fixture the happens-before race detector
+    /// must catch deterministically. Every other rank behaves.
+    Racey,
 }
 
 impl Workload {
-    /// Parse a workload name (`pingpong`, `overlap`, `stencil`, `coll`).
+    /// Parse a workload name (`pingpong`, `overlap`, `stencil`, `coll`,
+    /// `racey`).
     pub fn parse(name: &str) -> Result<Workload, String> {
         match name {
             "pingpong" => Ok(Workload::PingPong),
             "overlap" => Ok(Workload::Overlap),
             "stencil" => Ok(Workload::Stencil),
             "coll" => Ok(Workload::Coll),
+            "racey" => Ok(Workload::Racey),
             other => Err(format!(
-                "unknown workload {other:?} (expected pingpong, overlap, stencil or coll)"
+                "unknown workload {other:?} (expected pingpong, overlap, stencil, coll or racey)"
             )),
         }
     }
@@ -59,6 +66,7 @@ impl Workload {
             Workload::Overlap => "overlap",
             Workload::Stencil => "stencil",
             Workload::Coll => "coll",
+            Workload::Racey => "racey",
         }
     }
 }
@@ -137,6 +145,7 @@ impl WorkloadSpec {
                         Workload::Overlap => run_overlap(ctx, spec, world),
                         Workload::Stencil => run_stencil(ctx, spec, world),
                         Workload::Coll => run_coll(ctx, spec, world),
+                        Workload::Racey => run_racey(ctx, spec, world),
                     };
                     out.store(sum, Ordering::Release);
                 });
@@ -179,9 +188,12 @@ fn salt(rank: u32, sum: u64) -> u64 {
 /// buffer standing in for the kernel work communication overlaps with.
 fn compute_into_staging(ctx: &mut RtCtx, iter: u32, payload: usize) {
     let rank = ctx.rank().0;
-    let w = ctx.win_mut(WindowId(0));
+    // Range-scoped borrow: the inbox regions of the same window receive
+    // remote puts concurrently, so the race detector must see this write
+    // as touching the staging bytes only.
+    let w = ctx.win_mut_at(WindowId(0), 0, payload);
     let mut h = fnv_u64(fnv_u64(FNV_OFFSET, u64::from(rank)), u64::from(iter));
-    for (i, slot) in w[..payload].iter_mut().enumerate() {
+    for (i, slot) in w.iter_mut().enumerate() {
         h = fnv_u64(h, i as u64);
         *slot = (h >> 24) as u8;
     }
@@ -206,12 +218,18 @@ fn run_pingpong(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
         if rank.is_multiple_of(2) {
             ctx.put_notify(WindowId(0), Rank(partner), payload, 0, payload, Tag(iter));
             ctx.wait_notifications(q, 1);
+            let w = ctx.win_at(WindowId(0), payload, payload);
+            sum = fnv_bytes(sum, w);
         } else {
             ctx.wait_notifications(q, 1);
+            // Read *before* replying: the reply is the only thing telling
+            // the partner it may overwrite this inbox next iteration, so a
+            // read placed after it would race with that next put (the exact
+            // bug `Workload::Racey` preserves for the detector).
+            let w = ctx.win_at(WindowId(0), payload, payload);
+            sum = fnv_bytes(sum, w);
             ctx.put_notify(WindowId(0), Rank(partner), payload, 0, payload, Tag(iter));
         }
-        let w = ctx.win(WindowId(0));
-        sum = fnv_bytes(sum, &w[payload..2 * payload]);
     }
     ctx.flush();
     sum
@@ -230,8 +248,8 @@ fn run_overlap(ctx: &mut RtCtx, spec: WorkloadSpec, _world: u32) -> u64 {
     for iter in 0..spec.iters {
         compute_into_staging(ctx, iter, payload);
         ctx.ring_shift(WindowId(0), payload, 0, payload);
-        let w = ctx.win(WindowId(0));
-        sum = fnv_bytes(sum, &w[payload..2 * payload]);
+        let w = ctx.win_at(WindowId(0), payload, payload);
+        sum = fnv_bytes(sum, w);
         ctx.ring_release();
         if iter % 8 == 7 {
             ctx.flush();
@@ -322,11 +340,51 @@ fn run_stencil(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
         if let Some(r) = right {
             ctx.wait_notifications(RtQuery::exact(WindowId(0), Rank(r), Tag(iter)), 1);
         }
-        let w = ctx.win(WindowId(0));
-        sum = fnv_bytes(sum, &w[payload..REGIONS * payload]);
+        let w = ctx.win_at(WindowId(0), payload, (REGIONS - 1) * payload);
+        sum = fnv_bytes(sum, w);
         ctx.barrier();
     }
     ctx.flush();
+    sum
+}
+
+/// One pingpong round with the synchronization deliberately broken on the
+/// (0, 1) pair: rank 1 touches its inbox *before* waiting for rank 0's
+/// notification, so exactly one racy pair exists — rank 0's remote write of
+/// `[payload, 2*payload)` against rank 1's premature read of the same
+/// bytes. Every other pair (and the unpaired last rank of an odd world)
+/// runs the correct wait-then-read order. The premature read's bytes are
+/// discarded (not folded into the checksum) so run output stays
+/// deterministic even though the race is real; iteration count is ignored
+/// so the racy pair is unique.
+fn run_racey(ctx: &mut RtCtx, spec: WorkloadSpec, world: u32) -> u64 {
+    let rank = ctx.rank().0;
+    let payload = spec.payload;
+    let partner = if rank.is_multiple_of(2) {
+        rank + 1
+    } else {
+        rank - 1
+    };
+    let mut sum = FNV_OFFSET;
+    if partner < world {
+        let q = RtQuery::exact(WindowId(0), Rank(partner), Tag(0));
+        if rank.is_multiple_of(2) {
+            compute_into_staging(ctx, 0, payload);
+            ctx.put_notify(WindowId(0), Rank(partner), payload, 0, payload, Tag(0));
+            ctx.flush();
+        } else {
+            if rank == 1 {
+                // BUG, on purpose: no wait before the inbox read. Under
+                // `--race strict` this access aborts the rank with the
+                // report; under observe it lands in `RtReport.races`.
+                let _ = ctx.win_at(WindowId(0), payload, payload);
+            }
+            ctx.wait_notifications(q, 1);
+            let w = ctx.win_at(WindowId(0), payload, payload);
+            sum = fnv_bytes(sum, w);
+        }
+    }
+    ctx.barrier();
     sum
 }
 
