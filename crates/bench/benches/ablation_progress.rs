@@ -1,0 +1,118 @@
+//! Ablation: busy-host overlap recovery of the asynchronous progress
+//! engine.
+//!
+//! dCUDA's overlap story assumes *something* keeps draining transport
+//! frames, matching notifications and firing retransmit timers while the
+//! host is occupied. The inline engine does all of that inside the host
+//! loop, so a busy host stalls every in-flight round trip; the progress
+//! pool (`ProgressMode::Threads`) moves the same passes onto dedicated
+//! workers that keep running while the host burns.
+//!
+//! This bench runs the busy-host figure ([`dcuda_bench::fig_busyhost`]):
+//! a cross-device latency ladder timed with an idle and a busy host, for
+//! the inline engine and one- and two-worker pools. The headline metric
+//! is the *recovered fraction* — how much of the wall time the busy
+//! inline host loses the progress pool wins back:
+//!
+//! ```text
+//! recovered = (t_inline(busy) - t_threads(busy)) / (t_inline(busy) - t_inline(0))
+//! ```
+//!
+//! `--json PATH` writes a `{"progress": [{"row", "value"}...]}` document;
+//! `xtask bench-diff` checks the rows named in `BENCH_baseline.json`
+//! against `min_value`/`max_value` bounds (the pool must recover at least
+//! half of the lost overlap, and its workers must actually have drained
+//! frames off-thread).
+
+use dcuda_bench::json::Json;
+use dcuda_bench::{fig_busyhost, Effort};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = argv
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    let effort = if argv.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+
+    println!("Ablation: busy-host overlap recovery, inline engine vs progress pool");
+    let fig = fig_busyhost(effort);
+    for r in &fig.rows {
+        println!(
+            "  {:>10} busy={:<6} {:>8.1} ms  progress_frames={:<6} steals={}",
+            r.mode, r.busy_spin, r.wall_ms, r.progress_frames, r.steals
+        );
+    }
+    println!(
+        "  recovered overlap: threads1 {:.2}, threads2 {:.2}",
+        fig.recovered_threads1, fig.recovered_threads2
+    );
+
+    // Loose acceptance gates — BENCH_baseline.json carries the calibrated
+    // bounds; these only catch an engine that is outright broken.
+    let frames = |mode: &str| -> u64 {
+        fig.rows
+            .iter()
+            .filter(|r| r.mode == mode)
+            .map(|r| r.progress_frames)
+            .sum()
+    };
+    assert!(
+        frames("threads1") > 0 && frames("threads2") > 0,
+        "progress pool drained no frames off-thread — the workers never ran"
+    );
+    assert_eq!(
+        frames("inline"),
+        0,
+        "inline engine reported off-thread frames"
+    );
+    assert!(
+        fig.recovered_threads1 > 0.0 && fig.recovered_threads2 > 0.0,
+        "progress pool recovered none of the busy host's lost overlap \
+         (threads1 {:.2}, threads2 {:.2})",
+        fig.recovered_threads1,
+        fig.recovered_threads2
+    );
+
+    if let Some(path) = json_path {
+        let mut rows: Vec<Json> = Vec::new();
+        let mut push = |row: String, value: f64| {
+            rows.push(
+                Json::obj()
+                    .field("row", Json::str(row))
+                    .field("value", Json::Num(value)),
+            );
+        };
+        push(
+            "busyhost_threads1_recovered_frac".into(),
+            fig.recovered_threads1,
+        );
+        push(
+            "busyhost_threads2_recovered_frac".into(),
+            fig.recovered_threads2,
+        );
+        push(
+            "busyhost_threads1_progress_frames".into(),
+            frames("threads1") as f64,
+        );
+        push(
+            "busyhost_threads2_steals".into(),
+            fig.rows
+                .iter()
+                .filter(|r| r.mode == "threads2")
+                .map(|r| r.steals)
+                .sum::<u64>() as f64,
+        );
+        for r in &fig.rows {
+            push(format!("busyhost_{}_{}_ms", r.mode, r.busy_spin), r.wall_ms);
+        }
+        let doc = Json::obj().field("progress", Json::Arr(rows));
+        std::fs::write(&path, doc.to_string()).expect("write --json output");
+        println!("  wrote {path}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Regenerate the dCUDA paper's evaluation figures as printed series.
 //!
 //! ```text
-//! figures [--fig 6|7|8|9|10|11|ablations|faults|coll|all[,..]] [--full]
+//! figures [--fig 6|7|8|9|10|11|ablations|faults|coll|busyhost|all[,..]] [--full]
 //!         [--serial] [--json [PATH]] [--trace PATH] [--verify]
 //!         [--faults PROFILE]
 //! ```
@@ -29,8 +29,8 @@ use dcuda_apps::micro::overlap::{OverlapPoint, Workload};
 use dcuda_bench::json::Json;
 use dcuda_bench::{
     ablation_bcast_put, ablation_match_cost, ablation_occupancy, ablation_staging,
-    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, fig_coll, fig_faults, set_serial,
-    Effort, ScalingRow,
+    ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, fig_busyhost, fig_coll, fig_faults,
+    set_serial, Effort, ScalingRow,
 };
 use dcuda_core::SystemSpec;
 use dcuda_fabric::FaultSpec;
@@ -79,7 +79,7 @@ fn overlap_json(points: &[OverlapPoint]) -> Json {
     )
 }
 
-const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|coll|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify [race]] [--faults PROFILE]";
+const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|coll|busyhost|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify [race]] [--faults PROFILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -149,7 +149,7 @@ fn main() {
         }
         None => "all".to_string(),
     };
-    const FIGS: [&str; 10] = [
+    const FIGS: [&str; 11] = [
         "6",
         "7",
         "8",
@@ -159,6 +159,7 @@ fn main() {
         "ablations",
         "faults",
         "coll",
+        "busyhost",
         "all",
     ];
     let selected: Vec<&str> = which.split(',').map(str::trim).collect();
@@ -511,6 +512,49 @@ fn main() {
                     })
                     .collect(),
             ),
+        );
+    }
+
+    if all || selected.contains(&"busyhost") {
+        println!(
+            "\n== Busy host: latency-ladder wall time vs host busy-work, inline engine vs progress pool =="
+        );
+        println!(
+            "{:>10} {:>12} {:>12} {:>16} {:>8}",
+            "mode", "busy spin", "wall [ms]", "progress frames", "steals"
+        );
+        let fig = fig_busyhost(effort);
+        for r in &fig.rows {
+            println!(
+                "{:>10} {:>12} {:>12.1} {:>16} {:>8}",
+                r.mode, r.busy_spin, r.wall_ms, r.progress_frames, r.steals
+            );
+        }
+        println!(
+            "  recovered overlap at peak busy: threads1 {:.2}, threads2 {:.2}",
+            fig.recovered_threads1, fig.recovered_threads2
+        );
+        out = out.field(
+            "busyhost",
+            Json::obj()
+                .field(
+                    "rows",
+                    Json::Arr(
+                        fig.rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj()
+                                    .field("mode", Json::str(r.mode))
+                                    .field("busy_spin", Json::from(r.busy_spin))
+                                    .field("wall_ms", Json::from(r.wall_ms))
+                                    .field("progress_frames", Json::from(r.progress_frames))
+                                    .field("steals", Json::from(r.steals))
+                            })
+                            .collect(),
+                    ),
+                )
+                .field("recovered_threads1", Json::from(fig.recovered_threads1))
+                .field("recovered_threads2", Json::from(fig.recovered_threads2)),
         );
     }
 

@@ -583,6 +583,136 @@ pub fn fig_coll(effort: Effort) -> Vec<CollRow> {
     rows
 }
 
+/// One measurement of the busy-host progress figure: a latency-laddered
+/// ping-pong on the *threaded* runtime, with the host loop forced to burn
+/// `busy_spin` iterations of synthetic work between progress passes.
+pub struct BusyHostRow {
+    /// `"inline"`, `"threads1"` or `"threads2"` — the progress engine.
+    pub mode: &'static str,
+    /// Host busy-work per loop iteration (burn iterations; 0 = idle host).
+    pub busy_spin: u64,
+    /// Wall-clock for the whole run (ms). Real time.
+    pub wall_ms: f64,
+    /// Transport messages drained by progress-pool workers (0 for inline).
+    pub progress_frames: u64,
+    /// Progress passes a worker made on an engine homed to another worker.
+    pub steals: u64,
+}
+
+/// The busy-host figure: the measurement series plus the headline
+/// recovered-overlap fractions the bench regression gates on.
+pub struct BusyHostFig {
+    /// One row per (mode, busy level).
+    pub rows: Vec<BusyHostRow>,
+    /// `(t_inline(busy) - t_threads1(busy)) / (t_inline(busy) - t_inline(0))`
+    /// at the highest busy level: the share of the overlap the busy host
+    /// lost that one progress thread wins back.
+    pub recovered_threads1: f64,
+    /// As above for the two-worker pool.
+    pub recovered_threads2: f64,
+}
+
+/// Burn iterations at the figure's highest busy level — large enough that
+/// the inline engine's lost overlap dwarfs scheduler noise.
+const BUSYHOST_SPIN: u64 = 60_000;
+
+/// Latency ladder: sequential cross-device round trips, so every hop is
+/// gated on a host progress pass and a busy host stalls the whole chain.
+fn busyhost_programs(iters: u32) -> Vec<dcuda_rt::cluster::RankProgram> {
+    use dcuda_rt::{Rank, RtQuery, Tag, WindowId};
+    const W0: WindowId = WindowId(0);
+    (0..4u32)
+        .map(|r| {
+            let partner = r ^ 2;
+            let program: dcuda_rt::cluster::RankProgram = Box::new(move |ctx| {
+                for i in 0..iters {
+                    if r < 2 {
+                        ctx.put_notify(W0, Rank(partner), 0, 0, 64, Tag(i));
+                        ctx.flush();
+                        ctx.wait_notifications(RtQuery::exact(W0, Rank(partner), Tag(i)), 1);
+                    } else {
+                        ctx.wait_notifications(RtQuery::exact(W0, Rank(partner), Tag(i)), 1);
+                        ctx.put_notify(W0, Rank(partner), 0, 0, 64, Tag(i));
+                        ctx.flush();
+                    }
+                }
+            });
+            program
+        })
+        .collect()
+}
+
+fn busyhost_row(
+    mode: &'static str,
+    progress: dcuda_rt::ProgressMode,
+    busy_spin: u64,
+    iters: u32,
+) -> BusyHostRow {
+    let cfg = dcuda_rt::RtConfig::builder()
+        .devices(2)
+        .ranks_per_device(2)
+        .windows(vec![4096])
+        .progress(progress)
+        .host_busy_spin(busy_spin)
+        .build()
+        .expect("valid busyhost config");
+    let start = std::time::Instant::now();
+    let report = dcuda_rt::try_run_cluster(&cfg, busyhost_programs(iters)).expect("busyhost run");
+    BusyHostRow {
+        mode,
+        busy_spin,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        progress_frames: report.net.progress_frames,
+        steals: report.net.steals,
+    }
+}
+
+/// The busy-host progress figure: wall time of a cross-device latency
+/// ladder as the host loop gets busier, for the inline engine vs one- and
+/// two-worker progress pools. The paper's premise is that overlap only
+/// exists if *something* makes progress while the host is busy; this
+/// figure measures how much of the overlap a busy inline host loses and
+/// how much of it the asynchronous progress engine recovers.
+///
+/// Runs strictly sequentially — the rows are wall-clock measurements and
+/// must not compete for cores.
+pub fn fig_busyhost(effort: Effort) -> BusyHostFig {
+    use dcuda_rt::ProgressMode;
+    let iters = match effort {
+        Effort::Quick => 150,
+        Effort::Full => 400,
+    };
+    let spins: &[u64] = match effort {
+        Effort::Quick => &[0, BUSYHOST_SPIN],
+        Effort::Full => &[0, BUSYHOST_SPIN / 4, BUSYHOST_SPIN / 2, BUSYHOST_SPIN],
+    };
+    let modes = [
+        ("inline", ProgressMode::Inline),
+        ("threads1", ProgressMode::Threads(1)),
+        ("threads2", ProgressMode::Threads(2)),
+    ];
+    let mut rows = Vec::new();
+    for &(name, mode) in &modes {
+        for &spin in spins {
+            rows.push(busyhost_row(name, mode, spin, iters));
+        }
+    }
+    let wall = |mode: &str, spin: u64| -> f64 {
+        rows.iter()
+            .find(|r| r.mode == mode && r.busy_spin == spin)
+            .map(|r| r.wall_ms)
+            .unwrap_or(f64::NAN)
+    };
+    let top = *spins.last().expect("busy levels nonempty");
+    let lost = wall("inline", top) - wall("inline", 0);
+    let recovered = |mode: &str| ((wall("inline", top) - wall(mode, top)) / lost).max(0.0);
+    BusyHostFig {
+        recovered_threads1: recovered("threads1"),
+        recovered_threads2: recovered("threads2"),
+        rows,
+    }
+}
+
 /// Run the representative traced simulation behind `figures --trace`: a
 /// reduced Figure 7/8-style overlap workload with cluster-wide tracing
 /// enabled. With `faults` set, the fabric injects that profile so the

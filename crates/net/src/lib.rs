@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod launch;
+pub mod poll;
 pub mod shm;
 pub mod socket;
 pub mod transport;

@@ -1,0 +1,415 @@
+//! Dependency-free readiness polling for the socket reactor.
+//!
+//! The reactor thread of [`crate::socket::SocketPlane`] progresses every
+//! TCP connection of a process from one thread; it needs to sleep until
+//! *any* connection has bytes (or hangs up) and to be woken by host-side
+//! code (teardown, parked sends). Production crates reach for `mio` or an
+//! async runtime here; this crate is deliberately `std`-only, so this
+//! module is a minimal shim over `poll(2)`:
+//!
+//! * [`PollShim::wait`] — level-triggered readiness over a set of
+//!   [`TcpStream`]s plus the shim's internal wakeup channel, built on a
+//!   raw `poll(2)` FFI declaration (no libc crate; the symbol is already
+//!   linked by `std`);
+//! * [`Waker`] — a pipe-style doorbell (`UnixStream::pair`) any thread can
+//!   ring to interrupt a `wait` in progress;
+//! * [`wait_writable`] / [`wait_readable`] — single-socket readiness
+//!   parks used by the blocking-semantics write helpers once a stream has
+//!   been switched to nonblocking mode.
+//!
+//! On non-Unix targets the shim degrades to a short-sleep spurious-ready
+//! emulation: every waited stream reports ready and the caller's
+//! nonblocking reads/writes sort out reality. Correct, just not idle.
+
+use std::io;
+use std::net::TcpStream;
+
+/// What a caller wants to know about one stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Interest {
+    /// Wake when the stream has bytes (or EOF) to read.
+    pub read: bool,
+    /// Wake when the stream can accept writes.
+    pub write: bool,
+}
+
+/// What `poll` reported about one stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Readiness {
+    /// A read will make progress (data, EOF, or a pending error to reap).
+    pub readable: bool,
+    /// A write will make progress.
+    pub writable: bool,
+    /// The peer hung up or the descriptor errored (`POLLHUP`/`POLLERR`/
+    /// `POLLNVAL`); the next read settles what happened.
+    pub closed: bool,
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Raw `poll(2)` declaration. The constants are identical across
+    //! Linux and the BSDs for the events used here.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+    pub const POLLIN: i16 = 0x0001;
+    pub const POLLOUT: i16 = 0x0004;
+    pub const POLLERR: i16 = 0x0008;
+    pub const POLLHUP: i16 = 0x0010;
+    pub const POLLNVAL: i16 = 0x0020;
+    #[cfg(target_os = "linux")]
+    pub type NfdsT = core::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub type NfdsT = core::ffi::c_uint;
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: core::ffi::c_int) -> core::ffi::c_int;
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{sys, Interest, Readiness};
+    use std::io::{self, Read, Write};
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    /// The reactor-side end of the shim: poll a set of streams plus the
+    /// wakeup channel.
+    pub struct PollShim {
+        wake_rx: UnixStream,
+    }
+
+    /// A cloneable doorbell that interrupts a [`PollShim::wait`].
+    #[derive(Clone)]
+    pub struct Waker {
+        wake_tx: Arc<UnixStream>,
+    }
+
+    impl Waker {
+        /// Ring the doorbell. Never blocks: a full pipe means a wake is
+        /// already pending, which is all a level-triggered waiter needs.
+        pub fn wake(&self) {
+            let _ = (&*self.wake_tx).write(&[1u8]);
+        }
+    }
+
+    impl PollShim {
+        /// Build the shim and its doorbell.
+        pub fn new() -> io::Result<(PollShim, Waker)> {
+            let (wake_tx, wake_rx) = UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            Ok((
+                PollShim { wake_rx },
+                Waker {
+                    wake_tx: Arc::new(wake_tx),
+                },
+            ))
+        }
+
+        /// Sleep until a stream is ready per its interest, the doorbell
+        /// rings, or `timeout_ms` elapses (negative = forever). Fills
+        /// `out` index-aligned with `streams`; returns whether the
+        /// doorbell rang (pending wakes are drained).
+        pub fn wait(
+            &mut self,
+            streams: &[(&TcpStream, Interest)],
+            out: &mut Vec<Readiness>,
+            timeout_ms: i32,
+        ) -> io::Result<bool> {
+            let mut fds: Vec<sys::PollFd> = streams
+                .iter()
+                .map(|(s, it)| sys::PollFd {
+                    fd: s.as_raw_fd(),
+                    events: if it.read { sys::POLLIN } else { 0 }
+                        | if it.write { sys::POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            fds.push(sys::PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            poll_retry(&mut fds, timeout_ms)?;
+            out.clear();
+            for f in &fds[..streams.len()] {
+                out.push(readiness(f.revents));
+            }
+            let woken = fds[streams.len()].revents & sys::POLLIN != 0;
+            if woken {
+                // Drain every pending doorbell byte so the next wait
+                // sleeps again.
+                let mut sink = [0u8; 64];
+                while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            Ok(woken)
+        }
+    }
+
+    fn readiness(revents: i16) -> Readiness {
+        // Hangup/error both count as readable: the caller's next read
+        // observes the EOF or reaps the error instead of spinning.
+        Readiness {
+            readable: revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0,
+            writable: revents & (sys::POLLOUT | sys::POLLERR) != 0,
+            closed: revents & (sys::POLLHUP | sys::POLLERR | sys::POLLNVAL) != 0,
+        }
+    }
+
+    fn poll_retry(fds: &mut [sys::PollFd], timeout_ms: i32) -> io::Result<i32> {
+        loop {
+            let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::NfdsT, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc);
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Park until `stream` is ready for the given interest (EINTR retried).
+    pub fn wait_one(stream: &TcpStream, it: Interest) -> io::Result<()> {
+        let mut fds = [sys::PollFd {
+            fd: stream.as_raw_fd(),
+            events: if it.read { sys::POLLIN } else { 0 } | if it.write { sys::POLLOUT } else { 0 },
+            revents: 0,
+        }];
+        poll_retry(&mut fds, -1).map(|_| ())
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{Interest, Readiness};
+    use std::io;
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Spurious-ready emulation: sleep briefly, report everything ready.
+    pub struct PollShim {
+        woken: Arc<AtomicBool>,
+    }
+
+    /// Doorbell for the emulated shim.
+    #[derive(Clone)]
+    pub struct Waker {
+        woken: Arc<AtomicBool>,
+    }
+
+    impl Waker {
+        /// Ring the doorbell.
+        pub fn wake(&self) {
+            self.woken.store(true, Ordering::Release);
+        }
+    }
+
+    impl PollShim {
+        /// Build the shim and its doorbell.
+        pub fn new() -> io::Result<(PollShim, Waker)> {
+            let woken = Arc::new(AtomicBool::new(false));
+            Ok((
+                PollShim {
+                    woken: woken.clone(),
+                },
+                Waker { woken },
+            ))
+        }
+
+        /// Emulated wait: a short sleep, then every stream reports ready
+        /// per its interest. The caller's nonblocking I/O resolves truth.
+        pub fn wait(
+            &mut self,
+            streams: &[(&TcpStream, Interest)],
+            out: &mut Vec<Readiness>,
+            _timeout_ms: i32,
+        ) -> io::Result<bool> {
+            if !self.woken.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            out.clear();
+            for (_, it) in streams {
+                out.push(Readiness {
+                    readable: it.read,
+                    writable: it.write,
+                    closed: false,
+                });
+            }
+            Ok(self.woken.swap(false, Ordering::AcqRel))
+        }
+    }
+
+    /// Emulated single-stream park.
+    pub fn wait_one(_stream: &TcpStream, _it: Interest) -> io::Result<()> {
+        std::thread::sleep(Duration::from_micros(500));
+        Ok(())
+    }
+}
+
+pub use imp::{PollShim, Waker};
+
+/// Park until `stream` accepts writes. The write helpers call this when a
+/// nonblocking socket returns `WouldBlock` mid-flush, preserving the
+/// blocking semantics the send path was written against while the shared
+/// file description stays nonblocking for the reactor's reads.
+pub fn wait_writable(stream: &TcpStream) -> io::Result<()> {
+    imp::wait_one(
+        stream,
+        Interest {
+            read: false,
+            write: true,
+        },
+    )
+}
+
+/// Park until `stream` has bytes (or EOF) to read — the blocking-read
+/// escape hatch for handshake-time code running on a nonblocking socket.
+pub fn wait_readable(stream: &TcpStream) -> io::Result<()> {
+    imp::wait_one(
+        stream,
+        Interest {
+            read: true,
+            write: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = l.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn wait_reports_readable_after_write() {
+        let (a, mut b) = pair();
+        a.set_nonblocking(true).expect("nonblocking");
+        let (mut shim, _waker) = PollShim::new().expect("shim");
+        let mut out = Vec::new();
+
+        // Nothing pending: a zero-timeout wait reports quiet (unix only;
+        // the emulation is allowed to report spurious readiness).
+        #[cfg(unix)]
+        {
+            let woken = shim
+                .wait(
+                    &[(
+                        &a,
+                        Interest {
+                            read: true,
+                            write: false,
+                        },
+                    )],
+                    &mut out,
+                    0,
+                )
+                .expect("wait");
+            assert!(!woken);
+            assert!(!out[0].readable);
+        }
+
+        b.write_all(b"x").expect("write");
+        let _ = shim
+            .wait(
+                &[(
+                    &a,
+                    Interest {
+                        read: true,
+                        write: false,
+                    },
+                )],
+                &mut out,
+                1000,
+            )
+            .expect("wait");
+        assert!(out[0].readable);
+        let mut byte = [0u8; 1];
+        (&a).read_exact(&mut byte).expect("read");
+        assert_eq!(&byte, b"x");
+    }
+
+    #[test]
+    fn waker_interrupts_wait() {
+        let (a, _b) = pair();
+        let (mut shim, waker) = PollShim::new().expect("shim");
+        // Ring from a clone; the original stays alive so the doorbell
+        // channel doesn't report EOF (dropping every waker closes it).
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut out = Vec::new();
+        let woken = shim
+            .wait(
+                &[(
+                    &a,
+                    Interest {
+                        read: true,
+                        write: false,
+                    },
+                )],
+                &mut out,
+                5000,
+            )
+            .expect("wait");
+        t.join().expect("waker thread");
+        assert!(woken, "doorbell must interrupt the wait");
+        // Pending wakes were drained: an immediate zero-timeout wait is
+        // quiet again on unix.
+        #[cfg(unix)]
+        {
+            let woken = shim.wait(&[], &mut out, 0).expect("wait");
+            assert!(!woken);
+        }
+    }
+
+    #[test]
+    fn wait_writable_on_fresh_socket_returns() {
+        let (a, _b) = pair();
+        a.set_nonblocking(true).expect("nonblocking");
+        wait_writable(&a).expect("fresh socket must be writable");
+    }
+
+    #[test]
+    fn closed_peer_reports_readable_eof() {
+        let (a, b) = pair();
+        a.set_nonblocking(true).expect("nonblocking");
+        drop(b);
+        let (mut shim, _waker) = PollShim::new().expect("shim");
+        let mut out = Vec::new();
+        let _ = shim
+            .wait(
+                &[(
+                    &a,
+                    Interest {
+                        read: true,
+                        write: false,
+                    },
+                )],
+                &mut out,
+                1000,
+            )
+            .expect("wait");
+        assert!(out[0].readable, "EOF must surface as readable");
+        let mut sink = [0u8; 8];
+        assert_eq!((&a).read(&mut sink).expect("read eof"), 0);
+    }
+}

@@ -32,25 +32,35 @@
 //!   stream*, deterministically from a seed. Drops are retransmitted on the
 //!   next pump (exercising the receiver's reorder path); duplicates are
 //!   suppressed by the sequence frontier.
+//! * **Reactor** — one `dcuda-net-rx` thread progresses *every* TCP
+//!   connection of the plane: the streams run nonblocking, a
+//!   [`crate::poll`] shim sleeps until any of them has bytes (or the
+//!   doorbell rings for teardown), and a per-connection state machine
+//!   ([`RxPhase`]) resumes frames split at arbitrary byte boundaries.
+//!   Completed messages reach each host rank over a model-checked SPSC
+//!   handoff ring ([`dcuda_queues::handoff`]); same-process loopback and
+//!   shm traffic keep their mpsc inbox.
 //!
 //! Failure model: a connection EOF or write failure marks the peer process
 //! gone. The transport itself keeps running — the *host* decides whether
 //! that is benign (the whole world already finished) or fatal, via
 //! [`Transport::peer_gone`].
 
+use crate::poll::{self, Interest, PollShim, Readiness, Waker};
 use crate::shm::{shm_supported, ShmConn, ShmOpts, DEFAULT_RING_BYTES};
 use crate::transport::{NetError, NetStats, PlaneKind, Transport};
 use crate::wire::{
-    parse_u32_payload, read_fully, u32_payload, CodecError, Frame, FrameHeader, FrameKind, WireMsg,
+    parse_u32_payload, u32_payload, CodecError, Frame, FrameHeader, FrameKind, MsgHeader, WireMsg,
     CREDIT_BATCH, EAGER_MAX, FRAME_HEADER_BYTES, INITIAL_CREDITS,
 };
 use dcuda_des::SplitMix64;
+use dcuda_queues::{handoff, HandoffReceiver, HandoffSender, TrySendError};
 use dcuda_trace::{Tracer, Track};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::{IoSlice, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -128,6 +138,15 @@ pub struct MeshOpts {
 
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Slots per device in the reactor→host handoff ring. Deep enough that a
+/// burst of small puts never stalls the reactor; a full ring (host far
+/// behind) degrades to a yield-spin, applying natural backpressure.
+const HANDOFF_RING_SLOTS: usize = 1024;
+
+/// Reactor poll timeout: a safety heartbeat so shutdown and dead-conn
+/// bookkeeping never wait on traffic (readiness itself wakes immediately).
+const REACTOR_TICK_MS: i32 = 200;
+
 // --- plane-wide shared state --------------------------------------------
 
 /// Plane-wide counters, shared with the shm links (`crate::shm`).
@@ -164,6 +183,9 @@ impl AtomicStats {
             copies_tx: self.copies_tx.load(Ordering::Relaxed),
             copies_rx: self.copies_rx.load(Ordering::Relaxed),
             vectored_writes: self.vectored_writes.load(Ordering::Relaxed),
+            // Progress-pool counters live in the runtime, not the plane;
+            // the report layer folds them in (`dcuda_rt`).
+            ..NetStats::default()
         }
     }
 }
@@ -382,7 +404,7 @@ impl ConnTx {
             stats.coalesced_flushes.fetch_add(1, Ordering::Relaxed);
         }
         let r = if self.big.is_empty() {
-            self.stream.write_all(&self.wbuf)
+            write_all_nb(&mut self.stream, &self.wbuf)
         } else {
             stats.vectored_writes.fetch_add(1, Ordering::Relaxed);
             write_vectored_all(&mut self.stream, &self.wbuf, &self.big)
@@ -407,9 +429,36 @@ impl ConnTx {
     }
 }
 
+/// `write_all` with blocking semantics on a nonblocking socket: partial
+/// writes resume where they left off, `EINTR` retries, and `WouldBlock`
+/// parks on `poll(2)` until the kernel buffer drains. (The streams are
+/// nonblocking for the reactor's sake — `O_NONBLOCK` lives on the shared
+/// file description — but the send path keeps its synchronous contract.
+/// `std`'s own `write_all` would lose the byte position on `WouldBlock`.)
+fn write_all_nb(stream: &mut TcpStream, mut buf: &[u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "write made no progress",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                poll::wait_writable(stream)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// One `writev` pass over the interleaving of the coalescing buffer and
 /// the staged large payloads, preserving emit order, with a continuation
-/// loop for partial writes.
+/// loop for partial writes (and the same blocking-on-nonblocking contract
+/// as [`write_all_nb`]).
 fn write_vectored_all(stream: &mut TcpStream, wbuf: &[u8], big: &[BigOut]) -> std::io::Result<()> {
     let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(big.len() * 2 + 1);
     let mut pos = 0usize;
@@ -428,14 +477,20 @@ fn write_vectored_all(stream: &mut TcpStream, wbuf: &[u8], big: &[BigOut]) -> st
     }
     let mut bufs = &mut slices[..];
     while !bufs.is_empty() {
-        let n = stream.write_vectored(bufs)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::WriteZero,
-                "vectored write made no progress",
-            ));
+        match stream.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "vectored write made no progress",
+                ))
+            }
+            Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                poll::wait_writable(stream)?;
+            }
+            Err(e) => return Err(e),
         }
-        IoSlice::advance_slices(&mut bufs, n);
     }
     Ok(())
 }
@@ -476,6 +531,14 @@ struct PlaneShared {
     peer_gone: Mutex<Option<u32>>,
     eager_max: usize,
     coalesce_limit: usize,
+    /// Reactor doorbell (`None` when the mesh has no TCP links and no
+    /// reactor was spawned).
+    waker: Option<Waker>,
+    /// Raised by the last endpoint's drop; the reactor exits on observing
+    /// it, so no receive thread outlives the plane.
+    shutdown: AtomicBool,
+    /// Live endpoint count; reaching zero raises `shutdown`.
+    endpoints_alive: AtomicU64,
 }
 
 impl PlaneShared {
@@ -659,6 +722,12 @@ impl SocketPlane {
         let (local_tx, inboxes): (Vec<_>, Vec<_>) = (0..devices_per_proc)
             .map(|_| mpsc::channel::<WireMsg>())
             .unzip();
+        // Reactor→host handoff rings, one per local device. Loopback and
+        // shm delivery keep the mpsc inboxes (they have multiple
+        // producers); the rings carry exactly the reactor's traffic.
+        let (ring_tx, ring_rx): (Vec<_>, Vec<_>) = (0..devices_per_proc)
+            .map(|_| handoff::<WireMsg>(HANDOFF_RING_SLOTS))
+            .unzip();
 
         let mut conns: Vec<Option<PeerLink>> = (0..procs).map(|_| None).collect();
         for (j, slot) in streams.iter_mut().enumerate() {
@@ -716,6 +785,17 @@ impl SocketPlane {
             }
         }
 
+        // One reactor progresses every TCP connection; the doorbell lets
+        // endpoint teardown (and, in principle, parked sends) interrupt
+        // its poll.
+        let has_tcp = streams.iter().any(|s| s.is_some());
+        let (shim, waker) = if has_tcp {
+            let (s, w) = PollShim::new()?;
+            (Some(s), Some(w))
+        } else {
+            (None, None)
+        };
+
         let shared = Arc::new(PlaneShared {
             my_proc,
             procs,
@@ -727,24 +807,49 @@ impl SocketPlane {
             peer_gone: Mutex::new(None),
             eager_max: config.eager_max,
             coalesce_limit: config.coalesce_limit,
+            waker,
+            shutdown: AtomicBool::new(false),
+            endpoints_alive: AtomicU64::new(u64::from(devices_per_proc)),
         });
 
-        for (j, slot) in streams.into_iter().enumerate() {
-            let Some(stream) = slot else { continue };
-            let shared = Arc::clone(&shared);
+        if let Some(shim) = shim {
+            let mut rx_conns = Vec::new();
+            for (j, slot) in streams.into_iter().enumerate() {
+                let Some(stream) = slot else { continue };
+                // Handshake I/O is done; from here the shared file
+                // description goes nonblocking for the reactor (the write
+                // half keeps blocking semantics via `write_all_nb`).
+                stream.set_nonblocking(true)?;
+                let Some(conn) = shared.tcp_conn(j as u32) else {
+                    continue;
+                };
+                rx_conns.push(ConnRx {
+                    peer: j as u32,
+                    stream,
+                    conn: Arc::clone(conn),
+                    phase: RxPhase::fresh_header(),
+                    expected: 0,
+                    reorder: BTreeMap::new(),
+                    fresh_since_credit: 0,
+                    dead: false,
+                });
+            }
+            let shared2 = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name(format!("dcuda-net-rx-{j}"))
-                .spawn(move || reader_loop(shared, j as u32, stream))
+                .name("dcuda-net-rx".into())
+                .spawn(move || reactor_loop(shared2, rx_conns, ring_tx, shim))
                 .map_err(|e| NetError::Io(e.to_string()))?;
         }
 
         let mut endpoints: Vec<NetEndpoint> = inboxes
             .into_iter()
+            .zip(ring_rx)
             .enumerate()
-            .map(|(i, inbox)| NetEndpoint {
+            .map(|(i, (inbox, ring))| NetEndpoint {
                 device: my_proc * devices_per_proc + i as u32,
                 shared: Arc::clone(&shared),
                 inbox,
+                ring,
                 tracer: if config.traced {
                     Tracer::enabled()
                 } else {
@@ -821,46 +926,6 @@ enum Slot {
     AwaitData,
 }
 
-/// Read one message payload off the stream **straight into its final
-/// delivery buffer**: a ≤[`WireMsg::HEADER_MAX`]-byte prefix is read onto
-/// the stack to decode the message header, then the remaining payload
-/// bytes land directly in the delivery `Vec` — one receive-side copy.
-fn read_msg(
-    stream: &mut TcpStream,
-    payload_len: usize,
-    stats: &AtomicStats,
-) -> std::io::Result<WireMsg> {
-    let bad = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
-    let mut prefix = [0u8; WireMsg::HEADER_MAX];
-    let take = payload_len.min(WireMsg::HEADER_MAX);
-    read_fully(stream, &mut prefix[..take])?;
-    let head = WireMsg::decode_header(&prefix[..take]).map_err(bad)?;
-    if head.total_len() != payload_len {
-        return Err(bad(CodecError::TrailingBytes {
-            extra: payload_len.abs_diff(head.total_len()),
-        }));
-    }
-    let mut data = vec![0u8; head.data_len];
-    let spill = take - head.consumed;
-    data[..spill].copy_from_slice(&prefix[head.consumed..take]);
-    read_fully(stream, &mut data[spill..])?;
-    if head.data_len > 0 {
-        stats.copies_rx.fetch_add(1, Ordering::Relaxed);
-    }
-    head.into_msg(data).map_err(bad)
-}
-
-/// Discard `n` payload bytes (duplicate frame already suppressed).
-fn skip_bytes(stream: &mut TcpStream, mut n: usize) -> std::io::Result<()> {
-    let mut scratch = [0u8; 4096];
-    while n > 0 {
-        let take = n.min(scratch.len());
-        read_fully(stream, &mut scratch[..take])?;
-        n -= take;
-    }
-    Ok(())
-}
-
 /// Classify a reader-side io failure: corrupt streams are fatal, anything
 /// else means the peer process died.
 fn reader_fail(shared: &PlaneShared, peer: u32, e: std::io::Error) {
@@ -876,64 +941,313 @@ fn reader_fail(shared: &PlaneShared, peer: u32, e: std::io::Error) {
     }
 }
 
-fn reader_loop(shared: Arc<PlaneShared>, peer: u32, mut stream: TcpStream) {
-    let conn = match shared.tcp_conn(peer) {
-        Some(c) => Arc::clone(c),
-        None => return,
+/// What to do once a skipped payload has drained off the stream.
+#[derive(Clone, Copy)]
+enum AfterSkip {
+    Nothing,
+    /// A [`FrameKind::RndzReady`] grant arrived: emit the transfer parked
+    /// under this sequence number.
+    Grant(u64),
+}
+
+/// Nonblocking decode state of one connection — where a frame split at an
+/// arbitrary byte boundary resumes on the next poll round.
+enum RxPhase {
+    /// Accumulating the fixed-size frame header.
+    Header {
+        buf: [u8; FRAME_HEADER_BYTES],
+        got: usize,
+    },
+    /// Discarding a payload (duplicate frame, hello, rendezvous grant).
+    Skip { remaining: usize, after: AfterSkip },
+    /// Accumulating a small control payload (credit return, rendezvous
+    /// request declaration).
+    Ctl {
+        head: FrameHeader,
+        buf: Vec<u8>,
+        got: usize,
+    },
+    /// Accumulating the ≤[`WireMsg::HEADER_MAX`]-byte message prefix of a
+    /// data-class frame.
+    MsgPrefix {
+        head: FrameHeader,
+        buf: [u8; WireMsg::HEADER_MAX],
+        got: usize,
+        take: usize,
+    },
+    /// Streaming the remaining payload **straight into its final delivery
+    /// buffer** across however many poll rounds it takes — one
+    /// receive-side copy, same as the old blocking path.
+    MsgData {
+        head: FrameHeader,
+        mh: MsgHeader,
+        data: Vec<u8>,
+        got: usize,
+    },
+}
+
+impl RxPhase {
+    fn fresh_header() -> RxPhase {
+        RxPhase::Header {
+            buf: [0u8; FRAME_HEADER_BYTES],
+            got: 0,
+        }
+    }
+}
+
+/// Reactor-side state of one TCP connection.
+struct ConnRx {
+    peer: u32,
+    stream: TcpStream,
+    conn: Arc<ConnShared>,
+    phase: RxPhase,
+    /// Next sequence number to release (dense frontier).
+    expected: u64,
+    reorder: BTreeMap<u64, Slot>,
+    fresh_since_credit: u32,
+    /// EOF or failure observed; the reactor stops polling this stream.
+    dead: bool,
+}
+
+/// Outcome of one nonblocking buffer fill.
+enum Fill {
+    Done,
+    Blocked,
+    Eof,
+}
+
+/// Fill `buf[*got..]` from a nonblocking stream, retrying `EINTR`.
+fn fill_nb(stream: &mut TcpStream, buf: &mut [u8], got: &mut usize) -> std::io::Result<Fill> {
+    while *got < buf.len() {
+        match stream.read(&mut buf[*got..]) {
+            Ok(0) => return Ok(Fill::Eof),
+            Ok(n) => *got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(Fill::Blocked),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+fn eof_mid_frame(needed: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        CodecError::Truncated { needed },
+    )
+}
+
+fn invalid(e: CodecError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+/// Push one released message into its device's handoff ring. A full ring
+/// yield-spins (backpressure from a host far behind); a disconnected ring
+/// means that host already exited and late messages are moot, mirroring
+/// the closed-mpsc semantics of the loopback path.
+fn ring_deliver(
+    shared: &PlaneShared,
+    rings: &mut [HandoffSender<WireMsg>],
+    dst_device: u32,
+    msg: WireMsg,
+) {
+    let base = shared.first_local_device();
+    let idx = dst_device.wrapping_sub(base) as usize;
+    let Some(ring) = rings.get_mut(idx) else {
+        shared.set_error(NetError::Io(format!(
+            "frame routed to device {dst_device}, not local to process {}",
+            shared.my_proc
+        )));
+        return;
     };
-    let mut expected: u64 = 0;
-    let mut reorder: BTreeMap<u64, Slot> = BTreeMap::new();
-    let mut fresh_since_credit: u32 = 0;
+    let mut msg = msg;
     loop {
-        let head = match FrameHeader::read_from(&mut stream) {
-            Ok(Some(h)) => h,
-            Ok(None) => {
-                // Clean EOF: the peer process exited. Benign iff the world
-                // already finished — the host decides.
-                shared.set_peer_gone(peer);
-                return;
+        match ring.try_send(msg) {
+            Ok(()) => return,
+            Err(TrySendError::Full(back)) => {
+                msg = back;
+                std::thread::yield_now();
             }
-            Err(e) => {
-                reader_fail(&shared, peer, e);
-                return;
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Per-frame epilogue: release ready messages in strict sequence order and
+/// return credits in batches of fresh data-class frames.
+fn release_and_credit(
+    shared: &PlaneShared,
+    c: &mut ConnRx,
+    rings: &mut [HandoffSender<WireMsg>],
+    fresh: u32,
+) {
+    while let Some(Slot::Ready(_, _)) = c.reorder.get(&c.expected) {
+        if let Some(Slot::Ready(dst_device, msg)) = c.reorder.remove(&c.expected) {
+            ring_deliver(shared, rings, dst_device, msg);
+        }
+        c.expected += 1;
+    }
+    c.fresh_since_credit += fresh;
+    if c.fresh_since_credit >= CREDIT_BATCH {
+        let n = c.fresh_since_credit;
+        c.fresh_since_credit = 0;
+        let mut tx = shared.lock_tx(&c.conn);
+        tx.emit(
+            OutFrame::ctl(FrameKind::Credit, 0, 0, u32_payload(n)),
+            false,
+            &shared.stats,
+        );
+        if tx.flush(&shared.stats).is_err() {
+            drop(tx);
+            shared.set_peer_gone(c.peer);
+        }
+    }
+}
+
+/// Decide the decode phase for a freshly parsed frame header, applying the
+/// duplicate check for data-class frames (their payloads are discarded
+/// without decoding).
+fn begin_frame(shared: &PlaneShared, c: &mut ConnRx, head: FrameHeader) -> RxPhase {
+    let skip = |after| RxPhase::Skip {
+        remaining: head.payload_len,
+        after,
+    };
+    let msg_prefix = || RxPhase::MsgPrefix {
+        take: head.payload_len.min(WireMsg::HEADER_MAX),
+        head,
+        buf: [0u8; WireMsg::HEADER_MAX],
+        got: 0,
+    };
+    let dup = || {
+        shared
+            .stats
+            .net_dups_suppressed
+            .fetch_add(1, Ordering::Relaxed);
+        skip(AfterSkip::Nothing)
+    };
+    match head.kind {
+        // Late hello: tolerated, carries nothing of interest.
+        FrameKind::Hello => skip(AfterSkip::Nothing),
+        FrameKind::Credit => RxPhase::Ctl {
+            buf: vec![0u8; head.payload_len],
+            head,
+            got: 0,
+        },
+        FrameKind::RndzReady => skip(AfterSkip::Grant(head.seq)),
+        FrameKind::Data => {
+            if head.seq < c.expected || c.reorder.contains_key(&head.seq) {
+                dup()
+            } else {
+                msg_prefix()
             }
-        };
-        let mut fresh = 0u32;
-        match head.kind {
-            FrameKind::Hello => {
-                // Late hello: tolerated, carries nothing of interest.
-                if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
-                    reader_fail(&shared, peer, e);
-                    return;
+        }
+        FrameKind::RndzRequest => {
+            if head.seq < c.expected || c.reorder.contains_key(&head.seq) {
+                dup()
+            } else {
+                RxPhase::Ctl {
+                    buf: vec![0u8; head.payload_len],
+                    head,
+                    got: 0,
                 }
             }
-            FrameKind::Credit => {
-                let mut payload = vec![0u8; head.payload_len];
-                if let Err(e) = read_fully(&mut stream, &mut payload) {
-                    reader_fail(&shared, peer, e);
-                    return;
+        }
+        FrameKind::RndzData => match c.reorder.get(&head.seq) {
+            Some(Slot::AwaitData) => msg_prefix(),
+            _ => dup(),
+        },
+    }
+}
+
+/// A decoded data-class payload is complete: slot it into the reorder
+/// buffer and run the frame epilogue.
+fn complete_msg(
+    shared: &PlaneShared,
+    c: &mut ConnRx,
+    rings: &mut [HandoffSender<WireMsg>],
+    head: FrameHeader,
+    mh: MsgHeader,
+    data: Vec<u8>,
+) -> std::io::Result<()> {
+    if mh.data_len > 0 {
+        stats_copies_rx(shared);
+    }
+    let msg = mh.into_msg(data).map_err(invalid)?;
+    let fresh = match head.kind {
+        FrameKind::Data => {
+            c.reorder
+                .insert(head.seq, Slot::Ready(head.dst_device, msg));
+            shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
+            1
+        }
+        // RndzData fills the slot reserved (and counted) at request time.
+        _ => {
+            c.reorder
+                .insert(head.seq, Slot::Ready(head.dst_device, msg));
+            0
+        }
+    };
+    release_and_credit(shared, c, rings, fresh);
+    Ok(())
+}
+
+fn stats_copies_rx(shared: &PlaneShared) {
+    shared.stats.copies_rx.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One state-machine step: satisfy the current phase's byte needs and run
+/// its completion actions. `Ok(true)` = progressed (call again);
+/// `Ok(false)` = would block or the connection just died cleanly.
+fn advance_conn(
+    shared: &PlaneShared,
+    c: &mut ConnRx,
+    rings: &mut [HandoffSender<WireMsg>],
+) -> std::io::Result<bool> {
+    let phase = std::mem::replace(&mut c.phase, RxPhase::fresh_header());
+    match phase {
+        RxPhase::Header { mut buf, mut got } => {
+            match fill_nb(&mut c.stream, &mut buf, &mut got)? {
+                Fill::Blocked => {
+                    c.phase = RxPhase::Header { buf, got };
+                    Ok(false)
                 }
-                let n = match parse_u32_payload(&payload) {
-                    Ok(n) => n,
-                    Err(e) => {
-                        shared.set_error(e.into());
-                        return;
+                Fill::Eof if got == 0 => {
+                    // Clean EOF at a frame boundary: the peer process
+                    // exited. Benign iff the world already finished — the
+                    // host decides.
+                    shared.set_peer_gone(c.peer);
+                    c.dead = true;
+                    Ok(false)
+                }
+                Fill::Eof => Err(eof_mid_frame(FRAME_HEADER_BYTES - got)),
+                Fill::Done => {
+                    let head = FrameHeader::parse(&buf).map_err(invalid)?;
+                    c.phase = begin_frame(shared, c, head);
+                    Ok(true)
+                }
+            }
+        }
+        RxPhase::Skip {
+            mut remaining,
+            after,
+        } => {
+            let mut scratch = [0u8; 4096];
+            while remaining > 0 {
+                let take = remaining.min(scratch.len());
+                match c.stream.read(&mut scratch[..take]) {
+                    Ok(0) => return Err(eof_mid_frame(remaining)),
+                    Ok(n) => remaining -= n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        c.phase = RxPhase::Skip { remaining, after };
+                        return Ok(false);
                     }
-                };
-                {
-                    let mut tx = shared.lock_tx(&conn);
-                    tx.credits += n;
+                    Err(e) => return Err(e),
                 }
-                // Returned credits may unblock queued sends right now.
-                shared.service_conn(&conn, true);
             }
-            FrameKind::RndzReady => {
-                if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
-                    reader_fail(&shared, peer, e);
-                    return;
-                }
-                let mut tx = shared.lock_tx(&conn);
-                if let Some((dst_device, mhead, data)) = tx.rndz_parked.remove(&head.seq) {
+            if let AfterSkip::Grant(seq) = after {
+                let mut tx = shared.lock_tx(&c.conn);
+                if let Some((dst_device, mhead, data)) = tx.rndz_parked.remove(&seq) {
                     // The granted transfer flows through the vectored path
                     // (rendezvous payloads exceed `vectored_min`), so the
                     // kernel write is its only send-side copy.
@@ -941,126 +1255,182 @@ fn reader_loop(shared: Arc<PlaneShared>, peer: u32, mut stream: TcpStream) {
                         OutFrame {
                             kind: FrameKind::RndzData,
                             dst_device,
-                            seq: head.seq,
+                            seq,
                             head: mhead,
                             data,
                         },
                         false,
                         &shared.stats,
                     );
-                    if let Err(_e) = tx.flush(&shared.stats) {
-                        drop(tx);
-                        shared.set_peer_gone(peer);
-                        continue;
-                    }
-                }
-            }
-            FrameKind::Data => {
-                if head.seq < expected || reorder.contains_key(&head.seq) {
-                    shared
-                        .stats
-                        .net_dups_suppressed
-                        .fetch_add(1, Ordering::Relaxed);
-                    if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
-                        reader_fail(&shared, peer, e);
-                        return;
-                    }
-                } else {
-                    let msg = match read_msg(&mut stream, head.payload_len, &shared.stats) {
-                        Ok(m) => m,
-                        Err(e) => {
-                            reader_fail(&shared, peer, e);
-                            return;
-                        }
-                    };
-                    reorder.insert(head.seq, Slot::Ready(head.dst_device, msg));
-                    shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
-                    fresh = 1;
-                }
-            }
-            FrameKind::RndzRequest => {
-                if head.seq < expected || reorder.contains_key(&head.seq) {
-                    shared
-                        .stats
-                        .net_dups_suppressed
-                        .fetch_add(1, Ordering::Relaxed);
-                    if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
-                        reader_fail(&shared, peer, e);
-                        return;
-                    }
-                } else {
-                    let mut payload = vec![0u8; head.payload_len];
-                    if let Err(e) = read_fully(&mut stream, &mut payload) {
-                        reader_fail(&shared, peer, e);
-                        return;
-                    }
-                    if let Err(e) = parse_u32_payload(&payload) {
-                        shared.set_error(e.into());
-                        return;
-                    }
-                    reorder.insert(head.seq, Slot::AwaitData);
-                    shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
-                    fresh = 1;
-                    // Grant the transfer immediately (control frames bypass
-                    // credits and coalescing: the sender is waiting).
-                    let mut tx = shared.lock_tx(&conn);
-                    tx.emit(
-                        OutFrame::ctl(FrameKind::RndzReady, 0, head.seq, Vec::new()),
-                        false,
-                        &shared.stats,
-                    );
                     if tx.flush(&shared.stats).is_err() {
                         drop(tx);
-                        shared.set_peer_gone(peer);
+                        shared.set_peer_gone(c.peer);
+                        return Ok(true);
                     }
                 }
             }
-            FrameKind::RndzData => match reorder.get(&head.seq) {
-                Some(Slot::AwaitData) => {
-                    // The payload streams off the socket directly into the
-                    // delivery buffer — the one receive-side copy.
-                    let msg = match read_msg(&mut stream, head.payload_len, &shared.stats) {
-                        Ok(m) => m,
-                        Err(e) => {
-                            reader_fail(&shared, peer, e);
-                            return;
+            release_and_credit(shared, c, rings, 0);
+            Ok(true)
+        }
+        RxPhase::Ctl {
+            head,
+            mut buf,
+            mut got,
+        } => match fill_nb(&mut c.stream, &mut buf, &mut got)? {
+            Fill::Blocked => {
+                c.phase = RxPhase::Ctl { head, buf, got };
+                Ok(false)
+            }
+            Fill::Eof => Err(eof_mid_frame(buf.len() - got)),
+            Fill::Done => {
+                let n = parse_u32_payload(&buf).map_err(invalid)?;
+                if head.kind == FrameKind::Credit {
+                    {
+                        let mut tx = shared.lock_tx(&c.conn);
+                        tx.credits += n;
+                    }
+                    // Returned credits may unblock queued sends right now.
+                    shared.service_conn(&c.conn, true);
+                    release_and_credit(shared, c, rings, 0);
+                } else {
+                    // RndzRequest: reserve the slot and grant the transfer
+                    // immediately (control frames bypass credits and
+                    // coalescing: the sender is waiting).
+                    c.reorder.insert(head.seq, Slot::AwaitData);
+                    shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
+                    {
+                        let mut tx = shared.lock_tx(&c.conn);
+                        tx.emit(
+                            OutFrame::ctl(FrameKind::RndzReady, 0, head.seq, Vec::new()),
+                            false,
+                            &shared.stats,
+                        );
+                        if tx.flush(&shared.stats).is_err() {
+                            drop(tx);
+                            shared.set_peer_gone(c.peer);
                         }
-                    };
-                    reorder.insert(head.seq, Slot::Ready(head.dst_device, msg));
-                }
-                _ => {
-                    shared
-                        .stats
-                        .net_dups_suppressed
-                        .fetch_add(1, Ordering::Relaxed);
-                    if let Err(e) = skip_bytes(&mut stream, head.payload_len) {
-                        reader_fail(&shared, peer, e);
-                        return;
                     }
+                    release_and_credit(shared, c, rings, 1);
                 }
-            },
-        }
-        // Release in strict sequence order.
-        while let Some(Slot::Ready(_, _)) = reorder.get(&expected) {
-            if let Some(Slot::Ready(dst_device, msg)) = reorder.remove(&expected) {
-                shared.route_local(dst_device, msg);
+                Ok(true)
             }
-            expected += 1;
+        },
+        RxPhase::MsgPrefix {
+            head,
+            mut buf,
+            mut got,
+            take,
+        } => match fill_nb(&mut c.stream, &mut buf[..take], &mut got)? {
+            Fill::Blocked => {
+                c.phase = RxPhase::MsgPrefix {
+                    head,
+                    buf,
+                    got,
+                    take,
+                };
+                Ok(false)
+            }
+            Fill::Eof => Err(eof_mid_frame(take - got)),
+            Fill::Done => {
+                let mh = WireMsg::decode_header(&buf[..take]).map_err(invalid)?;
+                if mh.total_len() != head.payload_len {
+                    return Err(invalid(CodecError::TrailingBytes {
+                        extra: head.payload_len.abs_diff(mh.total_len()),
+                    }));
+                }
+                let mut data = vec![0u8; mh.data_len];
+                let spill = take - mh.consumed;
+                data[..spill].copy_from_slice(&buf[mh.consumed..take]);
+                if spill == data.len() {
+                    complete_msg(shared, c, rings, head, mh, data)?;
+                } else {
+                    c.phase = RxPhase::MsgData {
+                        head,
+                        mh,
+                        data,
+                        got: spill,
+                    };
+                }
+                Ok(true)
+            }
+        },
+        RxPhase::MsgData {
+            head,
+            mh,
+            mut data,
+            mut got,
+        } => match fill_nb(&mut c.stream, &mut data, &mut got)? {
+            Fill::Blocked => {
+                c.phase = RxPhase::MsgData {
+                    head,
+                    mh,
+                    data,
+                    got,
+                };
+                Ok(false)
+            }
+            Fill::Eof => Err(eof_mid_frame(data.len() - got)),
+            Fill::Done => {
+                complete_msg(shared, c, rings, head, mh, data)?;
+                Ok(true)
+            }
+        },
+    }
+}
+
+/// Progress one connection's receive machine until it would block. Marks
+/// the connection dead on EOF or failure (the reactor stops polling it).
+fn pump_conn(shared: &PlaneShared, c: &mut ConnRx, rings: &mut [HandoffSender<WireMsg>]) {
+    while !c.dead {
+        match advance_conn(shared, c, rings) {
+            Ok(true) => {}
+            Ok(false) => return,
+            Err(e) => {
+                reader_fail(shared, c.peer, e);
+                c.dead = true;
+            }
         }
-        // Return credits in batches of fresh data-class frames.
-        fresh_since_credit += fresh;
-        if fresh_since_credit >= CREDIT_BATCH {
-            let n = fresh_since_credit;
-            fresh_since_credit = 0;
-            let mut tx = shared.lock_tx(&conn);
-            tx.emit(
-                OutFrame::ctl(FrameKind::Credit, 0, 0, u32_payload(n)),
-                false,
-                &shared.stats,
-            );
-            if tx.flush(&shared.stats).is_err() {
-                drop(tx);
-                shared.set_peer_gone(peer);
+    }
+}
+
+/// The reactor: one thread progresses every TCP connection of the plane.
+/// Sleeps on `poll(2)` until a stream has bytes, the doorbell rings, or
+/// the safety tick elapses; exits when the last endpoint drops.
+fn reactor_loop(
+    shared: Arc<PlaneShared>,
+    mut conns: Vec<ConnRx>,
+    mut rings: Vec<HandoffSender<WireMsg>>,
+    mut shim: PollShim,
+) {
+    let mut ready: Vec<Readiness> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let live: Vec<usize> = conns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.dead)
+            .map(|(i, _)| i)
+            .collect();
+        {
+            let streams: Vec<(&TcpStream, Interest)> = live
+                .iter()
+                .map(|&i| {
+                    (
+                        &conns[i].stream,
+                        Interest {
+                            read: true,
+                            write: false,
+                        },
+                    )
+                })
+                .collect();
+            if let Err(e) = shim.wait(&streams, &mut ready, REACTOR_TICK_MS) {
+                shared.set_error(NetError::Io(format!("reactor poll: {e}")));
+                return;
+            }
+        }
+        for (k, &i) in live.iter().enumerate() {
+            if ready.get(k).is_some_and(|r| r.readable) {
+                pump_conn(&shared, &mut conns[i], &mut rings);
             }
         }
     }
@@ -1073,6 +1443,9 @@ pub struct NetEndpoint {
     device: u32,
     shared: Arc<PlaneShared>,
     inbox: mpsc::Receiver<WireMsg>,
+    /// Reactor→host SPSC handoff ring: completed TCP frames for this
+    /// device (loopback and shm messages arrive on `inbox`).
+    ring: HandoffReceiver<WireMsg>,
     tracer: Tracer,
     /// Exactly one endpoint per plane reports the plane-wide [`NetStats`]
     /// (the others return zeros), so summing endpoint stats never double
@@ -1167,8 +1540,14 @@ impl Transport for NetEndpoint {
         // Shm links have no reader thread; drain their rings inline (any
         // endpoint may do it — routing goes through the shared inboxes).
         self.shared.drain_shm();
-        match self.inbox.try_recv() {
-            Ok(msg) => {
+        // Reactor handoff ring first (empty or reactor-gone falls through
+        // to the loopback/shm inbox).
+        let msg = match self.ring.try_recv() {
+            Ok(m) => Some(m),
+            Err(_) => self.inbox.try_recv().ok(),
+        };
+        match msg {
+            Some(msg) => {
                 if self.tracer.is_enabled() {
                     let ts = self.tick();
                     self.tracer.instant(
@@ -1180,7 +1559,7 @@ impl Transport for NetEndpoint {
                 }
                 Ok(Some(msg))
             }
-            Err(mpsc::TryRecvError::Empty) | Err(mpsc::TryRecvError::Disconnected) => {
+            None => {
                 let g = match self.shared.error.lock() {
                     Ok(g) => g,
                     Err(p) => p.into_inner(),
@@ -1264,6 +1643,20 @@ impl Transport for NetEndpoint {
 
     fn take_tracer(&mut self) -> Tracer {
         std::mem::take(&mut self.tracer)
+    }
+}
+
+impl Drop for NetEndpoint {
+    fn drop(&mut self) {
+        // The last endpoint's drop retires the reactor: raise the shutdown
+        // flag and ring its doorbell so it exits instead of lingering on a
+        // blocked read the way the per-connection reader threads used to.
+        if self.shared.endpoints_alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.shutdown.store(true, Ordering::Release);
+            if let Some(w) = &self.shared.waker {
+                w.wake();
+            }
+        }
     }
 }
 
@@ -1506,6 +1899,67 @@ mod tests {
         assert_eq!(sent.copies_tx, u64::from(n), "tx copies per rndz payload");
         assert_eq!(recvd.copies_rx, u64::from(n), "rx copies per rndz payload");
         assert!(sent.vectored_writes >= u64::from(n));
+    }
+
+    #[test]
+    fn reactor_resumes_frames_trickled_byte_by_byte() {
+        // A fake peer that completes the handshake, then dribbles an
+        // encoded Data frame one byte at a time. The reactor must resume
+        // the partial frame across poll rounds and deliver it intact.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l0.local_addr().unwrap().to_string();
+        let msg = deliver(0, vec![42u8; 97]);
+        let wire_msg = msg.clone();
+        let fake = std::thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            let hello = Frame {
+                kind: FrameKind::Hello,
+                dst_device: 0,
+                seq: 0,
+                payload: u32_payload(1),
+            };
+            (&s).write_all(&hello.encode()).unwrap();
+            let (head, data) = wire_msg.into_parts();
+            let mut payload = head;
+            payload.extend_from_slice(&data);
+            let frame = Frame {
+                kind: FrameKind::Data,
+                dst_device: 0,
+                seq: 0,
+                payload,
+            };
+            for byte in frame.encode() {
+                (&s).write_all(&[byte]).unwrap();
+                std::thread::yield_now();
+            }
+            // Keep the socket open until the plane confirms delivery.
+            let mut sink = [0u8; 64];
+            let _ = (&s).read(&mut sink);
+        });
+        let mut a = SocketPlane::establish(MeshOpts {
+            my_proc: 0,
+            procs: 2,
+            devices_per_proc: 1,
+            peer_addrs: vec!["unused".into(), "unused".into()],
+            peer_hosts: vec![],
+            shm_dir: None,
+            listener: l0,
+            config: NetConfig::default(),
+        })
+        .unwrap();
+        let mut a0 = a.pop().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let got = loop {
+            if let Some(m) = a0.try_recv().unwrap() {
+                break m;
+            }
+            assert!(Instant::now() < deadline, "trickled frame never arrived");
+            std::thread::yield_now();
+        };
+        assert_eq!(got, msg);
+        drop(a0);
+        drop(a);
+        fake.join().unwrap();
     }
 
     #[cfg(unix)]

@@ -90,6 +90,12 @@ pub struct NetStats {
     pub copies_rx: u64,
     /// Socket flushes that used a vectored (header+payload iovec) write.
     pub vectored_writes: u64,
+    /// Transport messages drained by dedicated progress threads instead of
+    /// the owning host loop (zero in inline-progress mode).
+    pub progress_frames: u64,
+    /// Progress-pool work steals: passes where a worker progressed a rank
+    /// homed on another worker.
+    pub steals: u64,
 }
 
 impl NetStats {
@@ -108,6 +114,8 @@ impl NetStats {
         self.copies_tx += other.copies_tx;
         self.copies_rx += other.copies_rx;
         self.vectored_writes += other.vectored_writes;
+        self.progress_frames += other.progress_frames;
+        self.steals += other.steals;
     }
 }
 

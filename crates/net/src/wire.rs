@@ -615,14 +615,16 @@ impl FrameHeader {
     }
 
     /// Read and validate one frame header from a blocking reader; clean EOF
-    /// before the first byte is `Ok(None)`.
+    /// before the first byte is `Ok(None)`. A signal-interrupted read
+    /// (`ErrorKind::Interrupted`) is retried, never surfaced — EINTR must
+    /// not kill a connection mid-frame.
     pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Option<FrameHeader>> {
         let mut header = [0u8; FRAME_HEADER_BYTES];
         let mut got = 0;
         while got < header.len() {
-            match r.read(&mut header[got..])? {
-                0 if got == 0 => return Ok(None),
-                0 => {
+            match r.read(&mut header[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
                         CodecError::Truncated {
@@ -630,37 +632,46 @@ impl FrameHeader {
                         },
                     ))
                 }
-                n => got += n,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
             }
         }
-        let mut c = Cursor::new(&header);
-        let magic = c.u32().map_err(codec_io)?;
+        Self::parse(&header).map(Some).map_err(codec_io)
+    }
+
+    /// Validate and decode an already-buffered header — the nonblocking
+    /// reactor accumulates [`FRAME_HEADER_BYTES`] across partial reads and
+    /// parses here; [`FrameHeader::read_from`] is the blocking wrapper.
+    pub fn parse(header: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, CodecError> {
+        let mut c = Cursor::new(header);
+        let magic = c.u32()?;
         if magic != FRAME_MAGIC {
-            return Err(codec_io(CodecError::BadMagic { found: magic }));
+            return Err(CodecError::BadMagic { found: magic });
         }
-        let kind = FrameKind::from_u8(c.u8().map_err(codec_io)?).map_err(codec_io)?;
-        let dst_device = c.u32().map_err(codec_io)?;
-        let seq = c.u64().map_err(codec_io)?;
-        let len = c.u32().map_err(codec_io)? as usize;
+        let kind = FrameKind::from_u8(c.u8()?)?;
+        let dst_device = c.u32()?;
+        let seq = c.u64()?;
+        let len = c.u32()? as usize;
         if len > MAX_FRAME_PAYLOAD {
-            return Err(codec_io(CodecError::Oversize { len: len as u64 }));
+            return Err(CodecError::Oversize { len: len as u64 });
         }
-        Ok(Some(FrameHeader {
+        Ok(FrameHeader {
             kind,
             dst_device,
             seq,
             payload_len: len,
-        }))
+        })
     }
 }
 
 /// Fill `buf` from a blocking reader; EOF mid-buffer is an error (the
-/// stream died inside a frame).
+/// stream died inside a frame). Signal-interrupted reads are retried.
 pub fn read_fully(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<()> {
     let mut got = 0;
     while got < buf.len() {
-        match r.read(&mut buf[got..])? {
-            0 => {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     CodecError::Truncated {
@@ -668,7 +679,9 @@ pub fn read_fully(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result
                     },
                 ))
             }
-            n => got += n,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
         }
     }
     Ok(())

@@ -132,6 +132,85 @@ fn truncated_input_yields_truncated_error_never_panics() {
     });
 }
 
+/// A reader that surrenders at most one byte per `read` call, with an
+/// injected `EINTR` before every byte — the worst case a nonblocking
+/// socket (or a signal-happy kernel) can present to the streaming decoder.
+struct TrickleReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    interrupt_next: bool,
+}
+
+impl std::io::Read for TrickleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.interrupt_next {
+            self.interrupt_next = false;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected EINTR",
+            ));
+        }
+        self.interrupt_next = true;
+        if self.pos >= self.bytes.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+#[test]
+fn frame_split_at_every_byte_boundary_still_decodes() {
+    // The regression the reactor conversion guards against: a frame
+    // arriving in arbitrary fragments must decode identically however the
+    // byte stream is carved up.
+    let frame = Frame {
+        kind: FrameKind::Data,
+        dst_device: 5,
+        seq: 42,
+        payload: (0u16..300).map(|b| b as u8).collect(),
+    };
+    let bytes = frame.encode();
+    // Slice decoder: every strict prefix is Truncated with an exact
+    // byte count, and prefix + needed always lands back on the frame end.
+    for cut in 0..bytes.len() {
+        match Frame::decode(&bytes[..cut]) {
+            Err(CodecError::Truncated { needed }) => {
+                assert!(needed > 0, "cut {cut}: zero-byte shortfall");
+                assert!(
+                    cut + needed <= bytes.len(),
+                    "cut {cut}: claimed shortfall {needed} overshoots the frame"
+                );
+            }
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    // Streaming reader: one byte per read call with EINTR injected before
+    // every byte — the decoder must resume, never error, never drop data.
+    let mut r = TrickleReader {
+        bytes: &bytes,
+        pos: 0,
+        interrupt_next: true,
+    };
+    let got = Frame::read_from(&mut r)
+        .expect("trickled frame must decode")
+        .expect("one full frame");
+    assert_eq!(got, frame);
+    // EOF exactly at the frame boundary is the clean-shutdown signal.
+    assert!(Frame::read_from(&mut r).expect("clean EOF").is_none());
+    // EOF strictly inside a frame is an UnexpectedEof, not a hang or Ok.
+    for cut in 1..bytes.len() {
+        let mut r = TrickleReader {
+            bytes: &bytes[..cut],
+            pos: 0,
+            interrupt_next: true,
+        };
+        let err = Frame::read_from(&mut r).expect_err("mid-frame EOF must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}");
+    }
+}
+
 #[test]
 fn corrupt_bytes_yield_typed_errors_never_panics() {
     forall("corruption_typed", 400, |g| {

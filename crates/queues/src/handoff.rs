@@ -1,0 +1,281 @@
+//! Host ↔ progress-thread handoff ring: the SPSC channel a progress
+//! engine uses to hand completed transport frames to the host rank that
+//! owns them, plus the park/wake doorbell that lets the consumer sleep
+//! without losing a publication.
+//!
+//! # Why not plain [`crate::spsc`]?
+//!
+//! The progress engine's producer (a socket reactor or a progress-pool
+//! worker) publishes from a *different thread* than the host loop that
+//! consumes, and the consumer may want to idle when the ring is empty.
+//! A naive "check, then sleep" consumer loses the wakeup when the
+//! producer publishes between the check and the sleep. The handoff ring
+//! wraps the model-checked [`crate::spsc`] ring with the classic
+//! waiting-flag protocol:
+//!
+//! * the consumer announces intent to park ([`HandoffReceiver::prepare_park`]:
+//!   store `waiting = 1`, **then** re-check the ring — a publication that
+//!   raced the announcement is caught by the re-check);
+//! * the producer publishes, **then** reads `waiting`; if set, it rings
+//!   the bell (clears the flag), which any parked consumer polls via
+//!   [`HandoffReceiver::woken`] — a predicate that covers the bell *and*
+//!   the ring, because under weak memory a store to one location never
+//!   forces a load of another to be fresh (see `woken`'s docs).
+//!
+//! Either the producer's publication precedes the consumer's re-check
+//! (the re-check finds the message) or the consumer's flag store precedes
+//! the producer's flag read (the bell rings); and even when both the
+//! re-check and the bell are observed stale, the parked consumer's poll
+//! of the published sequence itself converges — there is no interleaving
+//! in which a message is published and the consumer stays parked.
+//! `verify/tests/handoff_model.rs` checks exactly this (publication
+//! ordering, wakeup-loss, and that a seeded Release→Relaxed demotion of
+//! the publication surfaces as a data race).
+//!
+//! All orderings are Release/Acquire pairs — the publication edge is also
+//! the happens-before edge the notified-access race detector relies on
+//! when a frame completes on a progress thread instead of the host loop.
+
+use crate::plat::{PlatAtomicU64, Platform, StdPlatform};
+use crate::spsc::{channel_on, Receiver, RecvError, Sender, TrySendError};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Doorbell state shared by the two endpoints.
+struct DoorBell<P: Platform> {
+    /// 1 while the consumer is parked (or deciding to park).
+    waiting: P::AtomicU64,
+    /// Set by the producer's drop so a parking consumer never sleeps on a
+    /// dead channel.
+    closed: P::AtomicU64,
+}
+
+/// Producer endpoint: the progress thread's side.
+pub struct HandoffSender<T, P: Platform = StdPlatform> {
+    tx: Sender<T, P>,
+    bell: Arc<DoorBell<P>>,
+    wakes: u64,
+}
+
+/// Consumer endpoint: the host loop's side.
+pub struct HandoffReceiver<T, P: Platform = StdPlatform> {
+    rx: Receiver<T, P>,
+    bell: Arc<DoorBell<P>>,
+}
+
+/// Create a handoff ring with `capacity` slots on the standard platform.
+///
+/// # Panics
+/// Panics if `capacity` is zero or not a power of two.
+pub fn handoff<T>(capacity: usize) -> (HandoffSender<T>, HandoffReceiver<T>) {
+    handoff_on::<T, StdPlatform>(capacity)
+}
+
+/// As [`handoff`], but over an explicit [`Platform`] — how `dcuda-verify`
+/// runs the production protocol under its model-checking scheduler.
+///
+/// # Panics
+/// Panics if `capacity` is zero or not a power of two.
+pub fn handoff_on<T, P: Platform>(capacity: usize) -> (HandoffSender<T, P>, HandoffReceiver<T, P>) {
+    let (tx, rx) = channel_on::<T, P>(capacity);
+    let bell = Arc::new(DoorBell {
+        waiting: P::AtomicU64::new(0),
+        closed: P::AtomicU64::new(0),
+    });
+    (
+        HandoffSender {
+            tx,
+            bell: Arc::clone(&bell),
+            wakes: 0,
+        },
+        HandoffReceiver { rx, bell },
+    )
+}
+
+impl<T, P: Platform> HandoffSender<T, P> {
+    /// Publish one message (payload write + Release sequence store via the
+    /// inner ring), then ring the bell if the consumer is parked.
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        self.tx.try_send(value)?;
+        if self.bell.waiting.load(Ordering::Acquire) != 0 {
+            self.bell.waiting.store(0, Ordering::Release);
+            self.wakes += 1;
+        }
+        Ok(())
+    }
+
+    /// Messages published so far.
+    pub fn sent(&self) -> u64 {
+        self.tx.sent()
+    }
+
+    /// Times the bell was rung for a parked consumer.
+    pub fn wakes(&self) -> u64 {
+        self.wakes
+    }
+}
+
+impl<T, P: Platform> HandoffReceiver<T, P> {
+    /// Attempt to dequeue the next message.
+    pub fn try_recv(&mut self) -> Result<T, RecvError> {
+        self.rx.try_recv()
+    }
+
+    /// Peek whether a message is available without consuming it.
+    pub fn is_ready(&self) -> bool {
+        self.rx.is_ready()
+    }
+
+    /// Messages consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.rx.consumed()
+    }
+
+    /// Announce intent to park. Returns `true` if the caller may sleep
+    /// (poll [`woken`](Self::woken) while parked). Returns `false` — with
+    /// the flag already cleared — when the re-check after the announcement
+    /// finds a message or a dead producer; consume or bail instead of
+    /// sleeping.
+    pub fn prepare_park(&mut self) -> bool {
+        self.bell.waiting.store(1, Ordering::Release);
+        // The re-check closes the check-then-sleep window: a publication
+        // ordered before our flag store is visible here, and one ordered
+        // after it observes the flag and rings the bell.
+        if self.rx.is_ready() || self.bell.closed.load(Ordering::Acquire) != 0 {
+            self.bell.waiting.store(0, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    /// While parked: may the consumer stop sleeping? True when the
+    /// producer rang the bell, when a publication is visible in the ring,
+    /// or when the producer closed the channel.
+    ///
+    /// The ring re-poll is load-bearing, not belt-and-braces: the bell and
+    /// the publication are distinct locations, and release/acquire alone
+    /// never forces a load of one location to be fresh because of a store
+    /// to another. A consumer that parked off a stale
+    /// [`prepare_park`](Self::prepare_park) re-check and then spun on the
+    /// flag only could be stranded forever — the flag's latest value *is*
+    /// its own `waiting = 1`. Polling the published sequence directly
+    /// makes the publication itself the forcing function (coherence
+    /// delivers it after finitely many loads), which is exactly the
+    /// property `verify/tests/handoff_model.rs` proves under bounded
+    /// staleness.
+    pub fn woken(&self) -> bool {
+        self.bell.waiting.load(Ordering::Acquire) == 0
+            || self.rx.is_ready()
+            || self.bell.closed.load(Ordering::Acquire) != 0
+    }
+
+    /// Withdraw a park announcement (the consumer decided to keep
+    /// spinning).
+    pub fn unpark(&mut self) {
+        self.bell.waiting.store(0, Ordering::Release);
+    }
+}
+
+impl<T, P: Platform> Drop for HandoffSender<T, P> {
+    fn drop(&mut self) {
+        // Mark closed *before* ringing the bell: a consumer that parks
+        // after the bell ring re-checks `closed` in `prepare_park` and
+        // refuses to sleep; one already parked is woken by the ring. The
+        // inner ring's own disconnect mark (its Drop) follows this body.
+        self.bell.closed.store(1, Ordering::Release);
+        self.bell.waiting.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (mut tx, mut rx) = handoff::<u32>(4);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(RecvError::Empty));
+    }
+
+    #[test]
+    fn publication_racing_park_is_caught_by_recheck() {
+        let (mut tx, mut rx) = handoff::<u32>(4);
+        tx.try_send(7).unwrap();
+        // The message was published before the park announcement: the
+        // re-check must refuse the park.
+        assert!(!rx.prepare_park());
+        assert_eq!(rx.try_recv(), Ok(7));
+    }
+
+    #[test]
+    fn publication_after_park_rings_the_bell() {
+        let (mut tx, mut rx) = handoff::<u32>(4);
+        assert!(rx.prepare_park());
+        assert!(!rx.woken());
+        tx.try_send(9).unwrap();
+        assert!(rx.woken(), "publish after park must ring the bell");
+        assert_eq!(tx.wakes(), 1);
+        assert_eq!(rx.try_recv(), Ok(9));
+    }
+
+    #[test]
+    fn producer_drop_wakes_and_refuses_future_parks() {
+        let (tx, mut rx) = handoff::<u32>(4);
+        assert!(rx.prepare_park());
+        drop(tx);
+        assert!(rx.woken(), "producer drop must wake the parked consumer");
+        assert!(!rx.prepare_park(), "parking on a dead channel is refused");
+        assert_eq!(rx.try_recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn unpark_withdraws_the_flag() {
+        let (mut tx, mut rx) = handoff::<u32>(4);
+        assert!(rx.prepare_park());
+        rx.unpark();
+        tx.try_send(1).unwrap();
+        // The flag was withdrawn before the publish: no wake was needed.
+        assert_eq!(tx.wakes(), 0);
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn cross_thread_park_wake_stress() {
+        let (mut tx, mut rx) = handoff::<u64>(8);
+        const N: u64 = 5_000;
+        let producer = std::thread::spawn(move || {
+            let mut i = 0;
+            while i < N {
+                match tx.try_send(i) {
+                    Ok(()) => i += 1,
+                    Err(TrySendError::Full(_)) => std::thread::yield_now(),
+                    Err(TrySendError::Disconnected(_)) => panic!("consumer died"),
+                }
+            }
+            tx.wakes()
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            match rx.try_recv() {
+                Ok(v) => {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+                Err(RecvError::Empty) => {
+                    if rx.prepare_park() {
+                        while !rx.woken() {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                Err(RecvError::Disconnected) => panic!("producer died early"),
+            }
+        }
+        let wakes = producer.join().unwrap();
+        assert!(wakes <= N, "at most one wake per publication");
+    }
+}

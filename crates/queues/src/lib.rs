@@ -27,6 +27,7 @@
 pub mod bytering;
 pub mod dedup;
 pub mod depth;
+pub mod handoff;
 pub mod indexed;
 pub mod notify;
 pub mod plat;
@@ -35,6 +36,7 @@ pub mod spsc;
 pub use bytering::{byte_ring_on, ByteRingConsumer, ByteRingProducer};
 pub use dedup::{DedupWindow, RetryDecision, RetryPolicy, RetryTimer, DEDUP_WINDOW};
 pub use depth::DepthStats;
+pub use handoff::{handoff, handoff_on, HandoffReceiver, HandoffSender};
 pub use indexed::IndexedMatcher;
 pub use notify::{match_in_order, Notification, NotificationMatcher, Query, ANY};
 pub use plat::{PlatAtomicU64, PlatCell, Platform, StdPlatform};

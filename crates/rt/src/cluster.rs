@@ -9,12 +9,12 @@
 
 use crate::coll::CollStats;
 use crate::ctx::RtCtx;
-use crate::host::{FlushHistoryHandle, Host, HostFaults};
+use crate::host::{FlushHistoryHandle, Host, HostFaults, ProgressSource, SharedHost};
 use crate::msg::{Cmd, Delivery};
 use crate::types::RtError;
 use dcuda_net::{InProcessPlane, NetStats, Transport};
 use dcuda_queues::{channel, ANY};
-use dcuda_trace::Tracer;
+use dcuda_trace::{Tracer, Track};
 use dcuda_verify::{
     reconcile_shards, RaceHandle, RaceMode, RaceReport, ShardCounters, VerifyReport,
 };
@@ -32,6 +32,28 @@ pub const MAX_WORLD: u32 = 4096;
 
 /// Default size of the hidden per-rank collective scratch window.
 pub const DEFAULT_COLL_SCRATCH: usize = 64 * 1024;
+
+/// Upper bound on progress-pool workers (each is an OS thread per
+/// [`ClusterPart`]; more workers than local devices never helps).
+pub const MAX_PROGRESS_THREADS: u32 = 64;
+
+/// Who drives a host engine's matching, retransmit-timer and transport
+/// work (the asynchronous progress engine, ROADMAP open item 2 — the
+/// analogue of NCCL/NVSHMEM proxy threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// The host loop is the only driver — the pre-engine behaviour,
+    /// byte-identical protocol counters and delivery order.
+    #[default]
+    Inline,
+    /// A pool of `n` dedicated progress threads co-drives every host
+    /// engine of this [`ClusterPart`]: workers drain transport frames,
+    /// run notification matching and fire retransmit timers whenever a
+    /// host loop is busy elsewhere, work-stealing across the part's
+    /// devices (worker `i` homes devices `d` with `d % n == i` and steals
+    /// the rest opportunistically).
+    Threads(u32),
+}
 
 /// Cluster shape and window layout.
 ///
@@ -62,6 +84,14 @@ pub struct RtConfig {
     /// false races, so race detection is only sound when the whole world
     /// shares one process (in-process loopback meshes included).
     pub races: Option<RaceHandle>,
+    /// Progress engine: who drives the host engines' matching/transport
+    /// work ([`ProgressMode::Inline`] = the host loops alone, exactly the
+    /// pre-engine behaviour).
+    pub progress: ProgressMode,
+    /// Iterations of deterministic spin work each host loop burns between
+    /// progress passes, emulating a host busy with application work (the
+    /// busy-host benchmark's knob; `0` = an undisturbed host loop).
+    pub host_busy_spin: u64,
 }
 
 /// Seeded fault injection for the threaded runtime's MPI plane: inter-host
@@ -100,6 +130,8 @@ impl Default for RtConfig {
             faults: None,
             coll_scratch: DEFAULT_COLL_SCRATCH,
             races: None,
+            progress: ProgressMode::Inline,
+            host_busy_spin: 0,
         }
     }
 }
@@ -172,6 +204,16 @@ impl RtConfig {
                 }
             }
         }
+        if let ProgressMode::Threads(n) = self.progress {
+            if n == 0 {
+                return fail("progress thread pool of zero workers (use Inline)".into());
+            }
+            if n > MAX_PROGRESS_THREADS {
+                return fail(format!(
+                    "{n} progress threads exceed the {MAX_PROGRESS_THREADS}-thread cap"
+                ));
+            }
+        }
         if self.races.is_some() && self.faults.is_some() {
             // Retransmission reorders deliveries within a channel, breaking
             // the in-order-per-channel assumption the detector's channel
@@ -234,6 +276,19 @@ impl RtConfigBuilder {
     /// Enable happens-before race detection over window memory.
     pub fn race_detect(mut self, mode: RaceMode) -> Self {
         self.cfg.races = RaceHandle::new(mode);
+        self
+    }
+
+    /// Select the progress engine (default [`ProgressMode::Inline`]).
+    pub fn progress(mut self, mode: ProgressMode) -> Self {
+        self.cfg.progress = mode;
+        self
+    }
+
+    /// Burn `iters` of spin work in each host loop between passes
+    /// (busy-host emulation; default `0`).
+    pub fn host_busy_spin(mut self, iters: u64) -> Self {
+        self.cfg.host_busy_spin = iters;
         self
     }
 
@@ -316,6 +371,81 @@ pub fn try_run_cluster_verified(
 ) -> Result<(RtReport, VerifyReport), RtError> {
     run_inner(cfg, programs, false, true)
         .map(|(report, _, verify)| (report, verify.unwrap_or_default()))
+}
+
+/// One worker of the progress pool: sweeps every shared engine each round,
+/// home engines first (worker `w` of `n` homes engines `j` with
+/// `j % n == w`), then the rest — a pass that progresses a non-home engine
+/// is a *steal*. Engines momentarily owned by their host loop (or another
+/// worker) are skipped via `try_lock`, never blocked on. Returns the
+/// worker's timeline (empty unless `traced`); errors surface through
+/// `first_error` + the abort flag.
+fn progress_worker(
+    idx: u32,
+    nworkers: u32,
+    mut engines: Vec<SharedHost>,
+    abort: &AtomicBool,
+    first_error: &Mutex<Option<RtError>>,
+    traced: bool,
+) -> Tracer {
+    let mut tracer = if traced {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let n = engines.len();
+    // Per-worker logical clock: ordering is meaningful within this track
+    // only, like the rank and net timelines.
+    let mut clock = 0u64;
+    let mut passes = 0u64;
+    loop {
+        if abort.load(Ordering::Acquire) {
+            break;
+        }
+        if engines.iter().all(|e| e.done.load(Ordering::Acquire)) {
+            break;
+        }
+        let mut any = false;
+        for k in 0..n {
+            let j = (idx as usize + k) % n;
+            let stealing = (j as u32) % nworkers != idx % nworkers;
+            match engines[j].progress_pass(stealing) {
+                Ok(true) => {
+                    any = true;
+                    passes += 1;
+                    clock += 1;
+                    tracer.instant(
+                        Track::Progress(idx),
+                        if stealing { "steal" } else { "drive" },
+                        clock,
+                        vec![("engine", (j as u64).into())],
+                    );
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    if !matches!(e, RtError::Aborted) {
+                        record_first(first_error, e);
+                    }
+                    abort.store(true, Ordering::Release);
+                    clock += 1;
+                    tracer.instant(Track::Progress(idx), "abort", clock, vec![]);
+                    return tracer;
+                }
+            }
+        }
+        if !any {
+            std::thread::yield_now();
+        }
+    }
+    clock += 1;
+    tracer.span(
+        Track::Progress(idx),
+        "worker",
+        0,
+        clock,
+        vec![("passes", passes.into())],
+    );
+    tracer
 }
 
 /// Record the first failure observed across the cluster's threads.
@@ -519,6 +649,9 @@ fn run_part_inner(
                 .faults
                 .map(|f| HostFaults::new(f.seed, f.drop_p, f.dup_p, device, cfg.devices)),
             counters: verified.then(Box::default),
+            busy_spin: cfg.host_busy_spin,
+            progress_frames: 0,
+            steals: 0,
         });
     }
 
@@ -532,39 +665,97 @@ fn run_part_inner(
     let mut shards: Vec<ShardCounters> = Vec::new();
     std::thread::scope(|s| {
         let mut host_handles = Vec::new();
-        for host in hosts {
-            let abort = abort.clone();
-            let first_error = first_error.clone();
-            host_handles.push(s.spawn(move || {
-                let device = host.device;
-                match std::panic::catch_unwind(AssertUnwindSafe(move || host.run())) {
-                    Ok(Ok(out)) => Some(out),
-                    Ok(Err(e)) => {
-                        // Transport failure (or the host observing an abort
-                        // raised elsewhere): record the root cause once and
-                        // raise the flag so every blocked thread unwinds.
-                        if !matches!(e, RtError::Aborted) {
-                            record_first(&first_error, e);
+        let mut progress_handles = Vec::new();
+        match cfg.progress {
+            ProgressMode::Inline => {
+                for host in hosts {
+                    let abort = abort.clone();
+                    let first_error = first_error.clone();
+                    host_handles.push(s.spawn(move || {
+                        let device = host.device;
+                        match std::panic::catch_unwind(AssertUnwindSafe(move || host.run())) {
+                            Ok(Ok(out)) => Some(out),
+                            Ok(Err(e)) => {
+                                // Transport failure (or the host observing an
+                                // abort raised elsewhere): record the root
+                                // cause once and raise the flag so every
+                                // blocked thread unwinds.
+                                if !matches!(e, RtError::Aborted) {
+                                    record_first(&first_error, e);
+                                }
+                                abort.store(true, Ordering::Release);
+                                None
+                            }
+                            Err(p) => {
+                                // First-wins abort: ranks spinning on
+                                // deliveries or flush acks observe the flag
+                                // and bail with `Aborted` so the scope join
+                                // completes.
+                                record_first(
+                                    &first_error,
+                                    RtError::HostPanicked {
+                                        device,
+                                        message: panic_text(p),
+                                    },
+                                );
+                                abort.store(true, Ordering::Release);
+                                None
+                            }
                         }
-                        abort.store(true, Ordering::Release);
-                        None
-                    }
-                    Err(p) => {
-                        // First-wins abort: ranks spinning on deliveries or
-                        // flush acks observe the flag and bail with
-                        // `Aborted` so the scope join completes.
-                        record_first(
-                            &first_error,
-                            RtError::HostPanicked {
-                                device,
-                                message: panic_text(p),
-                            },
-                        );
-                        abort.store(true, Ordering::Release);
-                        None
-                    }
+                    }));
                 }
-            }));
+            }
+            ProgressMode::Threads(nworkers) => {
+                let engines: Vec<SharedHost> = hosts.into_iter().map(SharedHost::new).collect();
+                for eng in &engines {
+                    let abort = abort.clone();
+                    let first_error = first_error.clone();
+                    let eng = eng.clone();
+                    // No engine is contended yet; read the device id for
+                    // diagnostics before the loop starts.
+                    let device = match eng.engine.lock() {
+                        Ok(g) => g.device,
+                        Err(p) => p.into_inner().device,
+                    };
+                    host_handles.push(s.spawn(move || {
+                        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            eng.run_host_loop(&abort)
+                        }));
+                        // Raised success or failure alike: workers must stop
+                        // driving an engine whose loop has exited.
+                        eng.done.store(true, Ordering::Release);
+                        match res {
+                            Ok(Ok(out)) => Some(out),
+                            Ok(Err(e)) => {
+                                if !matches!(e, RtError::Aborted) {
+                                    record_first(&first_error, e);
+                                }
+                                abort.store(true, Ordering::Release);
+                                None
+                            }
+                            Err(p) => {
+                                record_first(
+                                    &first_error,
+                                    RtError::HostPanicked {
+                                        device,
+                                        message: panic_text(p),
+                                    },
+                                );
+                                abort.store(true, Ordering::Release);
+                                None
+                            }
+                        }
+                    }));
+                }
+                for w in 0..nworkers {
+                    let engines = engines.clone();
+                    let abort = abort.clone();
+                    let first_error = first_error.clone();
+                    progress_handles.push(s.spawn(move || {
+                        progress_worker(w, nworkers, engines, &abort, &first_error, traced)
+                    }));
+                }
+            }
         }
         let mut rank_handles = Vec::new();
         for (mut ctx, program) in rank_parts {
@@ -653,6 +844,15 @@ fn run_part_inner(
                         },
                     );
                 }
+            }
+        }
+        for h in progress_handles {
+            // Workers exit on their own once every engine's loop has (all
+            // `done` flags raised) or the abort flag lands; they surface
+            // errors through `first_error`, so the join only collects their
+            // timelines.
+            if let Ok(t) = h.join() {
+                trace.absorb(t);
             }
         }
     });

@@ -154,6 +154,33 @@ pub(crate) struct Host {
     /// backlog at shutdown) — so `delivered + dropped == sent` holds exactly
     /// even for fire-and-forget puts the target never polls.
     pub counters: Option<Box<ShardCounters>>,
+    /// Artificial per-pass host busyness: iterations of deterministic spin
+    /// work burnt between progress passes, emulating a host loop occupied
+    /// with application work (the busy-host benchmark's knob; `0` = none).
+    pub busy_spin: u64,
+    /// Transport messages drained by progress-pool workers instead of this
+    /// host's own loop (folded into [`NetStats::progress_frames`]).
+    pub progress_frames: u64,
+    /// Passes in which a worker progressed this host while it was homed on
+    /// a different worker (folded into [`NetStats::steals`]).
+    pub steals: u64,
+}
+
+/// The seam between *who drives progress* and the engine state. A host's
+/// matching, retransmit-timer and transport work is one `progress_pass`;
+/// in [`ProgressMode::Inline`](crate::cluster::ProgressMode) the host loop
+/// itself is the only driver (and the pass is byte-identical to the
+/// pre-seam loop body), while `ProgressMode::Threads(n)` adds pool workers
+/// that drive the same pass through [`SharedHost`] whenever the host loop
+/// is busy elsewhere.
+pub(crate) trait ProgressSource {
+    /// Run one matching/retransmit/transport pass. `Ok(true)` if any work
+    /// was done; `Ok(false)` when the pass found nothing to do or the
+    /// engine is momentarily owned by another driver.
+    ///
+    /// `stealing` marks a pass driven by a worker the engine is *not*
+    /// homed on (pure accounting; inline drivers always pass `false`).
+    fn progress_pass(&mut self, stealing: bool) -> Result<bool, RtError>;
 }
 
 /// Public wrapper so `cluster` can construct histories.
@@ -413,100 +440,239 @@ impl Host {
         Ok(any)
     }
 
-    /// Main progress loop. Returns statistics, plane-level counters and the
-    /// invariant-counter shard (verified runs only) after world quiescence,
-    /// or the first transport/abort failure.
-    pub fn run(mut self) -> Result<HostOutcome, RtError> {
+    /// One full host pass: drain the local command rings, fire parked
+    /// retransmit timers, drain and match the inter-host plane, and drive
+    /// deferred transport work. `Ok(true)` if anything moved.
+    ///
+    /// `off_thread` marks a pass driven by a progress-pool worker instead
+    /// of the owning host loop; the only difference is accounting (plane
+    /// messages drained count toward [`NetStats::progress_frames`]), so an
+    /// inline-mode run is byte-identical to the pre-seam loop body.
+    fn pass(&mut self, off_thread: bool) -> Result<bool, RtError> {
+        let mut progress = false;
+        for local in 0..self.ranks_per_device {
+            // Drain this rank's command ring.
+            while let Ok(cmd) = self.cmd_rx[local as usize].try_recv() {
+                progress = true;
+                self.handle_cmd(local, cmd)?;
+            }
+            self.pump_backlog(local);
+        }
+        progress |= self.flush_retransmits()?;
+        while let Some(msg) = self.plane.try_recv().map_err(net_err)? {
+            progress = true;
+            self.progress_frames += u64::from(off_thread);
+            self.handle_peer(msg)?;
+        }
+        // Drive deferred transport work (coalesced flushes, credit- and
+        // rendezvous-stalled sends, socket-level retransmits).
+        progress |= self.plane.pump().map_err(net_err)?;
+        Ok(progress)
+    }
+
+    /// Quiescence check after a pass that found no work. `Ok(Some)` hands
+    /// back the host's outcome when the whole world is done and the plane
+    /// is drained; `Ok(None)` means keep looping.
+    fn try_finish(&mut self) -> Result<Option<HostOutcome>, RtError> {
         let world = self.devices * self.ranks_per_device;
+        let done = self.finished_global.load(Ordering::Acquire) + self.finished_remote;
+        if done != world {
+            if let Some(proc) = self.plane.peer_gone() {
+                // A worker process died before the world finished: fail
+                // loudly instead of spinning on messages that will never
+                // arrive.
+                return Err(RtError::Transport {
+                    detail: format!("peer process {proc} died before quiescence"),
+                });
+            }
+            return Ok(None);
+        }
+        if !self.plane.idle() {
+            // Quiescent protocol but bytes still queued (e.g. a
+            // rendezvous payload awaiting its grant): keep
+            // pumping, never exit with undelivered sends.
+            return Ok(None);
+        }
+        // All ranks everywhere are done and nothing is pending.
+        // Every inbound `Deliver` became visible before its
+        // origin's finish did (channel send happens-before the
+        // counter increment in-process; per-connection FIFO
+        // orders `Deliver` before `Finished` across processes),
+        // so one final drain sees the complete stream; whatever
+        // the exited ranks never picked up is accounted as
+        // dropped.
+        while let Some(msg) = self.plane.try_recv().map_err(net_err)? {
+            self.handle_peer(msg)?;
+        }
+        // Best-effort flush of the acks the drain just queued;
+        // peers that already exited are gone, not errors.
+        let _ = self.plane.pump();
+        for local in 0..self.ranks_per_device {
+            self.pump_backlog(local);
+        }
+        if self.counters.is_some() {
+            for local in 0..self.ranks_per_device {
+                let target = self.device * self.ranks_per_device + local;
+                let residue: Vec<Notification> = self.delivery_backlog[local as usize]
+                    .drain(..)
+                    .filter(|d| d.notify && d.notif.tag & COLL_TAG_BIT == 0)
+                    .map(|d| d.notif)
+                    .collect();
+                if let Some(c) = self.counters.as_mut() {
+                    for n in residue {
+                        c.note_dropped(target, n);
+                    }
+                }
+            }
+        }
+        let stats = HostStats {
+            puts: self.puts_routed,
+            notifications: self.notifications_sent,
+            retries: self.faults.as_ref().map_or(0, |f| f.retries),
+            dups_suppressed: self.faults.as_ref().map_or(0, HostFaults::dups_suppressed),
+        };
+        let mut net = self.plane.stats();
+        // Off-thread drains and steals are engine-side counts the plane
+        // never sees; fold them into the transport report here (both zero
+        // in inline mode, keeping its stats byte-identical).
+        net.progress_frames += self.progress_frames;
+        net.steals += self.steals;
+        Ok(Some(HostOutcome {
+            stats,
+            net,
+            net_trace: self.plane.take_tracer(),
+            counters: self.counters.take(),
+        }))
+    }
+
+    /// Main progress loop (inline mode: this host loop is the only driver).
+    /// Returns statistics, plane-level counters and the invariant-counter
+    /// shard (verified runs only) after world quiescence, or the first
+    /// transport/abort failure.
+    pub fn run(mut self) -> Result<HostOutcome, RtError> {
         loop {
             if self.abort.load(Ordering::Acquire) {
                 // Another thread failed first; unwind so the scope joins.
                 return Err(RtError::Aborted);
             }
-            let mut progress = false;
-            for local in 0..self.ranks_per_device {
-                // Drain this rank's command ring.
-                while let Ok(cmd) = self.cmd_rx[local as usize].try_recv() {
-                    progress = true;
-                    self.handle_cmd(local, cmd)?;
-                }
-                self.pump_backlog(local);
-            }
-            progress |= self.flush_retransmits()?;
-            while let Some(msg) = self.plane.try_recv().map_err(net_err)? {
-                progress = true;
-                self.handle_peer(msg)?;
-            }
-            // Drive deferred transport work (coalesced flushes, credit- and
-            // rendezvous-stalled sends, socket-level retransmits).
-            progress |= self.plane.pump().map_err(net_err)?;
+            burn(self.busy_spin);
+            let progress = ProgressSource::progress_pass(&mut self, false)?;
             if !progress {
-                let done = self.finished_global.load(Ordering::Acquire) + self.finished_remote;
-                if done == world {
-                    if !self.plane.idle() {
-                        // Quiescent protocol but bytes still queued (e.g. a
-                        // rendezvous payload awaiting its grant): keep
-                        // pumping, never exit with undelivered sends.
-                        continue;
-                    }
-                    // All ranks everywhere are done and nothing is pending.
-                    // Every inbound `Deliver` became visible before its
-                    // origin's finish did (channel send happens-before the
-                    // counter increment in-process; per-connection FIFO
-                    // orders `Deliver` before `Finished` across processes),
-                    // so one final drain sees the complete stream; whatever
-                    // the exited ranks never picked up is accounted as
-                    // dropped.
-                    while let Some(msg) = self.plane.try_recv().map_err(net_err)? {
-                        self.handle_peer(msg)?;
-                    }
-                    // Best-effort flush of the acks the drain just queued;
-                    // peers that already exited are gone, not errors.
-                    let _ = self.plane.pump();
-                    for local in 0..self.ranks_per_device {
-                        self.pump_backlog(local);
-                    }
-                    if self.counters.is_some() {
-                        for local in 0..self.ranks_per_device {
-                            let target = self.device * self.ranks_per_device + local;
-                            let residue: Vec<Notification> = self.delivery_backlog[local as usize]
-                                .drain(..)
-                                .filter(|d| d.notify && d.notif.tag & COLL_TAG_BIT == 0)
-                                .map(|d| d.notif)
-                                .collect();
-                            if let Some(c) = self.counters.as_mut() {
-                                for n in residue {
-                                    c.note_dropped(target, n);
-                                }
-                            }
-                        }
-                    }
-                    let stats = HostStats {
-                        puts: self.puts_routed,
-                        notifications: self.notifications_sent,
-                        retries: self.faults.as_ref().map_or(0, |f| f.retries),
-                        dups_suppressed: self
-                            .faults
-                            .as_ref()
-                            .map_or(0, HostFaults::dups_suppressed),
-                    };
-                    return Ok(HostOutcome {
-                        stats,
-                        net: self.plane.stats(),
-                        net_trace: self.plane.take_tracer(),
-                        counters: self.counters,
-                    });
-                }
-                if let Some(proc) = self.plane.peer_gone() {
-                    // A worker process died before the world finished: fail
-                    // loudly instead of spinning on messages that will never
-                    // arrive.
-                    return Err(RtError::Transport {
-                        detail: format!("peer process {proc} died before quiescence"),
-                    });
+                if let Some(out) = self.try_finish()? {
+                    return Ok(out);
                 }
                 std::thread::yield_now();
             }
+        }
+    }
+}
+
+impl ProgressSource for Host {
+    fn progress_pass(&mut self, _stealing: bool) -> Result<bool, RtError> {
+        self.pass(false)
+    }
+}
+
+/// A host engine shared between its (busy) host loop and the progress
+/// pool: the loop and every worker drive the same [`Host`] through a
+/// mutex, workers with `try_lock` so a momentarily-owned engine is skipped
+/// instead of blocked on (the skip is what makes work-stealing across a
+/// part's ranks cheap).
+pub(crate) struct SharedHost {
+    pub engine: Arc<std::sync::Mutex<Host>>,
+    /// Raised once the host loop produced its outcome (or failed): workers
+    /// stop driving the engine.
+    pub done: Arc<AtomicBool>,
+}
+
+impl Clone for SharedHost {
+    fn clone(&self) -> Self {
+        SharedHost {
+            engine: Arc::clone(&self.engine),
+            done: Arc::clone(&self.done),
+        }
+    }
+}
+
+impl SharedHost {
+    pub fn new(host: Host) -> Self {
+        SharedHost {
+            engine: Arc::new(std::sync::Mutex::new(host)),
+            done: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Host> {
+        match self.engine.lock() {
+            Ok(g) => g,
+            // A poisoning panic is already being surfaced through the
+            // cluster's first-error slot; the engine state itself is a
+            // plain protocol state machine, safe to keep driving until the
+            // abort flag lands.
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// The host-loop side of a shared engine: identical protocol to
+    /// [`Host::run`], but the engine lock is dropped — and the artificial
+    /// busy-work burnt — *between* passes, which is exactly the window the
+    /// progress pool exploits.
+    pub fn run_host_loop(&self, abort: &AtomicBool) -> Result<HostOutcome, RtError> {
+        loop {
+            if abort.load(Ordering::Acquire) {
+                return Err(RtError::Aborted);
+            }
+            let busy = {
+                let mut h = self.lock();
+                let progress = h.pass(false)?;
+                if !progress {
+                    if let Some(out) = h.try_finish()? {
+                        return Ok(out);
+                    }
+                }
+                h.busy_spin
+            };
+            // The busy-host emulation: the loop is away doing "application
+            // work" while the engine is unlocked and the pool progresses it.
+            burn(busy);
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl ProgressSource for SharedHost {
+    fn progress_pass(&mut self, stealing: bool) -> Result<bool, RtError> {
+        if self.done.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        let mut h = match self.engine.try_lock() {
+            Ok(h) => h,
+            Err(std::sync::TryLockError::WouldBlock) => return Ok(false),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        let progress = h.pass(true)?;
+        h.steals += u64::from(progress && stealing);
+        Ok(progress)
+    }
+}
+
+/// Deterministic spin work: `iters` rounds of a multiply-add chain the
+/// optimizer cannot elide. The busy-host benchmark's unit of host-side
+/// "application work".
+///
+/// The burn yields to the scheduler every few thousand iterations: the
+/// knob emulates the host *loop* being unavailable for progress, and the
+/// measurement must reflect the progress engine's availability rather
+/// than the machine's core count — without the yields, a one-core box
+/// only hands the CPU to the progress pool at timeslice boundaries and
+/// the figure measures the OS scheduler instead of the engine.
+pub(crate) fn burn(iters: u64) {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i | 1);
+        std::hint::black_box(acc);
+        if i % 4096 == 4095 {
+            std::thread::yield_now();
         }
     }
 }

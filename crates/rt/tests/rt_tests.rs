@@ -641,3 +641,104 @@ fn fault_plan_probabilities_are_validated() {
         Err(RtError::InvalidConfig(_))
     ));
 }
+
+#[test]
+fn progress_threads_match_inline_protocol_counters() {
+    // The progress pool must be protocol-invisible: the same workload run
+    // Inline and with Threads(2) produces identical protocol counters. The
+    // busy spin biases work toward the off-thread workers without changing
+    // what the protocol does.
+    use dcuda_rt::ProgressMode;
+    const MSGS: u32 = 32;
+    let mk_programs = || -> Vec<dcuda_rt::cluster::RankProgram> {
+        let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
+        for rank in 0..4u32 {
+            let partner = rank ^ 2;
+            programs.push(Box::new(move |ctx| {
+                for t in 0..MSGS {
+                    ctx.put_notify(W0, Rank(partner), 0, 0, 8, Tag(t));
+                }
+                ctx.flush();
+                ctx.wait_notifications(RtQuery::exact(W0, Rank(partner), Tag::ANY), MSGS as usize);
+                ctx.barrier();
+            }));
+        }
+        programs
+    };
+    let inline_cfg = cfg(2, 2);
+    let inline = run_cluster(&inline_cfg, mk_programs());
+    let threaded_cfg = RtConfig {
+        progress: ProgressMode::Threads(2),
+        host_busy_spin: 2_000,
+        ..cfg(2, 2)
+    };
+    let threaded = run_cluster(&threaded_cfg, mk_programs());
+    assert_eq!(inline.puts, threaded.puts);
+    assert_eq!(inline.notifications, threaded.notifications);
+    assert_eq!(inline.matched, threaded.matched);
+    assert_eq!(inline.barriers, threaded.barriers);
+    assert_eq!(threaded.retries, 0, "in-process plane never retries");
+}
+
+#[test]
+fn progress_threads_survive_faulted_plane() {
+    // Retransmit timers fire from whichever thread drives the engine; the
+    // exactly-once ledger must close regardless of who fires them.
+    use dcuda_rt::ProgressMode;
+    let faulted = RtConfig {
+        devices: 2,
+        ranks_per_device: 1,
+        windows: vec![4096],
+        ring_capacity: 16,
+        progress: ProgressMode::Threads(2),
+        host_busy_spin: 1_000,
+        faults: Some(dcuda_rt::RtFaultPlan {
+            seed: 17,
+            drop_p: 0.2,
+            dup_p: 0.1,
+        }),
+        ..RtConfig::default()
+    };
+    const MSGS: u32 = 48;
+    let mut programs: Vec<dcuda_rt::cluster::RankProgram> = Vec::new();
+    for rank in 0..2u32 {
+        let partner = rank ^ 1;
+        programs.push(Box::new(move |ctx| {
+            for t in 0..MSGS {
+                ctx.put_notify(W0, Rank(partner), 0, 0, 8, Tag(t));
+            }
+            ctx.flush();
+            ctx.wait_notifications(RtQuery::exact(W0, Rank(partner), Tag::ANY), MSGS as usize);
+            ctx.barrier();
+        }));
+    }
+    let report = run_cluster(&faulted, programs);
+    assert_eq!(report.puts, 2 * u64::from(MSGS));
+    assert_eq!(report.matched, 2 * u64::from(MSGS));
+}
+
+#[test]
+fn zero_progress_threads_rejected() {
+    use dcuda_rt::ProgressMode;
+    let bad = RtConfig {
+        progress: ProgressMode::Threads(0),
+        ..RtConfig::default()
+    };
+    assert!(matches!(
+        try_run_cluster(&bad, vec![]),
+        Err(RtError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn oversized_progress_pool_rejected() {
+    use dcuda_rt::{ProgressMode, MAX_PROGRESS_THREADS};
+    let bad = RtConfig {
+        progress: ProgressMode::Threads(MAX_PROGRESS_THREADS + 1),
+        ..RtConfig::default()
+    };
+    assert!(matches!(
+        try_run_cluster(&bad, vec![]),
+        Err(RtError::InvalidConfig(_))
+    ));
+}

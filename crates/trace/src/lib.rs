@@ -49,6 +49,9 @@ pub enum Track {
     /// The socket transport endpoint of one device in the multi-process
     /// runtime (`dcuda-net` send/recv/coalesce instants).
     Net(u32),
+    /// One worker of the asynchronous progress pool (`ProgressMode::Threads`):
+    /// per-thread drain/steal timeline of the progress engine.
+    Progress(u32),
 }
 
 impl Track {
@@ -60,6 +63,7 @@ impl Track {
             Track::NetLink(_) => 2,
             Track::Pcie(_) => 3,
             Track::Net(_) => 4,
+            Track::Progress(_) => 5,
         }
     }
 
@@ -70,7 +74,8 @@ impl Track {
             | Track::Host(i)
             | Track::NetLink(i)
             | Track::Pcie(i)
-            | Track::Net(i) => i,
+            | Track::Net(i)
+            | Track::Progress(i) => i,
         }
     }
 
@@ -82,6 +87,7 @@ impl Track {
             Track::NetLink(_) => "network links",
             Track::Pcie(_) => "pcie links",
             Track::Net(_) => "socket transport",
+            Track::Progress(_) => "progress threads",
         }
     }
 
@@ -93,6 +99,7 @@ impl Track {
             Track::NetLink(i) => format!("nic {i}"),
             Track::Pcie(i) => format!("pcie {i}"),
             Track::Net(i) => format!("net dev {i}"),
+            Track::Progress(i) => format!("progress {i}"),
         }
     }
 }
@@ -301,5 +308,8 @@ mod tests {
         assert_eq!(Track::Pcie(1).track_name(), "pcie 1");
         assert_eq!(Track::Net(3).pid(), 4);
         assert_eq!(Track::Net(3).track_name(), "net dev 3");
+        assert_eq!(Track::Progress(1).pid(), 5);
+        assert_eq!(Track::Progress(1).tid(), 1);
+        assert_eq!(Track::Progress(1).track_name(), "progress 1");
     }
 }

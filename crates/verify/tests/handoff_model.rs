@@ -1,0 +1,133 @@
+//! Model checking for the host↔progress-thread handoff ring — the SPSC
+//! channel the socket reactor (and the rt progress pool) uses to hand
+//! completed transport frames to the host rank that owns them. The
+//! checker drives the production `handoff_on` code on [`VPlatform`], so
+//! the inner ring's Release-publish / Acquire-observe pairing *and* the
+//! park/wake doorbell protocol run under the virtual scheduler:
+//!
+//! * publication ordering — a consumed value was always fully published
+//!   first, in sequence order (no tear, no skip);
+//! * wakeup-loss — a consumer that announces a park and re-checks can
+//!   never sleep through a publication (a lost wakeup shows up as a
+//!   livelock: the consumer spins on `woken()` forever);
+//! * a seeded Release→Relaxed demotion of the publication must surface as
+//!   a data race, and the reported schedule must replay.
+
+use dcuda_queues::handoff::handoff_on;
+use dcuda_queues::{RecvError, TrySendError};
+use dcuda_verify::sched::ModelThread;
+use dcuda_verify::{mutation_model, FailureKind, Model, Outcome, VPlatform};
+
+/// Producer pushes `msgs` values through a `cap`-slot handoff ring;
+/// consumer drains them in order, parking on the doorbell whenever the
+/// ring is empty — the exact host-loop idle protocol.
+fn mk_handoff(cap: usize, msgs: u8) -> impl Fn() -> Vec<ModelThread> {
+    move || {
+        let (mut tx, mut rx) = handoff_on::<u8, VPlatform>(cap);
+        let producer: ModelThread = Box::new(move || {
+            for i in 0..msgs {
+                let mut v = i + 1;
+                loop {
+                    match tx.try_send(v) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            v = back;
+                            dcuda_verify::vyield();
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            panic!("consumer died mid-stream")
+                        }
+                    }
+                }
+            }
+        });
+        let consumer: ModelThread = Box::new(move || {
+            for i in 0..msgs {
+                loop {
+                    match rx.try_recv() {
+                        Ok(v) => {
+                            assert_eq!(v, i + 1, "message {i} torn or out of order");
+                            break;
+                        }
+                        Err(RecvError::Empty) => {
+                            // The park protocol under test: announce, then
+                            // sleep only if the re-check stayed empty. A
+                            // lost wakeup would spin this loop forever —
+                            // the checker reports that as a livelock.
+                            if rx.prepare_park() {
+                                while !rx.woken() {
+                                    dcuda_verify::vyield();
+                                }
+                            }
+                        }
+                        Err(RecvError::Disconnected) => {
+                            panic!("producer died before message {i}")
+                        }
+                    }
+                }
+            }
+        });
+        vec![producer, consumer]
+    }
+}
+
+/// Publication ordering and the park/wake doorbell pass under bounded
+/// preemption: every consumed value was fully published first, in order,
+/// and no interleaving strands the consumer in a missed-wakeup park.
+#[test]
+fn handoff_park_wake_passes() {
+    let m = Model {
+        preemption_bound: 2,
+        max_executions: 120_000,
+        ..Model::default()
+    };
+    match m.check(mk_handoff(2, 3)) {
+        Outcome::Pass { executions, .. } => {
+            assert!(executions > 50, "suspiciously small branch space");
+        }
+        Outcome::Fail(f) => panic!("handoff park/wake failed: {f}"),
+    }
+}
+
+/// A single message on the smallest ring explores its full bounded branch
+/// space — including every publish-vs-park interleaving — without hitting
+/// the execution cap.
+#[test]
+fn handoff_single_message_completes_search() {
+    let m = Model {
+        preemption_bound: 2,
+        max_executions: 500_000,
+        ..Model::default()
+    };
+    match m.check(mk_handoff(1, 1)) {
+        Outcome::Pass {
+            truncated,
+            executions,
+        } => {
+            assert!(!truncated, "bounded search hit the execution cap");
+            assert!(executions > 20, "suspiciously small branch space");
+        }
+        Outcome::Fail(f) => panic!("single-message handoff failed: {f}"),
+    }
+}
+
+/// Seeded ordering mutation: demoting the Release publication (exactly
+/// what a sloppy "it's just a counter" port to relaxed stores would do)
+/// must surface as a data race on the value cell, and the reported
+/// schedule must replay to the same failure.
+#[test]
+fn demoted_release_publication_is_caught() {
+    let m = mutation_model();
+    let failure = m
+        .check(mk_handoff(1, 1))
+        .failure()
+        .expect("demoted Release publish must be caught")
+        .clone();
+    assert_eq!(failure.kind, FailureKind::DataRace);
+
+    let replayed = m.replay(mk_handoff(1, 1), &failure.schedule);
+    let rf = replayed
+        .failure()
+        .expect("replay must reproduce the failure");
+    assert_eq!(rf.kind, FailureKind::DataRace);
+}

@@ -234,6 +234,7 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
     for (fig, bench_name) in [
         ("transport", "ablation_transport"),
         ("coll", "ablation_coll"),
+        ("progress", "ablation_progress"),
     ] {
         let Some(bounds) = baseline.get(fig).and_then(Json::as_arr) else {
             continue;

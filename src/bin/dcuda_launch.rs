@@ -29,7 +29,7 @@ use dcuda_fabric::FaultSpec;
 use dcuda_net::{
     launch, MeshOpts, NetConfig, NetFaults, NetStats, PlaneKind, SocketPlane, Transport,
 };
-use dcuda_rt::{ClusterPart, RaceMode, RtConfig, RtReport};
+use dcuda_rt::{ClusterPart, ProgressMode, RaceMode, RtConfig, RtReport};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::Command;
@@ -48,6 +48,8 @@ struct Args {
     payload: usize,
     faults: Option<String>,
     race: String,
+    progress: u32,
+    host_busy: u64,
     trace: Option<String>,
     report_json: Option<String>,
     die_proc: Option<u32>,
@@ -69,6 +71,8 @@ impl Default for Args {
             payload: 1024,
             faults: None,
             race: "off".into(),
+            progress: 0,
+            host_busy: 0,
             trace: None,
             report_json: None,
             die_proc: None,
@@ -82,8 +86,8 @@ impl Default for Args {
 const USAGE: &str = "usage: dcuda-launch [--backend multiprocess|inprocess] [--procs M]
     [--plane auto|tcp|shm] [--devices-per-proc D] [--ranks-per-device R]
     [--workload pingpong|overlap|stencil|coll|racey] [--iters N] [--payload BYTES]
-    [--faults PROFILE] [--race off|observe|strict] [--trace PATH]
-    [--report-json PATH] [--die-proc K] [--timeout-secs S]";
+    [--faults PROFILE] [--race off|observe|strict] [--progress N] [--host-busy ITERS]
+    [--trace PATH] [--report-json PATH] [--die-proc K] [--timeout-secs S]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
@@ -107,6 +111,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--payload" => args.payload = parse_num(val("--payload")?, "--payload")?,
             "--faults" => args.faults = Some(val("--faults")?.clone()),
             "--race" => args.race = val("--race")?.clone(),
+            "--progress" => args.progress = parse_num(val("--progress")?, "--progress")?,
+            "--host-busy" => args.host_busy = parse_num(val("--host-busy")?, "--host-busy")?,
             "--trace" => args.trace = Some(val("--trace")?.clone()),
             "--report-json" => args.report_json = Some(val("--report-json")?.clone()),
             "--die-proc" => args.die_proc = Some(parse_num(val("--die-proc")?, "--die-proc")?),
@@ -159,12 +165,20 @@ fn spec_of(args: &Args) -> WorkloadSpec {
 fn cluster_config(args: &Args, spec: &WorkloadSpec) -> Result<RtConfig, String> {
     let world = args.procs * args.devices_per_proc * args.ranks_per_device;
     let race = RaceMode::parse(&args.race).ok_or_else(|| format!("bad race mode {}", args.race))?;
+    // `--progress 0` (the default) is the inline engine; N > 0 spawns the
+    // asynchronous progress pool with N workers per process.
+    let progress = match args.progress {
+        0 => ProgressMode::Inline,
+        n => ProgressMode::Threads(n),
+    };
     RtConfig::builder()
         .devices(args.procs * args.devices_per_proc)
         .ranks_per_device(args.ranks_per_device)
         .windows(spec.windows())
         .coll_scratch(spec.coll_scratch(world))
         .race_detect(race)
+        .progress(progress)
+        .host_busy_spin(args.host_busy)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -197,6 +211,8 @@ fn net_json(net: &NetStats) -> Json {
         .field("copies_tx", Json::from(net.copies_tx))
         .field("copies_rx", Json::from(net.copies_rx))
         .field("vectored_writes", Json::from(net.vectored_writes))
+        .field("progress_frames", Json::from(net.progress_frames))
+        .field("steals", Json::from(net.steals))
 }
 
 /// The aggregate report both backends emit: protocol counters plus the
@@ -367,6 +383,8 @@ fn run_coordinator(args: &Args) -> Result<(), String> {
             total.net.copies_tx += n("copies_tx");
             total.net.copies_rx += n("copies_rx");
             total.net.vectored_writes += n("vectored_writes");
+            total.net.progress_frames += n("progress_frames");
+            total.net.steals += n("steals");
         }
         // Fold this worker's per-peer plane map into the pair table. Both
         // ends report every pair; keep the first sighting but flag a

@@ -260,6 +260,143 @@ fn conformance_coll_survives_lossy_plane() {
     );
 }
 
+/// Progress-engine conformance: the identical world run with the
+/// asynchronous progress pool (`--progress 2` plus a busy host loop) must
+/// match the inline engine's protocol counters and window checksum on the
+/// in-process backend and on every multi-process plane of the tier — the
+/// pool moves progress passes onto other threads, it never changes what
+/// the protocol does. Each threaded run must also prove the pool actually
+/// ran (frames drained off-thread), so the comparison cannot pass
+/// vacuously with the workers asleep.
+fn assert_progress_pool_matches_inline(workload: &str, iters: u32, payload: usize, rpd: u32) {
+    let iters = iters.to_string();
+    let payload = payload.to_string();
+    let rpd = rpd.to_string();
+    let base = [
+        "--procs",
+        "2",
+        "--devices-per-proc",
+        "1",
+        "--ranks-per-device",
+        rpd.as_str(),
+        "--workload",
+        workload,
+        "--iters",
+        iters.as_str(),
+        "--payload",
+        payload.as_str(),
+    ];
+    let mut inline_args = vec!["--backend", "inprocess"];
+    inline_args.extend_from_slice(&base);
+    let golden = run_report(&inline_args);
+
+    let mut backends: Vec<Vec<&str>> = vec![vec!["--backend", "inprocess"]];
+    for &plane in tier_planes() {
+        backends.push(vec!["--backend", "multiprocess", "--plane", plane]);
+    }
+    for mut argv in backends {
+        let label = argv.join(" ");
+        argv.extend_from_slice(&base);
+        argv.extend_from_slice(&["--progress", "2", "--host-busy", "50000"]);
+        let threaded = run_report(&argv);
+        for &key in COUNTERS {
+            assert_eq!(
+                counter(&golden, key),
+                counter(&threaded, key),
+                "{workload} [{label}]: counter {key:?} diverges between the \
+                 inline engine and the progress pool"
+            );
+        }
+        assert_eq!(
+            golden.get("checksum").and_then(Json::as_str),
+            threaded.get("checksum").and_then(Json::as_str),
+            "{workload} [{label}]: window checksum diverges under the progress pool"
+        );
+        assert!(
+            net_counter(&threaded, "progress_frames") > 0,
+            "{workload} [{label}]: progress pool drained no frames off-thread \
+             — the byte-identical comparison is vacuous"
+        );
+    }
+}
+
+/// The progress-pool column of the conformance matrix (quick: in-process +
+/// tcp on a small halo exchange; full: bigger worlds, rendezvous payloads,
+/// the shm plane and a chunked collective). The overlap workload is the
+/// golden shape here because its halo exchange crosses devices — pingpong
+/// pairs adjacent same-device ranks, which would leave the plane (and the
+/// off-thread drain counter) empty.
+#[test]
+fn conformance_progress_pool_matches_inline() {
+    if full_tier() {
+        assert_progress_pool_matches_inline("overlap", 20, 4096, 8);
+        assert_progress_pool_matches_inline("coll", 3, 512, 3);
+    } else {
+        assert_progress_pool_matches_inline("overlap", 6, 1024, 4);
+    }
+}
+
+/// Retransmit timers fired off-thread: a lossy socket plane driven by the
+/// progress pool must still deliver the exact counters and bytes of the
+/// clean inline golden — whoever fires a retry timer, loss may cost
+/// retries, never bits and never host-level protocol retries.
+#[test]
+fn conformance_progress_pool_survives_lossy_plane() {
+    let base = [
+        "--procs",
+        "2",
+        "--devices-per-proc",
+        "1",
+        "--ranks-per-device",
+        "4",
+        "--workload",
+        "overlap",
+        "--iters",
+        "6",
+        "--payload",
+        "1024",
+    ];
+    let mut inline_args = vec!["--backend", "inprocess"];
+    inline_args.extend_from_slice(&base);
+    let golden = run_report(&inline_args);
+
+    let mut lossy_args = vec![
+        "--backend",
+        "multiprocess",
+        "--plane",
+        "tcp",
+        "--faults",
+        "lossy@11",
+        "--progress",
+        "2",
+        "--host-busy",
+        "50000",
+    ];
+    lossy_args.extend_from_slice(&base);
+    let lossy = run_report(&lossy_args);
+
+    for &key in COUNTERS {
+        assert_eq!(
+            counter(&golden, key),
+            counter(&lossy, key),
+            "overlap/lossy+progress: counter {key:?} diverges from the clean inline golden"
+        );
+    }
+    assert_eq!(
+        golden.get("checksum").and_then(Json::as_str),
+        lossy.get("checksum").and_then(Json::as_str),
+        "overlap/lossy+progress: window bytes diverge under packet loss"
+    );
+    assert!(
+        net_counter(&lossy, "progress_frames") > 0,
+        "overlap/lossy+progress: the pool drained no frames off-thread"
+    );
+    assert!(
+        net_counter(&lossy, "net_retries") > 0,
+        "overlap/lossy+progress: the lossy profile injected nothing — vacuous run"
+    );
+}
+
 /// Orphan-cleanup regression: when a worker dies mid-run the coordinator
 /// must fail fast (nonzero exit, bounded time) and reap the surviving
 /// worker rather than hanging on a half-dead mesh.
