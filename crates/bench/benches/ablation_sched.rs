@@ -1,0 +1,86 @@
+//! Ablation: multi-tenant scheduler throughput under a job storm.
+//!
+//! The `dcuda-sched` tentpole claims the runtime can serve a *stream* of
+//! jobs — admission, gang placement, per-job cluster worlds, per-job
+//! teardown — without the scheduling machinery itself becoming the
+//! bottleneck. This bench runs the jobstorm figure
+//! ([`dcuda_bench::fig_jobstorm`]): a seeded storm of small ring/pingpong
+//! jobs submitted to one shared scheduler as fast as the control path
+//! accepts them. Headline metrics are sustained jobs/sec and the p50/p99
+//! completion-latency tail (submit → terminal, so queueing *and* run time
+//! count).
+//!
+//! `--json PATH` writes a `{"sched": [{"row", "value"}...]}` document;
+//! `xtask bench-diff` checks the rows named in `BENCH_baseline.json`
+//! against `min_value`/`max_value` bounds (the storm must sustain a floor
+//! throughput, keep the tail bounded, and lose zero jobs).
+
+use dcuda_bench::json::Json;
+use dcuda_bench::{fig_jobstorm, Effort};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = argv
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    let effort = if argv.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+
+    println!("Ablation: scheduler job-storm throughput and latency tail");
+    let fig = fig_jobstorm(effort);
+    println!(
+        "  {} jobs in {:.1} ms: {:.0} jobs/s, p50 {:.2} ms, p99 {:.2} ms, \
+         utilization {:.2}, peak queue {}",
+        fig.jobs,
+        fig.wall_ms,
+        fig.jobs_per_sec,
+        fig.p50_ms,
+        fig.p99_ms,
+        fig.util_frac,
+        fig.peak_queue_depth
+    );
+
+    // Loose acceptance gates — BENCH_baseline.json carries the calibrated
+    // bounds; these only catch a scheduler that is outright broken.
+    assert_eq!(
+        fig.completed, fig.jobs,
+        "storm lost jobs: {} of {} completed, {} failed",
+        fig.completed, fig.jobs, fig.failed
+    );
+    assert_eq!(fig.failed, 0, "fault-free storm reported failures");
+    assert!(
+        fig.p50_ms <= fig.p99_ms,
+        "latency percentiles inverted (p50 {:.2} > p99 {:.2})",
+        fig.p50_ms,
+        fig.p99_ms
+    );
+    assert!(
+        fig.jobs_per_sec > 1.0,
+        "storm throughput collapsed: {:.2} jobs/s",
+        fig.jobs_per_sec
+    );
+
+    if let Some(path) = json_path {
+        let mut rows: Vec<Json> = Vec::new();
+        let mut push = |row: &str, value: f64| {
+            rows.push(
+                Json::obj()
+                    .field("row", Json::str(row))
+                    .field("value", Json::Num(value)),
+            );
+        };
+        push("storm_jobs_per_sec", fig.jobs_per_sec);
+        push("storm_p50_ms", fig.p50_ms);
+        push("storm_p99_ms", fig.p99_ms);
+        push("storm_failed_jobs", fig.failed as f64);
+        push("storm_util_frac", fig.util_frac);
+        let doc = Json::obj().field("sched", Json::Arr(rows));
+        std::fs::write(&path, doc.to_string()).expect("write --json output");
+        println!("  wrote {path}");
+    }
+}

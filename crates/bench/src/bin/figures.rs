@@ -30,7 +30,7 @@ use dcuda_bench::json::Json;
 use dcuda_bench::{
     ablation_bcast_put, ablation_match_cost, ablation_occupancy, ablation_staging,
     ablation_vertical_levels, fig10, fig11, fig6, fig7_8, fig9, fig_busyhost, fig_coll, fig_faults,
-    set_serial, Effort, ScalingRow,
+    fig_jobstorm, set_serial, Effort, ScalingRow,
 };
 use dcuda_core::SystemSpec;
 use dcuda_fabric::FaultSpec;
@@ -79,7 +79,7 @@ fn overlap_json(points: &[OverlapPoint]) -> Json {
     )
 }
 
-const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|coll|busyhost|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify [race]] [--faults PROFILE]";
+const USAGE: &str = "usage: figures [--fig 6|7|8|9|10|11|ablations|faults|coll|busyhost|jobstorm|all[,..]] [--full] [--serial] [--json [PATH]] [--trace PATH] [--verify [race]] [--faults PROFILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -149,7 +149,7 @@ fn main() {
         }
         None => "all".to_string(),
     };
-    const FIGS: [&str; 11] = [
+    const FIGS: [&str; 12] = [
         "6",
         "7",
         "8",
@@ -160,6 +160,7 @@ fn main() {
         "faults",
         "coll",
         "busyhost",
+        "jobstorm",
         "all",
     ];
     let selected: Vec<&str> = which.split(',').map(str::trim).collect();
@@ -555,6 +556,42 @@ fn main() {
                 )
                 .field("recovered_threads1", Json::from(fig.recovered_threads1))
                 .field("recovered_threads2", Json::from(fig.recovered_threads2)),
+        );
+    }
+
+    if all || selected.contains(&"jobstorm") {
+        println!(
+            "\n== Job storm: multi-tenant scheduler throughput and completion-latency tail =="
+        );
+        let fig = fig_jobstorm(effort);
+        println!(
+            "  {} jobs in {:.1} ms: {:.0} jobs/s, p50 {:.2} ms, p99 {:.2} ms, \
+             utilization {:.2}, peak queue {}",
+            fig.jobs,
+            fig.wall_ms,
+            fig.jobs_per_sec,
+            fig.p50_ms,
+            fig.p99_ms,
+            fig.util_frac,
+            fig.peak_queue_depth
+        );
+        assert_eq!(
+            fig.completed, fig.jobs,
+            "storm lost jobs: {} of {} completed, {} failed",
+            fig.completed, fig.jobs, fig.failed
+        );
+        out = out.field(
+            "jobstorm",
+            Json::obj()
+                .field("jobs", Json::from(fig.jobs))
+                .field("completed", Json::from(fig.completed))
+                .field("failed", Json::from(fig.failed))
+                .field("wall_ms", Json::from(fig.wall_ms))
+                .field("jobs_per_sec", Json::from(fig.jobs_per_sec))
+                .field("p50_ms", Json::from(fig.p50_ms))
+                .field("p99_ms", Json::from(fig.p99_ms))
+                .field("util_frac", Json::from(fig.util_frac))
+                .field("peak_queue_depth", Json::from(fig.peak_queue_depth)),
         );
     }
 

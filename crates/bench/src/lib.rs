@@ -732,3 +732,91 @@ pub fn trace_run(
     let json = dcuda_trace::chrome::to_chrome_json(&tracer);
     (json, report.trace.expect("tracing was enabled"))
 }
+
+/// The jobstorm figure: scheduler throughput and completion-latency tails
+/// under a storm of small jobs (see [`fig_jobstorm`]).
+#[derive(Debug, Clone)]
+pub struct JobStormFig {
+    /// Jobs submitted to the shared scheduler.
+    pub jobs: u64,
+    /// Jobs that completed cleanly.
+    pub completed: u64,
+    /// Jobs that failed (must be 0 — the storm population is fault-free).
+    pub failed: u64,
+    /// Wall clock of the whole storm (ms). Real time.
+    pub wall_ms: f64,
+    /// Sustained throughput: `jobs / wall`.
+    pub jobs_per_sec: f64,
+    /// Median completion latency (submit → terminal), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile completion latency, ms.
+    pub p99_ms: f64,
+    /// Mean slot utilization over the storm (`busy-slot time / (wall ×
+    /// slots)`).
+    pub util_frac: f64,
+    /// Deepest the admission queue got.
+    pub peak_queue_depth: u64,
+}
+
+/// The jobstorm figure behind `figures --fig jobstorm` and
+/// `ablation_sched`: submit a storm of small fault-free jobs to one shared
+/// [`dcuda_sched::Scheduler`] as fast as the control path accepts them,
+/// wait for all of them, and report jobs/sec throughput plus the p50/p99
+/// completion-latency tail. The storm population is seeded and mixed
+/// (ring and pingpong gangs of 2–4 ranks on 1–2 devices) so admission,
+/// gang placement, backfill and per-job teardown all churn; quotas are
+/// sized so nothing rejects.
+///
+/// Runs strictly sequentially — the rows are wall-clock measurements.
+pub fn fig_jobstorm(effort: Effort) -> JobStormFig {
+    use dcuda_sched::{JobProgram, JobSpec, SchedLimits, Scheduler};
+    let jobs: u64 = match effort {
+        Effort::Quick => 200,
+        Effort::Full => 1000,
+    };
+    let sched = Scheduler::new(4, 4, SchedLimits::default());
+    let mut rng = dcuda_des::SplitMix64::new(0x1057_0201_6DC0_DA00);
+    let start = std::time::Instant::now();
+    let ids: Vec<u64> = (0..jobs)
+        .map(|i| {
+            let program = if rng.next_below(4) == 0 {
+                JobProgram::PingPong
+            } else {
+                JobProgram::Ring
+            };
+            let mut spec = JobSpec::small(format!("storm-{i}"), program);
+            spec.devices = 1 + (rng.next_below(2) as u32);
+            spec.ranks_per_device = 1 + (rng.next_below(2) as u32);
+            spec.iters = 2;
+            spec.payload = 64;
+            spec.seed = rng.next_u64();
+            sched.submit(spec).expect("storm spec within quotas")
+        })
+        .collect();
+    let mut latencies: Vec<f64> = ids
+        .iter()
+        .map(|id| {
+            let r = sched.wait(*id).expect("storm job exists");
+            r.wait_ms + r.run_ms
+        })
+        .collect();
+    let stats = sched.drain();
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        let at = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[at]
+    };
+    JobStormFig {
+        jobs,
+        completed: stats.completed,
+        failed: stats.failed,
+        wall_ms,
+        jobs_per_sec: jobs as f64 / wall.as_secs_f64(),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        util_frac: stats.utilization(wall.as_nanos()),
+        peak_queue_depth: stats.peak_queue_depth,
+    }
+}

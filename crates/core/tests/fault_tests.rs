@@ -4,7 +4,7 @@
 
 use dcuda_core::types::Topology;
 use dcuda_core::{ClusterSim, Rank, RankCtx, RankKernel, Suspend, SystemSpec, WinId, WindowSpec};
-use dcuda_des::check::forall;
+use dcuda_des::check::{forall, full_tier};
 use dcuda_fabric::FaultSpec;
 
 fn topo(nodes: u32, ranks_per_node: u32) -> Topology {
@@ -175,7 +175,7 @@ fn acceptance_208_ranks_lossy_clean_and_reproducible() {
     // Issue acceptance: 1% drop + 0.5% duplication at 208 ranks completes
     // with clean invariants and replays byte-identically. The quick tier
     // shrinks the world to 52 ranks; DCUDA_FULL_TESTS=1 (CI) runs all 208.
-    let full = std::env::var("DCUDA_FULL_TESTS").ok().as_deref() == Some("1");
+    let full = full_tier("208-rank lossy acceptance world");
     let per_node = if full { 104 } else { 26 };
     let world = u64::from(2 * per_node);
     let spec = FaultSpec::lossy(11);

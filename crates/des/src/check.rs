@@ -132,6 +132,21 @@ pub fn forall(name: &str, cases: u64, mut prop: impl FnMut(&mut Gen)) {
     }
 }
 
+/// Is the full (CI-scale) test tier enabled via `DCUDA_FULL_TESTS=1`?
+///
+/// The single gate every tiered test in the workspace shares. When the full
+/// tier is off, a visible SKIP line names the cell that ran reduced — a
+/// locally-skipped configuration should never look like a silent pass.
+/// `cell` names the scaled-down part (a world size, a plane, a seed sweep),
+/// not the whole test.
+pub fn full_tier(cell: &str) -> bool {
+    let full = std::env::var("DCUDA_FULL_TESTS").ok().as_deref() == Some("1");
+    if !full {
+        eprintln!("SKIP (quick tier) {cell}: set DCUDA_FULL_TESTS=1 to run");
+    }
+    full
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

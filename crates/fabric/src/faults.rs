@@ -528,6 +528,26 @@ impl FaultLayer {
     }
 }
 
+/// Seed-deterministic victim selection for the scheduler's mid-stream
+/// job-kill fault profile: pick `kills` distinct indices out of `jobs`
+/// submissions, sorted ascending. The isolation suite uses this to decide
+/// which jobs of a storm get poisoned — the same seed always condemns the
+/// same jobs, so a reported failure replays exactly. Asking for more kills
+/// than jobs condemns every job.
+pub fn storm_victims(seed: u64, jobs: usize, kills: usize) -> Vec<usize> {
+    let mut rng = SplitMix64::new(seed ^ 0x5704_12D5_C0DE_D00D);
+    let mut victims: Vec<usize> = Vec::new();
+    let kills = kills.min(jobs);
+    while victims.len() < kills {
+        let v = rng.next_below(jobs as u64) as usize;
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    victims.sort_unstable();
+    victims
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,7 +27,9 @@ pub mod network;
 pub mod pcie;
 pub mod spec;
 
-pub use faults::{FaultLayer, FaultSpec, FaultStats, KillLink, PacketFate, RetrySpec, StreamRates};
+pub use faults::{
+    storm_victims, FaultLayer, FaultSpec, FaultStats, KillLink, PacketFate, RetrySpec, StreamRates,
+};
 pub use network::{Delivery, FaultedSend, MsgRecord, Network, NodeId, PacketKind, TransferPath};
 pub use pcie::{PcieLink, PcieOp, PcieRecord};
 pub use spec::{NetworkSpec, PcieSpec};

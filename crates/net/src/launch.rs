@@ -123,6 +123,17 @@ pub fn read_blob(stream: &mut TcpStream) -> std::io::Result<String> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// One control-plane round trip on the launch codec: connect to `addr`,
+/// send `request` as a length-prefixed blob, read one blob back. This is
+/// the client side of every verb-style control plane built on the codec —
+/// the scheduler's `submit`/`status`/`cancel`/`drain` verbs ride on it —
+/// kept here so client and server frame bytes identically.
+pub fn ctrl_roundtrip(addr: &str, request: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_blob(&mut stream, request)?;
+    read_blob(&mut stream)
+}
+
 /// Incremental blob reader over a nonblocking stream (the coordinator polls
 /// many workers without dedicating a thread to each).
 struct BlobReader {

@@ -332,6 +332,36 @@ pub struct RtReport {
 /// A rank program: a blocking closure over the rank's context.
 pub type RankProgram = Box<dyn FnOnce(&mut RtCtx) + Send>;
 
+/// Cooperative cancellation handle for a job-scoped cluster run.
+///
+/// [`try_run_cluster_job`] wires the token into the run as its abort flag:
+/// [`cancel`](CancelToken::cancel) raises it, every rank and host thread
+/// observes it at its next blocking point and unwinds, and the run returns
+/// [`RtError::Cancelled`] once the join completes (unless some thread had
+/// already failed first — a real root cause always wins over a cancel).
+/// Cloning shares the same flag, so a scheduler can keep one half while the
+/// job runner holds the other.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Raise the flag: every thread of the run this token was passed to
+    /// unwinds at its next blocking point. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has [`cancel`](CancelToken::cancel) been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
 /// Run `programs` (one per world rank) on a threaded cluster and return
 /// statistics.
 ///
@@ -345,7 +375,24 @@ pub fn run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> RtReport {
 
 /// Fallible [`run_cluster`].
 pub fn try_run_cluster(cfg: &RtConfig, programs: Vec<RankProgram>) -> Result<RtReport, RtError> {
-    run_inner(cfg, programs, false, false).map(|(report, _, _)| report)
+    run_inner(cfg, programs, false, false, None).map(|(report, _, _)| report)
+}
+
+/// As [`try_run_cluster`], with an external [`CancelToken`] wired in as the
+/// run's abort flag — the job-scoped entry point the multi-tenant scheduler
+/// runs every admitted job through. Cancelling the token mid-run tears down
+/// *this* cluster only (each job is its own world with its own flag, so
+/// neighbors sharing the process are untouched) and the run returns
+/// [`RtError::Cancelled`]; a token cancelled only after the run completed
+/// leaves the `Ok` report intact. Any genuine failure recorded before the
+/// join — `RankPanicked`, `Transport`, a strict-mode race — still wins as
+/// the root cause.
+pub fn try_run_cluster_job(
+    cfg: &RtConfig,
+    programs: Vec<RankProgram>,
+    cancel: &CancelToken,
+) -> Result<RtReport, RtError> {
+    run_inner(cfg, programs, false, false, Some(cancel.0.clone())).map(|(report, _, _)| report)
 }
 
 /// As [`try_run_cluster`], with per-rank tracing enabled: returns the merged
@@ -357,7 +404,7 @@ pub fn run_cluster_traced(
     cfg: &RtConfig,
     programs: Vec<RankProgram>,
 ) -> Result<(RtReport, Tracer), RtError> {
-    run_inner(cfg, programs, true, false).map(|(report, trace, _)| (report, trace))
+    run_inner(cfg, programs, true, false, None).map(|(report, trace, _)| (report, trace))
 }
 
 /// As [`try_run_cluster`], with the invariant monitor enabled: every rank
@@ -369,7 +416,7 @@ pub fn try_run_cluster_verified(
     cfg: &RtConfig,
     programs: Vec<RankProgram>,
 ) -> Result<(RtReport, VerifyReport), RtError> {
-    run_inner(cfg, programs, false, true)
+    run_inner(cfg, programs, false, true, None)
         .map(|(report, _, verify)| (report, verify.unwrap_or_default()))
 }
 
@@ -512,6 +559,7 @@ pub fn try_run_cluster_part(
         planes,
         traced,
         false,
+        None,
     )
     .map(|(report, trace, _)| (report, trace))
 }
@@ -521,15 +569,26 @@ fn run_inner(
     programs: Vec<RankProgram>,
     traced: bool,
     verified: bool,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> Result<(RtReport, Tracer, Option<VerifyReport>), RtError> {
     cfg.validate()?;
     let planes: Vec<Box<dyn Transport>> = InProcessPlane::new_world(cfg.devices)
         .into_iter()
         .map(|ep| Box::new(ep) as Box<dyn Transport>)
         .collect();
-    run_part_inner(cfg, 0, cfg.devices, programs, planes, traced, verified)
+    run_part_inner(
+        cfg,
+        0,
+        cfg.devices,
+        programs,
+        planes,
+        traced,
+        verified,
+        cancel,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_part_inner(
     cfg: &RtConfig,
     first_device: u32,
@@ -538,6 +597,7 @@ fn run_part_inner(
     planes: Vec<Box<dyn Transport>>,
     traced: bool,
     verified: bool,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> Result<(RtReport, Tracer, Option<VerifyReport>), RtError> {
     let world = cfg.world();
     let local_ranks = local_devices * cfg.ranks_per_device;
@@ -564,7 +624,12 @@ fn run_part_inner(
         h.init(world);
     }
     let finished_global = Arc::new(AtomicU32::new(0));
-    let abort = Arc::new(AtomicBool::new(false));
+    // A job-scoped run shares its abort flag with the caller's CancelToken:
+    // cancelling raises exactly the flag every blocked thread already polls,
+    // so teardown is the established first-error unwind with no error
+    // recorded — surfaced as `Cancelled` after the join below.
+    let cancellable = cancel.is_some();
+    let abort = cancel.unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
     let first_error: Arc<Mutex<Option<RtError>>> = Arc::new(Mutex::new(None));
 
     let mut hosts = Vec::new();
@@ -876,6 +941,14 @@ fn run_part_inner(
             }
         }
         return Err(err);
+    }
+    if cancellable && abort.load(Ordering::Acquire) {
+        // The external token was raised and no thread recorded a failure:
+        // the teardown was the cancel itself. (A token raised only after
+        // every thread finished still lands here — the caller asked for the
+        // run to not complete, and `Cancelled` is the honest answer even
+        // when the unwind won the race against the last rank's exit.)
+        return Err(RtError::Cancelled);
     }
     report.barriers = barrier_rounds;
     if let Some(h) = &cfg.races {

@@ -29,9 +29,9 @@ pub mod msg;
 pub mod types;
 
 pub use cluster::{
-    run_cluster, run_cluster_traced, try_run_cluster, try_run_cluster_part,
-    try_run_cluster_verified, ClusterPart, ProgressMode, RtConfig, RtConfigBuilder, RtFaultPlan,
-    RtReport, DEFAULT_COLL_SCRATCH, MAX_PROGRESS_THREADS, MAX_WINDOW_BYTES, MAX_WORLD,
+    run_cluster, run_cluster_traced, try_run_cluster, try_run_cluster_job, try_run_cluster_part,
+    try_run_cluster_verified, CancelToken, ClusterPart, ProgressMode, RtConfig, RtConfigBuilder,
+    RtFaultPlan, RtReport, DEFAULT_COLL_SCRATCH, MAX_PROGRESS_THREADS, MAX_WINDOW_BYTES, MAX_WORLD,
 };
 pub use coll::{CollCtx, CollStats, COLL_TAG_BIT};
 pub use ctx::RtCtx;

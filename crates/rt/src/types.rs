@@ -215,6 +215,12 @@ pub enum RtError {
     /// The cluster aborted because another thread failed first; this rank's
     /// blocking call was interrupted so the join could complete.
     Aborted,
+    /// The run was torn down by its external
+    /// [`CancelToken`](crate::cluster::CancelToken) before completing: every
+    /// thread unwound cleanly and no other failure was recorded. This is the
+    /// job-scoped teardown the scheduler's `cancel` verb relies on — a
+    /// cancelled job reports `Cancelled`, never a spurious protocol error.
+    Cancelled,
     /// The inter-host transport failed (socket error, corrupt stream, or a
     /// peer process that died before the world quiesced).
     Transport {
@@ -263,6 +269,7 @@ impl fmt::Display for RtError {
                 write!(f, "host thread of device {device} panicked: {message}")
             }
             RtError::Aborted => write!(f, "execution aborted (another thread failed first)"),
+            RtError::Cancelled => write!(f, "execution cancelled by its cancel token"),
             RtError::Transport { detail } => write!(f, "inter-host transport failed: {detail}"),
             RtError::Race(report) => write!(f, "{report}"),
         }

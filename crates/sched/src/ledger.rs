@@ -1,0 +1,321 @@
+//! Capacity ledger and gang admission queue.
+//!
+//! The scheduler accounts for cluster capacity as *rank slots*: every
+//! device of the long-lived cluster hosts `ranks_per_device` slots (the
+//! analogue of SM capacity in the paper's one-rank-per-SM mapping). A job
+//! asks for a gang of `devices × ranks_per_device` slots and is admitted
+//! all-or-nothing onto distinct devices, first-fit by device index — the
+//! deterministic placement the conformance suite's replay depends on.
+//!
+//! Admission order is FIFO with bounded backfill: the head of the queue is
+//! always tried first; while it does not fit, later jobs that do fit may
+//! jump it, but only [`AdmissionQueue::backfill_limit`] times — after that
+//! backfill stops entirely until the head is admitted, so the head's wait
+//! is bounded by a constant number of jumps plus the drain of already
+//! running jobs (every job terminates: complete, fail, or cancel). The
+//! property suite in `crates/sched/tests/` pins both invariants: no
+//! oversubscription, ever, and no starvation under backfill.
+
+use std::collections::VecDeque;
+
+/// Per-device free-slot ledger of one long-lived cluster.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    ranks_per_device: u32,
+    free: Vec<u32>,
+}
+
+/// An all-or-nothing capacity grant: `ranks_per_device` slots on each
+/// listed device. Returned by [`Ledger::alloc`]; must be handed back via
+/// [`Ledger::release`] exactly once (the scheduler does so when the job's
+/// runner thread finishes, whatever the outcome — this is what "cancel and
+/// drain never leak" means at the ledger level).
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// Devices the gang occupies (cluster device indices, ascending).
+    pub devices: Vec<u32>,
+    /// Slots held on each listed device.
+    pub ranks_per_device: u32,
+}
+
+impl Lease {
+    /// Total rank slots this lease holds.
+    pub fn slots(&self) -> u64 {
+        self.devices.len() as u64 * u64::from(self.ranks_per_device)
+    }
+}
+
+impl Ledger {
+    /// A ledger for `devices` devices of `ranks_per_device` slots each.
+    pub fn new(devices: u32, ranks_per_device: u32) -> Ledger {
+        Ledger {
+            ranks_per_device,
+            free: vec![ranks_per_device; devices as usize],
+        }
+    }
+
+    /// Number of cluster devices.
+    pub fn devices(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Slot capacity of each device.
+    pub fn ranks_per_device(&self) -> u32 {
+        self.ranks_per_device
+    }
+
+    /// Total slots (`devices * ranks_per_device`).
+    pub fn slots_total(&self) -> u64 {
+        self.devices() as u64 * u64::from(self.ranks_per_device)
+    }
+
+    /// Slots currently leased out.
+    pub fn slots_busy(&self) -> u64 {
+        self.slots_total() - self.free.iter().map(|&f| u64::from(f)).sum::<u64>()
+    }
+
+    /// Could a `devices × ranks_per_device` gang *ever* fit this cluster,
+    /// even when idle? `false` means the spec must be rejected at submit,
+    /// not queued forever.
+    pub fn can_ever_fit(&self, devices: u32, ranks_per_device: u32) -> bool {
+        devices >= 1
+            && ranks_per_device >= 1
+            && devices <= self.devices()
+            && ranks_per_device <= self.ranks_per_device
+    }
+
+    /// Does the gang fit right now?
+    pub fn fits(&self, devices: u32, ranks_per_device: u32) -> bool {
+        self.free.iter().filter(|&&f| f >= ranks_per_device).count() >= devices as usize
+    }
+
+    /// Lease the gang (all-or-nothing, first-fit lowest device index), or
+    /// `None` if it does not fit now.
+    pub fn alloc(&mut self, devices: u32, ranks_per_device: u32) -> Option<Lease> {
+        if !self.fits(devices, ranks_per_device) {
+            return None;
+        }
+        let mut picked = Vec::with_capacity(devices as usize);
+        for (d, f) in self.free.iter_mut().enumerate() {
+            if picked.len() == devices as usize {
+                break;
+            }
+            if *f >= ranks_per_device {
+                *f -= ranks_per_device;
+                picked.push(d as u32);
+            }
+        }
+        debug_assert_eq!(picked.len(), devices as usize, "fits() lied");
+        Some(Lease {
+            devices: picked,
+            ranks_per_device,
+        })
+    }
+
+    /// Return a lease. Free counts saturate at device capacity (a
+    /// double-release is a scheduler bug; debug builds assert, release
+    /// builds refuse to oversubscribe the ledger over it).
+    pub fn release(&mut self, lease: &Lease) {
+        for &d in &lease.devices {
+            let f = &mut self.free[d as usize];
+            debug_assert!(
+                *f + lease.ranks_per_device <= self.ranks_per_device,
+                "lease released twice on device {d}"
+            );
+            *f = (*f + lease.ranks_per_device).min(self.ranks_per_device);
+        }
+    }
+}
+
+/// One queued gang request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Scheduler job id.
+    pub id: u64,
+    /// Devices the gang spans.
+    pub devices: u32,
+    /// Slots per device.
+    pub ranks_per_device: u32,
+    /// Higher runs earlier; equal priorities stay FIFO.
+    pub priority: u8,
+}
+
+/// Priority-FIFO queue with bounded backfill (see module docs).
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    /// `(job, backfills admitted past it while it was head)`.
+    entries: VecDeque<(QueuedJob, u32)>,
+    backfill_limit: u32,
+}
+
+impl AdmissionQueue {
+    /// An empty queue whose head tolerates at most `backfill_limit` jumps.
+    pub fn new(backfill_limit: u32) -> AdmissionQueue {
+        AdmissionQueue {
+            entries: VecDeque::new(),
+            backfill_limit,
+        }
+    }
+
+    /// Jobs waiting.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No jobs waiting?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured backfill bound.
+    pub fn backfill_limit(&self) -> u32 {
+        self.backfill_limit
+    }
+
+    /// Queue position of a job (0 = head).
+    pub fn position(&self, id: u64) -> Option<usize> {
+        self.entries.iter().position(|(j, _)| j.id == id)
+    }
+
+    /// Insert by priority: before the first strictly-lower-priority entry,
+    /// after every equal-priority one (stable FIFO within a priority).
+    pub fn enqueue(&mut self, job: QueuedJob) {
+        let at = self
+            .entries
+            .iter()
+            .position(|(q, _)| q.priority < job.priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(at, (job, 0));
+    }
+
+    /// Remove a queued job (queue-side cancel). Returns whether it was
+    /// present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.position(id) {
+            Some(at) => {
+                self.entries.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One admission pass: admit from the head while it fits, then — unless
+    /// the head has exhausted its backfill budget — one backfill sweep over
+    /// the rest. Returns the admitted jobs with their leases, in admission
+    /// order.
+    pub fn admit_pass(&mut self, ledger: &mut Ledger) -> Vec<(QueuedJob, Lease)> {
+        let mut admitted = Vec::new();
+        loop {
+            let Some(&(head, head_jumps)) = self.entries.front() else {
+                return admitted;
+            };
+            if let Some(lease) = ledger.alloc(head.devices, head.ranks_per_device) {
+                self.entries.pop_front();
+                admitted.push((head, lease));
+                continue;
+            }
+            // Head is blocked on capacity. Backfill only while its budget
+            // lasts: once `backfill_limit` jobs have jumped it, nothing
+            // more is admitted until running jobs drain and the head fits.
+            if head_jumps >= self.backfill_limit {
+                return admitted;
+            }
+            let mut i = 1;
+            while i < self.entries.len() {
+                if self.entries[0].1 >= self.backfill_limit {
+                    break;
+                }
+                let job = self.entries[i].0;
+                if let Some(lease) = ledger.alloc(job.devices, job.ranks_per_device) {
+                    self.entries.remove(i);
+                    self.entries[0].1 += 1;
+                    admitted.push((job, lease));
+                } else {
+                    i += 1;
+                }
+            }
+            return admitted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_round_trip() {
+        let mut l = Ledger::new(2, 4);
+        assert_eq!(l.slots_total(), 8);
+        let a = l.alloc(2, 3).expect("fits");
+        assert_eq!(a.slots(), 6);
+        assert_eq!(l.slots_busy(), 6);
+        assert!(l.alloc(1, 2).is_none());
+        let b = l.alloc(1, 1).expect("one slot left per device");
+        l.release(&a);
+        l.release(&b);
+        assert_eq!(l.slots_busy(), 0);
+    }
+
+    #[test]
+    fn backfill_respects_head_budget() {
+        let mut led = Ledger::new(1, 4);
+        let mut q = AdmissionQueue::new(2);
+        // Occupy 3 of 4 slots so the 4-slot head can never fit while the
+        // small jobs' own leases churn.
+        let big = led.alloc(1, 3).expect("fits");
+        q.enqueue(QueuedJob {
+            id: 0,
+            devices: 1,
+            ranks_per_device: 4,
+            priority: 0,
+        });
+        for id in 1..5 {
+            q.enqueue(QueuedJob {
+                id,
+                devices: 1,
+                ranks_per_device: 1,
+                priority: 0,
+            });
+        }
+        // First pass: head blocked, two backfills allowed... but only one
+        // slot is free, so one backfill lands and the budget drops to 1.
+        let first = q.admit_pass(&mut led);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].0.id, 1);
+        led.release(&first[0].1);
+        // Second pass: one more backfill exhausts the budget.
+        let second = q.admit_pass(&mut led);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].0.id, 2);
+        led.release(&second[0].1);
+        // Budget exhausted: nothing may jump the head any more.
+        assert!(q.admit_pass(&mut led).is_empty());
+        // Capacity frees; the head admits first, then the remaining queue.
+        led.release(&big);
+        let rest = q.admit_pass(&mut led);
+        assert_eq!(rest[0].0.id, 0, "head admits before remaining backlog");
+    }
+
+    #[test]
+    fn priority_orders_equal_fifo() {
+        let mut q = AdmissionQueue::new(4);
+        for (id, p) in [(1, 0), (2, 2), (3, 1), (4, 2)] {
+            q.enqueue(QueuedJob {
+                id,
+                devices: 1,
+                ranks_per_device: 1,
+                priority: p,
+            });
+        }
+        let order: Vec<u64> = (0..4)
+            .map(|_| {
+                let mut led = Ledger::new(1, 1);
+                let a = q.admit_pass(&mut led);
+                a[0].0.id
+            })
+            .collect();
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property suite for the gang-admission ledger in isolation.
+//!
+//! The scheduler's whole capacity story reduces to two structures —
+//! [`Ledger`] (per-device free slots, all-or-nothing leases) and
+//! [`AdmissionQueue`] (priority FIFO with bounded backfill) — driven under
+//! a mutex, so their sequential behavior *is* the concurrent behavior.
+//! This suite drives random submit/admit/complete streams against them and
+//! pins the three contract properties:
+//!
+//! * **No oversubscription** — after every step, each device's free count
+//!   stays within `[0, ranks_per_device]` and the busy total equals the sum
+//!   of outstanding leases.
+//! * **No starvation under backfill** — while a job sits at the head of
+//!   the queue, at most `backfill_limit` later jobs are admitted past it.
+//! * **Liveness** — once submissions stop and running jobs drain, every
+//!   queued job is eventually admitted (the head always fits an idle
+//!   cluster because impossible shapes are rejected at submit).
+//!
+//! Plus the deterministic-rejection property of the quota layer: a fixed
+//! seed replays the identical verdict sequence.
+
+use dcuda_des::check::{forall, Gen};
+use dcuda_sched::{AdmissionQueue, JobProgram, JobSpec, Lease, Ledger, QueuedJob, SchedLimits};
+
+/// A random gang shape that `can_ever_fit` the given cluster.
+fn feasible_gang(g: &mut Gen, cap_devices: u32, cap_rpd: u32) -> (u32, u32) {
+    (1 + g.u32_below(cap_devices), 1 + g.u32_below(cap_rpd))
+}
+
+/// Check the ledger against an explicit model of outstanding leases.
+fn assert_ledger_consistent(ledger: &Ledger, outstanding: &[(u64, Lease)]) {
+    let leased: u64 = outstanding.iter().map(|(_, l)| l.slots()).sum();
+    assert_eq!(
+        ledger.slots_busy(),
+        leased,
+        "ledger busy count diverged from the outstanding leases"
+    );
+    assert!(
+        ledger.slots_busy() <= ledger.slots_total(),
+        "ledger oversubscribed"
+    );
+    // Per-device: no device may hold more leased slots than its capacity.
+    let mut per_device = vec![0u64; ledger.devices() as usize];
+    for (_, lease) in outstanding {
+        for &d in &lease.devices {
+            per_device[d as usize] += u64::from(lease.ranks_per_device);
+        }
+    }
+    for (d, &busy) in per_device.iter().enumerate() {
+        assert!(
+            busy <= u64::from(ledger.ranks_per_device()),
+            "device {d} oversubscribed: {busy} slots leased"
+        );
+    }
+}
+
+#[test]
+fn random_streams_never_oversubscribe() {
+    forall("ledger_no_oversubscription", 150, |g| {
+        let cap_devices = 1 + g.u32_below(4);
+        let cap_rpd = 1 + g.u32_below(4);
+        let mut ledger = Ledger::new(cap_devices, cap_rpd);
+        let mut queue = AdmissionQueue::new(g.u32_below(4));
+        let mut outstanding: Vec<(u64, Lease)> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..60 {
+            match g.u32_below(3) {
+                // Submit a feasible job.
+                0 => {
+                    let (d, r) = feasible_gang(g, cap_devices, cap_rpd);
+                    queue.enqueue(QueuedJob {
+                        id: next_id,
+                        devices: d,
+                        ranks_per_device: r,
+                        priority: g.u32_below(3) as u8,
+                    });
+                    next_id += 1;
+                }
+                // Run an admission pass.
+                1 => {
+                    for (job, lease) in queue.admit_pass(&mut ledger) {
+                        outstanding.push((job.id, lease));
+                    }
+                }
+                // Complete a random running job.
+                _ => {
+                    if !outstanding.is_empty() {
+                        let at = g.usize_below(outstanding.len());
+                        let (_, lease) = outstanding.swap_remove(at);
+                        ledger.release(&lease);
+                    }
+                }
+            }
+            assert_ledger_consistent(&ledger, &outstanding);
+        }
+    });
+}
+
+#[test]
+fn alloc_succeeds_iff_fits() {
+    forall("ledger_alloc_iff_fits", 200, |g| {
+        let mut ledger = Ledger::new(1 + g.u32_below(4), 1 + g.u32_below(4));
+        // Fragment the ledger with a few random holds.
+        let mut holds = Vec::new();
+        for _ in 0..g.usize_below(4) {
+            let d = 1 + g.u32_below(ledger.devices());
+            let r = 1 + g.u32_below(ledger.ranks_per_device());
+            if let Some(lease) = ledger.alloc(d, r) {
+                holds.push(lease);
+            }
+        }
+        let d = 1 + g.u32_below(ledger.devices() + 1);
+        let r = 1 + g.u32_below(ledger.ranks_per_device() + 1);
+        let fits = ledger.fits(d, r);
+        match ledger.alloc(d, r) {
+            Some(lease) => {
+                assert!(fits, "alloc granted a gang fits() refused");
+                assert_eq!(lease.slots(), u64::from(d) * u64::from(r));
+                ledger.release(&lease);
+            }
+            None => assert!(!fits, "alloc refused a gang fits() accepted"),
+        }
+        for lease in &holds {
+            ledger.release(lease);
+        }
+        assert_eq!(ledger.slots_busy(), 0, "round trip leaked slots");
+    });
+}
+
+#[test]
+fn head_of_queue_wait_is_bounded() {
+    forall("queue_bounded_starvation", 120, |g| {
+        let cap_rpd = 2 + g.u32_below(3);
+        let mut ledger = Ledger::new(1, cap_rpd);
+        let backfill_limit = g.u32_below(3);
+        let mut queue = AdmissionQueue::new(backfill_limit);
+        // Pin the head: a full-device gang that cannot fit while the
+        // 1-slot churn jobs hold capacity.
+        let head_id = 0u64;
+        queue.enqueue(QueuedJob {
+            id: head_id,
+            devices: 1,
+            ranks_per_device: cap_rpd,
+            priority: 0,
+        });
+        let mut running: Vec<Lease> = Vec::new();
+        let mut jumped = 0u64;
+        // Churn: keep feeding 1-slot jobs and completing them; the head
+        // must never be jumped more than backfill_limit times in total.
+        for churn_id in 1u64..=40 {
+            queue.enqueue(QueuedJob {
+                id: churn_id,
+                devices: 1,
+                ranks_per_device: 1,
+                priority: 0,
+            });
+            // Occupy one slot so the head never fits during churn.
+            if running.is_empty() {
+                running.push(ledger.alloc(1, 1).expect("idle ledger fits 1 slot"));
+            }
+            for (job, lease) in queue.admit_pass(&mut ledger) {
+                assert_ne!(job.id, head_id, "head cannot fit while churn holds a slot");
+                jumped += 1;
+                running.push(lease);
+            }
+            // Complete everything but the pin.
+            while running.len() > 1 {
+                let lease = running.pop().expect("nonempty");
+                ledger.release(&lease);
+            }
+            assert!(
+                jumped <= u64::from(backfill_limit),
+                "head jumped {jumped} times, budget is {backfill_limit}"
+            );
+        }
+        // Release the pin: the head must be the next admission.
+        for lease in running.drain(..) {
+            ledger.release(&lease);
+        }
+        let admitted = queue.admit_pass(&mut ledger);
+        assert_eq!(
+            admitted.first().map(|(j, _)| j.id),
+            Some(head_id),
+            "head must admit first once capacity frees"
+        );
+    });
+}
+
+#[test]
+fn queues_drain_to_empty_when_capacity_cycles() {
+    forall("queue_liveness", 100, |g| {
+        let cap_devices = 1 + g.u32_below(3);
+        let cap_rpd = 1 + g.u32_below(3);
+        let mut ledger = Ledger::new(cap_devices, cap_rpd);
+        let mut queue = AdmissionQueue::new(g.u32_below(4));
+        for id in 0..(5 + g.u64_below(15)) {
+            let (d, r) = feasible_gang(g, cap_devices, cap_rpd);
+            queue.enqueue(QueuedJob {
+                id,
+                devices: d,
+                ranks_per_device: r,
+                priority: g.u32_below(3) as u8,
+            });
+        }
+        // Submissions stopped; alternate admit passes with completing every
+        // running job. Every queued job must land within a bounded number
+        // of cycles (worst case: one job admitted per idle cycle).
+        let budget = 2 * queue.len() + 2;
+        let mut outstanding: Vec<Lease> = Vec::new();
+        for _ in 0..budget {
+            for (_, lease) in queue.admit_pass(&mut ledger) {
+                outstanding.push(lease);
+            }
+            for lease in outstanding.drain(..) {
+                ledger.release(&lease);
+            }
+            if queue.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            queue.is_empty(),
+            "{} jobs starved after {budget} idle admit cycles",
+            queue.len()
+        );
+        assert_eq!(ledger.slots_busy(), 0);
+    });
+}
+
+#[test]
+fn quota_verdicts_replay_identically_for_a_fixed_seed() {
+    let limits = SchedLimits::default();
+    let verdicts = |seed: u64| -> Vec<String> {
+        let mut g = Gen::from_seed(seed);
+        (0..40)
+            .map(|i| {
+                let mut spec = JobSpec::small(
+                    format!("q-{i}"),
+                    *g.choose(&[
+                        JobProgram::Ring,
+                        JobProgram::PingPong,
+                        JobProgram::Allreduce,
+                    ]),
+                );
+                // Straddle every quota boundary.
+                spec.devices = 1 + g.u32_below(40);
+                spec.ranks_per_device = 1 + g.u32_below(12);
+                spec.ring_capacity = 1 << g.u32_below(14);
+                spec.extra_window = g.usize_below(6 << 20);
+                match spec.validate(&limits) {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => e.to_string(),
+                }
+            })
+            .collect()
+    };
+    for seed in [3u64, 0xD00D, 0xFEED_FACE] {
+        assert_eq!(
+            verdicts(seed),
+            verdicts(seed),
+            "rejection stream must be deterministic for seed {seed:#x}"
+        );
+    }
+    // And at least one of each verdict class appears across the sweep.
+    let all: Vec<String> = [3u64, 0xD00D, 0xFEED_FACE]
+        .into_iter()
+        .flat_map(verdicts)
+        .collect();
+    assert!(all.iter().any(|v| v == "ok"));
+    assert!(all.iter().any(|v| v.contains("quota exceeded")));
+}

@@ -1,0 +1,170 @@
+//! Model checking for the scheduler's job-table terminal protocol — the
+//! [`JobCell`] a runner thread publishes its outcome through while
+//! controllers cancel and drainers poll concurrently. The checker drives
+//! the production `dcuda_sched::jobstate` code on [`VPlatform`], so the
+//! shipped Release-publish / Acquire-observe pairing runs under the
+//! virtual scheduler, exactly like the handoff-ring model next door:
+//!
+//! * cancel-vs-complete — the runner alone arbitrates: whatever a
+//!   controller's verdict, the published outcome is single and final, and
+//!   `AlreadyDone(end)` always names that exact outcome;
+//! * fail-vs-drain — a drainer that spins on `poll()` observes the failure
+//!   exactly once, stable across re-reads, with the token readable;
+//! * a seeded Release→Relaxed demotion of the outcome publication must
+//!   surface as a data race on the token cell, and the reported schedule
+//!   must replay.
+
+use dcuda_sched::jobstate::{CancelVerdict, JobCell, JobEnd};
+use dcuda_verify::sched::ModelThread;
+use dcuda_verify::{mutation_model, FailureKind, Model, Outcome, VPlatform};
+use std::sync::Arc;
+
+const TOKEN: u64 = 0xC0FF_EE00_0BAD_F00D;
+
+/// The cancel-vs-complete race: a runner that checks the cancel flag at
+/// its last cancellation point and publishes the resulting outcome, a
+/// controller that requests cancel at an arbitrary instant, and a drainer
+/// that waits for the terminal outcome and takes the token. Every
+/// interleaving must end with one published outcome that all three agree
+/// on.
+fn mk_cancel_vs_complete() -> Vec<ModelThread> {
+    let cell: Arc<JobCell<VPlatform>> = Arc::new(JobCell::new());
+
+    let runner_cell = cell.clone();
+    let runner: ModelThread = Box::new(move || {
+        // The runner's last cancellation point, then the publication —
+        // the scheduler's run_job shape with the rt run abstracted away.
+        dcuda_verify::vyield();
+        let end = if runner_cell.cancel_requested() {
+            JobEnd::Cancelled
+        } else {
+            JobEnd::Completed
+        };
+        runner_cell.publish(end, TOKEN);
+    });
+
+    let controller_cell = cell.clone();
+    let controller: ModelThread = Box::new(move || {
+        // Fire-and-return like the scheduler's cancel verb: the runner
+        // arbitrates `Requested`; only `AlreadyDone` makes a claim this
+        // thread can check immediately. (No waiting loop here — the
+        // drainer already covers observe-after-publish, and a second
+        // spinner would square the branch space for no new coverage.)
+        if let CancelVerdict::AlreadyDone(end) = controller_cell.request_cancel() {
+            // A lost race must name the real outcome, and that outcome
+            // must already be observable to this thread.
+            assert_eq!(
+                controller_cell.poll(),
+                Some(end),
+                "AlreadyDone names an outcome poll() cannot see"
+            );
+        }
+    });
+
+    let drainer_cell = cell;
+    let drainer: ModelThread = Box::new(move || {
+        let end = loop {
+            if let Some(end) = drainer_cell.poll() {
+                break end;
+            }
+            dcuda_verify::vyield();
+        };
+        // Terminal outcomes are stable across re-reads...
+        assert_eq!(
+            drainer_cell.poll(),
+            Some(end),
+            "outcome changed after publication"
+        );
+        // ...and license the token read (this Acquire/Release edge is what
+        // the mutation test below demotes).
+        assert_eq!(unsafe { drainer_cell.take_token() }, TOKEN, "token torn");
+    });
+
+    vec![runner, controller, drainer]
+}
+
+/// The fail-vs-drain race: the runner publishes `Failed` while a drain
+/// loop polls. The drainer must observe exactly `Failed` (never a phantom
+/// `Completed`/`Cancelled`), stably, with the token intact.
+fn mk_fail_vs_drain() -> Vec<ModelThread> {
+    let cell: Arc<JobCell<VPlatform>> = Arc::new(JobCell::new());
+
+    let runner_cell = cell.clone();
+    let runner: ModelThread = Box::new(move || {
+        dcuda_verify::vyield();
+        runner_cell.publish(JobEnd::Failed, TOKEN);
+    });
+
+    let drainer_cell = cell;
+    let drainer: ModelThread = Box::new(move || {
+        let end = loop {
+            if let Some(end) = drainer_cell.poll() {
+                break end;
+            }
+            dcuda_verify::vyield();
+        };
+        assert_eq!(end, JobEnd::Failed, "drain saw a phantom outcome");
+        assert_eq!(drainer_cell.poll(), Some(JobEnd::Failed));
+        assert_eq!(unsafe { drainer_cell.take_token() }, TOKEN, "token torn");
+    });
+
+    vec![runner, drainer]
+}
+
+/// Cancel-vs-complete under bounded preemption: one final outcome, agreed
+/// on by runner, controller and drainer, in every interleaving.
+#[test]
+fn cancel_vs_complete_passes() {
+    let m = Model {
+        preemption_bound: 2,
+        max_executions: 120_000,
+        ..Model::default()
+    };
+    match m.check(mk_cancel_vs_complete) {
+        Outcome::Pass { executions, .. } => {
+            assert!(executions > 50, "suspiciously small branch space");
+        }
+        Outcome::Fail(f) => panic!("cancel-vs-complete failed: {f}"),
+    }
+}
+
+/// Fail-vs-drain explores its full bounded branch space without hitting
+/// the execution cap.
+#[test]
+fn fail_vs_drain_completes_search() {
+    let m = Model {
+        preemption_bound: 2,
+        max_executions: 500_000,
+        ..Model::default()
+    };
+    match m.check(mk_fail_vs_drain) {
+        Outcome::Pass {
+            truncated,
+            executions,
+        } => {
+            assert!(!truncated, "bounded search hit the execution cap");
+            assert!(executions > 5, "suspiciously small branch space");
+        }
+        Outcome::Fail(f) => panic!("fail-vs-drain failed: {f}"),
+    }
+}
+
+/// Seeded ordering mutation: demoting the Release store that publishes the
+/// outcome makes the token read race the runner's token write, the checker
+/// must say so, and the reported schedule must replay.
+#[test]
+fn demoted_outcome_publication_is_caught() {
+    let m = mutation_model();
+    let failure = m
+        .check(mk_fail_vs_drain)
+        .failure()
+        .expect("demoted Release publish must be caught")
+        .clone();
+    assert_eq!(failure.kind, FailureKind::DataRace);
+
+    let replayed = m.replay(mk_fail_vs_drain, &failure.schedule);
+    let rf = replayed
+        .failure()
+        .expect("replay must reproduce the failure");
+    assert_eq!(rf.kind, FailureKind::DataRace);
+}

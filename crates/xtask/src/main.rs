@@ -235,6 +235,7 @@ fn bench_diff(args: Vec<String>) -> ExitCode {
         ("transport", "ablation_transport"),
         ("coll", "ablation_coll"),
         ("progress", "ablation_progress"),
+        ("sched", "ablation_sched"),
     ] {
         let Some(bounds) = baseline.get(fig).and_then(Json::as_arr) else {
             continue;

@@ -543,8 +543,152 @@ fn worker_run(
         .field("net", net_json(&report.net)))
 }
 
+const SCHED_USAGE: &str = "usage: dcuda-launch sched <verb> ...
+    serve    [--bind HOST:PORT] [--devices N] [--ranks-per-device R]
+    submit   --addr HOST:PORT --spec 'name=.. program=.. ..' [--wait]
+    status   --addr HOST:PORT --id N
+    cancel   --addr HOST:PORT --id N
+    stats    --addr HOST:PORT
+    drain    --addr HOST:PORT
+    shutdown --addr HOST:PORT";
+
+/// `dcuda-launch sched ...`: drive the multi-tenant job server — serve its
+/// control plane, or act as a client speaking the submit/status/cancel/drain
+/// verbs over the launch codec.
+fn run_sched(argv: &[String]) -> Result<(), String> {
+    use dcuda_sched::{spawn_server, CtrlClient, JobStatus, SchedLimits, Scheduler};
+
+    let verb = argv.first().map(String::as_str).unwrap_or("--help");
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut devices: u32 = 2;
+    let mut ranks_per_device: u32 = 4;
+    let mut addr: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut id: Option<u64> = None;
+    let mut wait = false;
+    let mut it = argv.iter().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--bind" => bind = val("--bind")?.clone(),
+            "--devices" => devices = parse_num(val("--devices")?, "--devices")?,
+            "--ranks-per-device" => {
+                ranks_per_device = parse_num(val("--ranks-per-device")?, "--ranks-per-device")?
+            }
+            "--addr" => addr = Some(val("--addr")?.clone()),
+            "--spec" => specs.push(val("--spec")?.clone()),
+            "--id" => id = Some(parse_num(val("--id")?, "--id")?),
+            "--wait" => wait = true,
+            "--help" | "-h" => return Err(SCHED_USAGE.into()),
+            other => return Err(format!("unknown sched flag {other}\n{SCHED_USAGE}")),
+        }
+    }
+    let need_addr = || addr.clone().ok_or_else(|| "--addr is required".to_string());
+    let need_id = || id.ok_or_else(|| "--id is required".to_string());
+    match verb {
+        "serve" => {
+            let sched = Scheduler::new(devices, ranks_per_device, SchedLimits::default());
+            let handle = spawn_server(sched, &bind).map_err(|e| format!("bind {bind}: {e}"))?;
+            // Flushed so callers can scrape the bound port.
+            println!("listening on {}", handle.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            // Serve until a shutdown verb stops the accept loop.
+            handle.join().map_err(|e| format!("server: {e}"))
+        }
+        "submit" => {
+            if specs.is_empty() {
+                return Err("submit needs at least one --spec".into());
+            }
+            let client = CtrlClient::new(need_addr()?);
+            let mut ids = Vec::new();
+            for line in &specs {
+                let spec =
+                    dcuda_sched::JobSpec::parse_kv(line).map_err(|e| format!("--spec: {e}"))?;
+                let id = client.submit(&spec).map_err(|e| e.to_string())?;
+                println!("submitted id={id} name={}", spec.name);
+                ids.push(id);
+            }
+            if wait {
+                for id in ids {
+                    let r = client.wait(id).map_err(|e| e.to_string())?;
+                    println!(
+                        "job id={} name={} end={} checksum={:016x} wait_ms={:.3} run_ms={:.3}",
+                        r.id,
+                        r.name,
+                        r.end.name(),
+                        r.checksum,
+                        r.wait_ms,
+                        r.run_ms
+                    );
+                }
+            }
+            Ok(())
+        }
+        "status" => {
+            let client = CtrlClient::new(need_addr()?);
+            match client.status(need_id()?).map_err(|e| e.to_string())? {
+                JobStatus::Queued { position } => println!("queued position={position}"),
+                JobStatus::Running => println!("running"),
+                JobStatus::Done(r) => println!(
+                    "done end={} checksum={:016x}{}",
+                    r.end.name(),
+                    r.checksum,
+                    r.error.map(|e| format!(" error={e}")).unwrap_or_default()
+                ),
+            }
+            Ok(())
+        }
+        "cancel" => {
+            let client = CtrlClient::new(need_addr()?);
+            let verdict = client.cancel(need_id()?).map_err(|e| e.to_string())?;
+            println!("cancel {verdict:?}");
+            Ok(())
+        }
+        "stats" | "drain" => {
+            let client = CtrlClient::new(need_addr()?);
+            let s = if verb == "drain" {
+                client.drain().map_err(|e| e.to_string())?
+            } else {
+                client.stats().map_err(|e| e.to_string())?
+            };
+            let out = Json::obj()
+                .field("submitted", Json::from(s.submitted))
+                .field("admitted", Json::from(s.admitted))
+                .field("completed", Json::from(s.completed))
+                .field("failed", Json::from(s.failed))
+                .field("cancelled", Json::from(s.cancelled))
+                .field("rejected", Json::from(s.rejected))
+                .field("queue_depth", Json::from(s.queue_depth))
+                .field("peak_queue_depth", Json::from(s.peak_queue_depth))
+                .field("running", Json::from(s.running))
+                .field("slots_total", Json::from(s.slots_total))
+                .field("slots_busy", Json::from(s.slots_busy))
+                .field("peak_slots_busy", Json::from(s.peak_slots_busy));
+            println!("{out}");
+            Ok(())
+        }
+        "shutdown" => {
+            let client = CtrlClient::new(need_addr()?);
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server stopped");
+            Ok(())
+        }
+        other => Err(format!("unknown sched verb {other:?}\n{SCHED_USAGE}")),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sched") {
+        if let Err(msg) = run_sched(&argv[1..]) {
+            eprintln!("dcuda-launch: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {

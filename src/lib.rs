@@ -34,4 +34,5 @@ pub use dcuda_mpi as mpi;
 pub use dcuda_net as net;
 pub use dcuda_queues as queues;
 pub use dcuda_rt as rt;
+pub use dcuda_sched as sched;
 pub use dcuda_trace as trace;

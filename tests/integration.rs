@@ -174,7 +174,7 @@ fn simulated_and_threaded_backends_agree() {
 /// `DCUDA_FULL_TESTS=1` for the paper-scale configuration (CI runs it).
 #[test]
 fn headline_overlap_claim_holds() {
-    let full = std::env::var("DCUDA_FULL_TESTS").ok().as_deref() == Some("1");
+    let full = dcuda::des::check::full_tier("paper-scale 104-rank stencil");
     let (rpn, iters) = if full { (104, 10) } else { (52, 3) };
     let spec = SystemSpec::greina();
     let mk = |nodes| {

@@ -12,6 +12,7 @@
 //! matrix plus the plane-parametrized orphan-cleanup run.
 
 use dcuda::bench::json::Json;
+use dcuda::des::check::full_tier;
 use std::process::Command;
 use std::time::Instant;
 
@@ -29,10 +30,6 @@ const COUNTERS: &[&str] = &[
     "coll_bytes",
     "coll_chunks",
 ];
-
-fn full_tier() -> bool {
-    std::env::var("DCUDA_FULL_TESTS").ok().as_deref() == Some("1")
-}
 
 /// Run `dcuda-launch` with the given arguments and parse the report it
 /// prints to stdout.
@@ -159,7 +156,7 @@ fn assert_backends_agree(
 /// golden. The shm cells only run in the full tier (and require a host
 /// where `memfd`/`mmap`-backed rings work, which CI's Linux runners are).
 fn tier_planes() -> &'static [&'static str] {
-    if full_tier() {
+    if full_tier("shm plane column") {
         &["tcp", "shm"]
     } else {
         &["tcp"]
@@ -170,7 +167,7 @@ fn tier_planes() -> &'static [&'static str] {
 /// Full tier pushes the payload past EAGER_MAX so rendezvous is exercised.
 #[test]
 fn conformance_pingpong_backends_agree() {
-    if full_tier() {
+    if full_tier("pingpong rendezvous-scale world") {
         assert_backends_agree("pingpong", 20, 4096, 8, tier_planes());
     } else {
         assert_backends_agree("pingpong", 5, 512, 4, tier_planes());
@@ -181,7 +178,7 @@ fn conformance_pingpong_backends_agree() {
 /// barriers, so barrier tokens cross the mesh every round.
 #[test]
 fn conformance_stencil_backends_agree() {
-    if full_tier() {
+    if full_tier("stencil full-scale world") {
         assert_backends_agree("stencil", 10, 4096, 8, tier_planes());
     } else {
         assert_backends_agree("stencil", 4, 384, 3, tier_planes());
@@ -191,7 +188,7 @@ fn conformance_stencil_backends_agree() {
 /// The overlap microbenchmark — the headline workload `xtask launch` runs.
 #[test]
 fn conformance_overlap_backends_agree() {
-    if full_tier() {
+    if full_tier("overlap full-scale world") {
         assert_backends_agree("overlap", 20, 4096, 8, tier_planes());
     } else {
         assert_backends_agree("overlap", 6, 1024, 4, tier_planes());
@@ -205,7 +202,7 @@ fn conformance_overlap_backends_agree() {
 /// recursive-doubling fold/unfold and uneven ring segments cross the mesh.
 #[test]
 fn conformance_coll_backends_agree() {
-    if full_tier() {
+    if full_tier("coll full-scale world") {
         assert_backends_agree("coll", 6, 4096, 7, tier_planes());
     } else {
         assert_backends_agree("coll", 3, 512, 3, tier_planes());
@@ -328,7 +325,7 @@ fn assert_progress_pool_matches_inline(workload: &str, iters: u32, payload: usiz
 /// off-thread drain counter) empty.
 #[test]
 fn conformance_progress_pool_matches_inline() {
-    if full_tier() {
+    if full_tier("progress-pool coll cell") {
         assert_progress_pool_matches_inline("overlap", 20, 4096, 8);
         assert_progress_pool_matches_inline("coll", 3, 512, 3);
     } else {
@@ -452,7 +449,7 @@ fn killed_worker_fails_fast_without_orphans() {
 /// rather than a socket EOF, so it is a genuinely different code path.
 #[test]
 fn killed_worker_fails_fast_on_shm_plane() {
-    if !full_tier() {
+    if !full_tier("shm orphan-cleanup run") {
         return;
     }
     killed_worker_on_plane("shm");
